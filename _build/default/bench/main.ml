@@ -1,0 +1,105 @@
+(* Benchmark harness: one section per paper table/figure plus bechamel
+   microbenchmarks of the AA-cache data structures.
+
+   Usage:
+     bench/main.exe               run everything at quick scale
+     bench/main.exe full          run everything at full scale
+     bench/main.exe micro         microbenchmarks only
+     bench/main.exe fig6|fig7|fig8|fig9|fig10|scalars [full]
+*)
+
+open Bechamel
+open Toolkit
+open Wafl_experiments
+
+(* --- microbenchmarks: the §3.3 data-structure operations --- *)
+
+let n_aas = 100_000
+let max_score = 32_768
+
+let scores seed = Array.init n_aas (fun i -> (i * seed) mod (max_score + 1))
+
+let heap_take_and_refile () =
+  let h = Wafl_aacache.Max_heap.of_scores (scores 7919) in
+  Staged.stage (fun () ->
+      match Wafl_aacache.Max_heap.extract_best h with
+      | Some (aa, _) -> Wafl_aacache.Max_heap.insert h ~aa ~score:(aa mod max_score)
+      | None -> ())
+
+let heap_update () =
+  let h = Wafl_aacache.Max_heap.of_scores (scores 7919) in
+  let i = ref 0 in
+  Staged.stage (fun () ->
+      i := (!i + 7919) mod n_aas;
+      Wafl_aacache.Max_heap.update h ~aa:!i ~score:((!i * 31) mod max_score))
+
+let hbps_take_and_refile () =
+  let h = Wafl_aacache.Hbps.create ~max_score ~scores:(scores 104729) () in
+  Wafl_aacache.Hbps.replenish h;
+  Staged.stage (fun () ->
+      match Wafl_aacache.Hbps.take_best h with
+      | Some (aa, _) -> Wafl_aacache.Hbps.update h ~aa ~score:(aa mod max_score)
+      | None -> Wafl_aacache.Hbps.replenish h)
+
+let hbps_update () =
+  let h = Wafl_aacache.Hbps.create ~max_score ~scores:(scores 104729) () in
+  Wafl_aacache.Hbps.replenish h;
+  let i = ref 0 in
+  Staged.stage (fun () ->
+      i := (!i + 104729) mod n_aas;
+      Wafl_aacache.Hbps.update h ~aa:!i ~score:((!i * 17) mod max_score))
+
+let full_sort_baseline () =
+  (* the strawman HBPS replaces: fully sorting all AAs to find the best *)
+  let s = scores 7919 in
+  Staged.stage (fun () ->
+      let copy = Array.copy s in
+      Array.sort (fun a b -> Int.compare b a) copy;
+      ignore copy.(0))
+
+let hbps_replenish () =
+  let h = Wafl_aacache.Hbps.create ~max_score ~scores:(scores 104729) () in
+  Staged.stage (fun () -> Wafl_aacache.Hbps.replenish h)
+
+let micro_tests =
+  Test.make_grouped ~name:"aa-cache"
+    [
+      Test.make ~name:"max-heap take+refile (100k AAs)" (heap_take_and_refile ());
+      Test.make ~name:"max-heap update" (heap_update ());
+      Test.make ~name:"hbps take+refile (100k AAs)" (hbps_take_and_refile ());
+      Test.make ~name:"hbps update" (hbps_update ());
+      Test.make ~name:"hbps replenish scan" (hbps_replenish ());
+      Test.make ~name:"full-sort baseline" (full_sort_baseline ());
+    ]
+
+let run_micro () =
+  print_endline "\n================================================================";
+  print_endline "Microbenchmarks: HBPS vs max-heap vs full sort (ns/op)";
+  print_endline "================================================================";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
+  let raw = Benchmark.all cfg instances micro_tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [] in
+  List.iter
+    (fun (name, result) ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "  %-52s %12.1f ns/op\n" name est
+      | Some _ | None -> Printf.printf "  %-52s (no estimate)\n" name)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let scale = if List.mem "full" args then Common.Full else Common.Quick in
+  let has name = List.mem name args in
+  let specific = [ "micro"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "scalars"; "ablation" ] in
+  let run_all = not (List.exists (fun a -> List.mem a specific) args) in
+  if run_all || has "fig6" then Fig6.print (Fig6.run ~scale ());
+  if run_all || has "fig7" then Fig7.print (Fig7.run ~scale ());
+  if run_all || has "fig8" then Fig8.print (Fig8.run ~scale ());
+  if run_all || has "fig9" then Fig9.print (Fig9.run ~scale ());
+  if run_all || has "fig10" then Fig10.print (Fig10.run ~scale ());
+  if run_all || has "scalars" then Scalars.print (Scalars.run ~scale ());
+  if run_all || has "ablation" then Ablation.print (Ablation.run ~scale ());
+  if run_all || has "micro" then run_micro ()

@@ -1,0 +1,71 @@
+(* waflsim: run individual paper experiments from the command line. *)
+
+open Cmdliner
+open Wafl_experiments
+
+let scale_arg =
+  let doc = "Experiment scale: 'quick' (seconds, CI-sized) or 'full'." in
+  Arg.(value & opt string "quick" & info [ "s"; "scale" ] ~docv:"SCALE" ~doc)
+
+let parse_scale s =
+  match Common.scale_of_string s with
+  | Some scale -> scale
+  | None -> begin
+    Printf.eprintf "unknown scale %S (expected quick|full)\n" s;
+    exit 2
+  end
+
+let fig6_cmd =
+  let run s = Fig6.print (Fig6.run ~scale:(parse_scale s) ()) in
+  Cmd.v (Cmd.info "fig6" ~doc:"AA-cache latency/throughput experiment (Figure 6)")
+    Term.(const run $ scale_arg)
+
+let fig7_cmd =
+  let run s = Fig7.print (Fig7.run ~scale:(parse_scale s) ()) in
+  Cmd.v (Cmd.info "fig7" ~doc:"Imbalanced RAID-group aging under OLTP (Figure 7)")
+    Term.(const run $ scale_arg)
+
+let fig8_cmd =
+  let run s = Fig8.print (Fig8.run ~scale:(parse_scale s) ()) in
+  Cmd.v (Cmd.info "fig8" ~doc:"SSD AA sizing experiment (Figure 8)")
+    Term.(const run $ scale_arg)
+
+let fig9_cmd =
+  let run s = Fig9.print (Fig9.run ~scale:(parse_scale s) ()) in
+  Cmd.v (Cmd.info "fig9" ~doc:"SMR AZCS-alignment experiment (Figure 9)")
+    Term.(const run $ scale_arg)
+
+let fig10_cmd =
+  let run s = Fig10.print (Fig10.run ~scale:(parse_scale s) ()) in
+  Cmd.v (Cmd.info "fig10" ~doc:"TopAA mount-time experiment (Figure 10)")
+    Term.(const run $ scale_arg)
+
+let scalars_cmd =
+  let run s = Scalars.print (Scalars.run ~scale:(parse_scale s) ()) in
+  Cmd.v (Cmd.info "scalars" ~doc:"Section 4.1 scalar claims")
+    Term.(const run $ scale_arg)
+
+let ablation_cmd =
+  let run s = Ablation.print (Ablation.run ~scale:(parse_scale s) ()) in
+  Cmd.v (Cmd.info "ablation" ~doc:"Design-choice ablations (bin width, policy, threshold, cleaner)")
+    Term.(const run $ scale_arg)
+
+let all_cmd =
+  let run s =
+    let scale = parse_scale s in
+    Fig6.print (Fig6.run ~scale ());
+    Fig7.print (Fig7.run ~scale ());
+    Fig8.print (Fig8.run ~scale ());
+    Fig9.print (Fig9.run ~scale ());
+    Fig10.print (Fig10.run ~scale ());
+    Scalars.print (Scalars.run ~scale ());
+    Ablation.print (Ablation.run ~scale ())
+  in
+  Cmd.v (Cmd.info "all" ~doc:"Run every experiment") Term.(const run $ scale_arg)
+
+let default =
+  Term.(ret (const (`Help (`Pager, None))))
+
+let () =
+  let info = Cmd.info "waflsim" ~doc:"WAFL free-block search reproduction experiments" in
+  exit (Cmd.eval (Cmd.group ~default info [ fig6_cmd; fig7_cmd; fig8_cmd; fig9_cmd; fig10_cmd; scalars_cmd; ablation_cmd; all_cmd ]))

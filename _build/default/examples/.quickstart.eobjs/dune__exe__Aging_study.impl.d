@@ -1,0 +1,1 @@
+examples/aging_study.ml: Aggregate Aging Array Cleaner Config Cp Fs List Printf Random_overwrite Rng String Wafl_aa Wafl_core Wafl_device Wafl_util Wafl_workload

@@ -1,0 +1,1 @@
+examples/failover_replay.ml: Aggregate Aging Bytes Config Format Fs List Mount Printf Rng Wafl_aacache Wafl_core Wafl_device Wafl_util Wafl_workload Write_alloc

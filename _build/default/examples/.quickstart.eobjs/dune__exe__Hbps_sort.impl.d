@@ -1,0 +1,1 @@
+examples/hbps_sort.ml: Array Hbps Printf Rng Sys Wafl_aacache Wafl_util

@@ -1,0 +1,1 @@
+examples/hbps_sort.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aggregate Array Config Cp Flexvol Fs List Printf Wafl_aa Wafl_aacache Wafl_core Wafl_device

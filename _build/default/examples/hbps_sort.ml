@@ -1,0 +1,65 @@
+(* The histogram-based partial sort on its own (§3.3.2).
+
+   HBPS answers "give me a near-maximal item" over millions of scored items
+   in two pages of memory.  The paper also uses it wherever WAFL needs
+   millions of items in close-to-optimal order cheaply — e.g. delayed-free
+   scores [18].  This example exercises both uses.
+
+   Run with: dune exec examples/hbps_sort.exe *)
+
+open Wafl_util
+open Wafl_aacache
+
+let () =
+  let n = 1_000_000 in
+  let max_score = 32_768 in
+  let rng = Rng.create ~seed:2024 in
+  let scores = Array.init n (fun _ -> Rng.int rng (max_score + 1)) in
+
+  Printf.printf "tracking %d items, scores 0..%d\n" n max_score;
+  let h = Hbps.create ~max_score ~scores () in
+  Hbps.replenish h;
+  Printf.printf "list page holds %d of %d items; histogram bins: %d; error margin %.3f%%\n"
+    (Hbps.count h) n (Hbps.bins h)
+    (100.0 *. Hbps.error_margin h);
+
+  (* Take the best item: guaranteed within one bin width of the true max. *)
+  let true_max = Array.fold_left max 0 scores in
+  (match Hbps.pick_best h with
+  | Some (item, score) ->
+    Printf.printf "pick_best: item %d score %d (true max %d, gap %d <= %d)\n" item score
+      true_max (true_max - score) (Hbps.bin_width h)
+  | None -> assert false);
+
+  (* Constant-time updates: a million score changes. *)
+  let t0 = Sys.time () in
+  for _ = 1 to 1_000_000 do
+    Hbps.update h ~aa:(Rng.int rng n) ~score:(Rng.int rng (max_score + 1))
+  done;
+  let dt = Sys.time () -. t0 in
+  Printf.printf "1M updates in %.2fs (%.0f ns each); invariants hold: %b\n" dt (dt *. 1e3)
+    (Hbps.check_invariant h);
+
+  (* The histogram page always has exact counts, even for unlisted items. *)
+  let total = ref 0 in
+  for b = 0 to Hbps.bins h - 1 do
+    total := !total + Hbps.histogram_count h ~bin:b
+  done;
+  Printf.printf "histogram total = %d (every item, listed or not)\n" !total;
+
+  (* Secondary use: delayed-free scores.  Track "segments" by the number of
+     delayed frees they have accumulated and always process the most
+     lucrative one, replenishing when the list drains. *)
+  print_endline "\ndelayed-free tracking: drain the 10 most lucrative segments";
+  let segments = Array.init 100_000 (fun _ -> Rng.int rng 1000) in
+  let df = Hbps.create ~max_score:1000 ~capacity:64 ~scores:segments () in
+  Hbps.replenish df;
+  for round = 1 to 10 do
+    match Hbps.take_best df with
+    | Some (seg, pending) ->
+      Printf.printf "  round %2d: free segment %6d, reclaiming %d delayed frees\n" round seg
+        pending;
+      Hbps.update df ~aa:seg ~score:0;
+      if Hbps.needs_replenish df then Hbps.replenish df
+    | None -> Hbps.replenish df
+  done

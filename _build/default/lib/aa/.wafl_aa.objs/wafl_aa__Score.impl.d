@@ -1,0 +1,1 @@
+lib/aa/score.ml: Array Extent Hashtbl List Metafile Topology Wafl_bitmap Wafl_block

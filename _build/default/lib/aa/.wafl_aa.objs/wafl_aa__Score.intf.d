@@ -1,0 +1,1 @@
+lib/aa/score.mli: Topology Wafl_bitmap

@@ -1,0 +1,1 @@
+lib/aa/sizing.ml: Bitops Profile Units Wafl_block Wafl_device Wafl_util

@@ -1,0 +1,1 @@
+lib/aa/sizing.mli: Wafl_device

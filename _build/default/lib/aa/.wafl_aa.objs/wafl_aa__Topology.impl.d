@@ -1,0 +1,1 @@
+lib/aa/topology.ml: Bitops Extent Format Geometry List Wafl_block Wafl_raid Wafl_util

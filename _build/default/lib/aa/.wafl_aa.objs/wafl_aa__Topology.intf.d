@@ -1,0 +1,1 @@
+lib/aa/topology.mli: Format Wafl_block Wafl_raid

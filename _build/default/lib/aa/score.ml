@@ -1,0 +1,44 @@
+open Wafl_bitmap
+open Wafl_block
+
+let score_of_aa topology metafile i =
+  let extents = Topology.extents_of_aa topology i in
+  List.fold_left
+    (fun acc e ->
+      acc + Metafile.free_count metafile ~start:(Extent.start e) ~len:(Extent.len e))
+    0 extents
+
+let all_scores topology metafile =
+  Array.init (Topology.aa_count topology) (score_of_aa topology metafile)
+
+type delta = { topology : Topology.t; changes : (int, int) Hashtbl.t }
+
+let create_delta topology = { topology; changes = Hashtbl.create 64 }
+
+let bump d vbn amount =
+  let aa = Topology.aa_of_vbn d.topology vbn in
+  let current = try Hashtbl.find d.changes aa with Not_found -> 0 in
+  let updated = current + amount in
+  if updated = 0 then Hashtbl.remove d.changes aa else Hashtbl.replace d.changes aa updated
+
+let note_alloc d ~vbn = bump d vbn (-1)
+let note_free d ~vbn = bump d vbn 1
+
+let is_empty d = Hashtbl.length d.changes = 0
+
+let fold d ~init ~f = Hashtbl.fold (fun aa change acc -> f acc ~aa ~change) d.changes init
+
+let apply d scores =
+  let updates =
+    Hashtbl.fold
+      (fun aa change acc ->
+        let updated = scores.(aa) + change in
+        assert (updated >= 0 && updated <= Topology.aa_capacity d.topology aa);
+        scores.(aa) <- updated;
+        (aa, updated) :: acc)
+      d.changes []
+  in
+  Hashtbl.reset d.changes;
+  updates
+
+let clear d = Hashtbl.reset d.changes

@@ -1,0 +1,37 @@
+(** AA scores and their batched maintenance (§3.3).
+
+    The score of an AA is the number of free blocks in it, computed from
+    the bitmap metafiles.  Scores decrease as the allocator consumes VBNs
+    and increase as VBNs are freed; both kinds of update are accumulated
+    during a CP and applied in one batch at the CP boundary. *)
+
+val score_of_aa : Topology.t -> Wafl_bitmap.Metafile.t -> int -> int
+(** Free blocks in AA [i] per the metafile. *)
+
+val all_scores : Topology.t -> Wafl_bitmap.Metafile.t -> int array
+(** Scores for every AA, by a linear walk of the bitmap (the expensive
+    rebuild the TopAA metafile exists to avoid, §3.4). *)
+
+(** {2 Batched deltas} *)
+
+type delta
+(** Accumulates per-AA score changes during one CP. *)
+
+val create_delta : Topology.t -> delta
+
+val note_alloc : delta -> vbn:int -> unit
+(** A VBN was allocated: its AA's score will drop by one. *)
+
+val note_free : delta -> vbn:int -> unit
+(** A VBN was freed: its AA's score will rise by one. *)
+
+val is_empty : delta -> bool
+
+val fold : delta -> init:'a -> f:('a -> aa:int -> change:int -> 'a) -> 'a
+(** Visit every AA with a non-zero net change. *)
+
+val apply : delta -> int array -> (int * int) list
+(** Apply to a score array in place; returns [(aa, new_score)] for each
+    changed AA (input to the cache rebalance) and clears the accumulator. *)
+
+val clear : delta -> unit

@@ -1,0 +1,87 @@
+open Wafl_util
+open Wafl_block
+open Wafl_raid
+
+type t =
+  | Raid_aware of { geometry : Geometry.t; aa_stripes : int }
+  | Raid_agnostic of { total_blocks : int; aa_blocks : int }
+
+let raid_aware ~geometry ~aa_stripes =
+  if aa_stripes <= 0 || aa_stripes > Geometry.stripes geometry then
+    invalid_arg "Topology.raid_aware: bad aa_stripes";
+  Raid_aware { geometry; aa_stripes }
+
+let raid_agnostic ~total_blocks ~aa_blocks =
+  if total_blocks <= 0 || aa_blocks <= 0 || aa_blocks > total_blocks then
+    invalid_arg "Topology.raid_agnostic: bad sizes";
+  Raid_agnostic { total_blocks; aa_blocks }
+
+let total_blocks = function
+  | Raid_aware { geometry; _ } -> Geometry.total_blocks geometry
+  | Raid_agnostic { total_blocks; _ } -> total_blocks
+
+let aa_count = function
+  | Raid_aware { geometry; aa_stripes } -> Bitops.ceil_div (Geometry.stripes geometry) aa_stripes
+  | Raid_agnostic { total_blocks; aa_blocks } -> Bitops.ceil_div total_blocks aa_blocks
+
+let check_aa t i = if i < 0 || i >= aa_count t then invalid_arg "Topology: AA index out of bounds"
+
+(* Stripes covered by RAID-aware AA i, as (first, count). *)
+let aa_stripe_span geometry aa_stripes i =
+  let first = i * aa_stripes in
+  let count = min aa_stripes (Geometry.stripes geometry - first) in
+  (first, count)
+
+let aa_capacity t i =
+  check_aa t i;
+  match t with
+  | Raid_aware { geometry; aa_stripes } ->
+    let _, count = aa_stripe_span geometry aa_stripes i in
+    count * Geometry.data_devices geometry
+  | Raid_agnostic { total_blocks; aa_blocks } ->
+    min aa_blocks (total_blocks - (i * aa_blocks))
+
+let full_aa_capacity = function
+  | Raid_aware { geometry; aa_stripes } -> aa_stripes * Geometry.data_devices geometry
+  | Raid_agnostic { aa_blocks; _ } -> aa_blocks
+
+let aa_of_vbn t vbn =
+  if vbn < 0 || vbn >= total_blocks t then invalid_arg "Topology: VBN out of bounds";
+  match t with
+  | Raid_aware { geometry; aa_stripes } -> Geometry.stripe_of_vbn geometry vbn / aa_stripes
+  | Raid_agnostic { aa_blocks; _ } -> vbn / aa_blocks
+
+let extents_of_aa t i =
+  check_aa t i;
+  match t with
+  | Raid_aware { geometry; aa_stripes } ->
+    let first, count = aa_stripe_span geometry aa_stripes i in
+    List.init (Geometry.data_devices geometry) (fun device ->
+        let base = Geometry.vbn_of_location geometry { Geometry.device; dbn = first } in
+        Extent.make ~start:base ~len:count)
+  | Raid_agnostic { total_blocks; aa_blocks } ->
+    let start = i * aa_blocks in
+    [ Extent.make ~start ~len:(min aa_blocks (total_blocks - start)) ]
+
+let iter_aa_vbns t i ~f =
+  check_aa t i;
+  match t with
+  | Raid_aware { geometry; aa_stripes } ->
+    let first, count = aa_stripe_span geometry aa_stripes i in
+    for dbn = first to first + count - 1 do
+      for device = 0 to Geometry.data_devices geometry - 1 do
+        f (Geometry.vbn_of_location geometry { Geometry.device; dbn })
+      done
+    done
+  | Raid_agnostic { total_blocks; aa_blocks } ->
+    let start = i * aa_blocks in
+    let stop = min (start + aa_blocks) total_blocks in
+    for vbn = start to stop - 1 do
+      f vbn
+    done
+
+let pp fmt = function
+  | Raid_aware { geometry; aa_stripes } ->
+    Format.fprintf fmt "raid-aware(%a, %d stripes/AA)" Geometry.pp geometry aa_stripes
+  | Raid_agnostic { total_blocks; aa_blocks } ->
+    Format.fprintf fmt "raid-agnostic(%d blocks, %d/AA)" total_blocks aa_blocks

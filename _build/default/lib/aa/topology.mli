@@ -1,0 +1,50 @@
+(** Allocation-area topology: which blocks belong to which AA (§3.1).
+
+    For storage arranged in a RAID group, an AA is a set of consecutive
+    {e stripes} (Figure 2): AA [i] covers stripes
+    [\[i*aa_stripes, (i+1)*aa_stripes)], i.e. one run of [aa_stripes]
+    consecutive DBNs on {e each} data device.  Targeting the emptiest such
+    AA maximizes full-stripe-write and long-chain opportunities.
+
+    For storage with native redundancy (object ranges) and for the virtual
+    VBN space of a FlexVol, an AA is simply [aa_blocks] consecutive VBNs;
+    the goal there is metafile-update colocation (§2.5).
+
+    VBNs here are 0-based within the range the topology covers; the owner
+    (aggregate / FlexVol) adds any base offset. *)
+
+type t =
+  | Raid_aware of { geometry : Wafl_raid.Geometry.t; aa_stripes : int }
+  | Raid_agnostic of { total_blocks : int; aa_blocks : int }
+
+val raid_aware : geometry:Wafl_raid.Geometry.t -> aa_stripes:int -> t
+(** [aa_stripes] must be positive and no larger than the stripe count. *)
+
+val raid_agnostic : total_blocks:int -> aa_blocks:int -> t
+
+val total_blocks : t -> int
+(** Size of the covered VBN space. *)
+
+val aa_count : t -> int
+(** Number of AAs (the last may be smaller than the rest). *)
+
+val aa_capacity : t -> int -> int
+(** Blocks in AA [i] (full AAs everywhere except possibly the last). *)
+
+val full_aa_capacity : t -> int
+(** Blocks in a non-ragged AA — the maximum possible AA score. *)
+
+val aa_of_vbn : t -> int -> int
+(** The AA containing a VBN. *)
+
+val extents_of_aa : t -> int -> Wafl_block.Extent.t list
+(** The VBN extents composing AA [i], in increasing VBN order.  One extent
+    for a RAID-agnostic AA; one per data device for a RAID-aware AA. *)
+
+val iter_aa_vbns : t -> int -> f:(int -> unit) -> unit
+(** Visit every VBN of AA [i] in allocation order: stripe-major for
+    RAID-aware topologies (all devices of stripe s, then stripe s+1 — the
+    order that fills stripes and enables full-stripe writes), plain
+    ascending for RAID-agnostic ones. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/aacache/cache.ml: Float Hbps List Max_heap Option

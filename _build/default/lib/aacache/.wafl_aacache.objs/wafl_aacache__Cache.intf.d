@@ -1,0 +1,1 @@
+lib/aacache/cache.mli: Hbps Max_heap

@@ -1,0 +1,1 @@
+lib/aacache/hbps.ml: Array Histo List Wafl_util

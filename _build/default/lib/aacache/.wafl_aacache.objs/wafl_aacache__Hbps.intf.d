@@ -1,0 +1,1 @@
+lib/aacache/hbps.mli:

@@ -1,0 +1,1 @@
+lib/aacache/max_heap.mli:

@@ -1,0 +1,1 @@
+lib/aacache/topaa.ml: Array Bytes Checksum Format Hbps Int32 List Max_heap Wafl_util

@@ -1,0 +1,1 @@
+lib/aacache/topaa.mli: Bytes Format Hbps Max_heap

@@ -1,0 +1,69 @@
+type ops = { picks : int; updates : int; replenishes : int; work : int }
+
+type backend = Heap of Max_heap.t | Partial of Hbps.t
+
+type t = {
+  backend : backend;
+  mutable picks : int;
+  mutable updates : int;
+  mutable replenishes : int;
+  mutable work : int;
+}
+
+let wrap backend = { backend; picks = 0; updates = 0; replenishes = 0; work = 0 }
+
+let raid_aware ~scores = wrap (Heap (Max_heap.of_scores scores))
+
+let raid_agnostic ?bin_width ?capacity ~max_score ~scores () =
+  wrap (Partial (Hbps.create ?bin_width ?capacity ~max_score ~scores ()))
+
+let of_heap h = wrap (Heap h)
+let of_hbps h = wrap (Partial h)
+
+let is_raid_aware t = match t.backend with Heap _ -> true | Partial _ -> false
+
+(* Abstract work estimates: a heap op costs ~log2(size) comparisons, an
+   HBPS op a constant handful of bin moves. *)
+let heap_op_work heap = max 1 (int_of_float (Float.log2 (float_of_int (max 2 (Max_heap.size heap)))))
+let hbps_op_work = 4
+
+let take_best t =
+  t.picks <- t.picks + 1;
+  match t.backend with
+  | Heap h ->
+    t.work <- t.work + heap_op_work h;
+    Max_heap.extract_best h
+  | Partial h ->
+    t.work <- t.work + hbps_op_work;
+    Hbps.take_best h
+
+let peek_best_score t =
+  match t.backend with
+  | Heap h -> Max_heap.best_score h
+  | Partial h -> Option.map snd (Hbps.pick_best h)
+
+let cp_update t updates =
+  t.updates <- t.updates + List.length updates;
+  match t.backend with
+  | Heap h ->
+    t.work <- t.work + (List.length updates * heap_op_work h);
+    Max_heap.apply_updates h updates
+  | Partial h ->
+    t.work <- t.work + (List.length updates * hbps_op_work);
+    Hbps.apply_updates h updates;
+    if Hbps.needs_replenish h then begin
+      t.replenishes <- t.replenishes + 1;
+      t.work <- t.work + Hbps.n_aas h;
+      Hbps.replenish h
+    end
+
+let heap t = match t.backend with Heap h -> Some h | Partial _ -> None
+let hbps t = match t.backend with Partial h -> Some h | Heap _ -> None
+
+let ops t = { picks = t.picks; updates = t.updates; replenishes = t.replenishes; work = t.work }
+
+let reset_ops t =
+  t.picks <- 0;
+  t.updates <- 0;
+  t.replenishes <- 0;
+  t.work <- 0

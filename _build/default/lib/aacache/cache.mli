@@ -1,0 +1,46 @@
+(** Unified AA-cache interface over the two implementations (§3.3).
+
+    A cache is either a RAID-aware max-heap over all AAs of a RAID group or
+    a RAID-agnostic HBPS.  Besides dispatch, this layer counts the abstract
+    work each cache performs (comparisons/moves), backing the §4.1.2
+    observation that cache maintenance is a vanishing fraction of CPU. *)
+
+type t
+
+type ops = {
+  picks : int;
+  updates : int;
+  replenishes : int;
+  work : int;  (** abstract unit operations: sift steps, bin moves, scan items *)
+}
+
+val raid_aware : scores:int array -> t
+(** Max-heap over all AAs (index = AA id). *)
+
+val raid_agnostic :
+  ?bin_width:int -> ?capacity:int -> max_score:int -> scores:int array -> unit -> t
+
+val of_heap : Max_heap.t -> t
+(** Wrap an existing heap (e.g. one seeded from a TopAA block, §3.4). *)
+
+val of_hbps : Hbps.t -> t
+
+val is_raid_aware : t -> bool
+
+val take_best : t -> (int * int) option
+(** Best (or near-best, for HBPS) AA, removed from the cache until its
+    CP-boundary score update re-files it. *)
+
+val peek_best_score : t -> int option
+(** Best available score without consuming (used for the RAID-group
+    fragmentation throttle, §3.3.1). *)
+
+val cp_update : t -> (int * int) list -> unit
+(** CP-boundary batch: apply [(aa, new_score)] pairs and rebalance; for an
+    HBPS, also replenish when the list is dry or stale. *)
+
+val heap : t -> Max_heap.t option
+val hbps : t -> Hbps.t option
+
+val ops : t -> ops
+val reset_ops : t -> unit

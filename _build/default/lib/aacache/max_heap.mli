@@ -1,0 +1,54 @@
+(** RAID-aware AA cache: an in-memory max-heap of all AAs of a RAID group,
+    keyed by score (§3.3.1).
+
+    The heap holds every AA (the memory is justified by the §4.1 win), and
+    supports position-tracked key updates so the batched score changes of a
+    CP can be applied and the heap rebalanced at the CP boundary.  AA ids
+    must be dense in [\[0, n_aas)]. *)
+
+type t
+
+val create : n_aas:int -> t
+(** Empty heap able to hold AAs [0 .. n_aas-1]. *)
+
+val of_scores : int array -> t
+(** Heapify all AAs from a score array (index = AA id) in O(n). *)
+
+val size : t -> int
+val capacity : t -> int
+val mem : t -> int -> bool
+(** Whether an AA is currently in the heap. *)
+
+val insert : t -> aa:int -> score:int -> unit
+(** Add an AA; it must not already be present. *)
+
+val peek_best : t -> (int * int) option
+(** Highest-score (aa, score) without removing, [None] when empty. *)
+
+val best_score : t -> int option
+
+val extract_best : t -> (int * int) option
+(** Remove and return the best entry. *)
+
+val remove : t -> aa:int -> int
+(** Remove a specific AA, returning its score.  It must be present. *)
+
+val score : t -> aa:int -> int
+(** Current score of a present AA. *)
+
+val update : t -> aa:int -> score:int -> unit
+(** Change an AA's key and restore heap order (sift up or down). *)
+
+val apply_updates : t -> (int * int) list -> unit
+(** Batched CP rebalance: apply [(aa, new_score)] pairs.  AAs not currently
+    in the heap are inserted (covers the mount-time background fill). *)
+
+val top_k : t -> int -> (int * int) list
+(** The [k] best (aa, score) pairs in descending score order, without
+    disturbing the heap — the TopAA snapshot (§3.4). *)
+
+val to_sorted_list : t -> (int * int) list
+(** All entries, best first. *)
+
+val check_invariant : t -> bool
+(** Heap-order and position-index consistency (for tests). *)

@@ -1,0 +1,1 @@
+lib/bitmap/activemap.ml: Bitmap List Metafile

@@ -1,0 +1,1 @@
+lib/bitmap/activemap.mli: Metafile

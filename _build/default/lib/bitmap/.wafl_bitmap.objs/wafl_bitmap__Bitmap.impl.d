@@ -1,0 +1,1 @@
+lib/bitmap/bitmap.ml: Bitops Bytes Char List Wafl_block Wafl_util

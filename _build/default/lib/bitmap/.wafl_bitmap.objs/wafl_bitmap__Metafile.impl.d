@@ -1,0 +1,1 @@
+lib/bitmap/metafile.ml: Bitmap Bitops Units Wafl_block Wafl_util

@@ -1,0 +1,1 @@
+lib/bitmap/metafile.mli: Bitmap Wafl_block

@@ -1,0 +1,52 @@
+type t = {
+  metafile : Metafile.t;
+  pending : Bitmap.t;      (* dedupe guard for queued frees *)
+  mutable queue : int list; (* reversed order of queue_free calls *)
+  mutable n_pending : int;
+}
+
+type commit_result = { freed : int list; pages_written : int }
+
+let create ?page_bits ~blocks () =
+  {
+    metafile = Metafile.create ?page_bits ~blocks ();
+    pending = Bitmap.create ~bits:blocks;
+    queue = [];
+    n_pending = 0;
+  }
+
+let metafile t = t.metafile
+let blocks t = Metafile.blocks t.metafile
+let is_allocated t vbn = Metafile.is_allocated t.metafile vbn
+
+let allocate t vbn =
+  if Bitmap.get t.pending vbn then
+    invalid_arg "Activemap.allocate: VBN has a pending free";
+  Metafile.allocate t.metafile vbn
+
+let queue_free t vbn =
+  if not (Metafile.is_allocated t.metafile vbn) then
+    invalid_arg "Activemap.queue_free: VBN not allocated";
+  if Bitmap.get t.pending vbn then
+    invalid_arg "Activemap.queue_free: VBN already queued";
+  Bitmap.set t.pending vbn;
+  t.queue <- vbn :: t.queue;
+  t.n_pending <- t.n_pending + 1
+
+let pending_free_count t = t.n_pending
+let has_pending_free t vbn = Bitmap.get t.pending vbn
+
+let commit t =
+  let freed = List.rev t.queue in
+  List.iter
+    (fun vbn ->
+      Metafile.free t.metafile vbn;
+      Bitmap.clear t.pending vbn)
+    freed;
+  t.queue <- [];
+  t.n_pending <- 0;
+  let pages_written = Metafile.flush t.metafile in
+  { freed; pages_written }
+
+let free_count t ~start ~len = Metafile.free_count t.metafile ~start ~len
+let usable_free_count = free_count

@@ -1,0 +1,50 @@
+(** Active map with delayed-free batching.
+
+    In a COW file system an overwrite frees the block it replaces, but the
+    free must not take effect until the consistency point that commits the
+    new image is durable.  WAFL therefore queues frees and applies them in
+    batch at the CP boundary (§3.3); the same batching is what lets AA score
+    increments be applied once per CP instead of per operation.  This module
+    wraps a {!Metafile} with that protocol. *)
+
+type t
+
+type commit_result = {
+  freed : int list;       (** VBNs whose bits were cleared by this commit *)
+  pages_written : int;    (** metafile pages flushed *)
+}
+
+val create : ?page_bits:int -> blocks:int -> unit -> t
+
+val metafile : t -> Metafile.t
+(** The underlying map; reads through it see allocations immediately and
+    queued frees not yet. *)
+
+val blocks : t -> int
+
+val is_allocated : t -> int -> bool
+(** Current on-media state (queued frees still count as allocated). *)
+
+val allocate : t -> int -> unit
+(** Mark a VBN allocated immediately.  The VBN must be free and must not
+    have a pending free (a freshly freed block is not reusable until the
+    freeing CP commits). *)
+
+val queue_free : t -> int -> unit
+(** Queue a VBN to be freed at the next commit.  It must currently be
+    allocated; queuing the same VBN twice is an error. *)
+
+val pending_free_count : t -> int
+
+val has_pending_free : t -> int -> bool
+
+val commit : t -> commit_result
+(** Apply all queued frees, flush the metafile, and return the batch. *)
+
+val free_count : t -> start:int -> len:int -> int
+(** Free VBNs in a range per the on-media state. *)
+
+val usable_free_count : t -> start:int -> len:int -> int
+(** Free VBNs the allocator may use right now: on-media free and not
+    shadowed by in-flight allocations (equals {!free_count} since
+    allocations apply immediately). *)

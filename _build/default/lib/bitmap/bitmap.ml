@@ -1,0 +1,157 @@
+open Wafl_util
+
+type t = { bits : int; data : Bytes.t }
+
+let create ~bits =
+  assert (bits >= 0);
+  (* Round the backing store up to whole 8-byte words so the word-at-a-time
+     loops never straddle the end; the tail bits stay clear forever because
+     every mutator is bounds-checked against [bits]. *)
+  let words = Bitops.ceil_div (max bits 1) 64 in
+  { bits; data = Bytes.make (words * 8) '\000' }
+
+let length t = t.bits
+
+let check t i = if i < 0 || i >= t.bits then invalid_arg "Bitmap: index out of bounds"
+
+let get t i =
+  check t i;
+  Char.code (Bytes.unsafe_get t.data (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set t i =
+  check t i;
+  let byte = i lsr 3 in
+  let v = Char.code (Bytes.unsafe_get t.data byte) lor (1 lsl (i land 7)) in
+  Bytes.unsafe_set t.data byte (Char.unsafe_chr v)
+
+let clear t i =
+  check t i;
+  let byte = i lsr 3 in
+  let v = Char.code (Bytes.unsafe_get t.data byte) land lnot (1 lsl (i land 7)) land 0xff in
+  Bytes.unsafe_set t.data byte (Char.unsafe_chr v)
+
+let check_range t ~start ~len =
+  if start < 0 || len < 0 || start + len > t.bits then
+    invalid_arg "Bitmap: range out of bounds"
+
+let fill_range t ~start ~len ~value =
+  check_range t ~start ~len;
+  (* Handle the ragged head and tail bit-by-bit; fill whole bytes in bulk. *)
+  let finish = start + len in
+  let head_end = min finish (Bitops.round_up start 8) in
+  for i = start to head_end - 1 do
+    if value then set t i else clear t i
+  done;
+  if head_end < finish then begin
+    let tail_start = max head_end (Bitops.round_down finish 8) in
+    let byte_lo = head_end lsr 3 and byte_hi = tail_start lsr 3 in
+    if byte_hi > byte_lo then
+      Bytes.fill t.data byte_lo (byte_hi - byte_lo) (if value then '\255' else '\000');
+    for i = tail_start to finish - 1 do
+      if value then set t i else clear t i
+    done
+  end
+
+let set_range t ~start ~len = fill_range t ~start ~len ~value:true
+let clear_range t ~start ~len = fill_range t ~start ~len ~value:false
+
+let word t w = Bytes.get_int64_le t.data (w * 8)
+
+let count_set_in t ~start ~len =
+  check_range t ~start ~len;
+  if len = 0 then 0
+  else begin
+    let finish = start + len in
+    let count = ref 0 in
+    let head_end = min finish (Bitops.round_up start 64) in
+    for i = start to head_end - 1 do
+      if get t i then incr count
+    done;
+    if head_end < finish then begin
+      let tail_start = max head_end (Bitops.round_down finish 64) in
+      let w = ref (head_end / 64) in
+      while !w < tail_start / 64 do
+        count := !count + Bitops.popcount64 (word t !w);
+        incr w
+      done;
+      for i = tail_start to finish - 1 do
+        if get t i then incr count
+      done
+    end;
+    !count
+  end
+
+let count_set t = count_set_in t ~start:0 ~len:t.bits
+let count_clear_in t ~start ~len = len - count_set_in t ~start ~len
+
+(* Scan for the first bit at index >= from whose value matches [target].
+   Skips whole words of the opposite value. *)
+let find_first t ~from ~target =
+  if from < 0 then invalid_arg "Bitmap: negative index";
+  if from >= t.bits then None
+  else begin
+    let skip_word = if target then 0L else -1L in
+    let rec scan_words w =
+      if w * 64 >= t.bits then None
+      else if word t w = skip_word then scan_words (w + 1)
+      else begin
+        let base = w * 64 in
+        let rec scan_bits i =
+          if i >= 64 || base + i >= t.bits then scan_words (w + 1)
+          else if get t (base + i) = target then Some (base + i)
+          else scan_bits (i + 1)
+        in
+        scan_bits 0
+      end
+    in
+    (* Ragged prefix up to the next word boundary; if that boundary is the
+       end of the map there is nothing left for the word scan (and letting it
+       run would revisit bits below [from]). *)
+    let head_end = min t.bits (Bitops.round_up (from + 1) 64) in
+    let rec scan_head i =
+      if i >= head_end then
+        if head_end >= t.bits then None else scan_words (head_end / 64)
+      else if get t i = target then Some i
+      else scan_head (i + 1)
+    in
+    scan_head from
+  end
+
+let find_first_clear t ~from = find_first t ~from ~target:false
+let find_first_set t ~from = find_first t ~from ~target:true
+
+let fold_free_runs t ~start ~len ~init ~f =
+  check_range t ~start ~len;
+  let finish = start + len in
+  let rec go acc i =
+    if i >= finish then acc
+    else begin
+      match find_first_clear t ~from:i with
+      | None -> acc
+      | Some run_start when run_start >= finish -> acc
+      | Some run_start ->
+        let run_end =
+          match find_first_set t ~from:run_start with
+          | Some e -> min e finish
+          | None -> finish
+        in
+        let acc = f acc ~run_start ~run_len:(run_end - run_start) in
+        go acc run_end
+    end
+  in
+  go init start
+
+let free_extents t ~start ~len =
+  let runs =
+    fold_free_runs t ~start ~len ~init:[] ~f:(fun acc ~run_start ~run_len ->
+        Wafl_block.Extent.make ~start:run_start ~len:run_len :: acc)
+  in
+  List.rev runs
+
+let copy t = { bits = t.bits; data = Bytes.copy t.data }
+
+let equal a b = a.bits = b.bits && Bytes.equal a.data b.data
+
+let blit ~src ~dst =
+  if src.bits <> dst.bits then invalid_arg "Bitmap.blit: length mismatch";
+  Bytes.blit src.data 0 dst.data 0 (Bytes.length src.data)

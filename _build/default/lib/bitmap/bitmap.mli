@@ -1,0 +1,52 @@
+(** Flat bitmaps over a block-number space.
+
+    The i-th bit tracks the state of the i-th block (§2.5): set = allocated,
+    clear = free.  Backed by [Bytes] and processed 64 bits at a time for the
+    bulk operations (population counts and free-run searches) that the AA
+    score computation and the mount-time cache rebuild perform. *)
+
+type t
+
+val create : bits:int -> t
+(** All bits clear (all blocks free).  [bits >= 0]. *)
+
+val length : t -> int
+(** Number of bits. *)
+
+val get : t -> int -> bool
+val set : t -> int -> unit
+val clear : t -> int -> unit
+
+val set_range : t -> start:int -> len:int -> unit
+(** Set [len] bits starting at [start]; the range must be in bounds. *)
+
+val clear_range : t -> start:int -> len:int -> unit
+
+val count_set : t -> int
+(** Total set bits. *)
+
+val count_set_in : t -> start:int -> len:int -> int
+(** Set bits within a range. *)
+
+val count_clear_in : t -> start:int -> len:int -> int
+(** Clear (free) bits within a range — the AA score primitive (§3.3). *)
+
+val find_first_clear : t -> from:int -> int option
+(** Lowest clear bit at index [>= from], if any. *)
+
+val find_first_set : t -> from:int -> int option
+
+val free_extents : t -> start:int -> len:int -> Wafl_block.Extent.t list
+(** Maximal runs of clear bits inside the range, in increasing order.
+    These are the write chains available to the allocator (§2.4). *)
+
+val fold_free_runs :
+  t -> start:int -> len:int -> init:'a -> f:('a -> run_start:int -> run_len:int -> 'a) -> 'a
+(** Fold over maximal clear runs inside the range without allocating. *)
+
+val copy : t -> t
+
+val equal : t -> t -> bool
+
+val blit : src:t -> dst:t -> unit
+(** Copy the full bit state of [src] into [dst]; lengths must match. *)

@@ -1,0 +1,103 @@
+open Wafl_util
+open Wafl_block
+
+type io_stats = { page_writes : int; page_reads : int; flushes : int }
+
+type t = {
+  map : Bitmap.t;
+  page_bits : int;
+  n_pages : int;
+  dirty : Bitmap.t;  (* one bit per metafile page *)
+  mutable n_dirty : int;
+  mutable page_writes : int;
+  mutable page_reads : int;
+  mutable flushes : int;
+}
+
+let create ?(page_bits = Units.bits_per_metafile_block) ~blocks () =
+  assert (blocks > 0 && page_bits > 0);
+  let n_pages = Bitops.ceil_div blocks page_bits in
+  {
+    map = Bitmap.create ~bits:blocks;
+    page_bits;
+    n_pages;
+    dirty = Bitmap.create ~bits:n_pages;
+    n_dirty = 0;
+    page_writes = 0;
+    page_reads = 0;
+    flushes = 0;
+  }
+
+let blocks t = Bitmap.length t.map
+let pages t = t.n_pages
+let page_bits t = t.page_bits
+
+let page_of_block t vbn =
+  if vbn < 0 || vbn >= blocks t then invalid_arg "Metafile: VBN out of bounds";
+  vbn / t.page_bits
+
+let mark_dirty t page =
+  if not (Bitmap.get t.dirty page) then begin
+    Bitmap.set t.dirty page;
+    t.n_dirty <- t.n_dirty + 1
+  end
+
+let is_allocated t vbn = Bitmap.get t.map vbn
+
+let allocate t vbn =
+  if Bitmap.get t.map vbn then invalid_arg "Metafile.allocate: VBN already allocated";
+  Bitmap.set t.map vbn;
+  mark_dirty t (page_of_block t vbn)
+
+let free t vbn =
+  if not (Bitmap.get t.map vbn) then invalid_arg "Metafile.free: VBN already free";
+  Bitmap.clear t.map vbn;
+  mark_dirty t (page_of_block t vbn)
+
+let allocate_range t ~start ~len =
+  if Bitmap.count_set_in t.map ~start ~len <> 0 then
+    invalid_arg "Metafile.allocate_range: range not fully free";
+  Bitmap.set_range t.map ~start ~len;
+  if len > 0 then
+    for page = start / t.page_bits to (start + len - 1) / t.page_bits do
+      mark_dirty t page
+    done
+
+let free_count t ~start ~len = Bitmap.count_clear_in t.map ~start ~len
+let used_count t ~start ~len = Bitmap.count_set_in t.map ~start ~len
+let free_extents t ~start ~len = Bitmap.free_extents t.map ~start ~len
+let find_first_free t ~from = Bitmap.find_first_clear t.map ~from
+
+let dirty_pages t = t.n_dirty
+
+let flush t =
+  let written = t.n_dirty in
+  t.page_writes <- t.page_writes + written;
+  t.flushes <- t.flushes + 1;
+  Bitmap.clear_range t.dirty ~start:0 ~len:t.n_pages;
+  t.n_dirty <- 0;
+  written
+
+let scan_read t ~start ~len =
+  if len <= 0 then 0
+  else begin
+    let first = start / t.page_bits and last = (start + len - 1) / t.page_bits in
+    let n = last - first + 1 in
+    t.page_reads <- t.page_reads + n;
+    n
+  end
+
+let stats t = { page_writes = t.page_writes; page_reads = t.page_reads; flushes = t.flushes }
+
+let reset_stats t =
+  t.page_writes <- 0;
+  t.page_reads <- 0;
+  t.flushes <- 0
+
+let snapshot t = Bitmap.copy t.map
+
+let load t image =
+  if Bitmap.length image <> blocks t then invalid_arg "Metafile.load: length mismatch";
+  Bitmap.blit ~src:image ~dst:t.map;
+  Bitmap.clear_range t.dirty ~start:0 ~len:t.n_pages;
+  t.n_dirty <- 0

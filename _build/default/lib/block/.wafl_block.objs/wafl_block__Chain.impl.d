@@ -1,0 +1,1 @@
+lib/block/chain.ml: Extent Format Int List

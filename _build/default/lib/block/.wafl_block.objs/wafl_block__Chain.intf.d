@@ -1,0 +1,1 @@
+lib/block/chain.mli: Extent Format

@@ -1,0 +1,1 @@
+lib/block/extent.ml: Format Int List

@@ -1,0 +1,1 @@
+lib/block/extent.mli: Format

@@ -1,0 +1,1 @@
+lib/block/units.ml: Format Wafl_util

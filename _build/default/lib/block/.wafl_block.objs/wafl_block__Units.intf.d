@@ -1,0 +1,1 @@
+lib/block/units.mli: Format

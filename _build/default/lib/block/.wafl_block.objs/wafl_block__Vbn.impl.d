@@ -1,0 +1,1 @@
+lib/block/vbn.ml: Format Int

@@ -1,0 +1,35 @@
+type summary = {
+  chains : int;
+  blocks : int;
+  mean_len : float;
+  max_len : int;
+  min_len : int;
+}
+
+let empty = { chains = 0; blocks = 0; mean_len = 0.0; max_len = 0; min_len = 0 }
+
+let of_extents extents =
+  match Extent.coalesce extents with
+  | [] -> invalid_arg "Chain.of_extents: empty"
+  | coalesced ->
+    let blocks = Extent.total_len coalesced in
+    let chains = List.length coalesced in
+    let lens = List.map Extent.len coalesced in
+    {
+      chains;
+      blocks;
+      mean_len = float_of_int blocks /. float_of_int chains;
+      max_len = List.fold_left max 0 lens;
+      min_len = List.fold_left min max_int lens;
+    }
+
+let of_blocks blocks =
+  match List.sort_uniq Int.compare blocks with
+  | [] -> invalid_arg "Chain.of_blocks: empty"
+  | sorted ->
+    let extents = List.map (fun b -> Extent.make ~start:b ~len:1) sorted in
+    of_extents extents
+
+let pp fmt s =
+  Format.fprintf fmt "chains=%d blocks=%d mean=%.2f max=%d min=%d"
+    s.chains s.blocks s.mean_len s.max_len s.min_len

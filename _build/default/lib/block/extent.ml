@@ -1,0 +1,54 @@
+type t = { start : int; len : int }
+
+let make ~start ~len =
+  assert (start >= 0 && len > 0);
+  { start; len }
+
+let start t = t.start
+let len t = t.len
+let last t = t.start + t.len - 1
+let mem t n = n >= t.start && n <= last t
+let overlap a b = a.start <= last b && b.start <= last a
+let adjacent a b = last a + 1 = b.start || last b + 1 = a.start
+
+let merge a b =
+  if overlap a b || adjacent a b then begin
+    let s = min a.start b.start in
+    let e = max (last a) (last b) in
+    Some { start = s; len = e - s + 1 }
+  end
+  else None
+
+let split_at t n =
+  if n > t.start && n <= last t then
+    Some ({ start = t.start; len = n - t.start }, { start = n; len = last t - n + 1 })
+  else None
+
+let take t n =
+  assert (n > 0);
+  if n >= t.len then (t, None)
+  else ({ start = t.start; len = n }, Some { start = t.start + n; len = t.len - n })
+
+let compare a b =
+  let c = Int.compare a.start b.start in
+  if c <> 0 then c else Int.compare a.len b.len
+
+let equal a b = compare a b = 0
+
+let coalesce extents =
+  let sorted = List.sort compare extents in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | e :: rest -> (
+      match acc with
+      | prev :: acc_rest -> (
+        match merge prev e with
+        | Some m -> go (m :: acc_rest) rest
+        | None -> go (e :: acc) rest)
+      | [] -> go [ e ] rest)
+  in
+  go [] sorted
+
+let total_len extents = List.fold_left (fun acc e -> acc + e.len) 0 extents
+
+let pp fmt t = Format.fprintf fmt "[%d..%d]" t.start (last t)

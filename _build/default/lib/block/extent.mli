@@ -1,0 +1,44 @@
+(** Contiguous runs of block numbers.
+
+    Extents describe both runs of free blocks found in bitmaps and the write
+    chains the allocator builds (§2.4 — long chains of consecutive device
+    blocks are what make both the flush and subsequent sequential reads
+    cheap). *)
+
+type t = private { start : int; len : int }
+(** [len > 0]; covers block numbers [start .. start + len - 1]. *)
+
+val make : start:int -> len:int -> t
+(** Requires [start >= 0] and [len > 0]. *)
+
+val start : t -> int
+val len : t -> int
+val last : t -> int
+(** Last block number covered. *)
+
+val mem : t -> int -> bool
+val overlap : t -> t -> bool
+val adjacent : t -> t -> bool
+(** True when one extent ends exactly where the other begins. *)
+
+val merge : t -> t -> t option
+(** Union of two overlapping or adjacent extents; [None] otherwise. *)
+
+val split_at : t -> int -> (t * t) option
+(** [split_at t n] splits into [[start, n)] and [[n, last]]; [None] unless
+    [n] lies strictly inside the extent. *)
+
+val take : t -> int -> t * t option
+(** [take t n] is the first [min n len] blocks and the remainder, if any.
+    Requires [n > 0]. *)
+
+val coalesce : t list -> t list
+(** Sort by start and merge overlapping/adjacent extents. *)
+
+val total_len : t list -> int
+
+val compare : t -> t -> int
+(** Orders by start, then length. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

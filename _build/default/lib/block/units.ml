@@ -1,0 +1,26 @@
+let block_size = 4096
+let bits_per_metafile_block = block_size * 8
+let default_raid_agnostic_aa_blocks = bits_per_metafile_block
+let default_hdd_aa_stripes = 4096
+let tetris_stripes = 64
+let azcs_region_blocks = 64
+let azcs_data_blocks = 63
+
+let kib = 1024
+let mib = kib * kib
+let gib = kib * mib
+let tib = kib * gib
+
+let blocks_of_bytes bytes = Wafl_util.Bitops.ceil_div bytes block_size
+let bytes_of_blocks blocks = blocks * block_size
+
+let pp_bytes fmt n =
+  let pp unit_name unit_size =
+    if n mod unit_size = 0 then Format.fprintf fmt "%d%s" (n / unit_size) unit_name
+    else Format.fprintf fmt "%.2f%s" (float_of_int n /. float_of_int unit_size) unit_name
+  in
+  if n >= tib then pp "TiB" tib
+  else if n >= gib then pp "GiB" gib
+  else if n >= mib then pp "MiB" mib
+  else if n >= kib then pp "KiB" kib
+  else Format.fprintf fmt "%dB" n

@@ -1,0 +1,22 @@
+type phys = |
+type virt = |
+
+type 'a t = int
+
+let of_int n =
+  assert (n >= 0);
+  n
+
+let to_int n = n
+let phys n = of_int n
+let virt n = of_int n
+
+let add n k =
+  let r = n + k in
+  assert (r >= 0);
+  r
+
+let diff a b = a - b
+let compare = Int.compare
+let equal = Int.equal
+let pp fmt n = Format.fprintf fmt "vbn:%d" n

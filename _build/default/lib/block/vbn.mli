@@ -1,0 +1,26 @@
+(** Volume block numbers.
+
+    WAFL addresses every block by a VBN.  An aggregate block has a
+    {e physical} VBN (PVBN); a block inside a FlexVol additionally has a
+    {e virtual} VBN (VVBN) giving its offset within the volume (§2.1).  The
+    two number spaces are distinct; the phantom parameter keeps them from
+    being mixed up at compile time. *)
+
+type phys
+type virt
+
+type 'a t = private int
+
+val of_int : int -> 'a t
+(** Must be non-negative. *)
+
+val to_int : 'a t -> int
+
+val phys : int -> phys t
+val virt : int -> virt t
+
+val add : 'a t -> int -> 'a t
+val diff : 'a t -> 'a t -> int
+val compare : 'a t -> 'a t -> int
+val equal : 'a t -> 'a t -> bool
+val pp : Format.formatter -> 'a t -> unit

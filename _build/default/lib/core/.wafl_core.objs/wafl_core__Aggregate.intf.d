@@ -1,0 +1,1 @@
+lib/core/aggregate.mli: Config Wafl_aa Wafl_aacache Wafl_bitmap Wafl_device Wafl_raid

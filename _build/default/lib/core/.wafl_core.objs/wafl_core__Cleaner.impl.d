@@ -1,0 +1,1 @@
+lib/core/cleaner.ml: Activemap Aggregate Array Cache Flexvol Fs Hashtbl List Metafile Topology Wafl_aa Wafl_aacache Wafl_bitmap Write_alloc

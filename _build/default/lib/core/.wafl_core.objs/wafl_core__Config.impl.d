@@ -1,0 +1,1 @@
+lib/core/config.ml: Option Profile Wafl_aa Wafl_device

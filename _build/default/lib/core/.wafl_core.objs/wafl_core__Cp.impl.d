@@ -1,0 +1,1 @@
+lib/core/cp.ml: Aggregate Array Azcs Cache Config Flexvol Float Ftl Geometry Group Hashtbl Hdd Int List Object_store Smr Stripe Tetris Wafl_aacache Wafl_device Wafl_raid Wafl_util Write_alloc

@@ -1,0 +1,1 @@
+lib/core/cp.mli: Flexvol Wafl_device Write_alloc

@@ -1,0 +1,1 @@
+lib/core/flexvol.ml: Activemap Array Cache Config Hashtbl Hbps Int List Metafile Option Score Sizing Topology Wafl_aa Wafl_aacache Wafl_bitmap Wafl_block

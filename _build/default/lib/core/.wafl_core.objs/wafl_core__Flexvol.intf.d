@@ -1,0 +1,1 @@
+lib/core/flexvol.mli: Config Wafl_aa Wafl_aacache Wafl_bitmap

@@ -1,0 +1,1 @@
+lib/core/fs.ml: Aggregate Array Config Cp Flexvol Hashtbl List Metafile Rng String Wafl_bitmap Wafl_block Wafl_util Write_alloc

@@ -1,0 +1,1 @@
+lib/core/fs.mli: Aggregate Config Cp Flexvol Wafl_block Wafl_util Write_alloc

@@ -1,0 +1,1 @@
+lib/core/iron.ml: Aggregate Array Flexvol Format Fs Hashtbl List Metafile Score String Wafl_aa Wafl_bitmap

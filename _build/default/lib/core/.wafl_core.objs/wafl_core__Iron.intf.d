@@ -1,0 +1,1 @@
+lib/core/iron.mli: Format Fs

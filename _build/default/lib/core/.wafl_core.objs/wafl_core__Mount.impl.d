@@ -1,0 +1,1 @@
+lib/core/mount.ml: Aggregate Array Bitmap Bytes Cache Char Config Flexvol Fs Hbps List Max_heap Metafile Option Topaa Topology Wafl_aa Wafl_aacache Wafl_bitmap

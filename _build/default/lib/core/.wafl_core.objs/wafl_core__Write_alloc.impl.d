@@ -1,0 +1,1 @@
+lib/core/write_alloc.ml: Aggregate Array Cache Config Flexvol Hashtbl List Metafile Option Rng Score Topology Wafl_aa Wafl_aacache Wafl_bitmap Wafl_util

@@ -1,0 +1,1 @@
+lib/core/write_alloc.mli: Aggregate Flexvol Wafl_util

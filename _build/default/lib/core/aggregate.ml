@@ -1,0 +1,223 @@
+open Wafl_bitmap
+open Wafl_raid
+open Wafl_device
+open Wafl_aa
+open Wafl_aacache
+
+type device_sim =
+  | Hdd_sim of Profile.hdd
+  | Ssd_sim of Ftl.t
+  | Smr_sim of Smr.t * Azcs.tracker array
+  | Object_sim of Object_store.t
+
+type range = {
+  index : int;
+  base : int;
+  blocks : int;
+  topology : Topology.t;
+  geometry : Geometry.t option;
+  group : Group.t option;
+  device : device_sim;
+  scores : int array;
+  mutable cache : Cache.t option;
+  delta : Score.delta;
+  media : Config.media option;
+}
+
+type t = {
+  config : Config.t;
+  ranges : range array;
+  activemap : Activemap.t;
+  total_blocks : int;
+}
+
+let make_raid_range index base (spec : Config.raid_group_spec) =
+  let geometry =
+    Geometry.create ~data_devices:spec.Config.data_devices
+      ~parity_devices:spec.Config.parity_devices ~device_blocks:spec.Config.device_blocks
+  in
+  let aa_stripes = Config.aa_stripes_for spec in
+  let topology = Topology.raid_aware ~geometry ~aa_stripes in
+  let blocks = Geometry.total_blocks geometry in
+  let device =
+    match spec.Config.media with
+    | Config.Hdd p -> Hdd_sim p
+    | Config.Ssd p -> Ssd_sim (Ftl.create ~profile:p ~logical_blocks:blocks ())
+    | Config.Smr p ->
+      (* the SMR device space includes interleaved AZCS checksum blocks,
+         device spans rounded to whole regions (see Cp.smr_device_span) *)
+      let span =
+        Wafl_util.Bitops.round_up
+          (Azcs.device_span_of_data spec.Config.device_blocks)
+          Azcs.region_blocks
+      in
+      Smr_sim
+        ( Smr.create ~profile:p ~blocks:(span * spec.Config.data_devices) (),
+          Array.init spec.Config.data_devices (fun _ -> Azcs.create_tracker ()) )
+  in
+  let scores = Array.init (Topology.aa_count topology) (Topology.aa_capacity topology) in
+  {
+    index;
+    base;
+    blocks;
+    topology;
+    geometry = Some geometry;
+    group = Some (Group.create geometry);
+    device;
+    scores;
+    cache = None;
+    delta = Score.create_delta topology;
+    media = Some spec.Config.media;
+  }
+
+let make_object_range index base (spec : Config.object_range_spec) =
+  let aa_blocks =
+    Option.value spec.Config.aa_blocks ~default:Sizing.default_raid_agnostic_blocks
+  in
+  let topology = Topology.raid_agnostic ~total_blocks:spec.Config.blocks ~aa_blocks in
+  let scores = Array.init (Topology.aa_count topology) (Topology.aa_capacity topology) in
+  {
+    index;
+    base;
+    blocks = spec.Config.blocks;
+    topology;
+    geometry = None;
+    group = None;
+    device = Object_sim (Object_store.create ~profile:spec.Config.profile ());
+    scores;
+    cache = None;
+    delta = Score.create_delta topology;
+    media = None;
+  }
+
+let build_cache range =
+  match range.geometry with
+  | Some _ -> Cache.raid_aware ~scores:range.scores
+  | None ->
+    let c =
+      Cache.raid_agnostic ~max_score:(Topology.full_aa_capacity range.topology)
+        ~scores:range.scores ()
+    in
+    (match Cache.hbps c with Some h -> Hbps.replenish h | None -> ());
+    c
+
+let create config =
+  let ranges = ref [] in
+  let base = ref 0 in
+  let index = ref 0 in
+  List.iter
+    (fun spec ->
+      let r = make_raid_range !index !base spec in
+      ranges := r :: !ranges;
+      base := !base + r.blocks;
+      incr index)
+    config.Config.raid_groups;
+  List.iter
+    (fun spec ->
+      let r = make_object_range !index !base spec in
+      ranges := r :: !ranges;
+      base := !base + r.blocks;
+      incr index)
+    config.Config.object_ranges;
+  let ranges = Array.of_list (List.rev !ranges) in
+  if Array.length ranges = 0 then invalid_arg "Aggregate.create: no storage configured";
+  let t = { config; ranges; activemap = Activemap.create ~blocks:!base (); total_blocks = !base } in
+  if config.Config.aggregate_policy = Config.Best_aa then
+    Array.iter (fun r -> r.cache <- Some (build_cache r)) ranges;
+  t
+
+let config t = t.config
+let ranges t = t.ranges
+let total_blocks t = t.total_blocks
+let activemap t = t.activemap
+let metafile t = Activemap.metafile t.activemap
+
+let range_of_pvbn t pvbn =
+  if pvbn < 0 || pvbn >= t.total_blocks then invalid_arg "Aggregate: PVBN out of bounds";
+  (* ranges are few; linear scan is fine *)
+  let rec go i =
+    let r = t.ranges.(i) in
+    if pvbn < r.base + r.blocks then r else go (i + 1)
+  in
+  go 0
+
+let to_local range pvbn =
+  let local = pvbn - range.base in
+  if local < 0 || local >= range.blocks then invalid_arg "Aggregate: PVBN outside range";
+  local
+
+let to_global range local =
+  if local < 0 || local >= range.blocks then invalid_arg "Aggregate: local VBN out of bounds";
+  range.base + local
+
+let free_blocks t = Activemap.free_count t.activemap ~start:0 ~len:t.total_blocks
+
+let used_fraction t =
+  1.0 -. (float_of_int (free_blocks t) /. float_of_int t.total_blocks)
+
+let allocate t ~pvbn =
+  Activemap.allocate t.activemap pvbn;
+  let r = range_of_pvbn t pvbn in
+  Score.note_alloc r.delta ~vbn:(to_local r pvbn)
+
+let queue_free t ~pvbn = Activemap.queue_free t.activemap pvbn
+
+let commit_frees t =
+  let result = Activemap.commit t.activemap in
+  List.iter
+    (fun pvbn ->
+      let r = range_of_pvbn t pvbn in
+      Score.note_free r.delta ~vbn:(to_local r pvbn))
+    result.Activemap.freed;
+  (result.Activemap.pages_written, result.Activemap.freed)
+
+let cp_update_caches t =
+  Array.iter
+    (fun r ->
+      let updates = Score.apply r.delta r.scores in
+      match r.cache with
+      | Some cache -> Cache.cp_update cache updates
+      | None -> ())
+    t.ranges
+
+let rebuild_caches t =
+  let mf = metafile t in
+  Array.iter
+    (fun r ->
+      Score.clear r.delta;
+      for aa = 0 to Topology.aa_count r.topology - 1 do
+        let fresh =
+          List.fold_left
+            (fun acc e ->
+              acc
+              + Metafile.free_count mf
+                  ~start:(to_global r (Wafl_block.Extent.start e))
+                  ~len:(Wafl_block.Extent.len e))
+            0
+            (Topology.extents_of_aa r.topology aa)
+        in
+        r.scores.(aa) <- fresh
+      done;
+      r.cache <- Some (build_cache r))
+    t.ranges
+
+let disable_caches t = Array.iter (fun r -> r.cache <- None) t.ranges
+
+let aa_score_now t range aa =
+  let mf = metafile t in
+  List.fold_left
+    (fun acc e ->
+      acc
+      + Metafile.free_count mf
+          ~start:(to_global range (Wafl_block.Extent.start e))
+          ~len:(Wafl_block.Extent.len e))
+    0
+    (Topology.extents_of_aa range.topology aa)
+
+let free_vbns_of_aa t range aa =
+  let mf = metafile t in
+  let acc = ref [] in
+  Topology.iter_aa_vbns range.topology aa ~f:(fun local ->
+      let pvbn = to_global range local in
+      if not (Metafile.is_allocated mf pvbn) then acc := pvbn :: !acc);
+  List.rev !acc

@@ -1,0 +1,79 @@
+(** The aggregate: the physical WAFL file-system instance (§2.1).
+
+    The physical VBN space is the concatenation of ranges, one per RAID
+    group plus one per object-store span.  Each range carries its own AA
+    topology (RAID-aware or RAID-agnostic), score array, AA cache and
+    device simulator; the allocation bitmap (active map with delayed frees)
+    is aggregate-wide.  One AA cache is built per range (§3.3). *)
+
+type device_sim =
+  | Hdd_sim of Wafl_device.Profile.hdd
+  | Ssd_sim of Wafl_device.Ftl.t
+  | Smr_sim of Wafl_device.Smr.t * Wafl_device.Azcs.tracker array
+      (** one checksum tracker per data device *)
+  | Object_sim of Wafl_device.Object_store.t
+
+type range = {
+  index : int;
+  base : int;                         (** first aggregate PVBN of the range *)
+  blocks : int;
+  topology : Wafl_aa.Topology.t;      (** over range-local VBNs [0, blocks) *)
+  geometry : Wafl_raid.Geometry.t option;  (** None for object ranges *)
+  group : Wafl_raid.Group.t option;   (** RAID write accounting *)
+  device : device_sim;
+  scores : int array;                 (** per-AA free-block counts *)
+  mutable cache : Wafl_aacache.Cache.t option;  (** None while disabled *)
+  delta : Wafl_aa.Score.delta;        (** batched CP score changes *)
+  media : Config.media option;        (** None for object ranges *)
+}
+
+type t
+
+val create : Config.t -> t
+
+val config : t -> Config.t
+val ranges : t -> range array
+val total_blocks : t -> int
+val activemap : t -> Wafl_bitmap.Activemap.t
+val metafile : t -> Wafl_bitmap.Metafile.t
+
+val range_of_pvbn : t -> int -> range
+(** The range containing an aggregate PVBN. *)
+
+val to_local : range -> int -> int
+(** Aggregate PVBN to range-local VBN. *)
+
+val to_global : range -> int -> int
+
+val free_blocks : t -> int
+val used_fraction : t -> float
+
+val allocate : t -> pvbn:int -> unit
+(** Mark a PVBN allocated; records the score decrement in its range's
+    delta. *)
+
+val queue_free : t -> pvbn:int -> unit
+(** Queue a PVBN free for the next CP. *)
+
+val commit_frees : t -> int * int list
+(** Apply queued frees (noting score increments) and flush the aggregate
+    bitmap metafile; returns (metafile pages written, freed PVBNs).  The
+    freed list is what gets trimmed down to SSDs. *)
+
+val cp_update_caches : t -> unit
+(** Apply each range's batched score delta to its score array and rebalance
+    its cache — the CP-boundary step of §3.3. *)
+
+val rebuild_caches : t -> unit
+(** Recompute every range's scores from the bitmap and rebuild its cache —
+    the expensive full scan that mounting without TopAA requires (§3.4).
+    Also used to (re-)enable caches after policy changes. *)
+
+val disable_caches : t -> unit
+
+val free_vbns_of_aa : t -> range -> int -> int list
+(** Aggregate PVBNs free in the given range-local AA right now, in
+    allocation order (stripe-major for RAID ranges, ascending otherwise). *)
+
+val aa_score_now : t -> range -> int -> int
+(** Recompute an AA's score from the bitmap (bypasses the cached array). *)

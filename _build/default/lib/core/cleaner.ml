@@ -1,0 +1,116 @@
+open Wafl_bitmap
+open Wafl_aa
+open Wafl_aacache
+
+type report = { aas_cleaned : int; blocks_relocated : int; blocks_reclaimed : int }
+
+type strategy = Emptiest_first | Fullest_first
+
+(* Reverse map pvbn -> (vol, vvbn), built by scanning container maps. *)
+let reverse_map fs =
+  let map = Hashtbl.create 4096 in
+  Array.iter
+    (fun vol ->
+      for vvbn = 0 to Flexvol.blocks vol - 1 do
+        match Flexvol.pvbn_of_vvbn vol vvbn with
+        | Some pvbn -> Hashtbl.replace map pvbn (vol, vvbn)
+        | None -> ()
+      done)
+    (Fs.vols fs);
+  map
+
+let in_use_pvbns aggregate (range : Aggregate.range) aa =
+  let mf = Aggregate.metafile aggregate in
+  let acc = ref [] in
+  Topology.iter_aa_vbns range.Aggregate.topology aa ~f:(fun local ->
+      let pvbn = Aggregate.to_global range local in
+      if Metafile.is_allocated mf pvbn then acc := pvbn :: !acc);
+  List.rev !acc
+
+(* The worst (fullest, but not entirely full) AA per the score array,
+   skipping AAs already picked this pass; used by the Fullest_first
+   comparison strategy. *)
+let fullest_cleanable (range : Aggregate.range) ~picked =
+  let best = ref None in
+  Array.iteri
+    (fun aa score ->
+      let capacity = Wafl_aa.Topology.aa_capacity range.Aggregate.topology aa in
+      if score < capacity && not (Hashtbl.mem picked aa) then begin
+        match !best with
+        | Some (_, s) when s <= score -> ()
+        | Some _ | None -> best := Some (aa, score)
+      end)
+    range.Aggregate.scores;
+  !best
+
+let clean_fs ?(strategy = Emptiest_first) fs ~aas_per_range =
+  let aggregate = Fs.aggregate fs in
+  let walloc = Fs.write_alloc fs in
+  let owners = reverse_map fs in
+  let activemap = Aggregate.activemap aggregate in
+  let aas_cleaned = ref 0 in
+  let relocated = ref 0 in
+  let reclaimed = ref 0 in
+  Array.iter
+    (fun (r : Aggregate.range) ->
+      match r.Aggregate.cache with
+      | None -> ()
+      | Some cache ->
+        let picked = Hashtbl.create 8 in
+        for _ = 1 to aas_per_range do
+          let pick =
+            match strategy with
+            | Emptiest_first -> Cache.take_best cache
+            | Fullest_first -> fullest_cleanable r ~picked
+          in
+          match pick with
+          | None -> ()
+          | Some (aa, _score) ->
+            Hashtbl.replace picked aa ();
+            incr aas_cleaned;
+            let victims = in_use_pvbns aggregate r aa in
+            List.iter
+              (fun old_pvbn ->
+                if not (Activemap.has_pending_free activemap old_pvbn) then begin
+                  match Hashtbl.find_opt owners old_pvbn with
+                  | Some (vol, vvbn) -> (
+                    (* the allocator's queue may still hold free blocks of
+                       the very AA being cleaned; skip those targets (they
+                       are queued free again and die at the next CP) *)
+                    let rec allocate_outside attempts =
+                      if attempts = 0 then None
+                      else begin
+                        match Write_alloc.allocate_pvbns walloc 1 with
+                        | [ candidate ] ->
+                          let cr = Aggregate.range_of_pvbn aggregate candidate in
+                          if
+                            cr.Aggregate.index = r.Aggregate.index
+                            && Topology.aa_of_vbn r.Aggregate.topology
+                                 (Aggregate.to_local r candidate)
+                               = aa
+                          then begin
+                            Aggregate.queue_free aggregate ~pvbn:candidate;
+                            allocate_outside (attempts - 1)
+                          end
+                          else Some candidate
+                        | _ -> None
+                      end
+                    in
+                    match allocate_outside 16 with
+                    | Some new_pvbn ->
+                      (* same virtual block, new physical home *)
+                      let previous = Flexvol.remap_vvbn vol ~vvbn ~pvbn:new_pvbn in
+                      assert (previous = old_pvbn);
+                      Aggregate.queue_free aggregate ~pvbn:old_pvbn;
+                      incr relocated
+                    | None -> ())
+                  | None ->
+                    (* block not owned by any volume (e.g. direct aggregate
+                       allocation in tests): drop it outright *)
+                    Aggregate.queue_free aggregate ~pvbn:old_pvbn;
+                    incr reclaimed
+                end)
+              victims
+        done)
+    (Aggregate.ranges aggregate);
+  { aas_cleaned = !aas_cleaned; blocks_relocated = !relocated; blocks_reclaimed = !reclaimed }

@@ -1,0 +1,27 @@
+(** Segment cleaning of allocation areas (§3.3.1).
+
+    WAFL improves AA scores by relocating the contents of all in-use blocks
+    of an AA elsewhere, leaving the AA completely empty.  Cleaning the AAs
+    with the {e best} scores relocates the fewest blocks per reclaimed AA,
+    so the cleaner works just-in-time off the top of the AA cache.  (The
+    full defragmentation machinery is the subject of the paper's promised
+    future publication; this module implements the mechanism the paper
+    describes.) *)
+
+type report = {
+  aas_cleaned : int;
+  blocks_relocated : int;
+  blocks_reclaimed : int;  (** freed capacity in the cleaned AAs *)
+}
+
+type strategy =
+  | Emptiest_first  (** just-in-time cleaning off the top of the AA cache —
+                        the fewest relocations per reclaimed AA (§3.3.1) *)
+  | Fullest_first   (** the anti-pattern, for comparison *)
+
+val clean_fs : ?strategy:strategy -> Fs.t -> aas_per_range:int -> report
+(** For each physical range, pick [aas_per_range] AAs per the strategy
+    (default [Emptiest_first]), move every in-use block (remapping the
+    owning volume's container entry) to blocks allocated elsewhere, and
+    queue the old blocks for freeing.  Follow with {!Fs.run_cp} to commit;
+    the cleaned AAs then report full scores. *)

@@ -1,0 +1,62 @@
+open Wafl_device
+
+type media = Hdd of Profile.hdd | Ssd of Profile.ssd | Smr of Profile.smr
+
+type raid_group_spec = {
+  media : media;
+  data_devices : int;
+  parity_devices : int;
+  device_blocks : int;
+  aa_stripes : int option;
+}
+
+type object_range_spec = {
+  profile : Profile.object_store;
+  blocks : int;
+  aa_blocks : int option;
+}
+
+type allocation_policy = Best_aa | Random_aa | First_fit
+
+type vol_spec = {
+  name : string;
+  blocks : int;
+  aa_blocks : int option;
+  policy : allocation_policy;
+}
+
+type t = {
+  raid_groups : raid_group_spec list;
+  object_ranges : object_range_spec list;
+  vols : vol_spec list;
+  aggregate_policy : allocation_policy;
+  rg_score_threshold : int option;
+  seed : int;
+}
+
+let default_raid_group =
+  {
+    media = Hdd Profile.default_hdd;
+    data_devices = 6;
+    parity_devices = 1;
+    device_blocks = 65536;
+    aa_stripes = None;
+  }
+
+let default_vol ~name ~blocks = { name; blocks; aa_blocks = None; policy = Best_aa }
+
+let make ?(raid_groups = [ default_raid_group ]) ?(object_ranges = []) ?(vols = [])
+    ?(aggregate_policy = Best_aa) ?rg_score_threshold ?(seed = 42) () =
+  { raid_groups; object_ranges; vols; aggregate_policy; rg_score_threshold; seed }
+
+let aa_stripes_for spec =
+  let media_default =
+    match spec.media with
+    | Hdd _ -> Wafl_aa.Sizing.default_hdd_stripes
+    | Ssd p -> Wafl_aa.Sizing.ssd_stripes p
+    | Smr p -> Wafl_aa.Sizing.smr_stripes ~azcs:true p
+  in
+  let wanted = Option.value spec.aa_stripes ~default:media_default in
+  max 1 (min wanted spec.device_blocks)
+
+let media_name = function Hdd _ -> "hdd" | Ssd _ -> "ssd" | Smr _ -> "smr"

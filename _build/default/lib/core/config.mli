@@ -1,0 +1,67 @@
+(** Configuration of a simulated ONTAP system: the aggregate's physical
+    ranges and the FlexVols layered on it (§2.1). *)
+
+type media =
+  | Hdd of Wafl_device.Profile.hdd
+  | Ssd of Wafl_device.Profile.ssd
+  | Smr of Wafl_device.Profile.smr
+
+type raid_group_spec = {
+  media : media;
+  data_devices : int;
+  parity_devices : int;
+  device_blocks : int;   (** 4KiB blocks per device *)
+  aa_stripes : int option;
+      (** AA size override; [None] picks the media default (§3.2) *)
+}
+
+type object_range_spec = {
+  profile : Wafl_device.Profile.object_store;
+  blocks : int;
+  aa_blocks : int option;  (** default: 32k *)
+}
+
+type allocation_policy =
+  | Best_aa        (** AA cache enabled: always the emptiest AA (§3.1) *)
+  | Random_aa      (** cache disabled: uniformly random AA — the paper's
+                       baseline in §4.1 *)
+  | First_fit      (** lowest-numbered AA with any free space — the classic
+                       linear-scan strawman *)
+
+type vol_spec = {
+  name : string;
+  blocks : int;               (** virtual VBN space size *)
+  aa_blocks : int option;     (** default 32k *)
+  policy : allocation_policy; (** for virtual VBN selection *)
+}
+
+type t = {
+  raid_groups : raid_group_spec list;
+  object_ranges : object_range_spec list;
+  vols : vol_spec list;
+  aggregate_policy : allocation_policy;
+  rg_score_threshold : int option;
+      (** skip a RAID group whose best AA score is below this (§3.3.1) *)
+  seed : int;
+}
+
+val default_raid_group : raid_group_spec
+(** 6+1 HDD, 64k blocks/device, default AA sizing. *)
+
+val default_vol : name:string -> blocks:int -> vol_spec
+
+val make :
+  ?raid_groups:raid_group_spec list ->
+  ?object_ranges:object_range_spec list ->
+  ?vols:vol_spec list ->
+  ?aggregate_policy:allocation_policy ->
+  ?rg_score_threshold:int ->
+  ?seed:int ->
+  unit ->
+  t
+
+val aa_stripes_for : raid_group_spec -> int
+(** The spec's override or the §3.2 media default, clamped to the group's
+    stripe count. *)
+
+val media_name : media -> string

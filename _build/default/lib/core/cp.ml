@@ -1,0 +1,299 @@
+open Wafl_raid
+open Wafl_device
+open Wafl_aacache
+
+type staged = { vol : Flexvol.t; file : int; offset : int }
+
+type device_report = {
+  range_index : int;
+  media : string;
+  blocks_written : int;
+  chains : int;
+  full_stripes : int;
+  partial_stripes : int;
+  tetrises : int;
+  parity_writes : int;
+  parity_reads : int;
+  device_time_us : float;
+  ssd_stats : Ftl.stats option;
+  smr_random_checksum_writes : int;
+}
+
+type report = {
+  ops : int;
+  blocks_allocated : int;
+  pvbns_freed : int;
+  vvbns_freed : int;
+  agg_metafile_pages : int;
+  vol_metafile_pages : int;
+  devices : device_report list;
+  device_time_us : float;
+  cache_work : int;
+  alloc_candidates : int;
+}
+
+let empty_report =
+  {
+    ops = 0;
+    blocks_allocated = 0;
+    pvbns_freed = 0;
+    vvbns_freed = 0;
+    agg_metafile_pages = 0;
+    vol_metafile_pages = 0;
+    devices = [];
+    device_time_us = 0.0;
+    cache_work = 0;
+    alloc_candidates = 0;
+  }
+
+(* Writes grouped per volume, preserving order. *)
+let group_by_vol staged =
+  let vols = ref [] in
+  List.iter
+    (fun s ->
+      match List.find_opt (fun (v, _) -> v == s.vol) !vols with
+      | Some (_, items) -> items := s :: !items
+      | None -> vols := (s.vol, ref [ s ]) :: !vols)
+    staged;
+  List.rev_map (fun (v, items) -> (v, List.rev !items)) !vols
+
+(* Per-device write streams for an SMR range: sorted DBNs per data device,
+   concatenated device by device.  A data DBN lands at its AZCS device
+   position (checksum blocks interleaved), offset into the device's span so
+   zone arithmetic stays per-device. *)
+(* Rounded to whole AZCS regions so device boundaries never split a region
+   (the tracker's region math is global). *)
+let smr_device_span geometry =
+  Wafl_util.Bitops.round_up
+    (Azcs.device_span_of_data (Geometry.device_blocks geometry))
+    Azcs.region_blocks
+
+let smr_streams geometry locals =
+  (* preserve allocation order per device: the allocator finishes one AA
+     before starting the next, and sorting would interleave them *)
+  let by_device = Hashtbl.create 8 in
+  List.iter
+    (fun local ->
+      let loc = Geometry.location_of_vbn geometry local in
+      let existing = try Hashtbl.find by_device loc.Geometry.device with Not_found -> [] in
+      Hashtbl.replace by_device loc.Geometry.device (loc.Geometry.dbn :: existing))
+    locals;
+  let span = smr_device_span geometry in
+  let devices = List.sort Int.compare (Hashtbl.fold (fun d _ acc -> d :: acc) by_device []) in
+  List.map
+    (fun device ->
+      let dbns = List.rev (Hashtbl.find by_device device) in
+      (device, List.map (fun dbn -> (device * span) + Azcs.device_position_of_data dbn) dbns))
+    devices
+
+let flush_range walloc (range : Aggregate.range) locals freed_locals =
+  let aggregate = Write_alloc.aggregate walloc in
+  ignore aggregate;
+  let flush =
+    match range.Aggregate.group with
+    | Some group -> Some (Group.record_flush group ~vbns:locals)
+    | None -> None
+  in
+  let media =
+    match range.Aggregate.media with
+    | Some m -> Config.media_name m
+    | None -> "object"
+  in
+  let base_report =
+    {
+      range_index = range.Aggregate.index;
+      media;
+      blocks_written = List.length locals;
+      chains = 0;
+      full_stripes = 0;
+      partial_stripes = 0;
+      tetrises = 0;
+      parity_writes = 0;
+      parity_reads = 0;
+      device_time_us = 0.0;
+      ssd_stats = None;
+      smr_random_checksum_writes = 0;
+    }
+  in
+  let with_raid =
+    match flush with
+    | None -> base_report
+    | Some f ->
+      {
+        base_report with
+        chains = f.Group.chains;
+        full_stripes = f.Group.classification.Stripe.full_stripes;
+        partial_stripes = f.Group.classification.Stripe.partial_stripes;
+        tetrises = f.Group.tetris.Tetris.tetrises;
+        parity_writes = f.Group.classification.Stripe.parity_writes;
+        parity_reads = f.Group.classification.Stripe.extra_reads;
+      }
+  in
+  match range.Aggregate.device with
+  | Aggregate.Hdd_sim profile ->
+    (* One positioning per chain; stream data + parity; parity reads for
+       partial stripes are random I/Os. *)
+    let write_time =
+      Hdd.write_cost_us profile ~chains:(with_raid.chains + with_raid.partial_stripes)
+        ~blocks:(with_raid.blocks_written + with_raid.parity_writes)
+    in
+    let read_time = Hdd.random_read_cost_us profile ~ios:with_raid.parity_reads in
+    { with_raid with device_time_us = write_time +. read_time }
+  | Aggregate.Ssd_sim ftl ->
+    let before = Ftl.stats ftl in
+    Ftl.write_batch ftl locals;
+    Ftl.trim_batch ftl freed_locals;
+    let delta = Ftl.diff_stats ~after:(Ftl.stats ftl) ~before in
+    {
+      with_raid with
+      device_time_us = Ftl.service_time_us ftl ~stats_delta:delta;
+      ssd_stats = Some delta;
+    }
+  | Aggregate.Smr_sim (smr, trackers) -> (
+    match range.Aggregate.geometry with
+    | None -> with_raid
+    | Some geometry ->
+      let before = Smr.stats smr in
+      let random_cs = ref 0 in
+      List.iter
+        (fun (device, stream) ->
+          let tracker = trackers.(device) in
+          List.iter
+            (fun dev_pos ->
+              (* stream positions are device positions: checksum blocks are
+                 already interleaved by smr_streams' mapping.  Region closes
+                 are written before the data block that triggered them, so a
+                 sequential close lands exactly in stream order. *)
+              List.iter
+                (fun cw ->
+                  Smr.write smr cw.Azcs.block;
+                  if not cw.Azcs.sequential then incr random_cs)
+                (Azcs.write tracker dev_pos);
+              Smr.write smr dev_pos)
+            stream)
+        (smr_streams geometry locals);
+      let after = Smr.stats smr in
+      {
+        with_raid with
+        device_time_us = after.Smr.total_us -. before.Smr.total_us;
+        smr_random_checksum_writes = !random_cs;
+      })
+  | Aggregate.Object_sim store ->
+    let before = Object_store.stats store in
+    Object_store.write_batch store locals;
+    let delta = Object_store.diff_stats ~after:(Object_store.stats store) ~before in
+    { with_raid with device_time_us = Object_store.cost_us store ~stats_delta:delta }
+
+let run walloc staged =
+  let aggregate = Write_alloc.aggregate walloc in
+  let by_vol = group_by_vol staged in
+  let ranges = Aggregate.ranges aggregate in
+  let cache_work_before =
+    Array.fold_left
+      (fun acc (r : Aggregate.range) ->
+        match r.Aggregate.cache with Some c -> acc + (Cache.ops c).Cache.work | None -> acc)
+      0 ranges
+    + List.fold_left
+        (fun acc (vol, _) ->
+          match Flexvol.cache vol with Some c -> acc + (Cache.ops c).Cache.work | None -> acc)
+        0 by_vol
+  in
+  let candidates_before = Write_alloc.candidates_scanned walloc in
+  (* 1. Allocate virtual VBNs per volume and physical VBNs across ranges;
+        update inodes and container maps; queue COW frees. *)
+  let ops = List.length staged in
+  let placed = ref 0 in
+  let vvbn_frees = ref 0 in
+  let allocated_pvbns = ref [] in
+  List.iter
+    (fun (vol, writes) ->
+      let n = List.length writes in
+      let vvbns = Write_alloc.allocate_vvbns walloc vol n in
+      let pvbns = Write_alloc.allocate_pvbns walloc (List.length vvbns) in
+      (* pair as many writes as we could place both numbers for *)
+      let rec place writes vvbns pvbns =
+        match (writes, vvbns, pvbns) with
+        | w :: ws, vv :: vvs, pv :: pvs ->
+          (match Flexvol.write_file vol ~file:w.file ~offset:w.offset ~vvbn:vv with
+          | Some old_vvbn ->
+            (* COW: the replaced block dies at this CP — unless a snapshot
+               still pins it, in which case it merely leaves the active
+               map and is released at snapshot deletion *)
+            if Flexvol.snapshot_holds vol ~vvbn:old_vvbn then
+              Flexvol.detach_vvbn vol ~vvbn:old_vvbn
+            else begin
+              (match Flexvol.pvbn_of_vvbn vol old_vvbn with
+              | Some old_pvbn -> Aggregate.queue_free aggregate ~pvbn:old_pvbn
+              | None -> ());
+              Flexvol.queue_unmap vol ~vvbn:old_vvbn;
+              incr vvbn_frees
+            end
+          | None -> ());
+          Flexvol.attach_reserved vol ~vvbn:vv ~pvbn:pv;
+          allocated_pvbns := pv :: !allocated_pvbns;
+          incr placed;
+          place ws vvs pvs
+        | _, leftover_vvbns, _ ->
+          (* reserved virtual blocks with no physical home (aggregate out of
+             space): hand them back *)
+          List.iter (fun vv -> Flexvol.release_reserved vol ~vvbn:vv) leftover_vvbns
+      in
+      place writes vvbns pvbns)
+    by_vol;
+  (* 2. Commit delayed frees (aggregate + volumes) and flush metafiles. *)
+  let agg_pages, freed_pvbns = Aggregate.commit_frees aggregate in
+  let vol_pages =
+    List.fold_left (fun acc (vol, _) -> acc + Flexvol.commit_frees vol) 0 by_vol
+  in
+  (* 3. Device I/O per range: this CP's allocations (and trims) grouped by
+        range, in range-local coordinates. *)
+  let locals_by_range = Array.make (Array.length ranges) [] in
+  List.iter
+    (fun pvbn ->
+      let r = Aggregate.range_of_pvbn aggregate pvbn in
+      locals_by_range.(r.Aggregate.index) <-
+        Aggregate.to_local r pvbn :: locals_by_range.(r.Aggregate.index))
+    (List.rev !allocated_pvbns);
+  let freed_by_range = Array.make (Array.length ranges) [] in
+  List.iter
+    (fun pvbn ->
+      let r = Aggregate.range_of_pvbn aggregate pvbn in
+      freed_by_range.(r.Aggregate.index) <-
+        Aggregate.to_local r pvbn :: freed_by_range.(r.Aggregate.index))
+    freed_pvbns;
+  let devices =
+    Array.to_list
+      (Array.mapi
+         (fun i (r : Aggregate.range) ->
+           flush_range walloc r (List.rev locals_by_range.(i)) (List.rev freed_by_range.(i)))
+         ranges)
+  in
+  (* 4. CP boundary: batched score updates, cache rebalance. *)
+  Write_alloc.cp_finish walloc;
+  let cache_work_after =
+    Array.fold_left
+      (fun acc (r : Aggregate.range) ->
+        match r.Aggregate.cache with Some c -> acc + (Cache.ops c).Cache.work | None -> acc)
+      0 ranges
+    + List.fold_left
+        (fun acc (vol, _) ->
+          match Flexvol.cache vol with Some c -> acc + (Cache.ops c).Cache.work | None -> acc)
+        0 by_vol
+  in
+  let device_time_us =
+    List.fold_left
+      (fun acc (d : device_report) -> Float.max acc d.device_time_us)
+      0.0 devices
+  in
+  {
+    ops;
+    blocks_allocated = !placed;
+    pvbns_freed = List.length freed_pvbns;
+    vvbns_freed = !vvbn_frees;
+    agg_metafile_pages = agg_pages;
+    vol_metafile_pages = vol_pages;
+    devices;
+    device_time_us;
+    cache_work = cache_work_after - cache_work_before;
+    alloc_candidates = Write_alloc.candidates_scanned walloc - candidates_before;
+  }

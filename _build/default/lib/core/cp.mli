@@ -1,0 +1,46 @@
+(** Consistency points: WAFL's atomic flush of accumulated changes (§2.1).
+
+    A CP takes every block write staged since the previous CP, allocates a
+    virtual VBN (in the owning FlexVol) and a physical VBN (in the
+    aggregate) for each, frees the blocks the writes replace (COW), drives
+    the device simulators with the resulting I/O, commits the delayed frees
+    and bitmap-metafile pages, and finally applies the batched AA-score
+    updates to the caches (§3.3). *)
+
+type staged = { vol : Flexvol.t; file : int; offset : int }
+
+type device_report = {
+  range_index : int;
+  media : string;
+  blocks_written : int;
+  chains : int;
+  full_stripes : int;
+  partial_stripes : int;
+  tetrises : int;
+  parity_writes : int;
+  parity_reads : int;
+  device_time_us : float;
+  ssd_stats : Wafl_device.Ftl.stats option;      (** this CP's delta *)
+  smr_random_checksum_writes : int;
+}
+
+type report = {
+  ops : int;                   (** staged writes processed *)
+  blocks_allocated : int;      (** PVBNs actually placed (= ops unless the
+                                   aggregate ran out of space) *)
+  pvbns_freed : int;
+  vvbns_freed : int;
+  agg_metafile_pages : int;
+  vol_metafile_pages : int;
+  devices : device_report list;
+  device_time_us : float;      (** max over ranges: groups flush in parallel *)
+  cache_work : int;            (** abstract cache maintenance units this CP *)
+  alloc_candidates : int;      (** bitmap positions scanned to gather the
+                                   CP's free VBNs — fewer per block when
+                                   AAs are emptier (§2.5) *)
+}
+
+val run : Write_alloc.t -> staged list -> report
+(** Execute one CP over the staged writes. *)
+
+val empty_report : report

@@ -1,0 +1,209 @@
+open Wafl_bitmap
+open Wafl_aa
+open Wafl_aacache
+
+type t = {
+  spec : Config.vol_spec;
+  topology : Topology.t;
+  activemap : Activemap.t;
+  scores : int array;
+  mutable cache : Cache.t option;
+  delta : Score.delta;
+  container : int array;  (* vvbn -> pvbn, -1 when unmapped *)
+  inodes : (int, (int, int) Hashtbl.t) Hashtbl.t;  (* file -> offset -> vvbn *)
+  snapshots : (int, (int, unit) Hashtbl.t) Hashtbl.t;  (* id -> pinned vvbns *)
+  zombies : (int, unit) Hashtbl.t;  (* vvbns kept only for snapshots *)
+  mutable next_snapshot : int;
+}
+
+let create (spec : Config.vol_spec) =
+  if spec.Config.blocks <= 0 then invalid_arg "Flexvol.create: empty volume";
+  let aa_blocks = Option.value spec.Config.aa_blocks ~default:Sizing.default_raid_agnostic_blocks in
+  let aa_blocks = min aa_blocks spec.Config.blocks in
+  let topology = Topology.raid_agnostic ~total_blocks:spec.Config.blocks ~aa_blocks in
+  let scores = Array.init (Topology.aa_count topology) (Topology.aa_capacity topology) in
+  let t =
+    {
+      spec;
+      topology;
+      (* one metafile page per AA — the §3.2.1 alignment — even when the
+         simulation scales AAs below the physical 32k-bits-per-block *)
+      activemap =
+        Activemap.create
+          ~page_bits:(min Wafl_block.Units.bits_per_metafile_block aa_blocks)
+          ~blocks:spec.Config.blocks ();
+      scores;
+      cache = None;
+      delta = Score.create_delta topology;
+      container = Array.make spec.Config.blocks (-1);
+      inodes = Hashtbl.create 16;
+      snapshots = Hashtbl.create 4;
+      zombies = Hashtbl.create 256;
+      next_snapshot = 1;
+    }
+  in
+  if spec.Config.policy = Config.Best_aa then begin
+    let cache =
+      Cache.raid_agnostic ~max_score:(Topology.full_aa_capacity topology) ~scores ()
+    in
+    (* an empty volume: every AA qualifies; fill the list page *)
+    (match Cache.hbps cache with Some h -> Hbps.replenish h | None -> ());
+    t.cache <- Some cache
+  end;
+  t
+
+let name t = t.spec.Config.name
+let blocks t = Array.length t.container
+let spec t = t.spec
+let topology t = t.topology
+let activemap t = t.activemap
+let metafile t = Activemap.metafile t.activemap
+let scores t = t.scores
+let cache t = t.cache
+let set_cache t c = t.cache <- c
+let delta t = t.delta
+
+let free_blocks t = Activemap.free_count t.activemap ~start:0 ~len:(blocks t)
+let used_fraction t = 1.0 -. (float_of_int (free_blocks t) /. float_of_int (blocks t))
+
+let pvbn_of_vvbn t vvbn =
+  let p = t.container.(vvbn) in
+  if p < 0 then None else Some p
+
+let reserve_vvbn t ~vvbn =
+  Activemap.allocate t.activemap vvbn;
+  Score.note_alloc t.delta ~vbn:vvbn
+
+let attach_reserved t ~vvbn ~pvbn =
+  if not (Activemap.is_allocated t.activemap vvbn) then
+    invalid_arg "Flexvol.attach_reserved: VVBN not reserved";
+  if t.container.(vvbn) >= 0 then invalid_arg "Flexvol.attach_reserved: VVBN already mapped";
+  t.container.(vvbn) <- pvbn
+
+let release_reserved t ~vvbn =
+  if t.container.(vvbn) >= 0 then invalid_arg "Flexvol.release_reserved: VVBN is mapped";
+  Activemap.queue_free t.activemap vvbn
+
+let map_vvbn t ~vvbn ~pvbn =
+  if t.container.(vvbn) >= 0 then invalid_arg "Flexvol.map_vvbn: VVBN already mapped";
+  reserve_vvbn t ~vvbn;
+  attach_reserved t ~vvbn ~pvbn
+
+let remap_vvbn t ~vvbn ~pvbn =
+  let old = t.container.(vvbn) in
+  if old < 0 then invalid_arg "Flexvol.remap_vvbn: VVBN not mapped";
+  t.container.(vvbn) <- pvbn;
+  old
+
+let queue_unmap t ~vvbn =
+  if t.container.(vvbn) < 0 then invalid_arg "Flexvol.queue_unmap: VVBN not mapped";
+  Activemap.queue_free t.activemap vvbn;
+  t.container.(vvbn) <- -1
+
+let commit_frees t =
+  let result = Activemap.commit t.activemap in
+  List.iter (fun vvbn -> Score.note_free t.delta ~vbn:vvbn) result.Activemap.freed;
+  result.Activemap.pages_written
+
+let cp_update_cache t =
+  let updates = Score.apply t.delta t.scores in
+  match t.cache with Some cache -> Cache.cp_update cache updates | None -> ()
+
+let rebuild_cache t =
+  Score.clear t.delta;
+  let mf = metafile t in
+  for aa = 0 to Topology.aa_count t.topology - 1 do
+    t.scores.(aa) <- Score.score_of_aa t.topology mf aa
+  done;
+  let cache =
+    Cache.raid_agnostic ~max_score:(Topology.full_aa_capacity t.topology) ~scores:t.scores ()
+  in
+  (match Cache.hbps cache with Some h -> Hbps.replenish h | None -> ());
+  t.cache <- Some cache
+
+let free_vvbns_of_aa t aa =
+  let mf = metafile t in
+  let acc = ref [] in
+  Topology.iter_aa_vbns t.topology aa ~f:(fun vvbn ->
+      if not (Metafile.is_allocated mf vvbn) then acc := vvbn :: !acc);
+  List.rev !acc
+
+(* --- snapshots ---
+
+   A snapshot pins a set of VVBNs; the virtual-to-physical translation
+   stays in the shared container map, so physical relocation (segment
+   cleaning) is transparent to snapshots.  A VVBN overwritten while pinned
+   becomes a "zombie": it leaves the active namespace but keeps its
+   container entry until the last snapshot holding it is deleted. *)
+
+let create_snapshot t =
+  let id = t.next_snapshot in
+  t.next_snapshot <- id + 1;
+  let pinned = Hashtbl.create 1024 in
+  Array.iteri
+    (fun vvbn pvbn ->
+      (* zombies are history, not part of the active image being captured *)
+      if pvbn >= 0 && not (Hashtbl.mem t.zombies vvbn) then Hashtbl.replace pinned vvbn ())
+    t.container;
+  Hashtbl.replace t.snapshots id pinned;
+  id
+
+let snapshots t =
+  List.sort Int.compare (Hashtbl.fold (fun id _ acc -> id :: acc) t.snapshots [])
+
+let snapshot_holds t ~vvbn =
+  Hashtbl.fold (fun _ pinned acc -> acc || Hashtbl.mem pinned vvbn) t.snapshots false
+
+let detach_vvbn t ~vvbn =
+  if t.container.(vvbn) < 0 then invalid_arg "Flexvol.detach_vvbn: VVBN not mapped";
+  if not (snapshot_holds t ~vvbn) then
+    invalid_arg "Flexvol.detach_vvbn: VVBN not snapshot-held";
+  (* container entry survives for the snapshots' benefit *)
+  Hashtbl.replace t.zombies vvbn ()
+
+let delete_snapshot t id =
+  let pinned =
+    match Hashtbl.find_opt t.snapshots id with
+    | Some m -> m
+    | None -> raise Not_found
+  in
+  Hashtbl.remove t.snapshots id;
+  Hashtbl.fold
+    (fun vvbn () acc ->
+      if Hashtbl.mem t.zombies vvbn && not (snapshot_holds t ~vvbn) then begin
+        let pvbn = t.container.(vvbn) in
+        Hashtbl.remove t.zombies vvbn;
+        t.container.(vvbn) <- -1;
+        (vvbn, pvbn) :: acc
+      end
+      else acc)
+    pinned []
+
+let snapshot_read t ~snapshot ~vvbn =
+  match Hashtbl.find_opt t.snapshots snapshot with
+  | None -> None
+  | Some pinned -> if Hashtbl.mem pinned vvbn then pvbn_of_vvbn t vvbn else None
+
+let inode t file =
+  match Hashtbl.find_opt t.inodes file with
+  | Some map -> map
+  | None ->
+    let map = Hashtbl.create 64 in
+    Hashtbl.add t.inodes file map;
+    map
+
+let write_file t ~file ~offset ~vvbn =
+  let map = inode t file in
+  let old = Hashtbl.find_opt map offset in
+  Hashtbl.replace map offset vvbn;
+  old
+
+let read_file t ~file ~offset =
+  match Hashtbl.find_opt t.inodes file with
+  | None -> None
+  | Some map -> Hashtbl.find_opt map offset
+
+let file_blocks t ~file =
+  match Hashtbl.find_opt t.inodes file with None -> 0 | Some map -> Hashtbl.length map
+
+let files t = Hashtbl.fold (fun file _ acc -> file :: acc) t.inodes []

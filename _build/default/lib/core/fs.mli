@@ -1,0 +1,53 @@
+(** Public facade: the simulated ONTAP system.
+
+    Client operations stage block writes; {!run_cp} flushes everything
+    staged as one consistency point, exactly as WAFL collects thousands of
+    modifying operations and commits them together (§2.1). *)
+
+type t
+
+val create : Config.t -> t
+
+val config : t -> Config.t
+val aggregate : t -> Aggregate.t
+val write_alloc : t -> Write_alloc.t
+val vols : t -> Flexvol.t array
+val vol : t -> string -> Flexvol.t
+(** Raises [Not_found] for an unknown volume name. *)
+
+val rng : t -> Wafl_util.Rng.t
+(** The system's seeded generator (workloads should [Rng.split] it). *)
+
+val stage_write : t -> vol:Flexvol.t -> file:int -> offset:int -> unit
+(** Stage one 4KiB block write.  Writing the same (vol, file, offset) twice
+    before a CP coalesces, as the in-memory buffer cache would. *)
+
+val staged_count : t -> int
+
+val staged_ops : t -> (string * int * int) list
+(** The operations logged since the last completed CP, as (volume name,
+    file, offset) in arrival order — the NVRAM log a failover partner
+    replays before resuming service (§3.4). *)
+
+val run_cp : t -> Cp.report
+(** Flush everything staged as one consistency point. *)
+
+val create_snapshot : t -> vol:Flexvol.t -> int
+(** Pin the volume's current state (free at creation, COW). *)
+
+val delete_snapshot : t -> vol:Flexvol.t -> int -> int
+(** Delete a snapshot, queueing every block only it referenced for freeing
+    at the next CP; returns how many blocks were queued.  This burst of
+    random frees is the §4.1.1 "other internal activity" that deepens
+    free-space nonuniformity. *)
+
+val cps_completed : t -> int
+
+val total_metafile_pages_written : t -> int
+(** Aggregate + all volumes, cumulative. *)
+
+val file_read_chains : t -> vol:Flexvol.t -> file:int -> Wafl_block.Chain.summary
+(** The device read chains a full sequential read of the file needs: its
+    blocks in offset order, mapped to physical locations and coalesced into
+    contiguous runs.  Long chains = few read I/Os (§2.4); a file laid down
+    young reads in a handful of chains, an aged one in hundreds. *)

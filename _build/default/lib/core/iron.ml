@@ -1,0 +1,109 @@
+open Wafl_bitmap
+open Wafl_aa
+
+type finding =
+  | Range_score_drift of { range : int; aa : int; cached : int; actual : int }
+  | Vol_score_drift of { vol : string; aa : int; cached : int; actual : int }
+  | Dangling_container of { vol : string; vvbn : int; pvbn : int }
+  | Cross_link of { pvbn : int; vols : string list }
+  | Orphan_blocks of { count : int }
+
+let pp_finding fmt = function
+  | Range_score_drift { range; aa; cached; actual } ->
+    Format.fprintf fmt "range %d AA %d: cached score %d, bitmap says %d" range aa cached actual
+  | Vol_score_drift { vol; aa; cached; actual } ->
+    Format.fprintf fmt "volume %s AA %d: cached score %d, bitmap says %d" vol aa cached actual
+  | Dangling_container { vol; vvbn; pvbn } ->
+    Format.fprintf fmt "volume %s vvbn %d points at free pvbn %d" vol vvbn pvbn
+  | Cross_link { pvbn; vols } ->
+    Format.fprintf fmt "pvbn %d referenced by several virtual blocks (%s)" pvbn
+      (String.concat ", " vols)
+  | Orphan_blocks { count } ->
+    Format.fprintf fmt "%d allocated physical blocks have no volume owner" count
+
+let check fs =
+  let aggregate = Fs.aggregate fs in
+  let mf = Aggregate.metafile aggregate in
+  let findings = ref [] in
+  (* 1. cached AA scores vs bitmap truth (pending deltas excluded: run this
+        between CPs) *)
+  Array.iter
+    (fun (r : Aggregate.range) ->
+      if Score.is_empty r.Aggregate.delta then
+        Array.iteri
+          (fun aa cached ->
+            let actual = Aggregate.aa_score_now aggregate r aa in
+            if cached <> actual then
+              findings :=
+                Range_score_drift { range = r.Aggregate.index; aa; cached; actual }
+                :: !findings)
+          r.Aggregate.scores)
+    (Aggregate.ranges aggregate);
+  Array.iter
+    (fun vol ->
+      if Score.is_empty (Flexvol.delta vol) then
+        Array.iteri
+          (fun aa cached ->
+            let actual = Score.score_of_aa (Flexvol.topology vol) (Flexvol.metafile vol) aa in
+            if cached <> actual then
+              findings :=
+                Vol_score_drift { vol = Flexvol.name vol; aa; cached; actual } :: !findings)
+          (Flexvol.scores vol))
+    (Fs.vols fs);
+  (* 2. container references: dangling and cross-linked *)
+  let owners = Hashtbl.create 4096 in
+  Array.iter
+    (fun vol ->
+      for vvbn = 0 to Flexvol.blocks vol - 1 do
+        match Flexvol.pvbn_of_vvbn vol vvbn with
+        | None -> ()
+        | Some pvbn ->
+          if not (Metafile.is_allocated mf pvbn) then
+            findings :=
+              Dangling_container { vol = Flexvol.name vol; vvbn; pvbn } :: !findings;
+          let prior = try Hashtbl.find owners pvbn with Not_found -> [] in
+          if prior <> [] then
+            findings :=
+              Cross_link { pvbn; vols = Flexvol.name vol :: prior } :: !findings;
+          Hashtbl.replace owners pvbn (Flexvol.name vol :: prior)
+      done)
+    (Fs.vols fs);
+  (* 3. orphans: allocated physical blocks without a container reference *)
+  let orphans = ref 0 in
+  let total = Aggregate.total_blocks aggregate in
+  for pvbn = 0 to total - 1 do
+    if Metafile.is_allocated mf pvbn && not (Hashtbl.mem owners pvbn) then incr orphans
+  done;
+  if !orphans > 0 then findings := Orphan_blocks { count = !orphans } :: !findings;
+  List.rev !findings
+
+let repair fs =
+  let findings = check fs in
+  let aggregate = Fs.aggregate fs in
+  let repaired = ref 0 in
+  let drifted_ranges = Hashtbl.create 8 in
+  let drifted_vols = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Range_score_drift { range; _ } -> Hashtbl.replace drifted_ranges range ()
+      | Vol_score_drift { vol; _ } -> Hashtbl.replace drifted_vols vol ()
+      | Dangling_container { vol; vvbn; _ } ->
+        (* sever the reference; the vvbn itself is released like any other
+           COW free so the space books stay balanced *)
+        let v = Fs.vol fs vol in
+        Flexvol.queue_unmap v ~vvbn;
+        ignore (Flexvol.commit_frees v);
+        incr repaired
+      | Cross_link _ | Orphan_blocks _ -> ())
+    findings;
+  if Hashtbl.length drifted_ranges > 0 then begin
+    (* recompute every range's scores and rebuild the caches from truth *)
+    Aggregate.rebuild_caches aggregate;
+    repaired := !repaired + Hashtbl.length drifted_ranges
+  end;
+  Hashtbl.iter
+    (fun vol () ->
+      Flexvol.rebuild_cache (Fs.vol fs vol);
+      incr repaired)
+    drifted_vols;
+  (findings, !repaired)

@@ -1,0 +1,230 @@
+open Wafl_bitmap
+open Wafl_aa
+open Wafl_aacache
+
+type image = {
+  config : Config.t;
+  agg_bits : Bitmap.t;
+  vol_bits : (string * Bitmap.t) array;
+  range_topaa : Bytes.t array;            (* one block per physical range *)
+  vol_topaa : (Bytes.t * Bytes.t) array;  (* HBPS pages per volume *)
+  nvram : (string * int * int) list;      (* logged ops since the last CP *)
+}
+
+type timing = {
+  topaa_blocks_read : int;
+  metafile_pages_scanned : int;
+  aas_scored : int;
+  ops_replayed : int;
+  ready_us : float;
+}
+
+type cost_model = {
+  page_read_us : float;
+  page_scan_cpu_us : float;
+  seed_insert_us : float;
+  replay_op_us : float;
+}
+
+let default_cost_model =
+  { page_read_us = 250.0; page_scan_cpu_us = 40.0; seed_insert_us = 0.2; replay_op_us = 5.0 }
+
+let snapshot fs =
+  let aggregate = Fs.aggregate fs in
+  let range_topaa =
+    Array.map
+      (fun (r : Aggregate.range) ->
+        match r.Aggregate.cache with
+        | Some cache -> (
+          match Cache.heap cache with
+          | Some heap -> Topaa.save_raid_aware heap
+          | None -> (
+            match Cache.hbps cache with
+            | Some hbps ->
+              (* object ranges persist HBPS pages; store the histogram page
+                 here and regenerate on load *)
+              fst (Topaa.save_hbps hbps)
+            | None -> Bytes.make Topaa.block_size '\000'))
+        | None ->
+          (* cache disabled: persist a heap built on the spot, as the real
+             system would from its current scores *)
+          Topaa.save_raid_aware (Max_heap.of_scores r.Aggregate.scores))
+      (Aggregate.ranges aggregate)
+  in
+  let vol_topaa =
+    Array.map
+      (fun vol ->
+        match Option.map Cache.hbps (Flexvol.cache vol) with
+        | Some (Some hbps) -> Topaa.save_hbps hbps
+        | Some None | None ->
+          let h =
+            Hbps.create
+              ~max_score:(Topology.full_aa_capacity (Flexvol.topology vol))
+              ~scores:(Flexvol.scores vol) ()
+          in
+          Hbps.replenish h;
+          Topaa.save_hbps h)
+      (Fs.vols fs)
+  in
+  {
+    config = Fs.config fs;
+    agg_bits = Metafile.snapshot (Aggregate.metafile aggregate);
+    vol_bits =
+      Array.map (fun v -> (Flexvol.name v, Metafile.snapshot (Flexvol.metafile v))) (Fs.vols fs);
+    range_topaa;
+    vol_topaa;
+    nvram = Fs.staged_ops fs;
+  }
+
+let corrupt_block b =
+  let i = Bytes.length b / 2 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x5a))
+
+let corrupt_range_topaa image i = corrupt_block image.range_topaa.(i)
+
+let corrupt_vol_topaa image i =
+  let histogram, list_page = image.vol_topaa.(i) in
+  corrupt_block histogram;
+  corrupt_block list_page
+
+(* Restore space state into a fresh system.  The caches Fs.create builds
+   assume an empty file system; drop them — the caller installs either
+   TopAA seeds or a full-scan rebuild. *)
+let restore image =
+  let fs = Fs.create image.config in
+  let aggregate = Fs.aggregate fs in
+  Metafile.load (Aggregate.metafile aggregate) image.agg_bits;
+  Array.iter
+    (fun (name, bits) -> Metafile.load (Flexvol.metafile (Fs.vol fs name)) bits)
+    image.vol_bits;
+  Aggregate.disable_caches aggregate;
+  Array.iter (fun v -> Flexvol.set_cache v None) (Fs.vols fs);
+  fs
+
+(* Seed one range cache from its TopAA block.  A corrupt block is detected
+   by its checksum; the mount then falls back to scoring that range from
+   the bitmaps (the real system would engage WAFL Iron).  Returns
+   (seeds inserted, fallback metafile pages scanned). *)
+let seed_range_cache aggregate (r : Aggregate.range) block =
+  match Topaa.load_raid_aware block with
+  | Ok seeds ->
+    let heap = Max_heap.create ~n_aas:(Topology.aa_count r.Aggregate.topology) in
+    List.iter
+      (fun (aa, score) -> if not (Max_heap.mem heap aa) then Max_heap.insert heap ~aa ~score)
+      seeds;
+    r.Aggregate.cache <- Some (Cache.of_heap heap);
+    (List.length seeds, 0)
+  | Error _ ->
+    let pages =
+      Metafile.scan_read (Aggregate.metafile aggregate) ~start:r.Aggregate.base
+        ~len:r.Aggregate.blocks
+    in
+    for aa = 0 to Topology.aa_count r.Aggregate.topology - 1 do
+      r.Aggregate.scores.(aa) <- Aggregate.aa_score_now aggregate r aa
+    done;
+    r.Aggregate.cache <- Some (Cache.raid_aware ~scores:r.Aggregate.scores);
+    (0, pages)
+
+let mount ?(cost = default_cost_model) ?(background_rebuild = true) image ~with_topaa =
+  let fs = restore image in
+  (* replay the NVRAM log: the logged client operations are re-staged so
+     the first CP commits them (no data loss across the takeover) *)
+  List.iter
+    (fun (vol_name, file, offset) ->
+      Fs.stage_write fs ~vol:(Fs.vol fs vol_name) ~file ~offset)
+    image.nvram;
+  let replay_us = float_of_int (List.length image.nvram) *. cost.replay_op_us in
+  let ops_replayed = List.length image.nvram in
+  let aggregate = Fs.aggregate fs in
+  let ranges = Aggregate.ranges aggregate in
+  if with_topaa then begin
+    (* Constant work: read one block per range cache + two per volume. *)
+    let blocks_read = Array.length ranges + (2 * Array.length image.vol_topaa) in
+    let seeds = ref 0 in
+    let fallback_pages = ref 0 in
+    Array.iteri
+      (fun i r ->
+        let inserted, scanned = seed_range_cache aggregate r image.range_topaa.(i) in
+        seeds := !seeds + inserted;
+        fallback_pages := !fallback_pages + scanned)
+      ranges;
+    Array.iteri
+      (fun i vol ->
+        match Topaa.load_hbps image.vol_topaa.(i) with
+        | Ok seed ->
+          let approx = Array.make (Topology.aa_count (Flexvol.topology vol)) 0 in
+          List.iter
+            (fun (aa, s) -> if aa < Array.length approx then approx.(aa) <- s)
+            (Topaa.seed_scores seed);
+          let cache =
+            Cache.raid_agnostic
+              ~max_score:(Topology.full_aa_capacity (Flexvol.topology vol))
+              ~scores:approx ()
+          in
+          (match Cache.hbps cache with Some h -> Hbps.replenish h | None -> ());
+          Flexvol.set_cache vol (Some cache);
+          seeds := !seeds + List.length seed.Topaa.entries
+        | Error _ ->
+          (* corrupt volume TopAA: score the volume from its bitmap *)
+          fallback_pages :=
+            !fallback_pages
+            + Metafile.scan_read (Flexvol.metafile vol) ~start:0 ~len:(Flexvol.blocks vol);
+          Flexvol.rebuild_cache vol)
+      (Fs.vols fs);
+    let ready_us =
+      (float_of_int blocks_read *. cost.page_read_us)
+      +. (float_of_int !seeds *. cost.seed_insert_us)
+      +. (float_of_int !fallback_pages *. (cost.page_read_us +. cost.page_scan_cpu_us))
+      +. replay_us
+    in
+    if background_rebuild then begin
+      Aggregate.rebuild_caches aggregate;
+      Array.iter Flexvol.rebuild_cache (Fs.vols fs)
+    end;
+    ( fs,
+      {
+        topaa_blocks_read = blocks_read;
+        metafile_pages_scanned = !fallback_pages;
+        aas_scored = 0;
+        ops_replayed;
+        ready_us;
+      } )
+  end
+  else begin
+    (* Full scan: read every bitmap page of the aggregate and every volume,
+       recompute every AA score, rebuild the caches. *)
+    let agg_pages =
+      Metafile.scan_read (Aggregate.metafile aggregate) ~start:0
+        ~len:(Aggregate.total_blocks aggregate)
+    in
+    let vol_pages =
+      Array.fold_left
+        (fun acc vol ->
+          acc + Metafile.scan_read (Flexvol.metafile vol) ~start:0 ~len:(Flexvol.blocks vol))
+        0 (Fs.vols fs)
+    in
+    Aggregate.rebuild_caches aggregate;
+    Array.iter Flexvol.rebuild_cache (Fs.vols fs);
+    let aas =
+      Array.fold_left
+        (fun acc (r : Aggregate.range) -> acc + Topology.aa_count r.Aggregate.topology)
+        0 ranges
+      + Array.fold_left
+          (fun acc vol -> acc + Topology.aa_count (Flexvol.topology vol))
+          0 (Fs.vols fs)
+    in
+    let pages = agg_pages + vol_pages in
+    let ready_us =
+      float_of_int pages *. (cost.page_read_us +. cost.page_scan_cpu_us)
+      +. (float_of_int aas *. cost.seed_insert_us)
+      +. replay_us
+    in
+    ( fs,
+      {
+        topaa_blocks_read = 0;
+        metafile_pages_scanned = pages;
+        aas_scored = aas;
+        ops_replayed;
+        ready_us;
+      } )
+  end

@@ -1,0 +1,53 @@
+(** Mount path: AA-cache (re)construction after a reboot or failover (§3.4).
+
+    Client access resumes only after the first CP can run, and the first CP
+    needs operational AA caches.  Without TopAA metafiles that means a
+    linear walk of every bitmap-metafile page to recompute every AA score —
+    time linear in file-system size.  With TopAA metafiles it means reading
+    one 4KiB block per RAID-aware cache (the top ~500 AAs) and two blocks
+    per RAID-agnostic cache (the embedded HBPS pages) — constant time —
+    while the full rebuild proceeds in the background. *)
+
+type image
+(** A crash-consistent snapshot: configuration, allocation bitmaps, and the
+    persisted TopAA blocks. *)
+
+type timing = {
+  topaa_blocks_read : int;
+  metafile_pages_scanned : int;
+  aas_scored : int;            (** AA scores recomputed before first CP *)
+  ops_replayed : int;          (** NVRAM-logged operations re-staged *)
+  ready_us : float;            (** modeled time until the first CP may run *)
+}
+
+type cost_model = {
+  page_read_us : float;   (** read one 4KiB metafile/TopAA block *)
+  page_scan_cpu_us : float;  (** popcount one bitmap page into AA scores *)
+  seed_insert_us : float; (** file one seeded AA into a cache *)
+  replay_op_us : float;   (** re-stage one NVRAM-logged operation *)
+}
+
+val default_cost_model : cost_model
+
+val snapshot : Fs.t -> image
+(** Capture bitmaps and TopAA blocks, as the last completed CP would have
+    persisted them, plus the NVRAM log of operations staged since —
+    {!mount} replays those so no acknowledged operation is lost. *)
+
+val corrupt_range_topaa : image -> int -> unit
+(** Fault injection: flip bytes in the TopAA block of physical range [i].
+    A subsequent {!mount} detects the damage via the block checksum and
+    falls back to scanning that range's bitmap (charged to [ready_us]). *)
+
+val corrupt_vol_topaa : image -> int -> unit
+(** Same, for the HBPS pages of volume [i]. *)
+
+val mount :
+  ?cost:cost_model -> ?background_rebuild:bool -> image -> with_topaa:bool -> Fs.t * timing
+(** Bring the snapshot back as a fresh system (the file namespace itself is
+    not part of the image; only the space state matters for allocator
+    readiness).  [with_topaa:true] seeds caches from the persisted blocks;
+    [false] pays the full scan.  [background_rebuild] (default true)
+    completes the full cache rebuild after seeding, off the timed path —
+    by the time the timing is returned both variants allocate identically,
+    matching the paper's behaviour dozens of seconds after mount. *)

@@ -1,0 +1,289 @@
+open Wafl_util
+open Wafl_bitmap
+open Wafl_aa
+open Wafl_aacache
+
+(* Per-range (or per-volume) allocation cursor: the free VBNs of the AA
+   currently being filled, plus the AAs taken since the last CP. *)
+type cursor = {
+  mutable queue : int list;       (* free VBNs still to hand out *)
+  taken : (int, unit) Hashtbl.t;  (* AAs checked out of the cache *)
+  mutable scan_pos : int;         (* First_fit scan position *)
+}
+
+type t = {
+  aggregate : Aggregate.t;
+  rng : Rng.t;
+  cursors : cursor array;                 (* one per physical range *)
+  mutable vols : (Flexvol.t * cursor) list;
+  mutable phys_taken : int;
+  mutable phys_score_sum : int;
+  mutable virt_taken : int;
+  mutable virt_score_sum : int;
+  mutable candidates_scanned : int;
+}
+
+let new_cursor () = { queue = []; taken = Hashtbl.create 16; scan_pos = 0 }
+
+let create aggregate ~rng =
+  {
+    aggregate;
+    rng;
+    cursors = Array.map (fun _ -> new_cursor ()) (Aggregate.ranges aggregate);
+    vols = [];
+    phys_taken = 0;
+    phys_score_sum = 0;
+    virt_taken = 0;
+    virt_score_sum = 0;
+    candidates_scanned = 0;
+  }
+
+let aggregate t = t.aggregate
+
+let register_vol t vol =
+  if not (List.exists (fun (v, _) -> v == vol) t.vols) then
+    t.vols <- (vol, new_cursor ()) :: t.vols
+
+(* Pick the next AA id for a space with [n_aas] AAs under [policy].
+   [free_of aa] recomputes the AA's current free count (used by the
+   cacheless policies).  Returns (aa, score-at-take) or None. *)
+let pick_aa t cursor ~policy ~cache ~n_aas ~free_of =
+  match (policy : Config.allocation_policy) with
+  | Config.Best_aa -> (
+    match cache with
+    | None -> None
+    | Some c ->
+      (* Skip over empty-scored AAs; bounded so a drained cache terminates. *)
+      let rec try_take attempts =
+        if attempts = 0 then None
+        else begin
+          match Cache.take_best c with
+          | None -> None
+          | Some (aa, score) ->
+            Hashtbl.replace cursor.taken aa ();
+            if score > 0 then Some (aa, score) else try_take (attempts - 1)
+        end
+      in
+      try_take 8)
+  | Config.Random_aa ->
+    (* The §4.1 baseline: uniformly random AA, regardless of emptiness. *)
+    let rec try_pick attempts =
+      if attempts = 0 then None
+      else begin
+        let aa = Rng.int t.rng n_aas in
+        let free = free_of aa in
+        if free > 0 then Some (aa, free) else try_pick (attempts - 1)
+      end
+    in
+    try_pick 64
+  | Config.First_fit ->
+    let rec scan steps pos =
+      if steps > n_aas then None
+      else begin
+        let free = free_of pos in
+        if free > 0 then begin
+          cursor.scan_pos <- (pos + 1) mod n_aas;
+          Some (pos, free)
+        end
+        else scan (steps + 1) ((pos + 1) mod n_aas)
+      end
+    in
+    scan 0 cursor.scan_pos
+
+let note_phys_take t score =
+  t.phys_taken <- t.phys_taken + 1;
+  t.phys_score_sum <- t.phys_score_sum + score
+
+let note_virt_take t score =
+  t.virt_taken <- t.virt_taken + 1;
+  t.virt_score_sum <- t.virt_score_sum + score
+
+(* Refill a range cursor's queue from the next AA; false when no AA with
+   free blocks is available. *)
+let refill_range t range cursor =
+  let policy = (Aggregate.config t.aggregate).Config.aggregate_policy in
+  match
+    pick_aa t cursor ~policy ~cache:range.Aggregate.cache
+      ~n_aas:(Topology.aa_count range.Aggregate.topology)
+      ~free_of:(fun aa -> Aggregate.aa_score_now t.aggregate range aa)
+  with
+  | None -> false
+  | Some (aa, score) ->
+    note_phys_take t score;
+    t.candidates_scanned <-
+      t.candidates_scanned + Topology.aa_capacity range.Aggregate.topology aa;
+    let vbns = Aggregate.free_vbns_of_aa t.aggregate range aa in
+    cursor.queue <- vbns;
+    cursor.queue <> []
+
+(* Take up to [want] allocatable PVBNs from one range. *)
+let take_from_range t range cursor want =
+  let mf = Aggregate.metafile t.aggregate in
+  let rec go acc want =
+    if want = 0 then acc
+    else begin
+      match cursor.queue with
+      | pvbn :: rest ->
+        cursor.queue <- rest;
+        if Metafile.is_allocated mf pvbn then go acc want
+        else begin
+          Aggregate.allocate t.aggregate ~pvbn;
+          go (pvbn :: acc) (want - 1)
+        end
+      | [] -> if refill_range t range cursor then go acc want else acc
+    end
+  in
+  List.rev (go [] want)
+
+let best_score_of_range range =
+  match range.Aggregate.cache with
+  | Some c -> Option.value (Cache.peek_best_score c) ~default:0
+  | None ->
+    (* cacheless: use the true best score so throttling still works *)
+    Array.fold_left max 0 range.Aggregate.scores
+
+let allocate_pvbns t n =
+  if n <= 0 then []
+  else begin
+    let ranges = Aggregate.ranges t.aggregate in
+    let threshold = (Aggregate.config t.aggregate).Config.rg_score_threshold in
+    let all = Array.to_list (Array.mapi (fun i r -> (i, r)) ranges) in
+    let eligible =
+      match threshold with
+      | None -> all
+      | Some min_score -> (
+        match List.filter (fun (_, r) -> best_score_of_range r >= min_score) all with
+        | [] -> all (* never stall entirely: fall back to every range (§3.3.1) *)
+        | some -> some)
+    in
+    (* Weight each range by its best AA score: emptier groups get a larger
+       share of the CP's blocks (§4.2). *)
+    let weights = List.map (fun (i, r) -> (i, r, max 1 (best_score_of_range r))) eligible in
+    let total_weight = List.fold_left (fun acc (_, _, w) -> acc + w) 0 weights in
+    let shares =
+      List.map (fun (i, r, w) -> (i, r, n * w / total_weight)) weights
+    in
+    let allocated = ref [] in
+    let got = ref 0 in
+    List.iter
+      (fun (i, r, share) ->
+        if share > 0 then begin
+          let blocks = take_from_range t r t.cursors.(i) share in
+          got := !got + List.length blocks;
+          allocated := List.rev_append blocks !allocated
+        end)
+      shares;
+    (* Rounding remainder and any shortfall: round-robin over eligible
+       ranges until satisfied or nothing more is allocatable. *)
+    let rec mop_up remaining stalled =
+      if remaining > 0 && not stalled then begin
+        let progress = ref false in
+        List.iter
+          (fun (i, r, _) ->
+            if !got < n then begin
+              let blocks = take_from_range t r t.cursors.(i) (min 64 (n - !got)) in
+              if blocks <> [] then progress := true;
+              got := !got + List.length blocks;
+              allocated := List.rev_append blocks !allocated
+            end)
+          weights;
+        mop_up (n - !got) (not !progress)
+      end
+    in
+    mop_up (n - !got) false;
+    List.rev !allocated
+  end
+
+let vol_cursor t vol =
+  match List.find_opt (fun (v, _) -> v == vol) t.vols with
+  | Some (_, c) -> c
+  | None ->
+    let c = new_cursor () in
+    t.vols <- (vol, c) :: t.vols;
+    c
+
+let refill_vol t vol cursor =
+  let policy = (Flexvol.spec vol).Config.policy in
+  match
+    pick_aa t cursor ~policy ~cache:(Flexvol.cache vol)
+      ~n_aas:(Topology.aa_count (Flexvol.topology vol))
+      ~free_of:(fun aa -> Score.score_of_aa (Flexvol.topology vol) (Flexvol.metafile vol) aa)
+  with
+  | None -> false
+  | Some (aa, score) ->
+    note_virt_take t score;
+    t.candidates_scanned <-
+      t.candidates_scanned + Topology.aa_capacity (Flexvol.topology vol) aa;
+    cursor.queue <- Flexvol.free_vvbns_of_aa vol aa;
+    cursor.queue <> []
+
+let allocate_vvbns t vol n =
+  let cursor = vol_cursor t vol in
+  let mf = Flexvol.metafile vol in
+  let rec go acc want =
+    if want = 0 then acc
+    else begin
+      match cursor.queue with
+      | vvbn :: rest ->
+        cursor.queue <- rest;
+        if Metafile.is_allocated mf vvbn then go acc want
+        else begin
+          (* reserve immediately so a re-gathered AA cannot offer it again *)
+          Flexvol.reserve_vvbn vol ~vvbn;
+          go (vvbn :: acc) (want - 1)
+        end
+      | [] -> if refill_vol t vol cursor then go acc want else acc
+    end
+  in
+  List.rev (go [] n)
+
+(* CP boundary: apply score deltas and make sure every taken AA is re-filed
+   in its cache, even if its score did not change. *)
+let cp_finish t =
+  Array.iteri
+    (fun i range ->
+      let cursor = t.cursors.(i) in
+      let updates = Score.apply range.Aggregate.delta range.Aggregate.scores in
+      let changed = Hashtbl.create 32 in
+      List.iter (fun (aa, _) -> Hashtbl.replace changed aa ()) updates;
+      let extra =
+        Hashtbl.fold
+          (fun aa () acc ->
+            if Hashtbl.mem changed aa then acc else (aa, range.Aggregate.scores.(aa)) :: acc)
+          cursor.taken []
+      in
+      Hashtbl.reset cursor.taken;
+      match range.Aggregate.cache with
+      | Some cache -> Cache.cp_update cache (updates @ extra)
+      | None -> ())
+    (Aggregate.ranges t.aggregate);
+  List.iter
+    (fun (vol, cursor) ->
+      let updates = Score.apply (Flexvol.delta vol) (Flexvol.scores vol) in
+      let changed = Hashtbl.create 32 in
+      List.iter (fun (aa, _) -> Hashtbl.replace changed aa ()) updates;
+      let extra =
+        Hashtbl.fold
+          (fun aa () acc ->
+            if Hashtbl.mem changed aa then acc else (aa, (Flexvol.scores vol).(aa)) :: acc)
+          cursor.taken []
+      in
+      Hashtbl.reset cursor.taken;
+      match Flexvol.cache vol with
+      | Some cache -> Cache.cp_update cache (updates @ extra)
+      | None -> ())
+    t.vols
+
+let candidates_scanned t = t.candidates_scanned
+
+let aas_taken t = t.phys_taken + t.virt_taken
+let score_sum_taken t = t.phys_score_sum + t.virt_score_sum
+let phys_take_trace t = (t.phys_taken, t.phys_score_sum)
+let virt_take_trace t = (t.virt_taken, t.virt_score_sum)
+
+let reset_take_stats t =
+  t.phys_taken <- 0;
+  t.phys_score_sum <- 0;
+  t.virt_taken <- 0;
+  t.virt_score_sum <- 0;
+  t.candidates_scanned <- 0

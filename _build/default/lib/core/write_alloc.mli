@@ -1,0 +1,60 @@
+(** The WAFL write allocator (§3.1).
+
+    Per physical range, the allocator takes the emptiest AA from the
+    range's cache (or a random / first-fit AA when the cache is disabled),
+    gathers that AA's free VBNs in allocation order, and hands them out
+    sequentially until the AA is exhausted, then takes the next AA.  Across
+    RAID groups it writes everywhere to maximize bandwidth, but biases the
+    per-CP share toward emptier groups and can skip a group whose best AA
+    score is under the fragmentation threshold (§3.3.1, §4.2).
+
+    AAs taken from a cache are remembered so the CP boundary can re-file
+    them with their updated scores (a heap entry would otherwise be lost,
+    and an untouched HBPS entry would never re-qualify). *)
+
+type t
+
+val create : Aggregate.t -> rng:Wafl_util.Rng.t -> t
+
+val aggregate : t -> Aggregate.t
+
+val allocate_pvbns : t -> int -> int list
+(** Allocate up to [n] physical blocks, spread over eligible ranges
+    proportionally to their best-AA scores.  Returns fewer than [n] only
+    when the aggregate runs out of allocatable space. *)
+
+val allocate_vvbns : t -> Flexvol.t -> int -> int list
+(** Allocate up to [n] virtual blocks in a volume, from its current AA
+    onward. *)
+
+val cp_finish : t -> unit
+(** CP boundary: apply every range's and volume's batched score delta,
+    re-file taken AAs, rebalance caches.  Clears per-CP state but keeps
+    partially-consumed AA queues (WAFL continues filling an AA across
+    CPs). *)
+
+val register_vol : t -> Flexvol.t -> unit
+(** Track a volume so {!cp_finish} updates its cache too. *)
+
+val aas_taken : t -> int
+(** Cumulative AAs taken from caches (all ranges and volumes). *)
+
+val score_sum_taken : t -> int
+(** Sum of scores of taken AAs at take time — divided by {!aas_taken} this
+    is the "average free space in chosen AAs" the paper traces (§4.1.1). *)
+
+val phys_take_trace : t -> int * int
+(** (AAs taken, score sum) for physical ranges only. *)
+
+val virt_take_trace : t -> int * int
+(** (AAs taken, score sum) for volumes only — the §4.1.2 trace. *)
+
+val candidates_scanned : t -> int
+(** Cumulative bitmap positions examined while gathering free VBNs from
+    AAs.  An AA yields its free blocks but costs a scan of its whole span,
+    so emptier AAs amortize the allocation path over more blocks — the
+    §2.5/§4.1.2 mechanism behind the CPU-per-op reduction. *)
+
+val reset_take_stats : t -> unit
+(** Zero the taken-AA trace counters (e.g. after aging, before
+    measurement). *)

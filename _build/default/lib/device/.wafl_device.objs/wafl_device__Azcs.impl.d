@@ -1,0 +1,1 @@
+lib/device/azcs.ml: Units Wafl_block

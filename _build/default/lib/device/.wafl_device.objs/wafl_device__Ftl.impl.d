@@ -1,0 +1,1 @@
+lib/device/ftl.ml: Bytes Float Hashtbl List Profile

@@ -1,0 +1,1 @@
+lib/device/ftl.mli: Profile

@@ -1,0 +1,1 @@
+lib/device/object_store.mli: Profile

@@ -1,0 +1,1 @@
+lib/device/smr.ml: Array List Profile Wafl_util

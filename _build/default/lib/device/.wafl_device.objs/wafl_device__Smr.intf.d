@@ -1,0 +1,1 @@
+lib/device/smr.mli: Profile

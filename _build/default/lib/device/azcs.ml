@@ -1,0 +1,84 @@
+open Wafl_block
+
+let region_blocks = Units.azcs_region_blocks
+let data_blocks = Units.azcs_data_blocks
+
+let region_of_block b =
+  assert (b >= 0);
+  b / region_blocks
+
+let checksum_block ~region = (region * region_blocks) + region_blocks - 1
+let is_checksum_block b = b mod region_blocks = region_blocks - 1
+let is_aligned n = n mod region_blocks = 0
+let is_data_aligned n = n mod data_blocks = 0
+let data_capacity n = (n / region_blocks * data_blocks) + min (n mod region_blocks) data_blocks
+
+let device_position_of_data i =
+  assert (i >= 0);
+  i + (i / data_blocks)
+
+let device_span_of_data n =
+  assert (n >= 0);
+  n + ((n + data_blocks - 1) / data_blocks)
+
+type checksum_write = { block : int; sequential : bool }
+
+type summary = {
+  data_writes : int;
+  sequential_checksum_writes : int;
+  random_checksum_writes : int;
+}
+
+type visit = {
+  region : int;
+  mutable written : int;   (** data blocks written during this visit *)
+  mutable in_order : bool; (** visit started at the region's first data block
+                               and advanced one block at a time *)
+  mutable last_pos : int;
+}
+
+type tracker = {
+  mutable current : visit option;
+  mutable data_writes : int;
+  mutable seq_cs : int;
+  mutable rand_cs : int;
+}
+
+let create_tracker () = { current = None; data_writes = 0; seq_cs = 0; rand_cs = 0 }
+
+let close_visit t v =
+  (* A visit that covered every data block in order earns a sequential
+     checksum append; anything else pays a random checksum write later. *)
+  let sequential = v.in_order && v.written = data_blocks in
+  if sequential then t.seq_cs <- t.seq_cs + 1 else t.rand_cs <- t.rand_cs + 1;
+  { block = checksum_block ~region:v.region; sequential }
+
+let write t pos =
+  if is_checksum_block pos then invalid_arg "Azcs.write: checksum block in data stream";
+  t.data_writes <- t.data_writes + 1;
+  let region = region_of_block pos in
+  match t.current with
+  | Some v when v.region = region ->
+    if pos <> v.last_pos + 1 then v.in_order <- false;
+    v.written <- v.written + 1;
+    v.last_pos <- pos;
+    []
+  | current ->
+    let emitted = match current with Some v -> [ close_visit t v ] | None -> [] in
+    let in_order = pos = region * region_blocks in
+    t.current <- Some { region; written = 1; in_order; last_pos = pos };
+    emitted
+
+let finish t =
+  match t.current with
+  | None -> []
+  | Some v ->
+    t.current <- None;
+    [ close_visit t v ]
+
+let summary t =
+  {
+    data_writes = t.data_writes;
+    sequential_checksum_writes = t.seq_cs;
+    random_checksum_writes = t.rand_cs;
+  }

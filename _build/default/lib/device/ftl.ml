@@ -1,0 +1,172 @@
+
+type stats = {
+  host_pages_written : int;
+  device_pages_written : int;
+  relocated_pages : int;
+  erases : int;
+  trimmed_pages : int;
+}
+
+type t = {
+  profile : Profile.ssd;
+  open_capacity : int;
+  logical_blocks : int;
+  live : Bytes.t;  (* 1 byte per logical page *)
+  mutable live_count : int;
+  appended : (int, int) Hashtbl.t;  (* open eb -> pages appended since open *)
+  mutable open_order : int list;    (* LRU, most recent first *)
+  mutable host_pages_written : int;
+  mutable device_pages_written : int;
+  mutable relocated_pages : int;
+  mutable erases : int;
+  mutable trimmed_pages : int;
+}
+
+let create ?(profile = Profile.default_ssd) ?(open_blocks = 8) ~logical_blocks () =
+  assert (logical_blocks > 0 && profile.Profile.erase_block_blocks > 0 && open_blocks > 0);
+  {
+    profile;
+    open_capacity = open_blocks;
+    logical_blocks;
+    live = Bytes.make logical_blocks '\000';
+    live_count = 0;
+    appended = Hashtbl.create 16;
+    open_order = [];
+    host_pages_written = 0;
+    device_pages_written = 0;
+    relocated_pages = 0;
+    erases = 0;
+    trimmed_pages = 0;
+  }
+
+let logical_blocks t = t.logical_blocks
+let profile t = t.profile
+
+let is_live t p = Bytes.unsafe_get t.live p <> '\000'
+
+let set_live t p v =
+  let was = is_live t p in
+  if v && not was then begin
+    Bytes.unsafe_set t.live p '\001';
+    t.live_count <- t.live_count + 1
+  end
+  else if (not v) && was then begin
+    Bytes.unsafe_set t.live p '\000';
+    t.live_count <- t.live_count - 1
+  end
+
+let check t p = if p < 0 || p >= t.logical_blocks then invalid_arg "Ftl: page out of bounds"
+
+let live_pages_in t ~start ~len =
+  if start < 0 || len < 0 || start + len > t.logical_blocks then
+    invalid_arg "Ftl.live_pages_in: range out of bounds";
+  let n = ref 0 in
+  for p = start to start + len - 1 do
+    if is_live t p then incr n
+  done;
+  !n
+
+let is_open t ~eb = Hashtbl.mem t.appended eb
+
+let close_eb t eb =
+  Hashtbl.remove t.appended eb;
+  t.open_order <- List.filter (fun e -> e <> eb) t.open_order
+
+let touch_lru t eb = t.open_order <- eb :: List.filter (fun e -> e <> eb) t.open_order
+
+(* Open an erase block for a batch that writes [in_batch]: relocate its
+   live pages the batch does not overwrite (OP-absorbed) and erase it. *)
+let open_eb t eb ~in_batch =
+  if Hashtbl.length t.appended >= t.open_capacity then begin
+    match List.rev t.open_order with
+    | oldest :: _ -> close_eb t oldest
+    | [] -> ()
+  end;
+  let ebs = t.profile.Profile.erase_block_blocks in
+  let eb_start = eb * ebs in
+  let eb_len = min ebs (t.logical_blocks - eb_start) in
+  let live_outside = ref 0 in
+  for p = eb_start to eb_start + eb_len - 1 do
+    if is_live t p && not (Hashtbl.mem in_batch p) then incr live_outside
+  done;
+  let absorb = t.profile.Profile.overprovision /. (1.0 +. t.profile.Profile.overprovision) in
+  let relocated = int_of_float (Float.round (float_of_int !live_outside *. (1.0 -. absorb))) in
+  t.relocated_pages <- t.relocated_pages + relocated;
+  t.device_pages_written <- t.device_pages_written + relocated;
+  t.erases <- t.erases + 1;
+  Hashtbl.replace t.appended eb 0;
+  touch_lru t eb
+
+let write_batch t pages =
+  let ebs = t.profile.Profile.erase_block_blocks in
+  (* Coalesce duplicates and group by erase block. *)
+  let by_eb = Hashtbl.create 64 in
+  let seen = Hashtbl.create 256 in
+  List.iter
+    (fun p ->
+      check t p;
+      if not (Hashtbl.mem seen p) then begin
+        Hashtbl.add seen p ();
+        let key = p / ebs in
+        let existing = try Hashtbl.find by_eb key with Not_found -> [] in
+        Hashtbl.replace by_eb key (p :: existing)
+      end)
+    pages;
+  Hashtbl.iter
+    (fun eb batch ->
+      let in_batch = Hashtbl.create 64 in
+      List.iter (fun p -> Hashtbl.replace in_batch p ()) batch;
+      if not (is_open t ~eb) then open_eb t eb ~in_batch else touch_lru t eb;
+      let written = List.length batch in
+      t.host_pages_written <- t.host_pages_written + written;
+      t.device_pages_written <- t.device_pages_written + written;
+      let appended = (try Hashtbl.find t.appended eb with Not_found -> 0) + written in
+      let eb_start = eb * ebs in
+      let eb_len = min ebs (t.logical_blocks - eb_start) in
+      if appended >= eb_len then close_eb t eb else Hashtbl.replace t.appended eb appended;
+      List.iter (fun p -> set_live t p true) batch)
+    by_eb
+
+let trim t p =
+  check t p;
+  if is_live t p then begin
+    set_live t p false;
+    t.trimmed_pages <- t.trimmed_pages + 1
+  end
+
+let trim_batch t pages = List.iter (trim t) pages
+
+let stats t =
+  {
+    host_pages_written = t.host_pages_written;
+    device_pages_written = t.device_pages_written;
+    relocated_pages = t.relocated_pages;
+    erases = t.erases;
+    trimmed_pages = t.trimmed_pages;
+  }
+
+let write_amplification t =
+  if t.host_pages_written = 0 then 1.0
+  else float_of_int t.device_pages_written /. float_of_int t.host_pages_written
+
+let service_time_us t ~(stats_delta : stats) =
+  let p = t.profile in
+  (float_of_int stats_delta.device_pages_written *. p.Profile.program_us)
+  +. (float_of_int stats_delta.relocated_pages *. p.Profile.read_us)
+  +. (float_of_int stats_delta.erases *. p.Profile.erase_us)
+
+let diff_stats ~(after : stats) ~(before : stats) =
+  {
+    host_pages_written = after.host_pages_written - before.host_pages_written;
+    device_pages_written = after.device_pages_written - before.device_pages_written;
+    relocated_pages = after.relocated_pages - before.relocated_pages;
+    erases = after.erases - before.erases;
+    trimmed_pages = after.trimmed_pages - before.trimmed_pages;
+  }
+
+let reset_stats t =
+  t.host_pages_written <- 0;
+  t.device_pages_written <- 0;
+  t.relocated_pages <- 0;
+  t.erases <- 0;
+  t.trimmed_pages <- 0

@@ -1,0 +1,78 @@
+(** Flash translation layer simulator for SSDs.
+
+    Models the mechanism §3.2.2 describes: flash is written in whole erase
+    blocks, so when the host (re)writes only part of the logical range
+    covered by an erase block, the FTL must first relocate the still-live
+    data of that erase block elsewhere, erase it, and then program the new
+    data (Figure 4).  The ratio of pages physically programmed to pages the
+    host wrote is the {e write amplification}; 1.0 is ideal.
+
+    The simulator is erase-block-mapped with a bounded set of {e open}
+    erase blocks (real drives expose a limited number of write streams):
+
+    - writing into a closed erase block {e opens} it, paying the relocation
+      of its live pages that the incoming batch does not overwrite, plus an
+      erase;
+    - subsequent writes into an open erase block are free appends, so a
+      sequential pass over a region costs the same no matter how it is
+      split across CP batches;
+    - an erase block closes once a full block's worth of pages has been
+      appended since it was opened, or when it is evicted (LRU) because too
+      many blocks are open.
+
+    Small AAs hurt exactly as the paper argues: each AA covers a fraction
+    of an erase block, and by the time a neighbouring AA is picked the
+    block has been evicted, so its live data is relocated again — whereas
+    an erase-block-aligned AA rewrites whole blocks in one open/close
+    cycle.  Overprovisioned spare capacity absorbs a fraction
+    [overprovision / (1 + overprovision)] of the relocation traffic.
+
+    Because WAFL allocates only free VBNs, host "overwrites" of an LBA occur
+    when the write allocator reuses the VBN; WAFL communicates frees to the
+    device as trims, which kill pages without relocation. *)
+
+type t
+
+type stats = {
+  host_pages_written : int;
+  device_pages_written : int;  (** host writes + relocations *)
+  relocated_pages : int;
+  erases : int;
+  trimmed_pages : int;
+}
+
+val create :
+  ?profile:Profile.ssd -> ?open_blocks:int -> logical_blocks:int -> unit -> t
+(** A device exporting [logical_blocks] 4KiB pages.  [open_blocks]
+    (default 8) is the number of simultaneously open erase blocks. *)
+
+val logical_blocks : t -> int
+val profile : t -> Profile.ssd
+
+val live_pages_in : t -> start:int -> len:int -> int
+(** Pages in the logical range currently holding live data. *)
+
+val is_open : t -> eb:int -> bool
+(** Whether an erase block is currently open for appends. *)
+
+val write_batch : t -> int list -> unit
+(** Process one flush's host writes (logical page numbers; duplicates are
+    coalesced).  Pages become live. *)
+
+val trim : t -> int -> unit
+(** Host free: the page is no longer live; no-op when already dead. *)
+
+val trim_batch : t -> int list -> unit
+
+val stats : t -> stats
+
+val write_amplification : t -> float
+(** [device_pages_written / host_pages_written]; 1.0 when no host writes. *)
+
+val service_time_us : t -> stats_delta:stats -> float
+(** Device time for a window of activity: programs + relocation reads +
+    erases, per the profile. *)
+
+val diff_stats : after:stats -> before:stats -> stats
+
+val reset_stats : t -> unit

@@ -1,0 +1,10 @@
+let write_cost_us (p : Profile.hdd) ~chains ~blocks =
+  (float_of_int chains *. p.Profile.seek_us)
+  +. (float_of_int blocks *. p.Profile.transfer_us_per_block)
+
+let random_read_cost_us (p : Profile.hdd) ~ios =
+  float_of_int ios *. (p.Profile.seek_us +. p.Profile.transfer_us_per_block)
+
+let sequential_read_cost_us p ~chains ~blocks = write_cost_us p ~chains ~blocks
+
+let streaming_bandwidth_blocks_per_s p = 1_000_000.0 /. p.Profile.transfer_us_per_block

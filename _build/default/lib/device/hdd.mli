@@ -1,0 +1,19 @@
+(** Hard-drive cost model.
+
+    A device write I/O costs one positioning (seek + rotational latency)
+    plus streaming transfer for every block in the chain, so long write
+    chains amortize the seek (§2.4).  Random 4KiB reads each pay a full
+    positioning. *)
+
+val write_cost_us : Profile.hdd -> chains:int -> blocks:int -> float
+(** Cost of writing [blocks] blocks grouped into [chains] contiguous
+    device I/Os. *)
+
+val random_read_cost_us : Profile.hdd -> ios:int -> float
+(** Cost of [ios] independent 4KiB reads. *)
+
+val sequential_read_cost_us : Profile.hdd -> chains:int -> blocks:int -> float
+(** Same shape as writes: one seek per chain plus streaming. *)
+
+val streaming_bandwidth_blocks_per_s : Profile.hdd -> float
+(** Upper bound: blocks per second with no seeks. *)

@@ -1,0 +1,39 @@
+type stats = { puts : int; blocks_written : int }
+
+type t = { profile : Profile.object_store; mutable puts : int; mutable blocks_written : int }
+
+let create ?(profile = Profile.default_object_store) () = { profile; puts = 0; blocks_written = 0 }
+
+let profile t = t.profile
+
+let objects_of_batch t vbns =
+  let objs = Hashtbl.create 16 in
+  let blocks = ref 0 in
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun vbn ->
+      if not (Hashtbl.mem seen vbn) then begin
+        Hashtbl.add seen vbn ();
+        incr blocks;
+        Hashtbl.replace objs (vbn / t.profile.Profile.object_blocks) ()
+      end)
+    vbns;
+  (Hashtbl.length objs, !blocks)
+
+let put_count_for t vbns = fst (objects_of_batch t vbns)
+
+let write_batch t vbns =
+  let puts, blocks = objects_of_batch t vbns in
+  t.puts <- t.puts + puts;
+  t.blocks_written <- t.blocks_written + blocks
+
+let cost_us t ~(stats_delta : stats) = float_of_int stats_delta.puts *. t.profile.Profile.put_us
+
+let stats t = { puts = t.puts; blocks_written = t.blocks_written }
+
+let diff_stats ~(after : stats) ~(before : stats) =
+  { puts = after.puts - before.puts; blocks_written = after.blocks_written - before.blocks_written }
+
+let reset_stats t =
+  t.puts <- 0;
+  t.blocks_written <- 0

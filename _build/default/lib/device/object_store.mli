@@ -1,0 +1,28 @@
+(** Object-store backend model.
+
+    Fabric Pool aggregates place cold data in an on-premises or cloud object
+    store with native redundancy (§2.1); WAFL's only layout goal there is
+    writing consecutive VBNs so blocks aggregate into few objects.  We model
+    a store that accepts PUTs of [object_blocks]-sized objects, so the cost
+    of a flush is driven by how many distinct objects its blocks span. *)
+
+type t
+
+type stats = { puts : int; blocks_written : int }
+
+val create : ?profile:Profile.object_store -> unit -> t
+
+val profile : t -> Profile.object_store
+
+val write_batch : t -> int list -> unit
+(** Write a batch of VBNs; each distinct [object_blocks]-aligned range
+    touched costs one PUT (duplicates coalesced). *)
+
+val put_count_for : t -> int list -> int
+(** Objects a batch would touch, without recording it. *)
+
+val cost_us : t -> stats_delta:stats -> float
+
+val stats : t -> stats
+val diff_stats : after:stats -> before:stats -> stats
+val reset_stats : t -> unit

@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Config Printf Profile Wafl_core Wafl_device

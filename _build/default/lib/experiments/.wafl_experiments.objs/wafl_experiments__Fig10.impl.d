@@ -1,0 +1,1 @@
+lib/experiments/fig10.ml: Common Config Fs List Mount Printf Wafl_core Wafl_util

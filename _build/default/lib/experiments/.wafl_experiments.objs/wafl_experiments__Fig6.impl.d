@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Aggregate Aging Array Common Config Flexvol Fs Ftl List Load Printf Random_overwrite Rng Series Wafl_aa Wafl_core Wafl_device Wafl_sim Wafl_util Wafl_workload Write_alloc

@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Aggregate Array Common Config Cost_model Float Fs Group List Oltp Printf Rng String Table Wafl_bitmap Wafl_core Wafl_raid Wafl_sim Wafl_util Wafl_workload Write_alloc

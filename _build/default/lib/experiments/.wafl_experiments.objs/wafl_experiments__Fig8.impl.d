@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Aggregate Aging Array Common Config Fs Ftl List Load Printf Profile Random_overwrite Rng Series Wafl_aa Wafl_core Wafl_device Wafl_sim Wafl_util Wafl_workload

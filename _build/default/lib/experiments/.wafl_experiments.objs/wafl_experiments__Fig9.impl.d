@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Aggregate Array Common Config Cost_model Cp Fs List Load Printf Sequential Smr Wafl_aa Wafl_aacache Wafl_core Wafl_device Wafl_sim Wafl_util Wafl_workload

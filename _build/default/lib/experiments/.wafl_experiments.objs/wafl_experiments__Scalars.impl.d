@@ -1,0 +1,1 @@
+lib/experiments/scalars.ml: Aging Array Common Config Cost_model Float Fs Hbps Load Printf Random_overwrite Rng Topaa Wafl_aa Wafl_aacache Wafl_core Wafl_sim Wafl_util Wafl_workload

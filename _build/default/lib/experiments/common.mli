@@ -1,0 +1,38 @@
+(** Shared plumbing for the figure reproductions. *)
+
+type scale = Quick | Full
+(** [Quick] shrinks device sizes and iteration counts so the whole suite
+    runs in seconds (CI); [Full] uses the sizes DESIGN.md documents. *)
+
+val scale_of_string : string -> scale option
+
+val ssd_profile : scale -> Wafl_device.Profile.ssd
+(** Erase blocks sized so the historical HDD AA (4k stripes) covers only a
+    fraction of an erase block, as in the paper's Figure 4 (A). *)
+
+val ssd_raid_group :
+  scale -> aa_stripes:int option -> Wafl_core.Config.raid_group_spec
+
+val hdd_raid_group : scale -> Wafl_core.Config.raid_group_spec
+
+val smr_profile : scale -> Wafl_device.Profile.smr
+
+val smr_raid_group :
+  scale -> aa_stripes:int option -> Wafl_core.Config.raid_group_spec
+
+val vol_blocks : scale -> int
+
+val banner : string -> unit
+(** Print an experiment header. *)
+
+val kv : string -> string -> unit
+(** Print one "key: value" line. *)
+
+val pct : float -> float -> string
+(** [pct a b] formats the relative change from [b] to [a] as "+x.x%" /
+    "-x.x%". *)
+
+val paper_vs_measured :
+  metric:string -> paper:string -> measured:string -> ok:bool -> unit
+(** One row of the paper-vs-measured comparison, with an OK/DIVERGES
+    marker. *)

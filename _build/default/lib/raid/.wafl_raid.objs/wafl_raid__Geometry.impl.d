@@ -1,0 +1,1 @@
+lib/raid/geometry.ml: Format List Wafl_block

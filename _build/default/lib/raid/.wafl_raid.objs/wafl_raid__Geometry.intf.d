@@ -1,0 +1,1 @@
+lib/raid/geometry.mli: Format Wafl_block

@@ -1,0 +1,1 @@
+lib/raid/group.ml: Array Chain Format Geometry Hashtbl List Stripe Tetris Wafl_block

@@ -1,0 +1,1 @@
+lib/raid/group.mli: Format Geometry Stripe Tetris

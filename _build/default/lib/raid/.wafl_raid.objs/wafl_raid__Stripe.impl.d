@@ -1,0 +1,1 @@
+lib/raid/stripe.ml: Format Geometry Hashtbl List

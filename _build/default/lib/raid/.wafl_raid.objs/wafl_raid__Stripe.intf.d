@@ -1,0 +1,1 @@
+lib/raid/stripe.mli: Format Geometry

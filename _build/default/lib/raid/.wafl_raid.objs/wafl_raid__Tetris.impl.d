@@ -1,0 +1,1 @@
+lib/raid/tetris.ml: Array Format Geometry Hashtbl Int List Units Wafl_block

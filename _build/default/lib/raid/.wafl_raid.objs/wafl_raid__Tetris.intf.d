@@ -1,0 +1,1 @@
+lib/raid/tetris.mli: Format Geometry

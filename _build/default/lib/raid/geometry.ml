@@ -1,0 +1,39 @@
+type t = { data_devices : int; parity_devices : int; device_blocks : int }
+
+type location = { device : int; dbn : int }
+
+let create ~data_devices ~parity_devices ~device_blocks =
+  assert (data_devices > 0 && parity_devices > 0 && device_blocks > 0);
+  { data_devices; parity_devices; device_blocks }
+
+let data_devices t = t.data_devices
+let parity_devices t = t.parity_devices
+let device_blocks t = t.device_blocks
+let stripes t = t.device_blocks
+let total_blocks t = t.data_devices * t.device_blocks
+
+let check_vbn t vbn =
+  if vbn < 0 || vbn >= total_blocks t then invalid_arg "Geometry: VBN out of bounds"
+
+let location_of_vbn t vbn =
+  check_vbn t vbn;
+  { device = vbn / t.device_blocks; dbn = vbn mod t.device_blocks }
+
+let vbn_of_location t { device; dbn } =
+  if device < 0 || device >= t.data_devices || dbn < 0 || dbn >= t.device_blocks then
+    invalid_arg "Geometry: location out of bounds";
+  (device * t.device_blocks) + dbn
+
+let stripe_of_vbn t vbn = (location_of_vbn t vbn).dbn
+
+let vbns_of_stripe t dbn =
+  if dbn < 0 || dbn >= t.device_blocks then invalid_arg "Geometry: stripe out of bounds";
+  List.init t.data_devices (fun device -> vbn_of_location t { device; dbn })
+
+let device_vbn_range t device =
+  if device < 0 || device >= t.data_devices then invalid_arg "Geometry: device out of bounds";
+  Wafl_block.Extent.make ~start:(device * t.device_blocks) ~len:t.device_blocks
+
+let pp fmt t =
+  Format.fprintf fmt "raid(%dd+%dp, %d blocks/dev)" t.data_devices t.parity_devices
+    t.device_blocks

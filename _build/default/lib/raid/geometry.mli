@@ -1,0 +1,45 @@
+(** RAID group geometry: the VBN ↔ (device, DBN) mapping.
+
+    A RAID group has [data_devices] data drives plus [parity_devices] parity
+    drives (Figure 2).  A {e stripe} is the set of data blocks, one per data
+    device, sharing the same parity block — i.e. the blocks at one DBN
+    across all data devices.  Physical VBNs are laid out per-device: each
+    data device owns a contiguous VBN range of [device_blocks] blocks, so
+    runs of consecutive VBNs are runs of consecutive blocks on one device
+    (what long write chains need, §2.4).  Parity blocks are not addressed
+    by VBNs. *)
+
+type t
+
+type location = { device : int; dbn : int }
+(** Data device index in [\[0, data_devices)] and block number on it. *)
+
+val create : data_devices:int -> parity_devices:int -> device_blocks:int -> t
+(** All arguments positive. *)
+
+val data_devices : t -> int
+val parity_devices : t -> int
+val device_blocks : t -> int
+(** DBNs (= stripes) per device. *)
+
+val stripes : t -> int
+(** Same as [device_blocks]. *)
+
+val total_blocks : t -> int
+(** Size of the group's VBN space: [data_devices * device_blocks]. *)
+
+val location_of_vbn : t -> int -> location
+(** VBN (0-based within the group) to device/DBN. *)
+
+val vbn_of_location : t -> location -> int
+
+val stripe_of_vbn : t -> int -> int
+(** The stripe (DBN) a VBN lives in. *)
+
+val vbns_of_stripe : t -> int -> int list
+(** The [data_devices] VBNs composing a stripe, in device order. *)
+
+val device_vbn_range : t -> int -> Wafl_block.Extent.t
+(** The contiguous VBN range owned by a data device. *)
+
+val pp : Format.formatter -> t -> unit

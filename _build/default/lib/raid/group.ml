@@ -1,0 +1,99 @@
+open Wafl_block
+
+type totals = {
+  flushes : int;
+  blocks_written : int;
+  tetrises_written : int;
+  full_stripes : int;
+  partial_stripes : int;
+  parity_writes : int;
+  extra_parity_reads : int;
+  per_device_blocks : int array;
+  chain_count : int;
+  chain_blocks : int;
+}
+
+type t = { geometry : Geometry.t; mutable totals : totals }
+
+let empty_totals geom =
+  {
+    flushes = 0;
+    blocks_written = 0;
+    tetrises_written = 0;
+    full_stripes = 0;
+    partial_stripes = 0;
+    parity_writes = 0;
+    extra_parity_reads = 0;
+    per_device_blocks = Array.make (Geometry.data_devices geom) 0;
+    chain_count = 0;
+    chain_blocks = 0;
+  }
+
+let create geometry = { geometry; totals = empty_totals geometry }
+
+let geometry t = t.geometry
+
+(* Write chains are per device: consecutive DBNs on the same device written
+   in one flush collapse into one I/O. *)
+let chain_summary geom vbns =
+  let by_device = Hashtbl.create 16 in
+  List.iter
+    (fun vbn ->
+      let loc = Geometry.location_of_vbn geom vbn in
+      let existing = try Hashtbl.find by_device loc.Geometry.device with Not_found -> [] in
+      Hashtbl.replace by_device loc.Geometry.device (loc.Geometry.dbn :: existing))
+    vbns;
+  Hashtbl.fold
+    (fun _device dbns (count, blocks) ->
+      let s = Chain.of_blocks dbns in
+      (count + s.Chain.chains, blocks + s.Chain.blocks))
+    by_device (0, 0)
+
+type flush_report = {
+  classification : Stripe.classification;
+  tetris : Tetris.summary;
+  chains : int;
+  chain_blocks : int;
+}
+
+let record_flush t ~vbns =
+  let classification = Stripe.classify t.geometry ~vbns in
+  let tetris = Tetris.summarize t.geometry ~vbns in
+  let chain_count, chain_blocks =
+    if vbns = [] then (0, 0) else chain_summary t.geometry vbns
+  in
+  let tot = t.totals in
+  Array.iteri
+    (fun i n -> tot.per_device_blocks.(i) <- tot.per_device_blocks.(i) + n)
+    tetris.Tetris.per_device_blocks;
+  t.totals <-
+    {
+      tot with
+      flushes = tot.flushes + 1;
+      blocks_written = tot.blocks_written + tetris.Tetris.blocks;
+      tetrises_written = tot.tetrises_written + tetris.Tetris.tetrises;
+      full_stripes = tot.full_stripes + classification.Stripe.full_stripes;
+      partial_stripes = tot.partial_stripes + classification.Stripe.partial_stripes;
+      parity_writes = tot.parity_writes + classification.Stripe.parity_writes;
+      extra_parity_reads = tot.extra_parity_reads + classification.Stripe.extra_reads;
+      chain_count = tot.chain_count + chain_count;
+      chain_blocks = tot.chain_blocks + chain_blocks;
+    };
+  { classification; tetris; chains = chain_count; chain_blocks }
+
+let totals t = t.totals
+
+let mean_chain_len totals =
+  if totals.chain_count = 0 then 0.0
+  else float_of_int totals.chain_blocks /. float_of_int totals.chain_count
+
+let stripe_fullness totals =
+  let stripes = totals.full_stripes + totals.partial_stripes in
+  if stripes = 0 then 0.0 else float_of_int totals.full_stripes /. float_of_int stripes
+
+let reset t = t.totals <- empty_totals t.geometry
+
+let pp_totals fmt totals =
+  Format.fprintf fmt "flushes=%d blocks=%d tetrises=%d full=%d partial=%d chains=%d"
+    totals.flushes totals.blocks_written totals.tetrises_written totals.full_stripes
+    totals.partial_stripes totals.chain_count

@@ -1,0 +1,1 @@
+lib/sim/load.ml: Cost_model Float List Queueing Series Wafl_util

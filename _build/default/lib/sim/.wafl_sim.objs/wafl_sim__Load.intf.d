@@ -1,0 +1,1 @@
+lib/sim/load.mli: Cost_model Wafl_core Wafl_util

@@ -1,0 +1,73 @@
+open Wafl_util
+
+type point = { offered_load : float; throughput : float; latency_ms : float }
+
+type curve = {
+  label : string;
+  service_time_us : float;
+  cpu_us_per_op : float;
+  cache_us_per_op : float;
+  points : point list;
+}
+
+let measure_service_time ?model ~cps ~ops_per_cp ~step () =
+  assert (cps > 0 && ops_per_cp > 0);
+  let reports = List.init cps (fun _ -> step ops_per_cp) in
+  Cost_model.combine (List.map (fun r -> Cost_model.of_report ?model r) reports)
+
+let default_loads capacity =
+  List.map (fun frac -> frac *. capacity)
+    [ 0.05; 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.85; 0.9; 0.95; 1.0; 1.1; 1.3; 1.6 ]
+
+let sweep ~label ?(cv2 = 1.0) ?loads (costs : Cost_model.op_costs) =
+  let service_s = costs.Cost_model.service_time_us *. 1e-6 in
+  let capacity = 1.0 /. service_s in
+  let loads = match loads with Some l -> l | None -> default_loads capacity in
+  let throughput = ref 0.0 and latency = ref 0.0 in
+  let points =
+    List.map
+      (fun offered_load ->
+        Queueing.closed_loop_point ~service_time:service_s ~cv2 ~offered_load ~throughput
+          ~latency;
+        { offered_load; throughput = !throughput; latency_ms = !latency *. 1e3 })
+      loads
+  in
+  {
+    label;
+    service_time_us = costs.Cost_model.service_time_us;
+    cpu_us_per_op = costs.Cost_model.cpu_us_per_op;
+    cache_us_per_op = costs.Cost_model.cache_us_per_op;
+    points;
+  }
+
+let peak_throughput curve =
+  List.fold_left (fun acc p -> Float.max acc p.throughput) 0.0 curve.points
+
+let latency_at_peak_ms curve =
+  let peak = peak_throughput curve in
+  (* latency of the first point achieving peak throughput *)
+  let rec find = function
+    | [] -> 0.0
+    | p :: rest -> if p.throughput >= peak -. 1e-9 then p.latency_ms else find rest
+  in
+  find curve.points
+
+let latency_at_load_ms curve load =
+  let sorted = List.sort (fun a b -> compare a.offered_load b.offered_load) curve.points in
+  let rec go = function
+    | p :: (q :: _ as rest) ->
+      if load >= p.offered_load && load <= q.offered_load then begin
+        if q.offered_load = p.offered_load then Some p.latency_ms
+        else begin
+          let f = (load -. p.offered_load) /. (q.offered_load -. p.offered_load) in
+          Some (p.latency_ms +. (f *. (q.latency_ms -. p.latency_ms)))
+        end
+      end
+      else go rest
+    | _ -> None
+  in
+  go sorted
+
+let to_series curve =
+  Series.make curve.label
+    (List.map (fun p -> (p.throughput /. 1000.0, p.latency_ms)) curve.points)

@@ -1,0 +1,43 @@
+(** Latency-vs-throughput sweeps (§4.1's methodology).
+
+    The paper ramps closed-loop clients against the server and plots
+    latency against achieved throughput per client.  We measure the
+    steady-state per-op service demand by running CPs of a fixed batch size
+    against the simulated system, then sweep offered load through an M/G/1
+    model of the server to obtain the familiar hockey-stick curve.  The
+    comparisons between configurations (cache on/off, AA size) come
+    entirely from the measured service times; the queueing model only maps
+    them onto a load axis. *)
+
+type point = {
+  offered_load : float;      (** ops/sec *)
+  throughput : float;        (** achieved ops/sec *)
+  latency_ms : float;
+}
+
+type curve = {
+  label : string;
+  service_time_us : float;
+  cpu_us_per_op : float;
+  cache_us_per_op : float;
+  points : point list;
+}
+
+val measure_service_time :
+  ?model:Cost_model.t -> cps:int -> ops_per_cp:int ->
+  step:(int -> Wafl_core.Cp.report) -> unit -> Cost_model.op_costs
+(** Run [cps] consistency points of [ops_per_cp] staged operations each via
+    [step] (which stages and runs one CP, returning its report) and combine
+    into steady-state per-op costs. *)
+
+val sweep :
+  label:string -> ?cv2:float -> ?loads:float list -> Cost_model.op_costs -> curve
+(** Build the latency-throughput curve for a measured service demand.
+    Default loads ramp from 5% to 160% of the service capacity. *)
+
+val peak_throughput : curve -> float
+val latency_at_peak_ms : curve -> float
+val latency_at_load_ms : curve -> float -> float option
+
+val to_series : curve -> Wafl_util.Series.t
+(** x = throughput (kops/s), y = latency (ms). *)

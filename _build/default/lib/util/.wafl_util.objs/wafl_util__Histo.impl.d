@@ -1,0 +1,1 @@
+lib/util/histo.ml: Array Bitops

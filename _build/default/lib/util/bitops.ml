@@ -1,0 +1,62 @@
+let popcount_table =
+  let table = Bytes.create 256 in
+  for i = 0 to 255 do
+    let rec count n = if n = 0 then 0 else (n land 1) + count (n lsr 1) in
+    Bytes.set table i (Char.chr (count i))
+  done;
+  table
+
+let popcount_byte b = Char.code (Bytes.get popcount_table (b land 0xff))
+
+let popcount64 x =
+  (* SWAR popcount. *)
+  let open Int64 in
+  let x = sub x (logand (shift_right_logical x 1) 0x5555555555555555L) in
+  let x = add (logand x 0x3333333333333333L) (logand (shift_right_logical x 2) 0x3333333333333333L) in
+  let x = logand (add x (shift_right_logical x 4)) 0x0F0F0F0F0F0F0F0FL in
+  to_int (shift_right_logical (mul x 0x0101010101010101L) 56)
+
+let ctz64 x =
+  if x = 0L then 64
+  else begin
+    let n = ref 0 in
+    let x = ref x in
+    if Int64.logand !x 0xFFFFFFFFL = 0L then (n := !n + 32; x := Int64.shift_right_logical !x 32);
+    if Int64.logand !x 0xFFFFL = 0L then (n := !n + 16; x := Int64.shift_right_logical !x 16);
+    if Int64.logand !x 0xFFL = 0L then (n := !n + 8; x := Int64.shift_right_logical !x 8);
+    if Int64.logand !x 0xFL = 0L then (n := !n + 4; x := Int64.shift_right_logical !x 4);
+    if Int64.logand !x 0x3L = 0L then (n := !n + 2; x := Int64.shift_right_logical !x 2);
+    if Int64.logand !x 0x1L = 0L then incr n;
+    !n
+  end
+
+let clz64 x =
+  if x = 0L then 64
+  else begin
+    let n = ref 0 in
+    let x = ref x in
+    if Int64.shift_right_logical !x 32 = 0L then (n := !n + 32; x := Int64.shift_left !x 32);
+    if Int64.shift_right_logical !x 48 = 0L then (n := !n + 16; x := Int64.shift_left !x 16);
+    if Int64.shift_right_logical !x 56 = 0L then (n := !n + 8; x := Int64.shift_left !x 8);
+    if Int64.shift_right_logical !x 60 = 0L then (n := !n + 4; x := Int64.shift_left !x 4);
+    if Int64.shift_right_logical !x 62 = 0L then (n := !n + 2; x := Int64.shift_left !x 2);
+    if Int64.shift_right_logical !x 63 = 0L then incr n;
+    !n
+  end
+
+let lowest_zero_byte b =
+  let b = b land 0xff in
+  if b = 0xff then 8
+  else begin
+    let rec go i = if b land (1 lsl i) = 0 then i else go (i + 1) in
+    go 0
+  end
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let ceil_div n m =
+  assert (m > 0);
+  (n + m - 1) / m
+
+let round_up n m = ceil_div n m * m
+let round_down n m = n / m * m

@@ -1,0 +1,28 @@
+let table =
+  lazy
+    (let t = Array.make 256 0l in
+     for n = 0 to 255 do
+       let c = ref (Int32.of_int n) in
+       for _ = 0 to 7 do
+         if Int32.logand !c 1l <> 0l then
+           c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+         else c := Int32.shift_right_logical !c 1
+       done;
+       t.(n) <- !c
+     done;
+     t)
+
+let crc32 bytes ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length bytes then
+    invalid_arg "Checksum.crc32: range out of bounds";
+  let t = Lazy.force table in
+  let c = ref 0xFFFFFFFFl in
+  for i = pos to pos + len - 1 do
+    let index = Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code (Bytes.get bytes i)))) 0xFFl) in
+    c := Int32.logxor t.(index) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.logxor !c 0xFFFFFFFFl
+
+let crc32_all bytes = crc32 bytes ~pos:0 ~len:(Bytes.length bytes)
+
+let crc32_string s = crc32_all (Bytes.of_string s)

@@ -1,0 +1,9 @@
+(** CRC-32 (IEEE 802.3 polynomial), used to protect persisted metafile
+    blocks such as the TopAA pages (§3.4) against corruption. *)
+
+val crc32 : Bytes.t -> pos:int -> len:int -> int32
+(** CRC of a byte range. *)
+
+val crc32_all : Bytes.t -> int32
+
+val crc32_string : string -> int32

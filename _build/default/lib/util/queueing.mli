@@ -1,0 +1,35 @@
+(** Closed-loop and open-loop response-time helpers.
+
+    The paper's latency-vs-throughput plots (Figs. 6, 8, 9) come from
+    closed-loop Fibre Channel clients ramping offered load against a storage
+    server.  We reproduce the curve shape with standard queueing formulas
+    applied to the per-operation service demand produced by the simulator's
+    cost model: latency is flat near the service time at low utilization and
+    grows sharply as offered load approaches the service capacity. *)
+
+val mg1_response_time :
+  service_time:float -> cv2:float -> arrival_rate:float -> float option
+(** Pollaczek-Khinchine mean response time for an M/G/1 queue.
+    [service_time] is the mean service time (seconds/op), [cv2] the squared
+    coefficient of variation of service times, [arrival_rate] in ops/sec.
+    [None] when the queue is unstable (utilization >= 1). *)
+
+val achieved_throughput :
+  service_time:float -> offered_load:float -> float
+(** Throughput actually delivered under offered load against a server with
+    the given mean service time: [min offered_load (0.98 / service_time)].
+    The 2% headroom models scheduling overhead at saturation. *)
+
+val closed_loop_point :
+  service_time:float -> cv2:float -> offered_load:float ->
+  throughput:float ref -> latency:float ref -> unit
+(** One point of a latency-throughput sweep.  At stable loads this is the
+    M/G/1 response time; past saturation, throughput caps at capacity and
+    latency grows linearly with the excess offered load (clients queue up),
+    matching the hockey-stick shape of the paper's figures. *)
+
+val sweep :
+  service_time:float -> cv2:float -> loads:float list ->
+  (float * float) list
+(** [(throughput, latency)] pairs for each offered load, via
+    {!closed_loop_point}. *)

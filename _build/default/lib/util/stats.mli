@@ -1,0 +1,27 @@
+(** Summary statistics over float samples. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1); 0 when count < 2 *)
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val summarize : float array -> summary
+(** Summary of a non-empty sample. Does not mutate the input. *)
+
+val mean : float array -> float
+(** Arithmetic mean of a non-empty sample. *)
+
+val stddev : float array -> float
+(** Sample standard deviation; 0 for fewer than two samples. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], linear interpolation between
+    order statistics. Input must be non-empty; not mutated. *)
+
+val pp_summary : Format.formatter -> summary -> unit

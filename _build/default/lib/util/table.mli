@@ -1,0 +1,20 @@
+(** Aligned ASCII tables for experiment output. *)
+
+type align = Left | Right
+
+type t
+
+val create : columns:(string * align) list -> t
+(** Table with the given column headers and alignments. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; must have exactly as many cells as there are columns. *)
+
+val add_rule : t -> unit
+(** Append a horizontal rule. *)
+
+val render : t -> string
+(** Render the whole table, headers included, with a trailing newline. *)
+
+val print : t -> unit
+(** [render] to stdout. *)

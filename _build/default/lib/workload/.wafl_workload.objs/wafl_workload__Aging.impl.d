@@ -1,0 +1,1 @@
+lib/workload/aging.ml: Aggregate Flexvol Fs List Rng Wafl_bitmap Wafl_block Wafl_core Wafl_util

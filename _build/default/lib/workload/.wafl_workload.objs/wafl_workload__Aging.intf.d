@@ -1,0 +1,1 @@
+lib/workload/aging.mli: Wafl_core Wafl_util

@@ -1,0 +1,1 @@
+lib/workload/oltp.ml: Cp Flexvol Fs Rng Wafl_core Wafl_util

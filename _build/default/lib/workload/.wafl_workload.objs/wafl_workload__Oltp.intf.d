@@ -1,0 +1,1 @@
+lib/workload/oltp.mli: Wafl_core Wafl_util

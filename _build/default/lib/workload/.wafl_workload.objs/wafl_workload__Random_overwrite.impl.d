@@ -1,0 +1,1 @@
+lib/workload/random_overwrite.ml: Flexvol Fs Rng Wafl_core Wafl_util

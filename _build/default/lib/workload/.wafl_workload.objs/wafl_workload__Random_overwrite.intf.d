@@ -1,0 +1,1 @@
+lib/workload/random_overwrite.mli: Wafl_core Wafl_util

@@ -1,0 +1,1 @@
+lib/workload/sequential.ml: Flexvol Fs Wafl_core

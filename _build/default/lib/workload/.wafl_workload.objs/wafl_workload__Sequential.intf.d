@@ -1,0 +1,1 @@
+lib/workload/sequential.mli: Wafl_core

@@ -1,0 +1,56 @@
+open Wafl_util
+open Wafl_core
+
+type spec = {
+  fill_fraction : float;
+  fragmentation_cps : int;
+  writes_per_cp : int;
+  file : int;
+}
+
+let default = { fill_fraction = 0.55; fragmentation_cps = 40; writes_per_cp = 2000; file = 1 }
+
+let fill fs vol spec =
+  let aggregate = Fs.aggregate fs in
+  let target = int_of_float (spec.fill_fraction *. float_of_int (Aggregate.total_blocks aggregate)) in
+  let vol_cap = Flexvol.blocks vol in
+  let batch = 4096 in
+  let offset = ref 0 in
+  (* Fill sequentially, one CP per batch, until the aggregate hits the
+     target fullness (or the volume is nearly full). *)
+  let used () = Aggregate.total_blocks aggregate - Aggregate.free_blocks aggregate in
+  while used () < target && !offset < vol_cap - batch do
+    for i = 0 to batch - 1 do
+      Fs.stage_write fs ~vol ~file:spec.file ~offset:(!offset + i)
+    done;
+    ignore (Fs.run_cp fs);
+    offset := !offset + batch
+  done;
+  !offset
+
+let fragment fs vol spec ~working_set ~rng =
+  if working_set > 0 then begin
+    for _cp = 1 to spec.fragmentation_cps do
+      for _ = 1 to spec.writes_per_cp do
+        Fs.stage_write fs ~vol ~file:spec.file ~offset:(Rng.int rng working_set)
+      done;
+      ignore (Fs.run_cp fs)
+    done
+  end
+
+let age fs vol ?(spec = default) ~rng () =
+  let working_set = fill fs vol spec in
+  fragment fs vol spec ~working_set ~rng;
+  working_set
+
+let free_space_contiguity fs =
+  let aggregate = Fs.aggregate fs in
+  let mf = Aggregate.metafile aggregate in
+  let total = Aggregate.total_blocks aggregate in
+  let runs = ref 0 and blocks = ref 0 in
+  ignore
+    (Wafl_bitmap.Metafile.free_extents mf ~start:0 ~len:total
+    |> List.iter (fun e ->
+           incr runs;
+           blocks := !blocks + Wafl_block.Extent.len e));
+  if !runs = 0 then 0.0 else float_of_int !blocks /. float_of_int !runs

@@ -1,0 +1,33 @@
+(** File-system aging (§2.2, §4.1).
+
+    The paper's rigs are prepared by filling the aggregate to a target
+    fullness and then applying heavy random-overwrite traffic until the
+    free space is thoroughly fragmented — random overwrites are the
+    worst case for a COW file system because every overwrite frees the
+    previously used block at a random location. *)
+
+type spec = {
+  fill_fraction : float;      (** e.g. 0.55 for the §4.1 rig *)
+  fragmentation_cps : int;    (** CPs of random-overwrite churn *)
+  writes_per_cp : int;
+  file : int;                 (** file id used for the working set *)
+}
+
+val default : spec
+
+val fill : Wafl_core.Fs.t -> Wafl_core.Flexvol.t -> spec -> int
+(** Sequentially write the working set until the aggregate reaches the fill
+    fraction; returns the number of file blocks written (the working-set
+    size subsequent overwrites should target). *)
+
+val fragment :
+  Wafl_core.Fs.t -> Wafl_core.Flexvol.t -> spec -> working_set:int ->
+  rng:Wafl_util.Rng.t -> unit
+(** Random-overwrite churn over the working set. *)
+
+val age : Wafl_core.Fs.t -> Wafl_core.Flexvol.t -> ?spec:spec -> rng:Wafl_util.Rng.t -> unit -> int
+(** [fill] then [fragment]; returns the working-set size. *)
+
+val free_space_contiguity : Wafl_core.Fs.t -> float
+(** Mean free-run length in the aggregate's physical space, a direct
+    fragmentation measure (long runs = long write chains available). *)

@@ -1,0 +1,33 @@
+open Wafl_util
+open Wafl_core
+
+type t = {
+  fs : Fs.t;
+  vol : Flexvol.t;
+  working_set : int;
+  read_fraction : float;
+  file : int;
+  rng : Rng.t;
+}
+
+type cp_result = { report : Cp.report; reads : int; updates : int }
+
+let create fs vol ~working_set ?(read_fraction = 0.6) ?(file = 1) ~rng () =
+  assert (working_set > 0 && read_fraction >= 0.0 && read_fraction < 1.0);
+  { fs; vol; working_set; read_fraction; file; rng }
+
+let step t n =
+  let reads = ref 0 and updates = ref 0 in
+  for _ = 1 to n do
+    if Rng.float t.rng 1.0 < t.read_fraction then incr reads
+    else begin
+      incr updates;
+      Fs.stage_write t.fs ~vol:t.vol ~file:t.file ~offset:(Rng.int t.rng t.working_set)
+    end
+  done;
+  (* ensure the CP is never empty so cost accounting stays defined *)
+  if !updates = 0 then begin
+    incr updates;
+    Fs.stage_write t.fs ~vol:t.vol ~file:t.file ~offset:(Rng.int t.rng t.working_set)
+  end;
+  { report = Fs.run_cp t.fs; reads = !reads; updates = !updates }

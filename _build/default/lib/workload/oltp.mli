@@ -1,0 +1,21 @@
+(** OLTP-like workload (§4.2): predominantly random reads and updates over
+    a database-like working set.  Updates are 4KiB random overwrites;
+    reads do not mutate state but are counted so throughput can be reported
+    in total client operations. *)
+
+type t
+
+type cp_result = {
+  report : Wafl_core.Cp.report;
+  reads : int;
+  updates : int;
+}
+
+val create :
+  Wafl_core.Fs.t -> Wafl_core.Flexvol.t -> working_set:int -> ?read_fraction:float ->
+  ?file:int -> rng:Wafl_util.Rng.t -> unit -> t
+(** [read_fraction] defaults to 0.6. *)
+
+val step : t -> int -> cp_result
+(** Issue [n] client operations (reads + updates per the mix) and run one
+    CP over the updates. *)

@@ -1,0 +1,27 @@
+open Wafl_util
+open Wafl_core
+
+type t = {
+  fs : Fs.t;
+  vol : Flexvol.t;
+  working_set : int;
+  blocks_per_op : int;
+  file : int;
+  rng : Rng.t;
+}
+
+let create fs vol ~working_set ?(blocks_per_op = 2) ?(file = 1) ~rng () =
+  assert (working_set >= blocks_per_op && blocks_per_op > 0);
+  { fs; vol; working_set; blocks_per_op; file; rng }
+
+let step t n =
+  let slots = t.working_set / t.blocks_per_op in
+  for _ = 1 to n do
+    let base = Rng.int t.rng slots * t.blocks_per_op in
+    for i = 0 to t.blocks_per_op - 1 do
+      Fs.stage_write t.fs ~vol:t.vol ~file:t.file ~offset:(base + i)
+    done
+  done;
+  Fs.run_cp t.fs
+
+let blocks_per_op t = t.blocks_per_op

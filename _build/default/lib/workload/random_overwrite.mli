@@ -1,0 +1,16 @@
+(** Random-overwrite workload — the §4.1 measurement traffic.
+
+    Clients send 8KiB random overwrites over configured LUNs; in 4KiB
+    blocks each operation rewrites [blocks_per_op] (default 2) consecutive
+    file blocks at a random aligned offset within the working set. *)
+
+type t
+
+val create :
+  Wafl_core.Fs.t -> Wafl_core.Flexvol.t -> working_set:int -> ?blocks_per_op:int ->
+  ?file:int -> rng:Wafl_util.Rng.t -> unit -> t
+
+val step : t -> int -> Wafl_core.Cp.report
+(** Stage [n] operations and run one CP. *)
+
+val blocks_per_op : t -> int

@@ -1,0 +1,17 @@
+open Wafl_core
+
+type t = { fs : Fs.t; vol : Flexvol.t; file : int; mutable next : int }
+
+let create fs vol ?(file = 1) () = { fs; vol; file; next = 0 }
+
+let step t n =
+  let limit = Flexvol.blocks t.vol in
+  let count = min n (limit - t.next) in
+  if count <= 0 then invalid_arg "Sequential.step: volume exhausted";
+  for i = 0 to count - 1 do
+    Fs.stage_write t.fs ~vol:t.vol ~file:t.file ~offset:(t.next + i)
+  done;
+  t.next <- t.next + count;
+  Fs.run_cp t.fs
+
+let written t = t.next

@@ -1,0 +1,12 @@
+(** Sequential streaming writes — the §4.3 SMR single-data-point workload
+    (sequential writes to an unaged file system). *)
+
+type t
+
+val create :
+  Wafl_core.Fs.t -> Wafl_core.Flexvol.t -> ?file:int -> unit -> t
+
+val step : t -> int -> Wafl_core.Cp.report
+(** Write the next [n] sequential file blocks and run one CP. *)
+
+val written : t -> int

@@ -1,0 +1,1 @@
+test/test_aa.ml: Alcotest Array Geometry Hashtbl List Metafile QCheck QCheck_alcotest Score Sizing Topology Wafl_aa Wafl_bitmap Wafl_block Wafl_device Wafl_raid

@@ -1,0 +1,1 @@
+test/test_aacache.ml: Alcotest Array Bytes Cache Char Gen Hbps List Max_heap Option Printf QCheck QCheck_alcotest Topaa Wafl_aacache

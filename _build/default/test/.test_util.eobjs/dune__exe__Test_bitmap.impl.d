@@ -1,0 +1,1 @@
+test/test_bitmap.ml: Activemap Alcotest Bitmap Hashtbl List Metafile QCheck QCheck_alcotest Wafl_bitmap Wafl_block

@@ -1,0 +1,1 @@
+test/test_block.ml: Alcotest Chain Extent Gen Hashtbl List QCheck QCheck_alcotest Units Vbn Wafl_block

@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest Array Azcs Ftl Fun Gen Hdd List Object_store Printf Profile QCheck QCheck_alcotest Smr Wafl_device Wafl_util

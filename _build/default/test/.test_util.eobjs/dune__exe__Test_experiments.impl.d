@@ -1,0 +1,1 @@
+test/test_experiments.ml: Ablation Alcotest Array Common Fig10 Fig7 Fig9 Float List Printf Wafl_core Wafl_experiments

@@ -1,0 +1,1 @@
+test/test_raid.ml: Alcotest Array Geometry Group Int List QCheck QCheck_alcotest Stripe Tetris Wafl_block Wafl_raid

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Cost_model Cp List Load Wafl_core Wafl_sim Wafl_util

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitops Bytes Checksum Float Fun Histo Int64 List Printf QCheck QCheck_alcotest Queueing Rng Series Stats String Table Wafl_util

@@ -1,0 +1,1 @@
+test/test_workload.ml: Aggregate Aging Alcotest Config Cp Fs Oltp Printf Random_overwrite Sequential Wafl_core Wafl_device Wafl_util Wafl_workload

@@ -1,0 +1,210 @@
+(* Tests for Wafl_raid: geometry, stripe, tetris, group. *)
+
+open Wafl_raid
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let geom = Geometry.create ~data_devices:6 ~parity_devices:1 ~device_blocks:1000
+
+(* --- Geometry --- *)
+
+let test_geometry_basics () =
+  check_int "data devices" 6 (Geometry.data_devices geom);
+  check_int "parity" 1 (Geometry.parity_devices geom);
+  check_int "stripes" 1000 (Geometry.stripes geom);
+  check_int "total blocks" 6000 (Geometry.total_blocks geom)
+
+let test_geometry_mapping () =
+  let loc = Geometry.location_of_vbn geom 0 in
+  check_int "vbn0 device" 0 loc.Geometry.device;
+  check_int "vbn0 dbn" 0 loc.Geometry.dbn;
+  let loc = Geometry.location_of_vbn geom 1500 in
+  check_int "vbn1500 device" 1 loc.Geometry.device;
+  check_int "vbn1500 dbn" 500 loc.Geometry.dbn;
+  check_int "roundtrip" 1500 (Geometry.vbn_of_location geom loc)
+
+let prop_geometry_roundtrip =
+  QCheck.Test.make ~name:"vbn <-> location roundtrip" ~count:500
+    QCheck.(int_bound 5999)
+    (fun vbn ->
+      let loc = Geometry.location_of_vbn geom vbn in
+      Geometry.vbn_of_location geom loc = vbn)
+
+let test_geometry_stripe () =
+  check_int "stripe of vbn" 500 (Geometry.stripe_of_vbn geom 1500);
+  let vbns = Geometry.vbns_of_stripe geom 10 in
+  check_int "stripe width" 6 (List.length vbns);
+  List.iter (fun v -> check_int "same dbn" 10 (Geometry.stripe_of_vbn geom v)) vbns;
+  (* all on different devices *)
+  let devices = List.map (fun v -> (Geometry.location_of_vbn geom v).Geometry.device) vbns in
+  Alcotest.(check (list int)) "device order" [ 0; 1; 2; 3; 4; 5 ] devices
+
+let test_geometry_device_range () =
+  let r = Geometry.device_vbn_range geom 2 in
+  check_int "start" 2000 (Wafl_block.Extent.start r);
+  check_int "len" 1000 (Wafl_block.Extent.len r)
+
+let test_geometry_bounds () =
+  Alcotest.check_raises "oob vbn" (Invalid_argument "Geometry: VBN out of bounds") (fun () ->
+      ignore (Geometry.location_of_vbn geom 6000))
+
+(* --- Stripe --- *)
+
+let test_stripe_full () =
+  (* write one complete stripe: vbns at dbn=5 across all 6 devices *)
+  let vbns = Geometry.vbns_of_stripe geom 5 in
+  let c = Stripe.classify geom ~vbns in
+  check_int "full" 1 c.Stripe.full_stripes;
+  check_int "partial" 0 c.Stripe.partial_stripes;
+  check_int "parity writes" 1 c.Stripe.parity_writes;
+  check_int "no extra reads" 0 c.Stripe.extra_reads;
+  Alcotest.(check (float 1e-9)) "fullness" 1.0 (Stripe.fullness_ratio c)
+
+let test_stripe_partial () =
+  (* write 2 of 6 blocks of a stripe *)
+  let vbns = [ Geometry.vbn_of_location geom { Geometry.device = 0; dbn = 7 };
+               Geometry.vbn_of_location geom { Geometry.device = 3; dbn = 7 } ] in
+  let c = Stripe.classify geom ~vbns in
+  check_int "partial" 1 c.Stripe.partial_stripes;
+  check_int "blocks in partial" 2 c.Stripe.blocks_in_partial;
+  (* RMW: read 2 old data + 1 old parity *)
+  check_int "extra reads" 3 c.Stripe.extra_reads;
+  check_int "device writes" 3 (Stripe.total_device_writes geom c)
+
+let test_stripe_mixed () =
+  let full = Geometry.vbns_of_stripe geom 1 in
+  let partial = [ Geometry.vbn_of_location geom { Geometry.device = 0; dbn = 2 } ] in
+  let c = Stripe.classify geom ~vbns:(full @ partial) in
+  check_int "full" 1 c.Stripe.full_stripes;
+  check_int "partial" 1 c.Stripe.partial_stripes;
+  let ratio = Stripe.fullness_ratio c in
+  check_bool "ratio" true (abs_float (ratio -. (6.0 /. 7.0)) < 1e-9)
+
+let test_stripe_duplicates () =
+  let v = Geometry.vbn_of_location geom { Geometry.device = 0; dbn = 3 } in
+  let c = Stripe.classify geom ~vbns:[ v; v; v ] in
+  check_int "counted once" 1 c.Stripe.blocks_in_partial
+
+let prop_stripe_blocks_conserved =
+  QCheck.Test.make ~name:"classified blocks = distinct vbns" ~count:200
+    QCheck.(list (int_bound 5999))
+    (fun vbns ->
+      let c = Stripe.classify geom ~vbns in
+      let distinct = List.length (List.sort_uniq Int.compare vbns) in
+      c.Stripe.blocks_in_full + c.Stripe.blocks_in_partial = distinct)
+
+(* --- Tetris --- *)
+
+let test_tetris_grouping () =
+  (* stripes 0..63 are tetris 0; stripe 64 is tetris 1 *)
+  let vbns =
+    [ Geometry.vbn_of_location geom { Geometry.device = 0; dbn = 0 };
+      Geometry.vbn_of_location geom { Geometry.device = 1; dbn = 63 };
+      Geometry.vbn_of_location geom { Geometry.device = 2; dbn = 64 } ]
+  in
+  let groups = Tetris.group geom ~vbns in
+  check_int "two tetrises" 2 (List.length groups);
+  match groups with
+  | [ t0; t1 ] ->
+    check_int "t0 index" 0 t0.Tetris.index;
+    check_int "t0 stripes" 2 t0.Tetris.stripes_touched;
+    check_int "t1 index" 1 t1.Tetris.index;
+    check_int "t1 blocks" 1 (List.length t1.Tetris.vbns)
+  | _ -> Alcotest.fail "unexpected groups"
+
+let test_tetris_summary () =
+  let vbns = Geometry.vbns_of_stripe geom 0 @ Geometry.vbns_of_stripe geom 100 in
+  let s = Tetris.summarize geom ~vbns in
+  check_int "tetrises" 2 s.Tetris.tetrises;
+  check_int "blocks" 12 s.Tetris.blocks;
+  Alcotest.(check (float 1e-9)) "mean" 6.0 s.Tetris.mean_blocks_per_tetris;
+  Array.iter (fun n -> check_int "per device" 2 n) s.Tetris.per_device_blocks
+
+let prop_tetris_blocks_conserved =
+  QCheck.Test.make ~name:"tetris blocks = distinct vbns" ~count:200
+    QCheck.(list (int_bound 5999))
+    (fun vbns ->
+      let s = Tetris.summarize geom ~vbns in
+      let distinct = List.length (List.sort_uniq Int.compare vbns) in
+      s.Tetris.blocks = distinct
+      && Array.fold_left ( + ) 0 s.Tetris.per_device_blocks = distinct)
+
+(* --- Group --- *)
+
+let test_group_accumulates () =
+  let g = Group.create geom in
+  let _ = Group.record_flush g ~vbns:(Geometry.vbns_of_stripe geom 0) in
+  let _ = Group.record_flush g ~vbns:[ Geometry.vbn_of_location geom { Geometry.device = 0; dbn = 999 } ] in
+  let t = Group.totals g in
+  check_int "flushes" 2 t.Group.flushes;
+  check_int "blocks" 7 t.Group.blocks_written;
+  check_int "full" 1 t.Group.full_stripes;
+  check_int "partial" 1 t.Group.partial_stripes;
+  check_int "tetrises" 2 t.Group.tetrises_written;
+  check_bool "fullness" true (abs_float (Group.stripe_fullness t -. 0.5) < 1e-9)
+
+let test_group_chains () =
+  let g = Group.create geom in
+  (* 3 consecutive dbns on device 0: one chain *)
+  let vbns = List.map (fun dbn -> Geometry.vbn_of_location geom { Geometry.device = 0; dbn }) [ 10; 11; 12 ] in
+  let _ = Group.record_flush g ~vbns in
+  let t = Group.totals g in
+  check_int "one chain" 1 t.Group.chain_count;
+  Alcotest.(check (float 1e-9)) "chain len 3" 3.0 (Group.mean_chain_len t)
+
+let test_group_chain_split_across_devices () =
+  let g = Group.create geom in
+  (* same dbns on two devices: two chains even though vbns look contiguous per device *)
+  let vbns =
+    List.concat_map
+      (fun device ->
+        List.map (fun dbn -> Geometry.vbn_of_location geom { Geometry.device; dbn }) [ 0; 1 ])
+      [ 0; 1 ]
+  in
+  let _ = Group.record_flush g ~vbns in
+  check_int "two chains" 2 (Group.totals g).Group.chain_count
+
+let test_group_reset () =
+  let g = Group.create geom in
+  let _ = Group.record_flush g ~vbns:(Geometry.vbns_of_stripe geom 0) in
+  Group.reset g;
+  check_int "zeroed" 0 (Group.totals g).Group.blocks_written
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_geometry_roundtrip; prop_stripe_blocks_conserved; prop_tetris_blocks_conserved ]
+  in
+  Alcotest.run "wafl_raid"
+    [
+      ( "geometry",
+        [
+          Alcotest.test_case "basics" `Quick test_geometry_basics;
+          Alcotest.test_case "mapping" `Quick test_geometry_mapping;
+          Alcotest.test_case "stripe" `Quick test_geometry_stripe;
+          Alcotest.test_case "device range" `Quick test_geometry_device_range;
+          Alcotest.test_case "bounds" `Quick test_geometry_bounds;
+        ] );
+      ( "stripe",
+        [
+          Alcotest.test_case "full" `Quick test_stripe_full;
+          Alcotest.test_case "partial" `Quick test_stripe_partial;
+          Alcotest.test_case "mixed" `Quick test_stripe_mixed;
+          Alcotest.test_case "duplicates" `Quick test_stripe_duplicates;
+        ] );
+      ( "tetris",
+        [
+          Alcotest.test_case "grouping" `Quick test_tetris_grouping;
+          Alcotest.test_case "summary" `Quick test_tetris_summary;
+        ] );
+      ( "group",
+        [
+          Alcotest.test_case "accumulates" `Quick test_group_accumulates;
+          Alcotest.test_case "chains" `Quick test_group_chains;
+          Alcotest.test_case "chains split across devices" `Quick
+            test_group_chain_split_across_devices;
+          Alcotest.test_case "reset" `Quick test_group_reset;
+        ]
+        @ qsuite );
+    ]

@@ -1,0 +1,352 @@
+(* Tests for Wafl_util: rng, bitops, stats, histo, table, series, queueing. *)
+
+open Wafl_util
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float msg = Alcotest.(check (float 1e-9)) msg
+
+(* --- Rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_matters () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.bits64 a <> Rng.bits64 b then differs := true
+  done;
+  check_bool "different seeds diverge" true !differs
+
+let test_rng_int_bounds () =
+  let r = Rng.create ~seed:7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 17 in
+    check_bool "in [0,17)" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_in_bounds () =
+  let r = Rng.create ~seed:9 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int_in r ~lo:(-5) ~hi:5 in
+    check_bool "in [-5,5]" true (v >= -5 && v <= 5)
+  done
+
+let test_rng_int_covers () =
+  let r = Rng.create ~seed:3 in
+  let seen = Array.make 8 false in
+  for _ = 1 to 1000 do
+    seen.(Rng.int r 8) <- true
+  done;
+  Array.iteri (fun i s -> check_bool (Printf.sprintf "value %d seen" i) true s) seen
+
+let test_rng_float_bounds () =
+  let r = Rng.create ~seed:11 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float r 3.5 in
+    check_bool "in [0,3.5)" true (v >= 0.0 && v < 3.5)
+  done
+
+let test_rng_copy_independent () =
+  let a = Rng.create ~seed:5 in
+  let b = Rng.copy a in
+  let va = Rng.bits64 a in
+  let vb = Rng.bits64 b in
+  Alcotest.(check int64) "copy starts from same state" va vb
+
+let test_rng_split_diverges () =
+  let a = Rng.create ~seed:5 in
+  let b = Rng.split a in
+  check_bool "split stream differs" true (Rng.bits64 a <> Rng.bits64 b)
+
+let test_rng_exponential_mean () =
+  let r = Rng.create ~seed:21 in
+  let n = 100_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential r ~mean:4.0
+  done;
+  let m = !sum /. float_of_int n in
+  check_bool "mean close to 4" true (m > 3.8 && m < 4.2)
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create ~seed:13 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 50 Fun.id) sorted
+
+(* --- Bitops --- *)
+
+let test_popcount64 () =
+  check_int "zero" 0 (Bitops.popcount64 0L);
+  check_int "all ones" 64 (Bitops.popcount64 (-1L));
+  check_int "one bit" 1 (Bitops.popcount64 0x8000000000000000L);
+  check_int "pattern" 32 (Bitops.popcount64 0xAAAAAAAAAAAAAAAAL)
+
+let test_popcount64_matches_naive () =
+  let r = Rng.create ~seed:17 in
+  for _ = 1 to 1000 do
+    let x = Rng.bits64 r in
+    let naive = ref 0 in
+    for i = 0 to 63 do
+      if Int64.logand (Int64.shift_right_logical x i) 1L = 1L then incr naive
+    done;
+    check_int "matches naive" !naive (Bitops.popcount64 x)
+  done
+
+let test_ctz64 () =
+  check_int "zero" 64 (Bitops.ctz64 0L);
+  check_int "one" 0 (Bitops.ctz64 1L);
+  check_int "bit 63" 63 (Bitops.ctz64 Int64.min_int);
+  check_int "bit 12" 12 (Bitops.ctz64 0x1000L)
+
+let test_clz64 () =
+  check_int "zero" 64 (Bitops.clz64 0L);
+  check_int "one" 63 (Bitops.clz64 1L);
+  check_int "top bit" 0 (Bitops.clz64 Int64.min_int)
+
+let test_power_of_two () =
+  check_bool "1" true (Bitops.is_power_of_two 1);
+  check_bool "64" true (Bitops.is_power_of_two 64);
+  check_bool "63" false (Bitops.is_power_of_two 63);
+  check_bool "0" false (Bitops.is_power_of_two 0);
+  check_bool "-4" false (Bitops.is_power_of_two (-4))
+
+let test_rounding () =
+  check_int "ceil_div exact" 4 (Bitops.ceil_div 16 4);
+  check_int "ceil_div up" 5 (Bitops.ceil_div 17 4);
+  check_int "round_up" 20 (Bitops.round_up 17 4);
+  check_int "round_up exact" 16 (Bitops.round_up 16 4);
+  check_int "round_down" 16 (Bitops.round_down 19 4)
+
+(* --- Checksum --- *)
+
+let test_crc32_vectors () =
+  (* Standard CRC-32 (IEEE) test vectors. *)
+  Alcotest.(check int32) "check value" 0xCBF43926l (Checksum.crc32_string "123456789");
+  Alcotest.(check int32) "empty" 0l (Checksum.crc32_string "");
+  Alcotest.(check int32) "a" 0xE8B7BE43l (Checksum.crc32_string "a")
+
+let test_crc32_range () =
+  let b = Bytes.of_string "xx123456789yy" in
+  Alcotest.(check int32) "windowed" 0xCBF43926l (Checksum.crc32 b ~pos:2 ~len:9);
+  Alcotest.check_raises "oob" (Invalid_argument "Checksum.crc32: range out of bounds")
+    (fun () -> ignore (Checksum.crc32 b ~pos:10 ~len:9))
+
+let test_crc32_detects_change () =
+  let b = Bytes.make 100 'q' in
+  let before = Checksum.crc32_all b in
+  Bytes.set b 50 'r';
+  check_bool "differs" true (before <> Checksum.crc32_all b)
+
+(* --- Stats --- *)
+
+let test_stats_mean () = check_float "mean" 2.5 (Stats.mean [| 1.0; 2.0; 3.0; 4.0 |])
+
+let test_stats_stddev () =
+  check_float "constant" 0.0 (Stats.stddev [| 5.0; 5.0; 5.0 |]);
+  let sd = Stats.stddev [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  Alcotest.(check (float 1e-6)) "known stddev" 2.13809 sd
+
+let test_stats_percentile () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  check_float "p0" 1.0 (Stats.percentile xs 0.0);
+  check_float "p50" 3.0 (Stats.percentile xs 50.0);
+  check_float "p100" 5.0 (Stats.percentile xs 100.0);
+  check_float "p25 interp" 2.0 (Stats.percentile xs 25.0)
+
+let test_stats_summary () =
+  let s = Stats.summarize [| 3.0; 1.0; 2.0 |] in
+  check_int "count" 3 s.Stats.count;
+  check_float "min" 1.0 s.Stats.min;
+  check_float "max" 3.0 s.Stats.max;
+  check_float "p50" 2.0 s.Stats.p50
+
+(* --- Histo --- *)
+
+let test_histo_binning () =
+  let h = Histo.create ~max_value:32767 ~bin_width:1024 in
+  check_int "bins" 32 (Histo.bins h);
+  check_int "bin of 0" 0 (Histo.bin_of_value h 0);
+  check_int "bin of 1023" 0 (Histo.bin_of_value h 1023);
+  check_int "bin of 1024" 1 (Histo.bin_of_value h 1024);
+  check_int "bin of 32767" 31 (Histo.bin_of_value h 32767);
+  check_int "clamped above" 31 (Histo.bin_of_value h 99999);
+  let lo, hi = Histo.bin_range h 31 in
+  check_int "last bin lo" 31744 lo;
+  check_int "last bin hi" 32767 hi
+
+let test_histo_add_remove () =
+  let h = Histo.create ~max_value:100 ~bin_width:10 in
+  Histo.add h 5;
+  Histo.add h 15;
+  Histo.add h 15;
+  check_int "total" 3 (Histo.total h);
+  check_int "bin0" 1 (Histo.count h 0);
+  check_int "bin1" 2 (Histo.count h 1);
+  Histo.remove h 15;
+  check_int "bin1 after remove" 1 (Histo.count h 1);
+  check_int "total after remove" 2 (Histo.total h)
+
+let test_histo_move () =
+  let h = Histo.create ~max_value:100 ~bin_width:10 in
+  Histo.add h 5;
+  Histo.move h ~from_value:5 ~to_value:95;
+  check_int "bin0 emptied" 0 (Histo.count h 0);
+  check_int "bin9 filled" 1 (Histo.count h 9);
+  check_int "total stable" 1 (Histo.total h);
+  (* same-bin move is a no-op *)
+  Histo.move h ~from_value:95 ~to_value:91;
+  check_int "same-bin move" 1 (Histo.count h 9)
+
+let test_histo_highest () =
+  let h = Histo.create ~max_value:100 ~bin_width:10 in
+  Alcotest.(check (option int)) "empty" None (Histo.highest_nonempty h);
+  Histo.add h 5;
+  Histo.add h 55;
+  Alcotest.(check (option int)) "highest" (Some 5) (Histo.highest_nonempty h)
+
+let prop_histo_total_conserved =
+  QCheck.Test.make ~name:"histo total equals adds minus removes" ~count:200
+    QCheck.(list (int_bound 100))
+    (fun values ->
+      let h = Histo.create ~max_value:100 ~bin_width:7 in
+      List.iter (Histo.add h) values;
+      let sum = ref 0 in
+      Histo.iter h (fun _ c -> sum := !sum + c);
+      !sum = List.length values && Histo.total h = List.length values)
+
+(* --- Table --- *)
+
+let test_table_render () =
+  let t = Table.create ~columns:[ ("name", Table.Left); ("value", Table.Right) ] in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_row t [ "longer"; "23" ];
+  let s = Table.render t in
+  check_bool "has header" true (String.length s > 0);
+  let lines = String.split_on_char '\n' s in
+  (match lines with
+  | header :: _ -> check_bool "header mentions name" true (String.length header >= 4)
+  | [] -> Alcotest.fail "no lines");
+  check_int "line count (header+rule+2 rows+trailing)" 5 (List.length lines)
+
+let test_table_mismatch () =
+  let t = Table.create ~columns:[ ("a", Table.Left) ] in
+  Alcotest.check_raises "cell count" (Invalid_argument "Table.add_row: cell count mismatch")
+    (fun () -> Table.add_row t [ "x"; "y" ])
+
+(* --- Series --- *)
+
+let test_series_basics () =
+  let s = Series.make "s" [ (1.0, 10.0); (2.0, 30.0); (3.0, 20.0) ] in
+  check_float "peak" 30.0 (Series.peak_y s);
+  check_float "max_x" 3.0 (Series.max_x s);
+  check_float "last" 20.0 (Series.y_at_last s)
+
+let test_series_interpolate () =
+  let s = Series.make "s" [ (0.0, 0.0); (10.0, 100.0) ] in
+  Alcotest.(check (option (float 1e-9))) "mid" (Some 50.0) (Series.interpolate s 5.0);
+  Alcotest.(check (option (float 1e-9))) "edge" (Some 100.0) (Series.interpolate s 10.0);
+  Alcotest.(check (option (float 1e-9))) "outside" None (Series.interpolate s 11.0)
+
+(* --- Queueing --- *)
+
+let test_mg1_low_load () =
+  match Queueing.mg1_response_time ~service_time:0.001 ~cv2:1.0 ~arrival_rate:1.0 with
+  | Some r -> check_bool "latency near service time" true (r < 0.0011)
+  | None -> Alcotest.fail "stable queue reported unstable"
+
+let test_mg1_unstable () =
+  check_bool "unstable" true
+    (Queueing.mg1_response_time ~service_time:0.001 ~cv2:1.0 ~arrival_rate:2000.0 = None)
+
+let test_mg1_monotonic () =
+  let lat rate =
+    match Queueing.mg1_response_time ~service_time:0.001 ~cv2:1.0 ~arrival_rate:rate with
+    | Some r -> r
+    | None -> infinity
+  in
+  check_bool "latency grows with load" true (lat 100.0 < lat 500.0 && lat 500.0 < lat 900.0)
+
+let test_sweep_shape () =
+  let pts = Queueing.sweep ~service_time:0.001 ~cv2:1.0 ~loads:[ 100.0; 500.0; 900.0; 2000.0 ] in
+  check_int "points" 4 (List.length pts);
+  let throughputs = List.map fst pts in
+  let max_tp = List.fold_left Float.max 0.0 throughputs in
+  check_bool "throughput capped at capacity" true (max_tp <= 980.0 +. 1e-9);
+  (* past saturation latency keeps rising *)
+  match List.rev pts with
+  | (_, last_lat) :: (_, prev_lat) :: _ -> check_bool "saturation tail" true (last_lat > prev_lat)
+  | _ -> Alcotest.fail "short sweep"
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_histo_total_conserved ] in
+  Alcotest.run "wafl_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed matters" `Quick test_rng_seed_matters;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int_in bounds" `Quick test_rng_int_in_bounds;
+          Alcotest.test_case "int covers range" `Quick test_rng_int_covers;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "copy independent" `Quick test_rng_copy_independent;
+          Alcotest.test_case "split diverges" `Quick test_rng_split_diverges;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+        ] );
+      ( "bitops",
+        [
+          Alcotest.test_case "popcount64" `Quick test_popcount64;
+          Alcotest.test_case "popcount64 vs naive" `Quick test_popcount64_matches_naive;
+          Alcotest.test_case "ctz64" `Quick test_ctz64;
+          Alcotest.test_case "clz64" `Quick test_clz64;
+          Alcotest.test_case "is_power_of_two" `Quick test_power_of_two;
+          Alcotest.test_case "rounding" `Quick test_rounding;
+        ] );
+      ( "checksum",
+        [
+          Alcotest.test_case "vectors" `Quick test_crc32_vectors;
+          Alcotest.test_case "range" `Quick test_crc32_range;
+          Alcotest.test_case "detects change" `Quick test_crc32_detects_change;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+        ] );
+      ( "histo",
+        [
+          Alcotest.test_case "binning" `Quick test_histo_binning;
+          Alcotest.test_case "add/remove" `Quick test_histo_add_remove;
+          Alcotest.test_case "move" `Quick test_histo_move;
+          Alcotest.test_case "highest_nonempty" `Quick test_histo_highest;
+        ]
+        @ qsuite );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "mismatch" `Quick test_table_mismatch;
+        ] );
+      ( "series",
+        [
+          Alcotest.test_case "basics" `Quick test_series_basics;
+          Alcotest.test_case "interpolate" `Quick test_series_interpolate;
+        ] );
+      ( "queueing",
+        [
+          Alcotest.test_case "low load" `Quick test_mg1_low_load;
+          Alcotest.test_case "unstable" `Quick test_mg1_unstable;
+          Alcotest.test_case "monotonic" `Quick test_mg1_monotonic;
+          Alcotest.test_case "sweep shape" `Quick test_sweep_shape;
+        ] );
+    ]

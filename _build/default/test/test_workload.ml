@@ -1,0 +1,95 @@
+(* Tests for Wafl_workload: aging, random_overwrite, oltp, sequential. *)
+
+open Wafl_core
+open Wafl_workload
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let config ?(vol_blocks = 131072) () =
+  let rg =
+    {
+      Config.media = Config.Hdd Wafl_device.Profile.default_hdd;
+      data_devices = 4;
+      parity_devices = 1;
+      device_blocks = 16384;
+      aa_stripes = Some 1024;
+    }
+  in
+  Config.make ~raid_groups:[ rg ]
+    ~vols:[ { Config.name = "v"; blocks = vol_blocks; aa_blocks = None; policy = Config.Best_aa } ]
+    ~seed:17 ()
+
+let test_aging_fill_reaches_target () =
+  let fs = Fs.create (config ()) in
+  let vol = Fs.vol fs "v" in
+  let spec = { Aging.default with Aging.fill_fraction = 0.5 } in
+  let ws = Aging.fill fs vol spec in
+  check_bool "working set written" true (ws > 0);
+  let used = Aggregate.used_fraction (Fs.aggregate fs) in
+  check_bool (Printf.sprintf "~50%% full (got %.2f)" used) true (used >= 0.48 && used <= 0.58)
+
+let test_aging_fragment_fragments () =
+  let fs = Fs.create (config ()) in
+  let vol = Fs.vol fs "v" in
+  let rng = Wafl_util.Rng.create ~seed:23 in
+  let spec = { Aging.default with Aging.fill_fraction = 0.5; fragmentation_cps = 10; writes_per_cp = 800 } in
+  let ws = Aging.fill fs vol spec in
+  let before = Aging.free_space_contiguity fs in
+  Aging.fragment fs vol spec ~working_set:ws ~rng;
+  let after = Aging.free_space_contiguity fs in
+  check_bool
+    (Printf.sprintf "contiguity drops (%.0f -> %.0f)" before after)
+    true (after < before);
+  (* space usage unchanged by pure overwrites *)
+  let used = Aggregate.used_fraction (Fs.aggregate fs) in
+  check_bool "usage stable under overwrites" true (used >= 0.48 && used <= 0.58)
+
+let test_random_overwrite_step () =
+  let fs = Fs.create (config ()) in
+  let vol = Fs.vol fs "v" in
+  let rng = Wafl_util.Rng.create ~seed:29 in
+  let ws = Aging.fill fs vol { Aging.default with Aging.fill_fraction = 0.3 } in
+  let w = Random_overwrite.create fs vol ~working_set:ws ~rng () in
+  let report = Random_overwrite.step w 100 in
+  check_int "2 blocks per op" 2 (Random_overwrite.blocks_per_op w);
+  (* 100 ops x 2 blocks, some may collide and coalesce *)
+  check_bool "ops staged" true (report.Cp.ops > 150 && report.Cp.ops <= 200);
+  check_bool "overwrites free old blocks" true (report.Cp.pvbns_freed > 0)
+
+let test_oltp_mix () =
+  let fs = Fs.create (config ()) in
+  let vol = Fs.vol fs "v" in
+  let rng = Wafl_util.Rng.create ~seed:31 in
+  let ws = Aging.fill fs vol { Aging.default with Aging.fill_fraction = 0.3 } in
+  let w = Oltp.create fs vol ~working_set:ws ~read_fraction:0.6 ~rng () in
+  let result = Oltp.step w 1000 in
+  check_int "ops conserved" 1000 (result.Oltp.reads + result.Oltp.updates);
+  check_bool "read-heavy" true (result.Oltp.reads > result.Oltp.updates);
+  check_bool "cp ran" true (result.Oltp.report.Cp.ops > 0)
+
+let test_sequential_progress () =
+  let fs = Fs.create (config ()) in
+  let vol = Fs.vol fs "v" in
+  let w = Sequential.create fs vol () in
+  let r1 = Sequential.step w 1000 in
+  check_int "first cp" 1000 r1.Cp.ops;
+  check_int "cursor" 1000 (Sequential.written w);
+  let _ = Sequential.step w 1000 in
+  check_int "cursor advances" 2000 (Sequential.written w);
+  (* sequential writes on an unaged fs produce long chains: few partials *)
+  check_bool "no frees" true (r1.Cp.pvbns_freed = 0)
+
+let () =
+  Alcotest.run "wafl_workload"
+    [
+      ( "aging",
+        [
+          Alcotest.test_case "fill reaches target" `Slow test_aging_fill_reaches_target;
+          Alcotest.test_case "fragment fragments" `Slow test_aging_fragment_fragments;
+        ] );
+      ( "random_overwrite",
+        [ Alcotest.test_case "step" `Slow test_random_overwrite_step ] );
+      ("oltp", [ Alcotest.test_case "mix" `Slow test_oltp_mix ]);
+      ("sequential", [ Alcotest.test_case "progress" `Quick test_sequential_progress ]);
+    ]
