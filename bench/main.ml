@@ -5,6 +5,7 @@
      bench/main.exe               run everything at quick scale
      bench/main.exe full          run everything at full scale
      bench/main.exe micro         microbenchmarks only
+     bench/main.exe telemetry     telemetry overhead (pick path + end-to-end)
      bench/main.exe fig6|fig7|fig8|fig9|fig10|scalars [full]
 *)
 
@@ -89,11 +90,116 @@ let run_micro () =
       | Some _ | None -> Printf.printf "  %-52s (no estimate)\n" name)
     (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
 
+(* --- telemetry overhead on the pick path ---
+
+   The same take+refile loop as the microbenchmarks, run through the
+   Cache layer under three configurations: telemetry uninstalled,
+   installed with tracing off, and installed with tracing on.  The first
+   two must be indistinguishable (the emitters reduce to one match on a
+   global ref); tracing on is allowed a small ring-buffer push cost. *)
+
+let bench_pick_loop cache iters =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    match Wafl_aacache.Cache.take_best cache with
+    | Some (aa, _) -> Wafl_aacache.Cache.cp_update cache [ (aa, aa mod max_score) ]
+    | None -> ()
+  done;
+  Unix.gettimeofday () -. t0
+
+let run_telemetry_overhead () =
+  print_endline "\n================================================================";
+  print_endline "Telemetry overhead: Cache.take_best + cp_update re-file (ns/op)";
+  print_endline "================================================================";
+  let iters = 300_000 in
+  let fresh () = Wafl_aacache.Cache.raid_aware ~scores:(scores 7919) () in
+  let time_config label configure =
+    let cache = fresh () in
+    ignore (bench_pick_loop cache (iters / 10)) (* warm up *);
+    let secs = configure (fun () -> bench_pick_loop (fresh ()) iters) in
+    let ns = secs /. float_of_int iters *. 1e9 in
+    (label, ns)
+  in
+  let off = time_config "telemetry uninstalled" (fun f -> f ()) in
+  let installed =
+    time_config "installed, tracing off" (fun f ->
+        Wafl_telemetry.Telemetry.with_installed
+          (Wafl_telemetry.Telemetry.create ())
+          f)
+  in
+  let tracing =
+    time_config "installed, tracing on" (fun f ->
+        Wafl_telemetry.Telemetry.with_installed
+          (Wafl_telemetry.Telemetry.create ~tracing:true ())
+          f)
+  in
+  let base = snd off in
+  List.iter
+    (fun (label, ns) ->
+      Printf.printf "  %-28s %10.1f ns/op   (%+.1f%% vs uninstalled)\n" label ns
+        ((ns -. base) /. base *. 100.0))
+    [ off; installed; tracing ];
+  (* End-to-end: CP throughput of a sequential write workload, where the
+     pick path is one small component.  This is the number the <5%
+     regression budget applies to. *)
+  print_endline "";
+  print_endline "End-to-end: sequential workload, 30 CPs x 1000 blocks (blocks/s)";
+  let run_workload () =
+    let open Wafl_core in
+    let rg = Common.hdd_raid_group Common.Quick in
+    let agg_blocks = rg.Config.data_devices * rg.Config.device_blocks in
+    let config =
+      Config.make ~raid_groups:[ rg ]
+        ~vols:
+          [ { Config.name = "seq"; blocks = agg_blocks; aa_blocks = None;
+              policy = Config.Best_aa } ]
+        ~aggregate_policy:Config.Best_aa ~seed:7 ()
+    in
+    let fs = Fs.create config in
+    let workload = Wafl_workload.Sequential.create fs (Fs.vol fs "seq") () in
+    let t0 = Unix.gettimeofday () in
+    let blocks = ref 0 in
+    for _ = 1 to 30 do
+      let r = Wafl_workload.Sequential.step workload 1000 in
+      blocks := !blocks + r.Cp.blocks_allocated
+    done;
+    float_of_int !blocks /. (Unix.gettimeofday () -. t0)
+  in
+  ignore (run_workload ()) (* warm up *);
+  ignore (run_workload ());
+  (* best-of-3 per configuration: the workload is deterministic, so the
+     fastest run is the least noise-polluted one *)
+  let best f = List.fold_left (fun acc _ -> Float.max acc (f ())) 0.0 [ (); (); () ] in
+  let e2e_off = best run_workload in
+  let e2e_installed =
+    best (fun () ->
+        Wafl_telemetry.Telemetry.with_installed
+          (Wafl_telemetry.Telemetry.create ())
+          run_workload)
+  in
+  let e2e_tracing =
+    best (fun () ->
+        Wafl_telemetry.Telemetry.with_installed
+          (Wafl_telemetry.Telemetry.create ~tracing:true ())
+          run_workload)
+  in
+  List.iter
+    (fun (label, rate) ->
+      Printf.printf "  %-28s %12.0f blocks/s (%+.1f%% vs uninstalled)\n" label rate
+        ((e2e_off -. rate) /. e2e_off *. -100.0))
+    [
+      ("telemetry uninstalled", e2e_off);
+      ("installed, tracing off", e2e_installed);
+      ("installed, tracing on", e2e_tracing);
+    ]
+
 let () =
   let args = Array.to_list Sys.argv in
   let scale = if List.mem "full" args then Common.Full else Common.Quick in
   let has name = List.mem name args in
-  let specific = [ "micro"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "scalars"; "ablation" ] in
+  let specific =
+    [ "micro"; "telemetry"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "scalars"; "ablation" ]
+  in
   let run_all = not (List.exists (fun a -> List.mem a specific) args) in
   if run_all || has "fig6" then Fig6.print (Fig6.run ~scale ());
   if run_all || has "fig7" then Fig7.print (Fig7.run ~scale ());
@@ -102,4 +208,5 @@ let () =
   if run_all || has "fig10" then Fig10.print (Fig10.run ~scale ());
   if run_all || has "scalars" then Scalars.print (Scalars.run ~scale ());
   if run_all || has "ablation" then Ablation.print (Ablation.run ~scale ());
-  if run_all || has "micro" then run_micro ()
+  if run_all || has "micro" then run_micro ();
+  if run_all || has "telemetry" then run_telemetry_overhead ()

@@ -2,10 +2,31 @@
 
 open Cmdliner
 open Wafl_experiments
+open Wafl_telemetry
 
 let scale_arg =
   let doc = "Experiment scale: 'quick' (seconds, CI-sized) or 'full'." in
   Arg.(value & opt string "quick" & info [ "s"; "scale" ] ~docv:"SCALE" ~doc)
+
+let metrics_out_arg =
+  let doc =
+    "Write a JSON telemetry report (counters, gauges, histograms, per-CP snapshots) to \
+     $(docv) when the run finishes.  With $(b,.csv) as the extension the report is \
+     rendered as CSV rows instead."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let trace_out_arg =
+  let doc =
+    "Enable structured event tracing (CP boundaries, AA picks, cache replenishes, tetris \
+     writes, cleaner passes, free commits) and write the retained events to $(docv) — \
+     CSV by default, JSON with a $(b,.json) extension."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let trace_capacity_arg =
+  let doc = "Ring-buffer capacity (events retained) for $(b,--trace-out)." in
+  Arg.(value & opt int 65_536 & info [ "trace-capacity" ] ~docv:"N" ~doc)
 
 let parse_scale s =
   match Common.scale_of_string s with
@@ -15,56 +36,113 @@ let parse_scale s =
     exit 2
   end
 
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+(* Fail before the (possibly minutes-long) experiment runs, not after. *)
+let check_writable path =
+  try close_out (open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path)
+  with Sys_error msg ->
+    Printf.eprintf "waflsim: cannot write %s: %s\n" path msg;
+    exit 2
+
+(* Run [f] with a telemetry instance installed when either output flag is
+   given; flush the reports afterwards even if [f] raises. *)
+let with_telemetry ~metrics_out ~trace_out ~trace_capacity f =
+  match (metrics_out, trace_out) with
+  | None, None -> f ()
+  | _ ->
+    if trace_capacity <= 0 then begin
+      Printf.eprintf "waflsim: --trace-capacity must be positive (got %d)\n" trace_capacity;
+      exit 2
+    end;
+    Option.iter check_writable metrics_out;
+    Option.iter check_writable trace_out;
+    let tel = Telemetry.create ~trace_capacity ~tracing:(trace_out <> None) () in
+    let flush () =
+      Option.iter
+        (fun path ->
+          let render =
+            if Filename.check_suffix path ".csv" then Export.metrics_csv
+            else Export.metrics_json
+          in
+          write_file path (render tel);
+          Printf.printf "telemetry: metrics written to %s\n%!" path)
+        metrics_out;
+      Option.iter
+        (fun path ->
+          let render =
+            if Filename.check_suffix path ".json" then Export.trace_json else Export.trace_csv
+          in
+          write_file path (render tel);
+          Printf.printf "telemetry: trace written to %s\n%!" path)
+        trace_out
+    in
+    Telemetry.with_installed tel (fun () -> Fun.protect ~finally:flush f)
+
+let experiment_cmd name ~doc run_print =
+  let run s metrics_out trace_out trace_capacity =
+    with_telemetry ~metrics_out ~trace_out ~trace_capacity (fun () ->
+        run_print (parse_scale s))
+  in
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const run $ scale_arg $ metrics_out_arg $ trace_out_arg $ trace_capacity_arg)
+
 let fig6_cmd =
-  let run s = Fig6.print (Fig6.run ~scale:(parse_scale s) ()) in
-  Cmd.v (Cmd.info "fig6" ~doc:"AA-cache latency/throughput experiment (Figure 6)")
-    Term.(const run $ scale_arg)
+  experiment_cmd "fig6" ~doc:"AA-cache latency/throughput experiment (Figure 6)"
+    (fun scale -> Fig6.print (Fig6.run ~scale ()))
 
 let fig7_cmd =
-  let run s = Fig7.print (Fig7.run ~scale:(parse_scale s) ()) in
-  Cmd.v (Cmd.info "fig7" ~doc:"Imbalanced RAID-group aging under OLTP (Figure 7)")
-    Term.(const run $ scale_arg)
+  experiment_cmd "fig7" ~doc:"Imbalanced RAID-group aging under OLTP (Figure 7)"
+    (fun scale -> Fig7.print (Fig7.run ~scale ()))
 
 let fig8_cmd =
-  let run s = Fig8.print (Fig8.run ~scale:(parse_scale s) ()) in
-  Cmd.v (Cmd.info "fig8" ~doc:"SSD AA sizing experiment (Figure 8)")
-    Term.(const run $ scale_arg)
+  experiment_cmd "fig8" ~doc:"SSD AA sizing experiment (Figure 8)"
+    (fun scale -> Fig8.print (Fig8.run ~scale ()))
 
 let fig9_cmd =
-  let run s = Fig9.print (Fig9.run ~scale:(parse_scale s) ()) in
-  Cmd.v (Cmd.info "fig9" ~doc:"SMR AZCS-alignment experiment (Figure 9)")
-    Term.(const run $ scale_arg)
+  experiment_cmd "fig9" ~doc:"SMR AZCS-alignment experiment (Figure 9)"
+    (fun scale -> Fig9.print (Fig9.run ~scale ()))
 
 let fig10_cmd =
-  let run s = Fig10.print (Fig10.run ~scale:(parse_scale s) ()) in
-  Cmd.v (Cmd.info "fig10" ~doc:"TopAA mount-time experiment (Figure 10)")
-    Term.(const run $ scale_arg)
+  experiment_cmd "fig10" ~doc:"TopAA mount-time experiment (Figure 10)"
+    (fun scale -> Fig10.print (Fig10.run ~scale ()))
 
 let scalars_cmd =
-  let run s = Scalars.print (Scalars.run ~scale:(parse_scale s) ()) in
-  Cmd.v (Cmd.info "scalars" ~doc:"Section 4.1 scalar claims")
-    Term.(const run $ scale_arg)
+  experiment_cmd "scalars" ~doc:"Section 4.1 scalar claims"
+    (fun scale -> Scalars.print (Scalars.run ~scale ()))
 
 let ablation_cmd =
-  let run s = Ablation.print (Ablation.run ~scale:(parse_scale s) ()) in
-  Cmd.v (Cmd.info "ablation" ~doc:"Design-choice ablations (bin width, policy, threshold, cleaner)")
-    Term.(const run $ scale_arg)
+  experiment_cmd "ablation"
+    ~doc:"Design-choice ablations (bin width, policy, threshold, cleaner)"
+    (fun scale -> Ablation.print (Ablation.run ~scale ()))
 
 let all_cmd =
-  let run s =
-    let scale = parse_scale s in
-    Fig6.print (Fig6.run ~scale ());
-    Fig7.print (Fig7.run ~scale ());
-    Fig8.print (Fig8.run ~scale ());
-    Fig9.print (Fig9.run ~scale ());
-    Fig10.print (Fig10.run ~scale ());
-    Scalars.print (Scalars.run ~scale ());
-    Ablation.print (Ablation.run ~scale ())
-  in
-  Cmd.v (Cmd.info "all" ~doc:"Run every experiment") Term.(const run $ scale_arg)
+  experiment_cmd "all" ~doc:"Run every experiment" (fun scale ->
+      Fig6.print (Fig6.run ~scale ());
+      Fig7.print (Fig7.run ~scale ());
+      Fig8.print (Fig8.run ~scale ());
+      Fig9.print (Fig9.run ~scale ());
+      Fig10.print (Fig10.run ~scale ());
+      Scalars.print (Scalars.run ~scale ());
+      Ablation.print (Ablation.run ~scale ()))
 
+(* Bare `waflsim --metrics-out m.json` (no subcommand) runs the scalar
+   suite — the cheapest end-to-end workload that exercises every
+   instrumented layer — so the telemetry flags work without picking an
+   experiment.  Without either flag the default remains the help page. *)
 let default =
-  Term.(ret (const (`Help (`Pager, None))))
+  let run s metrics_out trace_out trace_capacity =
+    match (metrics_out, trace_out) with
+    | None, None -> `Help (`Pager, None)
+    | _ ->
+      with_telemetry ~metrics_out ~trace_out ~trace_capacity (fun () ->
+          Scalars.print (Scalars.run ~scale:(parse_scale s) ()));
+      `Ok ()
+  in
+  Term.(
+    ret (const run $ scale_arg $ metrics_out_arg $ trace_out_arg $ trace_capacity_arg))
 
 let () =
   let info = Cmd.info "waflsim" ~doc:"WAFL free-block search reproduction experiments" in

@@ -1,31 +1,53 @@
 (** Unified AA-cache interface over the two implementations (§3.3).
 
     A cache is either a RAID-aware max-heap over all AAs of a RAID group or
-    a RAID-agnostic HBPS.  Besides dispatch, this layer counts the abstract
-    work each cache performs (comparisons/moves), backing the §4.1.2
-    observation that cache maintenance is a vanishing fraction of CPU. *)
+    a RAID-agnostic HBPS; {!backend} exposes the closed variant for the few
+    callers (mount seeding, TopAA persistence) that need the concrete
+    structure.  Besides dispatch, this layer accounts for everything the
+    telemetry subsystem consumes — the abstract work each cache performs
+    (comparisons/moves, backing the §4.1.2 observation that cache
+    maintenance is a vanishing fraction of CPU) and, for an HBPS, an upper
+    bound on the pick's score error versus the histogram's best populated
+    bin (the §3.3 ≤ bin_width/max_score = 3.125% guarantee). *)
 
 type t
 
-type ops = {
+type backend =
+  | Raid_aware of Max_heap.t     (** max-heap over all AAs (index = AA id) *)
+  | Raid_agnostic of Hbps.t      (** two-page histogram-based partial sort *)
+
+type stats = {
   picks : int;
   updates : int;
   replenishes : int;
   work : int;  (** abstract unit operations: sift steps, bin moves, scan items *)
+  entries : int;  (** AAs currently offerable (heap size / HBPS list count) *)
+  score_error_last : float;
+      (** upper bound on the last HBPS pick's score deficit versus the best
+          populated histogram bin, as a fraction of [max_score]; 0.0 for a
+          RAID-aware cache (its pick is exact) *)
+  score_error_max : float;  (** worst [score_error_last] since the last reset *)
 }
 
-val raid_aware : scores:int array -> t
-(** Max-heap over all AAs (index = AA id). *)
+val make : ?space:int -> backend -> t
+(** Wrap a backend (e.g. one seeded from a TopAA block, §3.4).  [space]
+    labels the cache in telemetry events: physical ranges pass their range
+    index, FlexVols the default [-1]. *)
+
+val backend : t -> backend
+val space : t -> int
+
+val raid_aware : ?space:int -> scores:int array -> unit -> t
+(** Fresh max-heap over all AAs. *)
 
 val raid_agnostic :
-  ?bin_width:int -> ?capacity:int -> max_score:int -> scores:int array -> unit -> t
-
-val of_heap : Max_heap.t -> t
-(** Wrap an existing heap (e.g. one seeded from a TopAA block, §3.4). *)
-
-val of_hbps : Hbps.t -> t
-
-val is_raid_aware : t -> bool
+  ?space:int ->
+  ?bin_width:int ->
+  ?capacity:int ->
+  max_score:int ->
+  scores:int array ->
+  unit ->
+  t
 
 val take_best : t -> (int * int) option
 (** Best (or near-best, for HBPS) AA, removed from the cache until its
@@ -39,8 +61,20 @@ val cp_update : t -> (int * int) list -> unit
 (** CP-boundary batch: apply [(aa, new_score)] pairs and rebalance; for an
     HBPS, also replenish when the list is dry or stale. *)
 
-val heap : t -> Max_heap.t option
-val hbps : t -> Hbps.t option
+val stats : t -> stats
+val reset_stats : t -> unit
 
-val ops : t -> ops
-val reset_ops : t -> unit
+(* --- deprecated pre-telemetry API (one release of grace) --- *)
+
+type ops = { picks : int; updates : int; replenishes : int; work : int }
+[@@deprecated "use Cache.stats"]
+
+[@@@alert "-deprecated"]
+
+val ops : t -> ops [@@deprecated "use Cache.stats"]
+val reset_ops : t -> unit [@@deprecated "use Cache.reset_stats"]
+val of_heap : Max_heap.t -> t [@@deprecated "use Cache.make (Raid_aware h)"]
+val of_hbps : Hbps.t -> t [@@deprecated "use Cache.make (Raid_agnostic h)"]
+val heap : t -> Max_heap.t option [@@deprecated "match Cache.backend instead"]
+val hbps : t -> Hbps.t option [@@deprecated "match Cache.backend instead"]
+val is_raid_aware : t -> bool [@@deprecated "match Cache.backend instead"]

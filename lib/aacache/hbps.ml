@@ -37,6 +37,7 @@ let create ?bin_width ?(capacity = 1000) ~max_score ~scores () =
 let n_aas t = Array.length t.score_of
 let capacity t = t.list_capacity
 let bin_width t = t.bin_width
+let max_score t = t.max_score
 let count t = t.count
 let bins t = Histo.bins t.histo
 let histogram_count t ~bin = Histo.count t.histo bin

@@ -37,6 +37,7 @@ val create :
 val n_aas : t -> int
 val capacity : t -> int
 val bin_width : t -> int
+val max_score : t -> int
 val count : t -> int
 (** Entries currently in the list page. *)
 

@@ -46,6 +46,8 @@ let commit t =
   t.queue <- [];
   t.n_pending <- 0;
   let pages_written = Metafile.flush t.metafile in
+  Wafl_telemetry.Telemetry.add "activemap.frees_committed" (List.length freed);
+  Wafl_telemetry.Telemetry.add "activemap.pages_written" pages_written;
   { freed; pages_written }
 
 let free_count t ~start ~len = Metafile.free_count t.metafile ~start ~len

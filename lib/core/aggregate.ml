@@ -3,6 +3,7 @@ open Wafl_raid
 open Wafl_device
 open Wafl_aa
 open Wafl_aacache
+open Wafl_telemetry
 
 type device_sim =
   | Hdd_sim of Profile.hdd
@@ -92,13 +93,16 @@ let make_object_range index base (spec : Config.object_range_spec) =
 
 let build_cache range =
   match range.geometry with
-  | Some _ -> Cache.raid_aware ~scores:range.scores
+  | Some _ -> Cache.raid_aware ~space:range.index ~scores:range.scores ()
   | None ->
     let c =
-      Cache.raid_agnostic ~max_score:(Topology.full_aa_capacity range.topology)
+      Cache.raid_agnostic ~space:range.index
+        ~max_score:(Topology.full_aa_capacity range.topology)
         ~scores:range.scores ()
     in
-    (match Cache.hbps c with Some h -> Hbps.replenish h | None -> ());
+    (match Cache.backend c with
+    | Cache.Raid_agnostic h -> Hbps.replenish h
+    | Cache.Raid_aware _ -> ());
     c
 
 let create config =
@@ -181,6 +185,7 @@ let cp_update_caches t =
     t.ranges
 
 let rebuild_caches t =
+  Telemetry.incr "aggregate.cache_rebuilds";
   let mf = metafile t in
   Array.iter
     (fun r ->

@@ -1,6 +1,7 @@
 open Wafl_bitmap
 open Wafl_aa
 open Wafl_aacache
+open Wafl_telemetry
 
 type report = { aas_cleaned : int; blocks_relocated : int; blocks_reclaimed : int }
 
@@ -113,4 +114,9 @@ let clean_fs ?(strategy = Emptiest_first) fs ~aas_per_range =
               victims
         done)
     (Aggregate.ranges aggregate);
+  Telemetry.trace_cleaner_pass ~aas:!aas_cleaned ~relocated:!relocated ~reclaimed:!reclaimed;
+  Telemetry.incr "cleaner.passes";
+  Telemetry.add "cleaner.aas_cleaned" !aas_cleaned;
+  Telemetry.add "cleaner.blocks_relocated" !relocated;
+  Telemetry.add "cleaner.blocks_reclaimed" !reclaimed;
   { aas_cleaned = !aas_cleaned; blocks_relocated = !relocated; blocks_reclaimed = !reclaimed }

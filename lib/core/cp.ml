@@ -1,6 +1,7 @@
 open Wafl_raid
 open Wafl_device
 open Wafl_aacache
+open Wafl_telemetry
 
 type staged = { vol : Flexvol.t; file : int; offset : int }
 
@@ -129,6 +130,9 @@ let flush_range walloc (range : Aggregate.range) locals freed_locals =
         parity_reads = f.Group.classification.Stripe.extra_reads;
       }
   in
+  if with_raid.blocks_written > 0 && flush <> None then
+    Telemetry.trace_tetris_write ~space:range.Aggregate.index ~tetrises:with_raid.tetrises
+      ~full_stripes:with_raid.full_stripes ~partial_stripes:with_raid.partial_stripes;
   match range.Aggregate.device with
   | Aggregate.Hdd_sim profile ->
     (* One positioning per chain; stream data + parity; parity reads for
@@ -184,20 +188,29 @@ let flush_range walloc (range : Aggregate.range) locals freed_locals =
     let delta = Object_store.diff_stats ~after:(Object_store.stats store) ~before in
     { with_raid with device_time_us = Object_store.cost_us store ~stats_delta:delta }
 
+(* Aggregate cache stats over the physical ranges and this CP's active
+   volumes: (picks, replenishes, work, worst HBPS score error). *)
+let cache_totals ranges by_vol =
+  let picks = ref 0 and repl = ref 0 and work = ref 0 and err = ref 0.0 in
+  let tally = function
+    | None -> ()
+    | Some c ->
+      let s = Cache.stats c in
+      picks := !picks + s.Cache.picks;
+      repl := !repl + s.Cache.replenishes;
+      work := !work + s.Cache.work;
+      err := Float.max !err s.Cache.score_error_max
+  in
+  Array.iter (fun (r : Aggregate.range) -> tally r.Aggregate.cache) ranges;
+  List.iter (fun (vol, _) -> tally (Flexvol.cache vol)) by_vol;
+  (!picks, !repl, !work, !err)
+
 let run walloc staged =
+  Telemetry.trace_cp_begin ();
   let aggregate = Write_alloc.aggregate walloc in
   let by_vol = group_by_vol staged in
   let ranges = Aggregate.ranges aggregate in
-  let cache_work_before =
-    Array.fold_left
-      (fun acc (r : Aggregate.range) ->
-        match r.Aggregate.cache with Some c -> acc + (Cache.ops c).Cache.work | None -> acc)
-      0 ranges
-    + List.fold_left
-        (fun acc (vol, _) ->
-          match Flexvol.cache vol with Some c -> acc + (Cache.ops c).Cache.work | None -> acc)
-        0 by_vol
-  in
+  let picks_before, replenishes_before, cache_work_before, _ = cache_totals ranges by_vol in
   let candidates_before = Write_alloc.candidates_scanned walloc in
   (* 1. Allocate virtual VBNs per volume and physical VBNs across ranges;
         update inodes and container maps; queue COW frees. *)
@@ -270,30 +283,75 @@ let run walloc staged =
   in
   (* 4. CP boundary: batched score updates, cache rebalance. *)
   Write_alloc.cp_finish walloc;
-  let cache_work_after =
-    Array.fold_left
-      (fun acc (r : Aggregate.range) ->
-        match r.Aggregate.cache with Some c -> acc + (Cache.ops c).Cache.work | None -> acc)
-      0 ranges
-    + List.fold_left
-        (fun acc (vol, _) ->
-          match Flexvol.cache vol with Some c -> acc + (Cache.ops c).Cache.work | None -> acc)
-        0 by_vol
+  let picks_after, replenishes_after, cache_work_after, score_error_max =
+    cache_totals ranges by_vol
   in
   let device_time_us =
     List.fold_left
       (fun acc (d : device_report) -> Float.max acc d.device_time_us)
       0.0 devices
   in
-  {
-    ops;
-    blocks_allocated = !placed;
-    pvbns_freed = List.length freed_pvbns;
-    vvbns_freed = !vvbn_frees;
-    agg_metafile_pages = agg_pages;
-    vol_metafile_pages = vol_pages;
-    devices;
-    device_time_us;
-    cache_work = cache_work_after - cache_work_before;
-    alloc_candidates = Write_alloc.candidates_scanned walloc - candidates_before;
-  }
+  let report =
+    {
+      ops;
+      blocks_allocated = !placed;
+      pvbns_freed = List.length freed_pvbns;
+      vvbns_freed = !vvbn_frees;
+      agg_metafile_pages = agg_pages;
+      vol_metafile_pages = vol_pages;
+      devices;
+      device_time_us;
+      cache_work = cache_work_after - cache_work_before;
+      alloc_candidates = Write_alloc.candidates_scanned walloc - candidates_before;
+    }
+  in
+  (* 5. Telemetry: a per-CP snapshot plus CP-granularity counters (the hot
+     allocation path above only touched the zero-cost trace emitters). *)
+  Telemetry.trace_free_commit ~space:(-1) ~freed:report.pvbns_freed ~pages:agg_pages;
+  Telemetry.trace_cp_end ~ops ~blocks:report.blocks_allocated ~freed:report.pvbns_freed
+    ~pages:(agg_pages + vol_pages) ~device_us:device_time_us;
+  Telemetry.incr "cp.count";
+  Telemetry.add "cp.ops" ops;
+  Telemetry.add "cp.blocks_allocated" report.blocks_allocated;
+  Telemetry.add "cp.pvbns_freed" report.pvbns_freed;
+  Telemetry.add "cp.vvbns_freed" report.vvbns_freed;
+  Telemetry.add "metafile.agg_pages_written" agg_pages;
+  Telemetry.add "metafile.vol_pages_written" vol_pages;
+  Telemetry.add "cache.picks" (picks_after - picks_before);
+  Telemetry.add "cache.replenishes" (replenishes_after - replenishes_before);
+  Telemetry.add "cache.work" report.cache_work;
+  Telemetry.add "alloc.candidates_scanned" report.alloc_candidates;
+  Telemetry.max_gauge "cache.hbps.score_error_max" score_error_max;
+  Telemetry.observe "cp.device_us" (int_of_float device_time_us);
+  Telemetry.observe "cp.blocks" report.blocks_allocated;
+  Telemetry.record ~label:"cp" (fun () ->
+      let base =
+        [
+          ("ops", Telemetry.Int ops);
+          ("blocks_allocated", Telemetry.Int report.blocks_allocated);
+          ("pvbns_freed", Telemetry.Int report.pvbns_freed);
+          ("vvbns_freed", Telemetry.Int report.vvbns_freed);
+          ("agg_metafile_pages", Telemetry.Int agg_pages);
+          ("vol_metafile_pages", Telemetry.Int vol_pages);
+          ("picks", Telemetry.Int (picks_after - picks_before));
+          ("replenishes", Telemetry.Int (replenishes_after - replenishes_before));
+          ("cache_work", Telemetry.Int report.cache_work);
+          ("hbps_score_error_max", Telemetry.Float score_error_max);
+          ("alloc_candidates", Telemetry.Int report.alloc_candidates);
+          ("device_time_us", Telemetry.Float device_time_us);
+        ]
+      in
+      let per_range =
+        List.concat_map
+          (fun (d : device_report) ->
+            let p = Printf.sprintf "range%d." d.range_index in
+            [
+              (p ^ "media", Telemetry.String d.media);
+              (p ^ "blocks_written", Telemetry.Int d.blocks_written);
+              (p ^ "device_us", Telemetry.Float d.device_time_us);
+              (p ^ "tetrises", Telemetry.Int d.tetrises);
+            ])
+          report.devices
+      in
+      base @ per_range);
+  report

@@ -47,7 +47,9 @@ let create (spec : Config.vol_spec) =
       Cache.raid_agnostic ~max_score:(Topology.full_aa_capacity topology) ~scores ()
     in
     (* an empty volume: every AA qualifies; fill the list page *)
-    (match Cache.hbps cache with Some h -> Hbps.replenish h | None -> ());
+    (match Cache.backend cache with
+    | Cache.Raid_agnostic h -> Hbps.replenish h
+    | Cache.Raid_aware _ -> ());
     t.cache <- Some cache
   end;
   t
@@ -118,7 +120,9 @@ let rebuild_cache t =
   let cache =
     Cache.raid_agnostic ~max_score:(Topology.full_aa_capacity t.topology) ~scores:t.scores ()
   in
-  (match Cache.hbps cache with Some h -> Hbps.replenish h | None -> ());
+  (match Cache.backend cache with
+  | Cache.Raid_agnostic h -> Hbps.replenish h
+  | Cache.Raid_aware _ -> ());
   t.cache <- Some cache
 
 let free_vvbns_of_aa t aa =

@@ -1,6 +1,7 @@
 open Wafl_bitmap
 open Wafl_aa
 open Wafl_aacache
+open Wafl_telemetry
 
 type image = {
   config : Config.t;
@@ -36,15 +37,12 @@ let snapshot fs =
       (fun (r : Aggregate.range) ->
         match r.Aggregate.cache with
         | Some cache -> (
-          match Cache.heap cache with
-          | Some heap -> Topaa.save_raid_aware heap
-          | None -> (
-            match Cache.hbps cache with
-            | Some hbps ->
-              (* object ranges persist HBPS pages; store the histogram page
-                 here and regenerate on load *)
-              fst (Topaa.save_hbps hbps)
-            | None -> Bytes.make Topaa.block_size '\000'))
+          match Cache.backend cache with
+          | Cache.Raid_aware heap -> Topaa.save_raid_aware heap
+          | Cache.Raid_agnostic hbps ->
+            (* object ranges persist HBPS pages; store the histogram page
+               here and regenerate on load *)
+            fst (Topaa.save_hbps hbps))
         | None ->
           (* cache disabled: persist a heap built on the spot, as the real
              system would from its current scores *)
@@ -54,9 +52,9 @@ let snapshot fs =
   let vol_topaa =
     Array.map
       (fun vol ->
-        match Option.map Cache.hbps (Flexvol.cache vol) with
-        | Some (Some hbps) -> Topaa.save_hbps hbps
-        | Some None | None ->
+        match Option.map Cache.backend (Flexvol.cache vol) with
+        | Some (Cache.Raid_agnostic hbps) -> Topaa.save_hbps hbps
+        | Some (Cache.Raid_aware _) | None ->
           let h =
             Hbps.create
               ~max_score:(Topology.full_aa_capacity (Flexvol.topology vol))
@@ -112,7 +110,7 @@ let seed_range_cache aggregate (r : Aggregate.range) block =
     List.iter
       (fun (aa, score) -> if not (Max_heap.mem heap aa) then Max_heap.insert heap ~aa ~score)
       seeds;
-    r.Aggregate.cache <- Some (Cache.of_heap heap);
+    r.Aggregate.cache <- Some (Cache.make ~space:r.Aggregate.index (Cache.Raid_aware heap));
     (List.length seeds, 0)
   | Error _ ->
     let pages =
@@ -122,7 +120,8 @@ let seed_range_cache aggregate (r : Aggregate.range) block =
     for aa = 0 to Topology.aa_count r.Aggregate.topology - 1 do
       r.Aggregate.scores.(aa) <- Aggregate.aa_score_now aggregate r aa
     done;
-    r.Aggregate.cache <- Some (Cache.raid_aware ~scores:r.Aggregate.scores);
+    r.Aggregate.cache <-
+      Some (Cache.raid_aware ~space:r.Aggregate.index ~scores:r.Aggregate.scores ());
     (0, pages)
 
 let mount ?(cost = default_cost_model) ?(background_rebuild = true) image ~with_topaa =
@@ -161,7 +160,9 @@ let mount ?(cost = default_cost_model) ?(background_rebuild = true) image ~with_
               ~max_score:(Topology.full_aa_capacity (Flexvol.topology vol))
               ~scores:approx ()
           in
-          (match Cache.hbps cache with Some h -> Hbps.replenish h | None -> ());
+          (match Cache.backend cache with
+          | Cache.Raid_agnostic h -> Hbps.replenish h
+          | Cache.Raid_aware _ -> ());
           Flexvol.set_cache vol (Some cache);
           seeds := !seeds + List.length seed.Topaa.entries
         | Error _ ->
@@ -181,6 +182,10 @@ let mount ?(cost = default_cost_model) ?(background_rebuild = true) image ~with_
       Aggregate.rebuild_caches aggregate;
       Array.iter Flexvol.rebuild_cache (Fs.vols fs)
     end;
+    Telemetry.incr "mount.topaa_mounts";
+    Telemetry.add "mount.topaa_blocks_read" blocks_read;
+    Telemetry.add "mount.topaa_seeds" !seeds;
+    Telemetry.add "mount.fallback_pages_scanned" !fallback_pages;
     ( fs,
       {
         topaa_blocks_read = blocks_read;
@@ -214,6 +219,9 @@ let mount ?(cost = default_cost_model) ?(background_rebuild = true) image ~with_
           0 (Fs.vols fs)
     in
     let pages = agg_pages + vol_pages in
+    Telemetry.incr "mount.full_scan_mounts";
+    Telemetry.add "mount.scan_pages" pages;
+    Telemetry.add "mount.aas_scored" aas;
     let ready_us =
       float_of_int pages *. (cost.page_read_us +. cost.page_scan_cpu_us)
       +. (float_of_int aas *. cost.seed_insert_us)

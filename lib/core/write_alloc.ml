@@ -2,6 +2,7 @@ open Wafl_util
 open Wafl_bitmap
 open Wafl_aa
 open Wafl_aacache
+open Wafl_telemetry
 
 (* Per-range (or per-volume) allocation cursor: the free VBNs of the AA
    currently being filled, plus the AAs taken since the last CP. *)
@@ -46,8 +47,10 @@ let register_vol t vol =
 
 (* Pick the next AA id for a space with [n_aas] AAs under [policy].
    [free_of aa] recomputes the AA's current free count (used by the
-   cacheless policies).  Returns (aa, score-at-take) or None. *)
-let pick_aa t cursor ~policy ~cache ~n_aas ~free_of =
+   cacheless policies).  [space] labels the pick in the telemetry trace
+   (range index, or -1 for a FlexVol); a cache-backed pick is traced by the
+   cache itself.  Returns (aa, score-at-take) or None. *)
+let pick_aa t cursor ~policy ~space ~cache ~n_aas ~free_of =
   match (policy : Config.allocation_policy) with
   | Config.Best_aa -> (
     match cache with
@@ -72,7 +75,11 @@ let pick_aa t cursor ~policy ~cache ~n_aas ~free_of =
       else begin
         let aa = Rng.int t.rng n_aas in
         let free = free_of aa in
-        if free > 0 then Some (aa, free) else try_pick (attempts - 1)
+        if free > 0 then begin
+          Telemetry.trace_aa_pick ~space ~aa ~score:free;
+          Some (aa, free)
+        end
+        else try_pick (attempts - 1)
       end
     in
     try_pick 64
@@ -83,6 +90,7 @@ let pick_aa t cursor ~policy ~cache ~n_aas ~free_of =
         let free = free_of pos in
         if free > 0 then begin
           cursor.scan_pos <- (pos + 1) mod n_aas;
+          Telemetry.trace_aa_pick ~space ~aa:pos ~score:free;
           Some (pos, free)
         end
         else scan (steps + 1) ((pos + 1) mod n_aas)
@@ -103,7 +111,7 @@ let note_virt_take t score =
 let refill_range t range cursor =
   let policy = (Aggregate.config t.aggregate).Config.aggregate_policy in
   match
-    pick_aa t cursor ~policy ~cache:range.Aggregate.cache
+    pick_aa t cursor ~policy ~space:range.Aggregate.index ~cache:range.Aggregate.cache
       ~n_aas:(Topology.aa_count range.Aggregate.topology)
       ~free_of:(fun aa -> Aggregate.aa_score_now t.aggregate range aa)
   with
@@ -205,7 +213,7 @@ let vol_cursor t vol =
 let refill_vol t vol cursor =
   let policy = (Flexvol.spec vol).Config.policy in
   match
-    pick_aa t cursor ~policy ~cache:(Flexvol.cache vol)
+    pick_aa t cursor ~policy ~space:(-1) ~cache:(Flexvol.cache vol)
       ~n_aas:(Topology.aa_count (Flexvol.topology vol))
       ~free_of:(fun aa -> Score.score_of_aa (Flexvol.topology vol) (Flexvol.metafile vol) aa)
   with

@@ -125,7 +125,8 @@ let write_batch t pages =
       let eb_len = min ebs (t.logical_blocks - eb_start) in
       if appended >= eb_len then close_eb t eb else Hashtbl.replace t.appended eb appended;
       List.iter (fun p -> set_live t p true) batch)
-    by_eb
+    by_eb;
+  Wafl_telemetry.Telemetry.add "device.ssd.host_pages_written" (Hashtbl.length seen)
 
 let trim t p =
   check t p;

@@ -25,7 +25,9 @@ let put_count_for t vbns = fst (objects_of_batch t vbns)
 let write_batch t vbns =
   let puts, blocks = objects_of_batch t vbns in
   t.puts <- t.puts + puts;
-  t.blocks_written <- t.blocks_written + blocks
+  t.blocks_written <- t.blocks_written + blocks;
+  Wafl_telemetry.Telemetry.add "device.object.puts" puts;
+  Wafl_telemetry.Telemetry.add "device.object.blocks_written" blocks
 
 let cost_us t ~(stats_delta : stats) = float_of_int stats_delta.puts *. t.profile.Profile.put_us
 

@@ -74,7 +74,13 @@ let write t pos =
   t.total_us <- t.total_us +. !cost;
   t.last_pos <- Some pos
 
-let write_stream t positions = List.iter (write t) positions
+let write_stream t positions =
+  let rmw_before = t.rmw_blocks in
+  let random_before = t.random_writes in
+  List.iter (write t) positions;
+  Wafl_telemetry.Telemetry.add "device.smr.blocks_written" (List.length positions);
+  Wafl_telemetry.Telemetry.add "device.smr.rmw_blocks" (t.rmw_blocks - rmw_before);
+  Wafl_telemetry.Telemetry.add "device.smr.random_writes" (t.random_writes - random_before)
 
 let reset_zone t ~zone =
   if zone < 0 || zone >= zones t then invalid_arg "Smr: zone out of bounds";

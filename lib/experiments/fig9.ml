@@ -34,7 +34,10 @@ let aa_stripes_of scale sizing =
 let perturb_scores fs ~rng =
   let range0 = (Aggregate.ranges (Fs.aggregate fs)).(0) in
   let noisy = Array.map (fun s -> max 0 (s - Wafl_util.Rng.int rng 8)) range0.Aggregate.scores in
-  range0.Aggregate.cache <- Some (Wafl_aacache.Cache.of_heap (Wafl_aacache.Max_heap.of_scores noisy))
+  range0.Aggregate.cache <-
+    Some
+      (Wafl_aacache.Cache.make ~space:range0.Aggregate.index
+         (Wafl_aacache.Cache.Raid_aware (Wafl_aacache.Max_heap.of_scores noisy)))
 
 let measurement scale =
   match (scale : Common.scale) with

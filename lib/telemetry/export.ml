@@ -1,0 +1,196 @@
+let escape_json s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_string s = "\"" ^ escape_json s ^ "\""
+
+(* JSON has no NaN/inf; clamp to null *)
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+
+let json_value = function
+  | Telemetry.Int i -> string_of_int i
+  | Telemetry.Float f -> json_float f
+  | Telemetry.String s -> json_string s
+
+let comma_sep buf items render =
+  List.iteri
+    (fun i x ->
+      if i > 0 then Buffer.add_string buf ",";
+      render x)
+    items
+
+let metrics_json tel =
+  let reg = Telemetry.registry tel in
+  let counters, gauges, histograms =
+    Registry.fold reg ~init:([], [], []) ~f:(fun (cs, gs, hs) m ->
+        match m with
+        | Registry.Counter c -> ((Registry.name m, c) :: cs, gs, hs)
+        | Registry.Gauge g -> (cs, (Registry.name m, g) :: gs, hs)
+        | Registry.Histogram h -> (cs, gs, (Registry.name m, h) :: hs))
+  in
+  let counters = List.rev counters
+  and gauges = List.rev gauges
+  and histograms = List.rev histograms in
+  let buf = Buffer.create 4096 in
+  let add = Buffer.add_string buf in
+  add "{\n  \"counters\": {";
+  comma_sep buf counters (fun (n, c) ->
+      add (Printf.sprintf "\n    %s: %d" (json_string n) (Registry.count c)));
+  add (if counters = [] then "},\n" else "\n  },\n");
+  add "  \"gauges\": {";
+  comma_sep buf gauges (fun (n, g) ->
+      add (Printf.sprintf "\n    %s: %s" (json_string n) (json_float (Registry.value g))));
+  add (if gauges = [] then "},\n" else "\n  },\n");
+  add "  \"histograms\": {";
+  comma_sep buf histograms (fun (n, h) ->
+      add
+        (Printf.sprintf "\n    %s: { \"observations\": %d, \"sum\": %d, \"buckets\": ["
+           (json_string n) (Registry.observations h) (Registry.sum h));
+      comma_sep buf (Registry.nonempty_buckets h) (fun (i, c) ->
+          add
+            (Printf.sprintf "{ \"ge\": %d, \"count\": %d }" (Registry.bucket_lower_bound i) c));
+      add "] }");
+  add (if histograms = [] then "},\n" else "\n  },\n");
+  add "  \"snapshots\": [";
+  comma_sep buf (Telemetry.snapshots tel) (fun (s : Telemetry.snapshot) ->
+      add (Printf.sprintf "\n    { \"seq\": %d, \"label\": %s" s.Telemetry.seq
+             (json_string s.Telemetry.label));
+      List.iter
+        (fun (k, v) -> add (Printf.sprintf ", %s: %s" (json_string k) (json_value v)))
+        s.Telemetry.fields;
+      add " }");
+  add (if Telemetry.snapshots tel = [] then "],\n" else "\n  ],\n");
+  let tr = Telemetry.tracer tel in
+  add
+    (Printf.sprintf "  \"trace\": { \"emitted\": %d, \"retained\": %d }\n}\n"
+       (Tracer.emitted tr) (Tracer.length tr));
+  Buffer.contents buf
+
+(* quote a CSV field only when it needs it *)
+let csv_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let metrics_csv tel =
+  let buf = Buffer.create 1024 in
+  let row kind name value =
+    Buffer.add_string buf (Printf.sprintf "%s,%s,%s\n" kind (csv_field name) value)
+  in
+  Buffer.add_string buf "kind,name,value\n";
+  Registry.fold (Telemetry.registry tel) ~init:() ~f:(fun () m ->
+      let name = Registry.name m in
+      match m with
+      | Registry.Counter c -> row "counter" name (string_of_int (Registry.count c))
+      | Registry.Gauge g -> row "gauge" name (Printf.sprintf "%.6g" (Registry.value g))
+      | Registry.Histogram h ->
+        row "histogram" (name ^ ".observations") (string_of_int (Registry.observations h));
+        row "histogram" (name ^ ".sum") (string_of_int (Registry.sum h));
+        List.iter
+          (fun (i, c) ->
+            row "histogram"
+              (Printf.sprintf "%s.ge_%d" name (Registry.bucket_lower_bound i))
+              (string_of_int c))
+          (Registry.nonempty_buckets h));
+  Buffer.contents buf
+
+(* Wide trace rows: every event kind fills the columns it has. *)
+let trace_columns =
+  [
+    "event"; "cp"; "space"; "aa"; "score"; "ops"; "blocks"; "freed"; "pages"; "listed";
+    "tetrises"; "full_stripes"; "partial_stripes"; "aas"; "relocated"; "reclaimed";
+    "device_us";
+  ]
+
+let event_fields (ev : Tracer.event) =
+  match ev with
+  | Tracer.Cp_begin _ -> []
+  | Tracer.Cp_end e ->
+    [
+      ("ops", string_of_int e.ops);
+      ("blocks", string_of_int e.blocks);
+      ("freed", string_of_int e.freed);
+      ("pages", string_of_int e.pages);
+      ("device_us", Printf.sprintf "%.3f" e.device_us);
+    ]
+  | Tracer.Aa_pick e ->
+    [
+      ("space", string_of_int e.space);
+      ("aa", string_of_int e.aa);
+      ("score", string_of_int e.score);
+    ]
+  | Tracer.Cache_replenish e ->
+    [ ("space", string_of_int e.space); ("listed", string_of_int e.listed) ]
+  | Tracer.Tetris_write e ->
+    [
+      ("space", string_of_int e.space);
+      ("tetrises", string_of_int e.tetrises);
+      ("full_stripes", string_of_int e.full_stripes);
+      ("partial_stripes", string_of_int e.partial_stripes);
+    ]
+  | Tracer.Cleaner_pass e ->
+    [
+      ("aas", string_of_int e.aas);
+      ("relocated", string_of_int e.relocated);
+      ("reclaimed", string_of_int e.reclaimed);
+    ]
+  | Tracer.Free_commit e ->
+    [
+      ("space", string_of_int e.space);
+      ("freed", string_of_int e.freed);
+      ("pages", string_of_int e.pages);
+    ]
+
+let trace_csv tel =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (String.concat "," trace_columns);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun ev ->
+      let fields =
+        ("event", Tracer.event_name ev)
+        :: ("cp", string_of_int (Tracer.event_cp ev))
+        :: event_fields ev
+      in
+      let cells =
+        List.map
+          (fun col -> match List.assoc_opt col fields with Some v -> csv_field v | None -> "")
+          trace_columns
+      in
+      Buffer.add_string buf (String.concat "," cells);
+      Buffer.add_char buf '\n')
+    (Tracer.to_list (Telemetry.tracer tel));
+  Buffer.contents buf
+
+let trace_json tel =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[";
+  comma_sep buf
+    (Tracer.to_list (Telemetry.tracer tel))
+    (fun ev ->
+      Buffer.add_string buf
+        (Printf.sprintf "\n  { \"event\": %s, \"cp\": %d" (json_string (Tracer.event_name ev))
+           (Tracer.event_cp ev));
+      List.iter
+        (fun (k, v) ->
+          let rendered =
+            (* numeric fields stay numeric in JSON *)
+            if k = "event" then json_string v else v
+          in
+          Buffer.add_string buf (Printf.sprintf ", %s: %s" (json_string k) rendered))
+        (event_fields ev);
+      Buffer.add_string buf " }");
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf

@@ -1,0 +1,25 @@
+(** JSON and CSV renderings of a telemetry instance.  Self-contained (no
+    external JSON dependency); output is deterministic: metrics in
+    registration order, snapshots and events oldest first. *)
+
+val metrics_json : Telemetry.t -> string
+(** One JSON object:
+    {v
+    { "counters":   { name: int, ... },
+      "gauges":     { name: float, ... },
+      "histograms": { name: { "observations": int, "sum": int,
+                              "buckets": [ { "ge": int, "count": int } ] } },
+      "snapshots":  [ { "seq": int, "label": str, <field>: <value>, ... } ],
+      "trace":      { "emitted": int, "retained": int } }
+    v} *)
+
+val metrics_csv : Telemetry.t -> string
+(** [kind,name,value] rows; histograms flatten to one row per populated
+    bucket plus [observations]/[sum] rows. *)
+
+val trace_csv : Telemetry.t -> string
+(** Retained events, one row each, with a fixed header.  Columns that do
+    not apply to an event kind are left empty. *)
+
+val trace_json : Telemetry.t -> string
+(** JSON array of event objects ([{"event": ..., "cp": ..., ...}]). *)

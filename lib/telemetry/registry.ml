@@ -1,0 +1,114 @@
+type counter = { c_name : string; mutable c_count : int }
+type gauge = { g_name : string; mutable g_value : float }
+
+type histogram = {
+  h_name : string;
+  buckets : int array;
+  mutable h_observations : int;
+  mutable h_sum : int;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type t = {
+  table : (string, metric) Hashtbl.t;
+  mutable order : string list; (* reverse registration order *)
+}
+
+let n_buckets = 63
+
+let create () = { table = Hashtbl.create 64; order = [] }
+
+let register t name make =
+  match Hashtbl.find_opt t.table name with
+  | Some m -> m
+  | None ->
+    let m = make () in
+    Hashtbl.add t.table name m;
+    t.order <- name :: t.order;
+    m
+
+let counter t name =
+  match register t name (fun () -> Counter { c_name = name; c_count = 0 }) with
+  | Counter c -> c
+  | Gauge _ | Histogram _ ->
+    invalid_arg (Printf.sprintf "Registry.counter: %S is not a counter" name)
+
+let gauge t name =
+  match register t name (fun () -> Gauge { g_name = name; g_value = 0.0 }) with
+  | Gauge g -> g
+  | Counter _ | Histogram _ ->
+    invalid_arg (Printf.sprintf "Registry.gauge: %S is not a gauge" name)
+
+let histogram t name =
+  match
+    register t name (fun () ->
+        Histogram
+          { h_name = name; buckets = Array.make n_buckets 0; h_observations = 0; h_sum = 0 })
+  with
+  | Histogram h -> h
+  | Counter _ | Gauge _ ->
+    invalid_arg (Printf.sprintf "Registry.histogram: %S is not a histogram" name)
+
+let incr c = c.c_count <- c.c_count + 1
+
+let add c n =
+  if n < 0 then invalid_arg "Registry.add: negative increment";
+  c.c_count <- c.c_count + n
+
+let count c = c.c_count
+
+let set g v = g.g_value <- v
+let set_max g v = if v > g.g_value then g.g_value <- v
+let value g = g.g_value
+
+(* bucket 0: v <= 0; bucket i >= 1: 2^(i-1) <= v < 2^i *)
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let rec go i v = if v = 0 then i else go (i + 1) (v lsr 1) in
+    min (n_buckets - 1) (go 0 v)
+  end
+
+let observe h v =
+  let b = bucket_of v in
+  h.buckets.(b) <- h.buckets.(b) + 1;
+  h.h_observations <- h.h_observations + 1;
+  h.h_sum <- h.h_sum + max 0 v
+
+let observations h = h.h_observations
+let sum h = h.h_sum
+let bucket_count h = Array.length h.buckets
+let bucket h i = h.buckets.(i)
+let bucket_lower_bound i = if i <= 1 then 0 else 1 lsl (i - 1)
+
+let nonempty_buckets h =
+  let acc = ref [] in
+  for i = Array.length h.buckets - 1 downto 0 do
+    if h.buckets.(i) > 0 then acc := (i, h.buckets.(i)) :: !acc
+  done;
+  !acc
+
+let name = function
+  | Counter c -> c.c_name
+  | Gauge g -> g.g_name
+  | Histogram h -> h.h_name
+
+let fold t ~init ~f =
+  List.fold_left (fun acc n -> f acc (Hashtbl.find t.table n)) init (List.rev t.order)
+
+let find t name = Hashtbl.find_opt t.table name
+
+let clear t =
+  Hashtbl.iter
+    (fun _ -> function
+      | Counter c -> c.c_count <- 0
+      | Gauge g -> g.g_value <- 0.0
+      | Histogram h ->
+        Array.fill h.buckets 0 (Array.length h.buckets) 0;
+        h.h_observations <- 0;
+        h.h_sum <- 0)
+    t.table

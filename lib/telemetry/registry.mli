@@ -1,0 +1,68 @@
+(** Metrics registry: named counters, gauges and log₂-bucket histograms.
+
+    Handles are cheap mutable records meant to be resolved once (by name)
+    and then updated directly on whatever path owns them.  Per-CP paths may
+    instead go through the name-based helpers each time; the hot allocation
+    path must not (see {!Tracer} for the per-pick instrument).  Metric
+    names are dotted, e.g. ["cache.picks"]. *)
+
+type t
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Get or register the counter [name].  Raises [Invalid_argument] when
+    the name is already registered as a different metric kind. *)
+
+val gauge : t -> string -> gauge
+val histogram : t -> string -> histogram
+
+(* --- counters: monotonically increasing ints --- *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+(** [add c n] requires [n >= 0]. *)
+
+val count : counter -> int
+
+(* --- gauges: last-written float --- *)
+
+val set : gauge -> float -> unit
+val set_max : gauge -> float -> unit
+(** Keep the maximum of the current and the offered value. *)
+
+val value : gauge -> float
+
+(* --- histograms: fixed log₂ buckets over non-negative ints ---
+
+   Bucket 0 counts observations <= 0; bucket [i >= 1] counts observations
+   [v] with [2^(i-1) <= v < 2^i].  The bucket count is fixed (63), so a
+   histogram handle never reallocates. *)
+
+val observe : histogram -> int -> unit
+val observations : histogram -> int
+val sum : histogram -> int
+val bucket_count : histogram -> int
+val bucket : histogram -> int -> int
+val bucket_lower_bound : int -> int
+(** Smallest value landing in bucket [i] (0 for buckets 0 and 1). *)
+
+val nonempty_buckets : histogram -> (int * int) list
+(** [(bucket index, count)] for every populated bucket, ascending. *)
+
+(* --- enumeration (registration order) --- *)
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+val name : metric -> string
+val fold : t -> init:'a -> f:('a -> metric -> 'a) -> 'a
+val find : t -> string -> metric option
+val clear : t -> unit
+(** Reset every metric to its zero state (handles stay valid). *)

@@ -1,0 +1,98 @@
+type value = Int of int | Float of float | String of string
+
+type snapshot = { seq : int; label : string; fields : (string * value) list }
+
+type t = {
+  registry : Registry.t;
+  tracer : Tracer.t;
+  mutable snapshots_rev : snapshot list;
+  mutable snapshot_seq : int;
+}
+
+let create ?trace_capacity ?(tracing = false) () =
+  {
+    registry = Registry.create ();
+    tracer = Tracer.create ?capacity:trace_capacity ~enabled:tracing ();
+    snapshots_rev = [];
+    snapshot_seq = 0;
+  }
+
+let registry t = t.registry
+let tracer t = t.tracer
+let snapshots t = List.rev t.snapshots_rev
+
+let add_snapshot t ~label fields =
+  t.snapshot_seq <- t.snapshot_seq + 1;
+  t.snapshots_rev <- { seq = t.snapshot_seq; label; fields } :: t.snapshots_rev
+
+let reset t =
+  Registry.clear t.registry;
+  Tracer.clear t.tracer;
+  t.snapshots_rev <- [];
+  t.snapshot_seq <- 0
+
+(* --- process-wide installation --- *)
+
+let state : t option ref = ref None
+
+let install t = state := Some t
+let uninstall () = state := None
+let installed () = !state
+let is_active () = !state <> None
+
+let with_installed t f =
+  install t;
+  Fun.protect ~finally:uninstall f
+
+(* --- helpers against the installed instance --- *)
+
+let incr name =
+  match !state with None -> () | Some t -> Registry.incr (Registry.counter t.registry name)
+
+let add name n =
+  match !state with None -> () | Some t -> Registry.add (Registry.counter t.registry name) n
+
+let set_gauge name v =
+  match !state with None -> () | Some t -> Registry.set (Registry.gauge t.registry name) v
+
+let max_gauge name v =
+  match !state with None -> () | Some t -> Registry.set_max (Registry.gauge t.registry name) v
+
+let observe name v =
+  match !state with
+  | None -> ()
+  | Some t -> Registry.observe (Registry.histogram t.registry name) v
+
+let record ~label fields =
+  match !state with None -> () | Some t -> add_snapshot t ~label (fields ())
+
+(* --- trace emitters --- *)
+
+let trace_cp_begin () =
+  match !state with None -> () | Some t -> Tracer.cp_begin t.tracer
+
+let trace_cp_end ~ops ~blocks ~freed ~pages ~device_us =
+  match !state with
+  | None -> ()
+  | Some t -> Tracer.cp_end t.tracer ~ops ~blocks ~freed ~pages ~device_us
+
+let trace_aa_pick ~space ~aa ~score =
+  match !state with None -> () | Some t -> Tracer.aa_pick t.tracer ~space ~aa ~score
+
+let trace_cache_replenish ~space ~listed =
+  match !state with None -> () | Some t -> Tracer.cache_replenish t.tracer ~space ~listed
+
+let trace_tetris_write ~space ~tetrises ~full_stripes ~partial_stripes =
+  match !state with
+  | None -> ()
+  | Some t -> Tracer.tetris_write t.tracer ~space ~tetrises ~full_stripes ~partial_stripes
+
+let trace_cleaner_pass ~aas ~relocated ~reclaimed =
+  match !state with
+  | None -> ()
+  | Some t -> Tracer.cleaner_pass t.tracer ~aas ~relocated ~reclaimed
+
+let trace_free_commit ~space ~freed ~pages =
+  match !state with
+  | None -> ()
+  | Some t -> Tracer.free_commit t.tracer ~space ~freed ~pages

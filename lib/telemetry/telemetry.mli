@@ -1,0 +1,80 @@
+(** Telemetry subsystem front-end: one {!Registry.t} of metrics, one
+    {!Tracer.t} of structured events, and a list of labelled snapshots
+    (one per consistency point, produced by [Cp.run]).
+
+    Instrumented code does not thread a handle around; it goes through the
+    process-wide {e installed} instance.  When nothing is installed every
+    helper below is a single match on a global ref — no allocation, no
+    lookup — so an uninstrumented run pays (almost) nothing.  The trace
+    emitters additionally check the tracer's enabled flag, so an installed
+    instance with tracing off still allocates nothing on the pick path.
+
+    Typical use:
+    {[
+      let tel = Telemetry.create ~tracing:true () in
+      Telemetry.install tel;
+      (* ... run workload ... *)
+      Telemetry.uninstall ();
+      print_string (Export.metrics_json tel)
+    ]} *)
+
+type value = Int of int | Float of float | String of string
+
+type snapshot = {
+  seq : int;  (** 1-based snapshot index, in emission order *)
+  label : string;
+  fields : (string * value) list;
+}
+
+type t
+
+val create : ?trace_capacity:int -> ?tracing:bool -> unit -> t
+(** [trace_capacity] defaults to 4096 events; [tracing] (the tracer's
+    enabled flag) to [false].  Metrics and snapshots are always on for an
+    installed instance; only event tracing has a separate switch. *)
+
+val registry : t -> Registry.t
+val tracer : t -> Tracer.t
+
+val snapshots : t -> snapshot list
+(** Oldest first. *)
+
+val add_snapshot : t -> label:string -> (string * value) list -> unit
+val reset : t -> unit
+
+(* --- process-wide installation --- *)
+
+val install : t -> unit
+(** Replaces any previously installed instance. *)
+
+val uninstall : unit -> unit
+val installed : unit -> t option
+val is_active : unit -> bool
+
+val with_installed : t -> (unit -> 'a) -> 'a
+(** Install, run, uninstall (also on exception). *)
+
+(* --- helpers against the installed instance (no-ops when none) --- *)
+
+val incr : string -> unit
+val add : string -> int -> unit
+val set_gauge : string -> float -> unit
+val max_gauge : string -> float -> unit
+val observe : string -> int -> unit
+
+val record : label:string -> (unit -> (string * value) list) -> unit
+(** Append a snapshot; the field thunk only runs when an instance is
+    installed, so building the field list costs nothing otherwise. *)
+
+(* --- trace emitters (no-op unless installed AND tracing enabled) --- *)
+
+val trace_cp_begin : unit -> unit
+val trace_cp_end : ops:int -> blocks:int -> freed:int -> pages:int -> device_us:float -> unit
+val trace_aa_pick : space:int -> aa:int -> score:int -> unit
+val trace_cache_replenish : space:int -> listed:int -> unit
+
+val trace_tetris_write :
+  space:int -> tetrises:int -> full_stripes:int -> partial_stripes:int -> unit
+
+val trace_cleaner_pass : aas:int -> relocated:int -> reclaimed:int -> unit
+val trace_free_commit : space:int -> freed:int -> pages:int -> unit

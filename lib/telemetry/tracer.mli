@@ -1,0 +1,76 @@
+(** Low-overhead structured event tracer: a bounded ring buffer of typed
+    allocator events.
+
+    Every emitter takes unboxed scalar arguments and checks {!enabled}
+    before constructing the event, so a disabled tracer costs a branch and
+    zero allocations on the hot path (asserted by the test suite).  When
+    the ring is full the oldest events are overwritten; {!emitted} keeps
+    the lifetime count.
+
+    [space] identifies the allocation space an event concerns: physical
+    ranges use their aggregate range index (>= 0), FlexVols use [-1]. *)
+
+type event =
+  | Cp_begin of { cp : int }
+  | Cp_end of {
+      cp : int;
+      ops : int;
+      blocks : int;
+      freed : int;
+      pages : int;
+      device_us : float;
+    }
+  | Aa_pick of { cp : int; space : int; aa : int; score : int }
+  | Cache_replenish of { cp : int; space : int; listed : int }
+  | Tetris_write of {
+      cp : int;
+      space : int;
+      tetrises : int;
+      full_stripes : int;
+      partial_stripes : int;
+    }
+  | Cleaner_pass of { cp : int; aas : int; relocated : int; reclaimed : int }
+  | Free_commit of { cp : int; space : int; freed : int; pages : int }
+
+type t
+
+val create : ?capacity:int -> ?enabled:bool -> unit -> t
+(** [capacity] defaults to 4096 events; [enabled] to [false]. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+val capacity : t -> int
+
+val emitted : t -> int
+(** Events emitted over the tracer's lifetime (retained or overwritten). *)
+
+val length : t -> int
+(** Events currently retained (<= capacity). *)
+
+val current_cp : t -> int
+
+val to_list : t -> event list
+(** Retained events, oldest first. *)
+
+val clear : t -> unit
+
+(* --- emitters (no-ops when disabled) --- *)
+
+val cp_begin : t -> unit
+(** Advances the CP stamp carried by subsequent events.  The stamp advances
+    even when disabled, so enabling mid-run yields correct CP numbers. *)
+
+val cp_end : t -> ops:int -> blocks:int -> freed:int -> pages:int -> device_us:float -> unit
+val aa_pick : t -> space:int -> aa:int -> score:int -> unit
+val cache_replenish : t -> space:int -> listed:int -> unit
+
+val tetris_write :
+  t -> space:int -> tetrises:int -> full_stripes:int -> partial_stripes:int -> unit
+
+val cleaner_pass : t -> aas:int -> relocated:int -> reclaimed:int -> unit
+val free_commit : t -> space:int -> freed:int -> pages:int -> unit
+
+(* --- rendering --- *)
+
+val event_name : event -> string
+val event_cp : event -> int

@@ -346,13 +346,17 @@ let test_topaa_hbps_corruption () =
 (* --- Cache --- *)
 
 let test_cache_dispatch () =
-  let aware = Cache.raid_aware ~scores:[| 1; 2; 3 |] in
+  let aware = Cache.raid_aware ~scores:[| 1; 2; 3 |] () in
   let agnostic = Cache.raid_agnostic ~max_score:32768 ~scores:[| 1; 2; 3 |] () in
-  check_bool "aware" true (Cache.is_raid_aware aware);
-  check_bool "agnostic" false (Cache.is_raid_aware agnostic)
+  (match Cache.backend aware with
+  | Cache.Raid_aware _ -> ()
+  | Cache.Raid_agnostic _ -> Alcotest.fail "expected heap backend");
+  (match Cache.backend agnostic with
+  | Cache.Raid_agnostic _ -> ()
+  | Cache.Raid_aware _ -> Alcotest.fail "expected HBPS backend")
 
 let test_cache_take_and_update () =
-  let c = Cache.raid_aware ~scores:[| 10; 30; 20 |] in
+  let c = Cache.raid_aware ~scores:[| 10; 30; 20 |] () in
   (match Cache.take_best c with
   | Some (aa, s) ->
     check_int "best aa" 1 aa;
@@ -362,21 +366,71 @@ let test_cache_take_and_update () =
   (match Cache.peek_best_score c with
   | Some s -> check_int "next best" 20 s
   | None -> Alcotest.fail "empty");
-  let ops = Cache.ops c in
-  check_int "picks" 1 ops.Cache.picks;
-  check_int "updates" 1 ops.Cache.updates;
-  check_bool "work counted" true (ops.Cache.work > 0)
+  let stats = Cache.stats c in
+  check_int "picks" 1 stats.Cache.picks;
+  check_int "updates" 1 stats.Cache.updates;
+  check_bool "work counted" true (stats.Cache.work > 0)
 
 let test_cache_hbps_auto_replenish () =
   let scores = Array.init 100 (fun i -> (i * 331) mod 32_769) in
   let c = Cache.raid_agnostic ~capacity:5 ~max_score:32_768 ~scores () in
   (* drain the (initially empty, then replenished) list via cp_update *)
   Cache.cp_update c [];
-  check_bool "replenished on first cp" true ((Cache.ops c).Cache.replenishes >= 1);
+  check_bool "replenished on first cp" true ((Cache.stats c).Cache.replenishes >= 1);
   let rec drain n = if n > 0 then begin ignore (Cache.take_best c); drain (n - 1) end in
   drain 5;
   Cache.cp_update c [];
   check_bool "take works after auto-replenish" true (Cache.take_best c <> None)
+
+(* Every HBPS pick's tracked score error must respect the §3.3 guarantee:
+   with the list replenished, a pick comes from the best populated bin, so
+   its deficit versus that bin's top is < bin_width/max_score = 3.125%. *)
+let test_cache_hbps_score_error_bound () =
+  let max_score = 32_768 in
+  let bound = 1024.0 /. float_of_int max_score in
+  let rng = ref 12345 in
+  let next () =
+    rng := (!rng * 1103515245) + 12345;
+    (!rng lsr 7) mod (max_score + 1)
+  in
+  let scores = Array.init 4096 (fun _ -> next ()) in
+  let c = Cache.raid_agnostic ~max_score ~scores () in
+  Cache.cp_update c [] (* initial replenish *);
+  for _ = 1 to 50 do
+    (match Cache.take_best c with
+    | Some (aa, _) -> Cache.cp_update c [ (aa, next ()) ]
+    | None -> Cache.cp_update c []);
+    let s = Cache.stats c in
+    check_bool
+      (Printf.sprintf "pick error %.5f within 3.125%% bound" s.Cache.score_error_last)
+      true
+      (s.Cache.score_error_last <= bound)
+  done;
+  let s = Cache.stats c in
+  check_bool "max error within bound" true (s.Cache.score_error_max <= bound);
+  (* a RAID-aware cache is exact: the gauge never moves *)
+  let aware = Cache.raid_aware ~scores:[| 5; 9; 1 |] () in
+  ignore (Cache.take_best aware);
+  check_bool "heap pick error is zero" true
+    ((Cache.stats aware).Cache.score_error_max = 0.0)
+
+let test_cache_stats_entries_and_space () =
+  let c = Cache.make ~space:3 (Cache.Raid_aware (Max_heap.of_scores [| 1; 2; 3 |])) in
+  check_int "space label" 3 (Cache.space c);
+  check_int "entries = heap size" 3 (Cache.stats c).Cache.entries;
+  ignore (Cache.take_best c);
+  check_int "entries after take" 2 (Cache.stats c).Cache.entries;
+  Cache.reset_stats c;
+  check_int "reset picks" 0 (Cache.stats c).Cache.picks
+
+(* The pre-telemetry constructors must keep working for one release. *)
+let test_cache_deprecated_aliases () =
+  let[@alert "-deprecated"] c = Cache.of_heap (Max_heap.of_scores [| 4; 8 |]) in
+  (match Cache.take_best c with
+  | Some (_, s) -> check_int "of_heap still picks" 8 s
+  | None -> Alcotest.fail "empty");
+  let[@alert "-deprecated"] o = Cache.ops c in
+  check_int "ops mirrors stats" 1 o.Cache.picks
 
 let () =
   let qsuite =
@@ -430,6 +484,11 @@ let () =
           Alcotest.test_case "dispatch" `Quick test_cache_dispatch;
           Alcotest.test_case "take and update" `Quick test_cache_take_and_update;
           Alcotest.test_case "auto replenish" `Quick test_cache_hbps_auto_replenish;
+          Alcotest.test_case "hbps score-error bound" `Quick
+            test_cache_hbps_score_error_bound;
+          Alcotest.test_case "stats entries and space" `Quick
+            test_cache_stats_entries_and_space;
+          Alcotest.test_case "deprecated aliases" `Quick test_cache_deprecated_aliases;
         ] );
       ( "properties", qsuite );
     ]

@@ -561,7 +561,11 @@ let test_fabric_pool_object_range () =
   check_bool "object range is raid-agnostic" true (obj.Aggregate.geometry = None);
   (* the object range's cache is an HBPS, not a heap *)
   (match obj.Aggregate.cache with
-  | Some cache -> check_bool "hbps cache" true (Wafl_aacache.Cache.hbps cache <> None)
+  | Some cache ->
+    check_bool "hbps cache" true
+      (match Wafl_aacache.Cache.backend cache with
+      | Wafl_aacache.Cache.Raid_agnostic _ -> true
+      | Wafl_aacache.Cache.Raid_aware _ -> false)
   | None -> Alcotest.fail "object range should have a cache");
   let vol = Fs.vol fs "v" in
   for offset = 0 to 2047 do

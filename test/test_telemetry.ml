@@ -1,0 +1,277 @@
+(* Tests for Wafl_telemetry: registry, tracer, exporters, and the
+   zero-allocation guarantee on the disabled pick path. *)
+
+open Wafl_telemetry
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* --- Registry --- *)
+
+let test_counter () =
+  let r = Registry.create () in
+  let c = Registry.counter r "cp.count" in
+  check_int "fresh" 0 (Registry.count c);
+  Registry.incr c;
+  Registry.add c 41;
+  check_int "incr+add" 42 (Registry.count c);
+  (* get-or-register returns the same underlying counter *)
+  Registry.incr (Registry.counter r "cp.count");
+  check_int "shared handle" 43 (Registry.count c);
+  Alcotest.check_raises "negative add" (Invalid_argument "Registry.add: negative increment")
+    (fun () -> Registry.add c (-1))
+
+let test_gauge () =
+  let r = Registry.create () in
+  let g = Registry.gauge r "err" in
+  Registry.set g 0.5;
+  Alcotest.(check (float 1e-9)) "set" 0.5 (Registry.value g);
+  Registry.set_max g 0.25;
+  Alcotest.(check (float 1e-9)) "set_max keeps larger" 0.5 (Registry.value g);
+  Registry.set_max g 0.75;
+  Alcotest.(check (float 1e-9)) "set_max takes larger" 0.75 (Registry.value g)
+
+let test_kind_clash () =
+  let r = Registry.create () in
+  ignore (Registry.counter r "x");
+  check_bool "gauge on counter name raises" true
+    (try
+       ignore (Registry.gauge r "x");
+       false
+     with Invalid_argument _ -> true)
+
+let test_histogram_buckets () =
+  let r = Registry.create () in
+  let h = Registry.histogram r "lat" in
+  (* bucket 0: v <= 0; bucket i >= 1: 2^(i-1) <= v < 2^i *)
+  List.iter (Registry.observe h) [ 0; 1; 1; 2; 3; 4; 7; 8; 1024 ];
+  check_int "observations" 9 (Registry.observations h);
+  check_int "sum" (0 + 1 + 1 + 2 + 3 + 4 + 7 + 8 + 1024) (Registry.sum h);
+  check_int "bucket 0 (<=0)" 1 (Registry.bucket h 0);
+  check_int "bucket 1 ([1,2))" 2 (Registry.bucket h 1);
+  check_int "bucket 2 ([2,4))" 2 (Registry.bucket h 2);
+  check_int "bucket 3 ([4,8))" 2 (Registry.bucket h 3);
+  check_int "bucket 4 ([8,16))" 1 (Registry.bucket h 4);
+  check_int "bucket 11 ([1024,2048))" 1 (Registry.bucket h 11);
+  check_int "lower bound 4" 8 (Registry.bucket_lower_bound 4);
+  Alcotest.(check (list (pair int int)))
+    "nonempty buckets"
+    [ (0, 1); (1, 2); (2, 2); (3, 2); (4, 1); (11, 1) ]
+    (Registry.nonempty_buckets h)
+
+let test_registry_enumeration () =
+  let r = Registry.create () in
+  ignore (Registry.counter r "a");
+  ignore (Registry.gauge r "b");
+  ignore (Registry.histogram r "c");
+  let names =
+    List.rev (Registry.fold r ~init:[] ~f:(fun acc m -> Registry.name m :: acc))
+  in
+  Alcotest.(check (list string)) "registration order" [ "a"; "b"; "c" ] names;
+  check_bool "find hit" true (Registry.find r "b" <> None);
+  check_bool "find miss" true (Registry.find r "zzz" = None);
+  let c = Registry.counter r "a" in
+  Registry.add c 5;
+  Registry.clear r;
+  check_int "clear zeroes, handle survives" 0 (Registry.count c)
+
+(* --- Tracer --- *)
+
+let test_tracer_ring () =
+  let t = Tracer.create ~capacity:4 ~enabled:true () in
+  Tracer.cp_begin t;
+  for aa = 0 to 5 do
+    Tracer.aa_pick t ~space:0 ~aa ~score:aa
+  done;
+  check_int "emitted counts overwritten" 7 (Tracer.emitted t);
+  check_int "retained bounded" 4 (Tracer.length t);
+  (* oldest first, and the cp_begin plus the first two picks fell off *)
+  let aas =
+    List.filter_map
+      (function Tracer.Aa_pick { aa; _ } -> Some aa | _ -> None)
+      (Tracer.to_list t)
+  in
+  Alcotest.(check (list int)) "oldest overwritten" [ 2; 3; 4; 5 ] aas
+
+let test_tracer_disabled_still_stamps () =
+  let t = Tracer.create ~capacity:8 () in
+  check_bool "default disabled" false (Tracer.enabled t);
+  Tracer.cp_begin t;
+  Tracer.cp_begin t;
+  Tracer.aa_pick t ~space:0 ~aa:1 ~score:1;
+  check_int "nothing retained" 0 (Tracer.length t);
+  Tracer.set_enabled t true;
+  Tracer.aa_pick t ~space:0 ~aa:1 ~score:1;
+  match Tracer.to_list t with
+  | [ Tracer.Aa_pick { cp; _ } ] -> check_int "cp stamp advanced while disabled" 2 cp
+  | _ -> Alcotest.fail "expected one pick event"
+
+(* --- installation and helpers --- *)
+
+let test_install_helpers () =
+  Telemetry.uninstall ();
+  (* all helpers are no-ops when nothing is installed *)
+  Telemetry.incr "c";
+  Telemetry.observe "h" 5;
+  let ran = ref false in
+  Telemetry.record ~label:"x" (fun () ->
+      ran := true;
+      []);
+  check_bool "record thunk skipped when uninstalled" false !ran;
+  let tel = Telemetry.create ~tracing:true () in
+  Telemetry.with_installed tel (fun () ->
+      check_bool "active" true (Telemetry.is_active ());
+      Telemetry.incr "c";
+      Telemetry.add "c" 2;
+      Telemetry.set_gauge "g" 1.5;
+      Telemetry.observe "h" 9;
+      Telemetry.trace_cp_begin ();
+      Telemetry.trace_aa_pick ~space:3 ~aa:7 ~score:100;
+      Telemetry.record ~label:"cp" (fun () -> [ ("k", Telemetry.Int 1) ]));
+  check_bool "uninstalled after" false (Telemetry.is_active ());
+  (match Registry.find (Telemetry.registry tel) "c" with
+  | Some (Registry.Counter c) -> check_int "counter through helpers" 3 (Registry.count c)
+  | _ -> Alcotest.fail "counter not registered");
+  check_int "one event traced" 1
+    (List.length
+       (List.filter
+          (function Tracer.Aa_pick _ -> true | _ -> false)
+          (Tracer.to_list (Telemetry.tracer tel))));
+  match Telemetry.snapshots tel with
+  | [ { Telemetry.seq = 1; label = "cp"; fields = [ ("k", Telemetry.Int 1) ] } ] -> ()
+  | _ -> Alcotest.fail "snapshot mismatch"
+
+(* --- exporters --- *)
+
+let sample_telemetry () =
+  let tel = Telemetry.create ~tracing:true () in
+  Telemetry.with_installed tel (fun () ->
+      Telemetry.add "cp.ops" 12;
+      Telemetry.set_gauge "cache.hbps.score_error_max" 0.03125;
+      Telemetry.observe "cp.blocks" 100;
+      Telemetry.observe "cp.blocks" 3;
+      Telemetry.trace_cp_begin ();
+      Telemetry.trace_aa_pick ~space:0 ~aa:5 ~score:900;
+      Telemetry.trace_cp_end ~ops:12 ~blocks:12 ~freed:0 ~pages:2 ~device_us:4.5;
+      Telemetry.record ~label:"cp" (fun () ->
+          [ ("ops", Telemetry.Int 12); ("err", Telemetry.Float 0.5);
+            ("media", Telemetry.String "hdd") ]));
+  tel
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec at i = i + n <= h && (String.sub haystack i n = needle || at (i + 1)) in
+  n = 0 || at 0
+
+let test_metrics_json () =
+  let json = Export.metrics_json (sample_telemetry ()) in
+  List.iter
+    (fun fragment ->
+      check_bool (Printf.sprintf "json contains %S" fragment) true
+        (contains ~needle:fragment json))
+    [
+      "\"cp.ops\": 12";
+      "\"cache.hbps.score_error_max\": 0.03125";
+      "\"cp.blocks\"";
+      "\"observations\": 2";
+      "\"sum\": 103";
+      "\"label\": \"cp\"";
+      "\"media\": \"hdd\"";
+      "\"emitted\": 3";
+    ];
+  (* crude structural validity: brackets and braces balance, no trailing comma *)
+  let depth = ref 0 in
+  String.iter
+    (fun ch ->
+      (match ch with '{' | '[' -> incr depth | '}' | ']' -> decr depth | _ -> ());
+      check_bool "never negative depth" true (!depth >= 0))
+    json;
+  check_int "balanced" 0 !depth
+
+let test_metrics_csv () =
+  let csv = Export.metrics_csv (sample_telemetry ()) in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  check_string "header" "kind,name,value" (List.hd lines);
+  check_bool "counter row" true (List.mem "counter,cp.ops,12" lines);
+  check_bool "histogram observations row" true
+    (List.mem "histogram,cp.blocks.observations,2" lines)
+
+let test_trace_exports () =
+  let tel = sample_telemetry () in
+  let csv = Export.trace_csv tel in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  check_int "header + 3 events" 4 (List.length lines);
+  check_string "header"
+    "event,cp,space,aa,score,ops,blocks,freed,pages,listed,tetrises,full_stripes,partial_stripes,aas,relocated,reclaimed,device_us"
+    (List.hd lines);
+  check_bool "pick row" true (List.mem "aa_pick,1,0,5,900,,,,,,,,,,,," lines);
+  let json = Export.trace_json tel in
+  check_bool "json array" true (json.[0] = '[')
+
+(* --- the zero-allocation guarantee (§4.1.2 analogue) --- *)
+
+let minor_words_during f =
+  let before = Gc.minor_words () in
+  f ();
+  Gc.minor_words () -. before
+
+let test_disabled_tracing_allocates_nothing () =
+  Telemetry.uninstall ();
+  let emit_all () =
+    for i = 1 to 10_000 do
+      Telemetry.trace_aa_pick ~space:0 ~aa:i ~score:i;
+      Telemetry.trace_cache_replenish ~space:0 ~listed:i;
+      Telemetry.trace_tetris_write ~space:0 ~tetrises:1 ~full_stripes:1 ~partial_stripes:0;
+      Telemetry.trace_free_commit ~space:0 ~freed:1 ~pages:1
+    done
+  in
+  emit_all () (* warm up: fault in any one-time allocation *);
+  let uninstalled = minor_words_during emit_all in
+  check_bool
+    (Printf.sprintf "uninstalled emitters allocate nothing (%.0f words)" uninstalled)
+    true (uninstalled = 0.0);
+  (* installed but tracing disabled: same guarantee on the pick path *)
+  let tel = Telemetry.create () in
+  Telemetry.with_installed tel (fun () ->
+      emit_all ();
+      let disabled = minor_words_during emit_all in
+      check_bool
+        (Printf.sprintf "disabled tracing allocates nothing (%.0f words)" disabled)
+        true (disabled = 0.0));
+  (* sanity: with tracing on the same loop does allocate (events are boxed) *)
+  let tel = Telemetry.create ~tracing:true () in
+  Telemetry.with_installed tel (fun () ->
+      let enabled = minor_words_during emit_all in
+      check_bool "enabled tracing allocates" true (enabled > 0.0))
+
+let () =
+  Alcotest.run "wafl_telemetry"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "kind clash" `Quick test_kind_clash;
+          Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "enumeration" `Quick test_registry_enumeration;
+        ] );
+      ( "tracer",
+        [
+          Alcotest.test_case "ring overwrite" `Quick test_tracer_ring;
+          Alcotest.test_case "disabled stamps cp" `Quick test_tracer_disabled_still_stamps;
+        ] );
+      ( "install",
+        [ Alcotest.test_case "helpers" `Quick test_install_helpers ] );
+      ( "export",
+        [
+          Alcotest.test_case "metrics json" `Quick test_metrics_json;
+          Alcotest.test_case "metrics csv" `Quick test_metrics_csv;
+          Alcotest.test_case "trace csv+json" `Quick test_trace_exports;
+        ] );
+      ( "overhead",
+        [
+          Alcotest.test_case "disabled tracing allocates nothing" `Quick
+            test_disabled_tracing_allocates_nothing;
+        ] );
+    ]
