@@ -6,6 +6,9 @@
      bench/main.exe full          run everything at full scale
      bench/main.exe micro         microbenchmarks only
      bench/main.exe telemetry     telemetry overhead (pick path + end-to-end)
+     bench/main.exe alloc [full]  allocation hot path: list queue vs harvest
+                                  ring; writes BENCH_alloc.json and asserts
+                                  the consume window allocates zero words
      bench/main.exe fig6|fig7|fig8|fig9|fig10|scalars [full]
 *)
 
@@ -193,12 +196,291 @@ let run_telemetry_overhead () =
       ("installed, tracing on", e2e_tracing);
     ]
 
+(* --- allocation hot path: list queue vs harvest ring (PR 2) ---
+
+   Two identically configured Best_aa aggregates run the same workload —
+   fill to 75% in CP-sized chunks, then free every other allocated block
+   and allocate them back — once through a faithful reconstruction of the
+   pre-harvest allocator (per-AA free VBNs gathered into an int list by
+   probing the bitmap per block, a second is_allocated check on every
+   pop, one list cell per block) and once through
+   Write_alloc.allocate_pvbns_into over the cursor ring.  Reports
+   ns/block and bitmap words read per block, asserts the ring-served
+   consume window allocates zero minor heap words, and writes the
+   numbers to BENCH_alloc.json. *)
+
+let cp_chunk = 4096
+
+let alloc_config scale =
+  let rg = Common.hdd_raid_group scale in
+  Wafl_core.Config.make ~raid_groups:[ rg ] ~aggregate_policy:Wafl_core.Config.Best_aa
+    ~seed:7 ()
+
+type list_cursor = { mutable queue : int list }
+
+let rec baseline_pick cache attempts =
+  if attempts = 0 then None
+  else
+    match Wafl_aacache.Cache.take_best cache with
+    | None -> None
+    | Some (aa, score) -> if score > 0 then Some aa else baseline_pick cache (attempts - 1)
+
+let rec baseline_refill agg (range : Wafl_core.Aggregate.range) cur =
+  match baseline_pick (Option.get range.Wafl_core.Aggregate.cache) 8 with
+  | None -> false
+  | Some aa ->
+    cur.queue <- Wafl_core.Aggregate.free_vbns_of_aa agg range aa;
+    cur.queue <> [] || baseline_refill agg range cur
+
+(* Mirrors the old Write_alloc.take_from_range: pops accumulate into a
+   list that is reversed to allocation order, with the per-pop metafile
+   re-check the list queue needed (it could be stale across CPs). *)
+let baseline_take agg range cur mf want =
+  let rec go acc want =
+    if want = 0 then acc
+    else
+      match cur.queue with
+      | pvbn :: rest ->
+        cur.queue <- rest;
+        if Wafl_bitmap.Metafile.is_allocated mf pvbn then go acc want
+        else begin
+          Wafl_core.Aggregate.allocate agg ~pvbn;
+          go (pvbn :: acc) (want - 1)
+        end
+      | [] -> if baseline_refill agg range cur then go acc want else acc
+  in
+  List.rev (go [] want)
+
+(* Free every other block of [allocated], commit, and return how many. *)
+let free_alternate agg allocated n =
+  let freed = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    Wafl_core.Aggregate.queue_free agg ~pvbn:allocated.(!i);
+    incr freed;
+    i := !i + 2
+  done;
+  ignore (Wafl_core.Aggregate.commit_frees agg);
+  !freed
+
+type alloc_run = {
+  fill_secs : float;
+  fill_blocks : int;
+  frag_secs : float;
+  frag_blocks : int;
+  fill_words : int; (* bitmap words read by the harvest kernels; 0 for baseline *)
+  frag_words : int;
+}
+
+(* The timed window per CP chunk is allocate + consumer walk + CP-boundary
+   cache update — the allocator hot path a CP writer pays.  Recording the
+   PVBNs for the later free phase is bench bookkeeping and stays outside
+   the timer. *)
+let run_alloc_baseline scale =
+  let agg = Wafl_core.Aggregate.create (alloc_config scale) in
+  let range = (Wafl_core.Aggregate.ranges agg).(0) in
+  let mf = Wafl_core.Aggregate.metafile agg in
+  let cur = { queue = [] } in
+  let fill_target = Wafl_core.Aggregate.total_blocks agg * 3 / 4 in
+  let allocated = Array.make fill_target 0 in
+  let sum = ref 0 in
+  let phase target =
+    let secs = ref 0.0 in
+    let got = ref 0 in
+    while !got < target do
+      let want = min cp_chunk (target - !got) in
+      let t0 = Unix.gettimeofday () in
+      let blocks = baseline_take agg range cur mf want in
+      (* the consumer walks the returned list *)
+      List.iter (fun pvbn -> sum := !sum lxor pvbn) blocks;
+      Wafl_core.Aggregate.cp_update_caches agg;
+      secs := !secs +. (Unix.gettimeofday () -. t0);
+      let k = ref !got in
+      List.iter
+        (fun pvbn ->
+          allocated.(!k) <- pvbn;
+          incr k)
+        blocks;
+      if !k = !got then failwith "bench alloc: baseline ran out of space";
+      got := !k
+    done;
+    !secs
+  in
+  let fill_secs = phase fill_target in
+  let frag_target = free_alternate agg allocated fill_target in
+  Wafl_core.Aggregate.cp_update_caches agg;
+  let frag_secs = phase frag_target in
+  ignore !sum;
+  {
+    fill_secs;
+    fill_blocks = fill_target;
+    frag_secs;
+    frag_blocks = frag_target;
+    fill_words = 0;
+    frag_words = 0;
+  }
+
+let run_alloc_harvest scale =
+  let agg = Wafl_core.Aggregate.create (alloc_config scale) in
+  let w = Wafl_core.Write_alloc.create agg ~rng:(Wafl_util.Rng.create ~seed:7) in
+  let fill_target = Wafl_core.Aggregate.total_blocks agg * 3 / 4 in
+  let allocated = Array.make fill_target 0 in
+  let dst = Array.make cp_chunk 0 in
+  let sum = ref 0 in
+  let phase target =
+    let secs = ref 0.0 in
+    let got = ref 0 in
+    while !got < target do
+      let want = min cp_chunk (target - !got) in
+      let t0 = Unix.gettimeofday () in
+      let n = Wafl_core.Write_alloc.allocate_pvbns_into w ~dst want in
+      (* the consumer reads the filled array *)
+      for i = 0 to n - 1 do
+        sum := !sum lxor dst.(i)
+      done;
+      Wafl_core.Write_alloc.cp_finish w;
+      secs := !secs +. (Unix.gettimeofday () -. t0);
+      if n = 0 then failwith "bench alloc: harvest ran out of space";
+      Array.blit dst 0 allocated !got n;
+      got := !got + n
+    done;
+    !secs
+  in
+  let words0 = Wafl_core.Write_alloc.words_scanned w in
+  let fill_secs = phase fill_target in
+  let fill_words = Wafl_core.Write_alloc.words_scanned w - words0 in
+  let frag_target = free_alternate agg allocated fill_target in
+  Wafl_core.Write_alloc.cp_finish w;
+  let words1 = Wafl_core.Write_alloc.words_scanned w in
+  let frag_secs = phase frag_target in
+  let frag_words = Wafl_core.Write_alloc.words_scanned w - words1 in
+  ignore !sum;
+  {
+    fill_secs;
+    fill_blocks = fill_target;
+    frag_secs;
+    frag_blocks = frag_target;
+    fill_words;
+    frag_words;
+  }
+
+(* The workloads are deterministic; best-of-5 takes the least
+   noise-polluted run of each phase. *)
+let best_of_5 run scale =
+  let rec go best k =
+    if k = 0 then best
+    else
+      let r = run scale in
+      go
+        {
+          r with
+          fill_secs = Float.min best.fill_secs r.fill_secs;
+          frag_secs = Float.min best.frag_secs r.frag_secs;
+        }
+        (k - 1)
+  in
+  go (run scale) 4
+
+(* Ring-served consume window must allocate nothing: warm call fills the
+   cursor ring (one quick-scale AA holds 4096 blocks), second call is
+   served entirely from it. *)
+let alloc_zero_alloc_words () =
+  let agg = Wafl_core.Aggregate.create (alloc_config Common.Quick) in
+  let w = Wafl_core.Write_alloc.create agg ~rng:(Wafl_util.Rng.create ~seed:7) in
+  let dst = Array.make 256 0 in
+  ignore (Wafl_core.Write_alloc.allocate_pvbns_into w ~dst 256);
+  let before = Gc.minor_words () in
+  ignore (Wafl_core.Write_alloc.allocate_pvbns_into w ~dst 256);
+  Gc.minor_words () -. before
+
+let ns_per_block secs blocks = secs /. float_of_int blocks *. 1e9
+
+let alloc_scale_json scale_name base harv =
+  let wpb w b = float_of_int w /. float_of_int b in
+  Printf.sprintf
+    {|    {
+      "scale": "%s",
+      "blocks": { "fill": %d, "refill": %d },
+      "baseline_list_queue": {
+        "fill_ns_per_block": %.1f,
+        "refill_ns_per_block": %.1f
+      },
+      "harvest_ring": {
+        "fill_ns_per_block": %.1f,
+        "refill_ns_per_block": %.1f,
+        "fill_words_per_block": %.3f,
+        "refill_words_per_block": %.3f
+      },
+      "speedup": { "fill": %.2f, "refill": %.2f, "overall": %.2f }
+    }|}
+    scale_name base.fill_blocks base.frag_blocks
+    (ns_per_block base.fill_secs base.fill_blocks)
+    (ns_per_block base.frag_secs base.frag_blocks)
+    (ns_per_block harv.fill_secs harv.fill_blocks)
+    (ns_per_block harv.frag_secs harv.frag_blocks)
+    (wpb harv.fill_words harv.fill_blocks)
+    (wpb harv.frag_words harv.frag_blocks)
+    (base.fill_secs /. harv.fill_secs)
+    (base.frag_secs /. harv.frag_secs)
+    ((base.fill_secs +. base.frag_secs) /. (harv.fill_secs +. harv.frag_secs))
+
+let run_alloc ~scale () =
+  Common.banner "Allocation hot path: list queue vs harvest ring (ns/block)";
+  let scales =
+    match scale with Common.Quick -> [ Common.Quick ] | Common.Full -> [ Common.Quick; Common.Full ]
+  in
+  let sections =
+    List.map
+      (fun s ->
+        let name = match s with Common.Quick -> "quick" | Common.Full -> "full" in
+        let base = best_of_5 run_alloc_baseline s in
+        let harv = best_of_5 run_alloc_harvest s in
+        Printf.printf "  [%s] fill   %8.1f -> %7.1f ns/block  (%.2fx, %.3f words/block)\n" name
+          (ns_per_block base.fill_secs base.fill_blocks)
+          (ns_per_block harv.fill_secs harv.fill_blocks)
+          (base.fill_secs /. harv.fill_secs)
+          (float_of_int harv.fill_words /. float_of_int harv.fill_blocks);
+        Printf.printf "  [%s] refill %8.1f -> %7.1f ns/block  (%.2fx, %.3f words/block)\n" name
+          (ns_per_block base.frag_secs base.frag_blocks)
+          (ns_per_block harv.frag_secs harv.frag_blocks)
+          (base.frag_secs /. harv.frag_secs)
+          (float_of_int harv.frag_words /. float_of_int harv.frag_blocks);
+        alloc_scale_json name base harv)
+      scales
+  in
+  let zero_words = alloc_zero_alloc_words () in
+  Printf.printf "  ring-served consume window: %.0f minor heap words allocated\n" zero_words;
+  let oc = open_out "BENCH_alloc.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "write-allocation hot path: list-queue baseline vs harvest-ring",
+  "workload": "fill one 4+1 HDD raid group to 75%% in 4096-block CPs, then free every other block and allocate them back",
+  "zero_alloc_minor_words": %.0f,
+  "scales": [
+%s
+  ]
+}
+|}
+    zero_words
+    (String.concat ",\n" sections);
+  close_out oc;
+  print_endline "  wrote BENCH_alloc.json";
+  if zero_words <> 0.0 then begin
+    Printf.eprintf
+      "FAIL: ring-served allocation window allocated %.0f minor words (expected 0)\n"
+      zero_words;
+    exit 1
+  end
+
 let () =
   let args = Array.to_list Sys.argv in
   let scale = if List.mem "full" args then Common.Full else Common.Quick in
   let has name = List.mem name args in
   let specific =
-    [ "micro"; "telemetry"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "scalars"; "ablation" ]
+    [
+      "micro"; "telemetry"; "alloc"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "scalars";
+      "ablation";
+    ]
   in
   let run_all = not (List.exists (fun a -> List.mem a specific) args) in
   if run_all || has "fig6" then Fig6.print (Fig6.run ~scale ());
@@ -209,4 +491,5 @@ let () =
   if run_all || has "scalars" then Scalars.print (Scalars.run ~scale ());
   if run_all || has "ablation" then Ablation.print (Ablation.run ~scale ());
   if run_all || has "micro" then run_micro ();
-  if run_all || has "telemetry" then run_telemetry_overhead ()
+  if run_all || has "telemetry" then run_telemetry_overhead ();
+  if run_all || has "alloc" then run_alloc ~scale ()

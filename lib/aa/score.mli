@@ -22,10 +22,19 @@ val create_delta : Topology.t -> delta
 val note_alloc : delta -> vbn:int -> unit
 (** A VBN was allocated: its AA's score will drop by one. *)
 
+val note_alloc_aa : delta -> aa:int -> unit
+(** {!note_alloc} for callers that already know the VBN's AA (the
+    write allocator's harvest rings hold whole-AA batches): skips the
+    VBN->AA division on the per-block hot path. *)
+
 val note_free : delta -> vbn:int -> unit
 (** A VBN was freed: its AA's score will rise by one. *)
 
 val is_empty : delta -> bool
+
+val mem : delta -> aa:int -> bool
+(** Whether the AA has a pending non-zero net change, i.e. whether the next
+    {!apply} will emit an update for it.  O(1), allocation-free. *)
 
 val fold : delta -> init:'a -> f:('a -> aa:int -> change:int -> 'a) -> 'a
 (** Visit every AA with a non-zero net change. *)

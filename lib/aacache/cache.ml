@@ -85,6 +85,11 @@ let peek_best_score t =
   | Raid_aware h -> Max_heap.best_score h
   | Raid_agnostic h -> Option.map snd (Hbps.pick_best h)
 
+let best_score t =
+  match t.backend with
+  | Raid_aware h -> Max_heap.top_score h
+  | Raid_agnostic h -> Hbps.top_score h
+
 let cp_update t updates =
   t.updates <- t.updates + List.length updates;
   match t.backend with

@@ -57,6 +57,11 @@ val peek_best_score : t -> int option
 (** Best available score without consuming (used for the RAID-group
     fragmentation throttle, §3.3.1). *)
 
+val best_score : t -> int
+(** Like {!peek_best_score} but 0 when the cache is empty and never boxes
+    an option — the write allocator's per-call range weighting stays
+    allocation-free. *)
+
 val cp_update : t -> (int * int) list -> unit
 (** CP-boundary batch: apply [(aa, new_score)] pairs and rebalance; for an
     HBPS, also replenish when the list is dry or stale. *)

@@ -72,6 +72,8 @@ let pick_best t = if t.count = 0 then None else begin
     Some (aa, t.score_of.(aa))
   end
 
+let top_score t = if t.count = 0 then 0 else t.score_of.(t.entries.(0))
+
 (* Remove the listed AA at entries position [p], belonging to bin [b].
    Fill the hole with the last element of b's segment, then shift each
    lower listed bin left by one (moving its last element to its front-1) so

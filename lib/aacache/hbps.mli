@@ -53,6 +53,10 @@ val pick_best : t -> (int * int) option
 (** First list entry: an AA from the highest populated range in the list,
     with its score.  Does not modify the cache. *)
 
+val top_score : t -> int
+(** Best listed score, or 0 when the list page is empty; never boxes an
+    option (allocation-free). *)
+
 val take_best : t -> (int * int) option
 (** Like {!pick_best} but removes the entry from the list page, so the next
     call yields a different AA.  The histogram is untouched — the AA's real

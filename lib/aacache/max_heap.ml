@@ -75,6 +75,7 @@ let of_scores scores =
 let peek_best t = if t.size = 0 then None else Some (t.aas.(0), t.scores.(0))
 
 let best_score t = Option.map snd (peek_best t)
+let top_score t = if t.size = 0 then 0 else t.scores.(0)
 
 let remove_at t i =
   let aa = t.aas.(i) in

@@ -27,6 +27,10 @@ val peek_best : t -> (int * int) option
 
 val best_score : t -> int option
 
+val top_score : t -> int
+(** Best score, or 0 when the heap is empty.  Unlike {!best_score} this
+    never boxes an option — safe on allocation-free paths. *)
+
 val extract_best : t -> (int * int) option
 (** Remove and return the best entry. *)
 

@@ -24,6 +24,12 @@ let allocate t vbn =
     invalid_arg "Activemap.allocate: VBN has a pending free";
   Metafile.allocate t.metafile vbn
 
+(* Trusted hot-path variant: a free VBN cannot have a pending free
+   (queue_free only accepts allocated VBNs), so when the caller
+   guarantees the VBN is free — harvest rings do — both checks above are
+   redundant. *)
+let[@inline] allocate_harvested t vbn = Metafile.allocate_harvested t.metafile vbn
+
 let queue_free t vbn =
   if not (Metafile.is_allocated t.metafile vbn) then
     invalid_arg "Activemap.queue_free: VBN not allocated";

@@ -30,6 +30,11 @@ val allocate : t -> int -> unit
     have a pending free (a freshly freed block is not reusable until the
     freeing CP commits). *)
 
+val allocate_harvested : t -> int -> unit
+(** Trusted {!allocate} for the write-allocation hot path: the caller
+    guarantees the VBN is free, which (since only allocated VBNs can be
+    queued) also rules out a pending free; both checks are skipped. *)
+
 val queue_free : t -> int -> unit
 (** Queue a VBN to be freed at the next commit.  It must currently be
     allocated; queuing the same VBN twice is an error. *)

@@ -14,11 +14,11 @@ let length t = t.bits
 
 let check t i = if i < 0 || i >= t.bits then invalid_arg "Bitmap: index out of bounds"
 
-let get t i =
+let[@inline] get t i =
   check t i;
   Char.code (Bytes.unsafe_get t.data (i lsr 3)) land (1 lsl (i land 7)) <> 0
 
-let set t i =
+let[@inline] set t i =
   check t i;
   let byte = i lsr 3 in
   let v = Char.code (Bytes.unsafe_get t.data byte) lor (1 lsl (i land 7)) in
@@ -34,22 +34,27 @@ let check_range t ~start ~len =
   if start < 0 || len < 0 || start + len > t.bits then
     invalid_arg "Bitmap: range out of bounds"
 
+(* OR (value) or AND-NOT (not value) an 8-bit mask into one backing byte. *)
+let apply_byte_mask t byte mask ~value =
+  let cur = Char.code (Bytes.unsafe_get t.data byte) in
+  let v = if value then cur lor mask else cur land lnot mask land 0xff in
+  Bytes.unsafe_set t.data byte (Char.unsafe_chr v)
+
 let fill_range t ~start ~len ~value =
   check_range t ~start ~len;
-  (* Handle the ragged head and tail bit-by-bit; fill whole bytes in bulk. *)
-  let finish = start + len in
-  let head_end = min finish (Bitops.round_up start 8) in
-  for i = start to head_end - 1 do
-    if value then set t i else clear t i
-  done;
-  if head_end < finish then begin
-    let tail_start = max head_end (Bitops.round_down finish 8) in
-    let byte_lo = head_end lsr 3 and byte_hi = tail_start lsr 3 in
-    if byte_hi > byte_lo then
-      Bytes.fill t.data byte_lo (byte_hi - byte_lo) (if value then '\255' else '\000');
-    for i = tail_start to finish - 1 do
-      if value then set t i else clear t i
-    done
+  if len > 0 then begin
+    (* Ragged head and tail as masked byte updates; whole bytes in bulk. *)
+    let finish = start + len in
+    let b0 = start lsr 3 and b1 = (finish - 1) lsr 3 in
+    let head_mask = 0xff lsl (start land 7) land 0xff in
+    let tail_mask = 0xff lsr (7 - ((finish - 1) land 7)) in
+    if b0 = b1 then apply_byte_mask t b0 (head_mask land tail_mask) ~value
+    else begin
+      apply_byte_mask t b0 head_mask ~value;
+      if b1 > b0 + 1 then
+        Bytes.fill t.data (b0 + 1) (b1 - b0 - 1) (if value then '\255' else '\000');
+      apply_byte_mask t b1 tail_mask ~value
+    end
   end
 
 let set_range t ~start ~len = fill_range t ~start ~len ~value:true
@@ -57,64 +62,58 @@ let clear_range t ~start ~len = fill_range t ~start ~len ~value:false
 
 let word t w = Bytes.get_int64_le t.data (w * 8)
 
+(* All-ones below bit [i+1]: mask selecting word bits [0, i]. *)
+let low_mask64 i = Int64.shift_right_logical (-1L) (63 - i)
+
 let count_set_in t ~start ~len =
   check_range t ~start ~len;
   if len = 0 then 0
   else begin
     let finish = start + len in
-    let count = ref 0 in
-    let head_end = min finish (Bitops.round_up start 64) in
-    for i = start to head_end - 1 do
-      if get t i then incr count
-    done;
-    if head_end < finish then begin
-      let tail_start = max head_end (Bitops.round_down finish 64) in
-      let w = ref (head_end / 64) in
-      while !w < tail_start / 64 do
-        count := !count + Bitops.popcount64 (word t !w);
-        incr w
+    let w0 = start / 64 and w1 = (finish - 1) / 64 in
+    (* Ragged edges as masked popcounts — no per-bit loop, no re-checks. *)
+    let head_mask = Int64.shift_left (-1L) (start land 63) in
+    let tail_mask = low_mask64 ((finish - 1) land 63) in
+    if w0 = w1 then Bitops.popcount64 (Int64.logand (word t w0) (Int64.logand head_mask tail_mask))
+    else begin
+      let count = ref (Bitops.popcount64 (Int64.logand (word t w0) head_mask)) in
+      for w = w0 + 1 to w1 - 1 do
+        count := !count + Bitops.popcount64 (word t w)
       done;
-      for i = tail_start to finish - 1 do
-        if get t i then incr count
-      done
-    end;
-    !count
+      !count + Bitops.popcount64 (Int64.logand (word t w1) tail_mask)
+    end
   end
 
 let count_set t = count_set_in t ~start:0 ~len:t.bits
 let count_clear_in t ~start ~len = len - count_set_in t ~start ~len
 
 (* Scan for the first bit at index >= from whose value matches [target].
-   Skips whole words of the opposite value. *)
+   One ctz per candidate word: matching bits of a word are exposed by
+   XORing with the all-ones pattern for a clear-scan (so a match is always
+   a set bit), and the ragged head is a mask, not a per-bit loop. *)
 let find_first t ~from ~target =
   if from < 0 then invalid_arg "Bitmap: negative index";
   if from >= t.bits then None
   else begin
-    let skip_word = if target then 0L else -1L in
-    let rec scan_words w =
-      if w * 64 >= t.bits then None
-      else if word t w = skip_word then scan_words (w + 1)
-      else begin
-        let base = w * 64 in
-        let rec scan_bits i =
-          if i >= 64 || base + i >= t.bits then scan_words (w + 1)
-          else if get t (base + i) = target then Some (base + i)
-          else scan_bits (i + 1)
-        in
-        scan_bits 0
+    let xor_mask = if target then 0L else -1L in
+    let nwords = Bytes.length t.data / 8 in
+    let rec scan w cand =
+      if cand <> 0L then begin
+        (* Tail bits past [bits] are stored clear, so an inverted scan can
+           surface them in the final word; they are out of bounds. *)
+        let i = (w * 64) + Bitops.ctz64 cand in
+        if i < t.bits then Some i else None
       end
+      else if w + 1 >= nwords then None
+      else scan (w + 1) (Int64.logxor (word t (w + 1)) xor_mask)
     in
-    (* Ragged prefix up to the next word boundary; if that boundary is the
-       end of the map there is nothing left for the word scan (and letting it
-       run would revisit bits below [from]). *)
-    let head_end = min t.bits (Bitops.round_up (from + 1) 64) in
-    let rec scan_head i =
-      if i >= head_end then
-        if head_end >= t.bits then None else scan_words (head_end / 64)
-      else if get t i = target then Some i
-      else scan_head (i + 1)
+    let w0 = from / 64 in
+    let head =
+      Int64.logand
+        (Int64.logxor (word t w0) xor_mask)
+        (Int64.shift_left (-1L) (from land 63))
     in
-    scan_head from
+    scan w0 head
   end
 
 let find_first_clear t ~from = find_first t ~from ~target:false
@@ -147,6 +146,72 @@ let free_extents t ~start ~len =
         Wafl_block.Extent.make ~start:run_start ~len:run_len :: acc)
   in
   List.rev runs
+
+(* --- word-at-a-time free-block harvest kernels (the §3.3 hot path) --- *)
+
+let iter_clear_words t ~start ~len ~f =
+  check_range t ~start ~len;
+  if len > 0 then begin
+    let finish = start + len in
+    let w0 = start / 64 and w1 = (finish - 1) / 64 in
+    for w = w0 to w1 do
+      let m = Int64.lognot (word t w) in
+      let m = if w = w0 then Int64.logand m (Int64.shift_left (-1L) (start land 63)) else m in
+      let m = if w = w1 then Int64.logand m (low_mask64 ((finish - 1) land 63)) else m in
+      if m <> 0L then f ~base:(w * 64) ~mask:m
+    done
+  end
+
+let fold_clear_in t ~start ~len ~init ~f =
+  let acc = ref init in
+  iter_clear_words t ~start ~len ~f:(fun ~base ~mask ->
+      let m = ref mask in
+      while !m <> 0L do
+        acc := f !acc (base + Bitops.ctz64 !m);
+        m := Int64.logand !m (Int64.sub !m 1L)
+      done);
+  !acc
+
+(* The zero-allocation variants below avoid [int64] entirely (int64 values
+   are boxed): the scan works in 32-bit chunks assembled byte-by-byte into
+   immediate native ints, at any bit offset, so a RAID-aware harvest can
+   read a chunk of each device's extent without alignment gymnastics. *)
+
+let clear_mask32 t pos =
+  if pos < 0 || pos >= t.bits then invalid_arg "Bitmap: index out of bounds";
+  let data = t.data in
+  let n = Bytes.length data in
+  let byte = pos lsr 3 in
+  let b0 = Char.code (Bytes.unsafe_get data byte) in
+  let b1 = if byte + 1 < n then Char.code (Bytes.unsafe_get data (byte + 1)) else 0 in
+  let b2 = if byte + 2 < n then Char.code (Bytes.unsafe_get data (byte + 2)) else 0 in
+  let b3 = if byte + 3 < n then Char.code (Bytes.unsafe_get data (byte + 3)) else 0 in
+  let b4 = if byte + 4 < n then Char.code (Bytes.unsafe_get data (byte + 4)) else 0 in
+  let raw = b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24) lor (b4 lsl 32) in
+  let free = lnot (raw lsr (pos land 7)) land 0xFFFFFFFF in
+  let remaining = t.bits - pos in
+  if remaining >= 32 then free else free land ((1 lsl remaining) - 1)
+
+let harvest_clear_into t ~start ~len ~offset ~dst ~pos =
+  check_range t ~start ~len;
+  let finish = start + len in
+  let rec emit base m pos =
+    if m = 0 then pos
+    else begin
+      dst.(pos) <- base + Bitops.ctz m;
+      emit base (m land (m - 1)) (pos + 1)
+    end
+  in
+  let rec chunks i pos =
+    if i >= finish then pos
+    else begin
+      let m = clear_mask32 t i in
+      let chunk = finish - i in
+      let m = if chunk < 32 then m land ((1 lsl chunk) - 1) else m in
+      chunks (i + 32) (emit (offset + i) m pos)
+    end
+  in
+  chunks start pos
 
 let copy t = { bits = t.bits; data = Bytes.copy t.data }
 

@@ -44,6 +44,33 @@ val fold_free_runs :
   t -> start:int -> len:int -> init:'a -> f:('a -> run_start:int -> run_len:int -> 'a) -> 'a
 (** Fold over maximal clear runs inside the range without allocating. *)
 
+(** {2 Word-at-a-time free-bit harvest (the allocator hot path)}
+
+    The allocator consumes every free VBN of an AA; materializing them by
+    probing bits one at a time costs a bounds check and a byte load per
+    {e block}.  These kernels walk the backing words instead, masking the
+    ragged edges, so the cost is per 32/64-bit {e word}. *)
+
+val iter_clear_words : t -> start:int -> len:int -> f:(base:int -> mask:int64 -> unit) -> unit
+(** Visit each 64-bit backing word overlapping the range whose clear-bit
+    mask (restricted to the range) is non-zero.  [mask] bit [i] set means
+    bit [base + i] of the bitmap is clear and inside the range. *)
+
+val fold_clear_in : t -> start:int -> len:int -> init:'a -> f:('a -> int -> 'a) -> 'a
+(** Fold over the indices of clear bits in the range, ascending, via
+    {!iter_clear_words} + ctz — never per-bit [get]. *)
+
+val clear_mask32 : t -> int -> int
+(** 32-bit clear-bit mask at an arbitrary bit position: result bit [i] is
+    set iff bit [pos + i] is in bounds and clear.  Works on immediate
+    native ints only (an [int64] would be boxed), so calling it allocates
+    nothing — the primitive under the zero-allocation harvest. *)
+
+val harvest_clear_into : t -> start:int -> len:int -> offset:int -> dst:int array -> pos:int -> int
+(** Append [offset + i] to [dst] (starting at index [pos]) for every clear
+    bit [i] in the range, ascending; returns the new fill position.  The
+    steady-state loop allocates no heap words per emitted index. *)
+
 val copy : t -> t
 
 val equal : t -> t -> bool

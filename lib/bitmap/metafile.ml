@@ -6,6 +6,7 @@ type io_stats = { page_writes : int; page_reads : int; flushes : int }
 type t = {
   map : Bitmap.t;
   page_bits : int;
+  page_shift : int;  (* log2 page_bits, or -1 when page_bits is not a power of 2 *)
   n_pages : int;
   dirty : Bitmap.t;  (* one bit per metafile page *)
   mutable n_dirty : int;
@@ -20,6 +21,8 @@ let create ?(page_bits = Units.bits_per_metafile_block) ~blocks () =
   {
     map = Bitmap.create ~bits:blocks;
     page_bits;
+    page_shift =
+      (if page_bits land (page_bits - 1) = 0 then Bitops.ctz page_bits else -1);
     n_pages;
     dirty = Bitmap.create ~bits:n_pages;
     n_dirty = 0;
@@ -34,7 +37,7 @@ let page_bits t = t.page_bits
 
 let page_of_block t vbn =
   if vbn < 0 || vbn >= blocks t then invalid_arg "Metafile: VBN out of bounds";
-  vbn / t.page_bits
+  if t.page_shift >= 0 then vbn lsr t.page_shift else vbn / t.page_bits
 
 let mark_dirty t page =
   if not (Bitmap.get t.dirty page) then begin
@@ -48,6 +51,14 @@ let allocate t vbn =
   if Bitmap.get t.map vbn then invalid_arg "Metafile.allocate: VBN already allocated";
   Bitmap.set t.map vbn;
   mark_dirty t (page_of_block t vbn)
+
+(* Trusted hot-path variant: the caller guarantees [vbn] is currently
+   free (harvest rings only hold free blocks, revalidated on epoch
+   change), so the already-allocated re-check of {!allocate} is skipped.
+   [Bitmap.set] still bounds-checks the index. *)
+let[@inline] allocate_harvested t vbn =
+  Bitmap.set t.map vbn;
+  mark_dirty t (if t.page_shift >= 0 then vbn lsr t.page_shift else vbn / t.page_bits)
 
 let free t vbn =
   if not (Bitmap.get t.map vbn) then invalid_arg "Metafile.free: VBN already free";
@@ -64,6 +75,11 @@ let allocate_range t ~start ~len =
     done
 
 let free_count t ~start ~len = Bitmap.count_clear_in t.map ~start ~len
+let fold_free_in t ~start ~len ~init ~f = Bitmap.fold_clear_in t.map ~start ~len ~init ~f
+let free_mask32 t pos = Bitmap.clear_mask32 t.map pos
+
+let harvest_free_into t ~start ~len ~offset ~dst ~pos =
+  Bitmap.harvest_clear_into t.map ~start ~len ~offset ~dst ~pos
 let used_count t ~start ~len = Bitmap.count_set_in t.map ~start ~len
 let free_extents t ~start ~len = Bitmap.free_extents t.map ~start ~len
 let find_first_free t ~from = Bitmap.find_first_clear t.map ~from

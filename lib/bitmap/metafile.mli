@@ -39,6 +39,12 @@ val is_allocated : t -> int -> bool
 val allocate : t -> int -> unit
 (** Mark a VBN allocated; it must currently be free.  Dirties its page. *)
 
+val allocate_harvested : t -> int -> unit
+(** Trusted {!allocate} for the write-allocation hot path: the caller
+    guarantees the VBN is currently free (harvest rings only hold free
+    blocks), so the already-allocated check is skipped.  Still
+    bounds-checked and still dirties the page. *)
+
 val free : t -> int -> unit
 (** Mark a VBN free; it must currently be allocated.  Dirties its page. *)
 
@@ -50,6 +56,19 @@ val free_count : t -> start:int -> len:int -> int
     (in-memory map); use {!scan_read} to model reading pages from media. *)
 
 val used_count : t -> start:int -> len:int -> int
+
+val fold_free_in : t -> start:int -> len:int -> init:'a -> f:('a -> int -> 'a) -> 'a
+(** Fold over free VBNs in a range, ascending, word-at-a-time
+    ({!Bitmap.fold_clear_in}). *)
+
+val free_mask32 : t -> int -> int
+(** 32-bit free mask at a VBN ({!Bitmap.clear_mask32}): bit [i] set iff
+    VBN [pos + i] is in bounds and free.  Allocation-free. *)
+
+val harvest_free_into : t -> start:int -> len:int -> offset:int -> dst:int array -> pos:int -> int
+(** Emit [offset + vbn] for every free VBN of the range into [dst] from
+    index [pos], ascending; returns the new fill position.  The
+    zero-allocation batch gather under the AA harvest cursor. *)
 
 val free_extents : t -> start:int -> len:int -> Wafl_block.Extent.t list
 (** Maximal free runs inside a range. *)

@@ -136,14 +136,15 @@ let total_blocks t = t.total_blocks
 let activemap t = t.activemap
 let metafile t = Activemap.metafile t.activemap
 
+(* Ranges are few; a linear scan is fine.  Top-level (closure-free) because
+   this sits under every [allocate] on the zero-allocation hot path. *)
+let rec find_range ranges i pvbn =
+  let r = ranges.(i) in
+  if pvbn < r.base + r.blocks then r else find_range ranges (i + 1) pvbn
+
 let range_of_pvbn t pvbn =
   if pvbn < 0 || pvbn >= t.total_blocks then invalid_arg "Aggregate: PVBN out of bounds";
-  (* ranges are few; linear scan is fine *)
-  let rec go i =
-    let r = t.ranges.(i) in
-    if pvbn < r.base + r.blocks then r else go (i + 1)
-  in
-  go 0
+  find_range t.ranges 0 pvbn
 
 let to_local range pvbn =
   let local = pvbn - range.base in
@@ -163,6 +164,15 @@ let allocate t ~pvbn =
   Activemap.allocate t.activemap pvbn;
   let r = range_of_pvbn t pvbn in
   Score.note_alloc r.delta ~vbn:(to_local r pvbn)
+
+(* Hot-path allocate for a PVBN popped from a harvest ring: the cursor
+   already knows the range and the AA (rings hold one AA's blocks), and
+   ring entries are free by construction (revalidation filters stale
+   ones), so the range scan, the VBN->AA divisions, and the
+   already-allocated re-check all drop out. *)
+let[@inline] allocate_harvested t range ~aa ~pvbn =
+  Activemap.allocate_harvested t.activemap pvbn;
+  Score.note_alloc_aa range.delta ~aa
 
 let queue_free t ~pvbn = Activemap.queue_free t.activemap pvbn
 
@@ -184,30 +194,6 @@ let cp_update_caches t =
       | None -> ())
     t.ranges
 
-let rebuild_caches t =
-  Telemetry.incr "aggregate.cache_rebuilds";
-  let mf = metafile t in
-  Array.iter
-    (fun r ->
-      Score.clear r.delta;
-      for aa = 0 to Topology.aa_count r.topology - 1 do
-        let fresh =
-          List.fold_left
-            (fun acc e ->
-              acc
-              + Metafile.free_count mf
-                  ~start:(to_global r (Wafl_block.Extent.start e))
-                  ~len:(Wafl_block.Extent.len e))
-            0
-            (Topology.extents_of_aa r.topology aa)
-        in
-        r.scores.(aa) <- fresh
-      done;
-      r.cache <- Some (build_cache r))
-    t.ranges
-
-let disable_caches t = Array.iter (fun r -> r.cache <- None) t.ranges
-
 let aa_score_now t range aa =
   let mf = metafile t in
   List.fold_left
@@ -219,6 +205,19 @@ let aa_score_now t range aa =
     0
     (Topology.extents_of_aa range.topology aa)
 
+let rebuild_caches t =
+  Telemetry.incr "aggregate.cache_rebuilds";
+  Array.iter
+    (fun r ->
+      Score.clear r.delta;
+      for aa = 0 to Topology.aa_count r.topology - 1 do
+        r.scores.(aa) <- aa_score_now t r aa
+      done;
+      r.cache <- Some (build_cache r))
+    t.ranges
+
+let disable_caches t = Array.iter (fun r -> r.cache <- None) t.ranges
+
 let free_vbns_of_aa t range aa =
   let mf = metafile t in
   let acc = ref [] in
@@ -226,3 +225,58 @@ let free_vbns_of_aa t range aa =
       let pvbn = to_global range local in
       if not (Metafile.is_allocated mf pvbn) then acc := pvbn :: !acc);
   List.rev !acc
+
+(* Batch-harvest an AA's free PVBNs into [dst] in allocation order, reading
+   the bitmap a word at a time instead of probing per block.  RAID-agnostic
+   AAs are one contiguous extent; RAID-aware AAs interleave one extent per
+   data device in stripe-major order, so the scan merges a 32-stripe free
+   mask per device: the OR across devices says which stripes have any free
+   block, and one ctz per such stripe replaces 32 * devices bit probes.
+   Adds words (32-bit masks) read to [words].  The per-block inner loop
+   allocates nothing; only the per-AA setup does (a small mask array). *)
+let harvest_free_of_aa t range aa ~dst ~words =
+  if aa < 0 || aa >= Topology.aa_count range.topology then
+    invalid_arg "Aggregate.harvest_free_of_aa: AA index out of bounds";
+  let mf = metafile t in
+  match range.topology with
+  | Topology.Raid_agnostic { total_blocks; aa_blocks } ->
+    let start = aa * aa_blocks in
+    let len = min aa_blocks (total_blocks - start) in
+    words := !words + Wafl_util.Bitops.ceil_div len 32;
+    Metafile.harvest_free_into mf ~start:(range.base + start) ~len ~offset:0 ~dst ~pos:0
+  | Topology.Raid_aware { geometry; aa_stripes } ->
+    let first = aa * aa_stripes in
+    let count = min aa_stripes (Geometry.stripes geometry - first) in
+    let devices = Geometry.data_devices geometry in
+    let device_blocks = Geometry.device_blocks geometry in
+    let masks = Array.make devices 0 in
+    let pos = ref 0 in
+    let s = ref first in
+    let finish = first + count in
+    while !s < finish do
+      let chunk = min 32 (finish - !s) in
+      let chunk_mask = if chunk < 32 then (1 lsl chunk) - 1 else 0xFFFFFFFF in
+      let or_mask = ref 0 in
+      for d = 0 to devices - 1 do
+        let m =
+          Metafile.free_mask32 mf (range.base + (d * device_blocks) + !s) land chunk_mask
+        in
+        masks.(d) <- m;
+        or_mask := !or_mask lor m
+      done;
+      words := !words + devices;
+      while !or_mask <> 0 do
+        let b = Wafl_util.Bitops.ctz !or_mask in
+        let bit = 1 lsl b in
+        let stripe_vbn = range.base + !s + b in
+        for d = 0 to devices - 1 do
+          if masks.(d) land bit <> 0 then begin
+            dst.(!pos) <- stripe_vbn + (d * device_blocks);
+            incr pos
+          end
+        done;
+        or_mask := !or_mask land lnot bit
+      done;
+      s := !s + 32
+    done;
+    !pos

@@ -52,6 +52,12 @@ val allocate : t -> pvbn:int -> unit
 (** Mark a PVBN allocated; records the score decrement in its range's
     delta. *)
 
+val allocate_harvested : t -> range -> aa:int -> pvbn:int -> unit
+(** Trusted {!allocate} for the write allocator's harvest rings: the
+    caller names the PVBN's range and AA and guarantees the PVBN is
+    free, skipping the range scan, the VBN->AA divisions, and the
+    already-allocated re-check on the per-block hot path. *)
+
 val queue_free : t -> pvbn:int -> unit
 (** Queue a PVBN free for the next CP. *)
 
@@ -73,7 +79,16 @@ val disable_caches : t -> unit
 
 val free_vbns_of_aa : t -> range -> int -> int list
 (** Aggregate PVBNs free in the given range-local AA right now, in
-    allocation order (stripe-major for RAID ranges, ascending otherwise). *)
+    allocation order (stripe-major for RAID ranges, ascending otherwise).
+    Materializes a list by probing the bitmap per block; the allocator's
+    hot path uses {!harvest_free_of_aa} instead. *)
+
+val harvest_free_of_aa : t -> range -> int -> dst:int array -> words:int ref -> int
+(** Batch variant of {!free_vbns_of_aa}: fill [dst] (which must hold at
+    least the AA's capacity) with the AA's free PVBNs in the same
+    allocation order, word-at-a-time, and return how many were written.
+    Adds the number of 32-bit bitmap words read to [words].  The per-block
+    loop performs no heap allocation — the §3.3 harvest-cursor kernel. *)
 
 val aa_score_now : t -> range -> int -> int
 (** Recompute an AA's score from the bitmap (bypasses the cached array). *)

@@ -76,6 +76,12 @@ let reserve_vvbn t ~vvbn =
   Activemap.allocate t.activemap vvbn;
   Score.note_alloc t.delta ~vbn:vvbn
 
+(* Trusted hot-path variant mirroring [Aggregate.allocate_harvested]:
+   the harvest cursor knows the AA and guarantees the VVBN is free. *)
+let reserve_harvested t ~aa ~vvbn =
+  Activemap.allocate_harvested t.activemap vvbn;
+  Score.note_alloc_aa t.delta ~aa
+
 let attach_reserved t ~vvbn ~pvbn =
   if not (Activemap.is_allocated t.activemap vvbn) then
     invalid_arg "Flexvol.attach_reserved: VVBN not reserved";
@@ -131,6 +137,19 @@ let free_vvbns_of_aa t aa =
   Topology.iter_aa_vbns t.topology aa ~f:(fun vvbn ->
       if not (Metafile.is_allocated mf vvbn) then acc := vvbn :: !acc);
   List.rev !acc
+
+let harvest_free_of_aa t aa ~dst ~words =
+  match t.topology with
+  | Topology.Raid_agnostic { total_blocks; aa_blocks } ->
+    let start = aa * aa_blocks in
+    if start < 0 || start >= total_blocks then
+      invalid_arg "Flexvol.harvest_free_of_aa: AA index out of bounds";
+    let len = min aa_blocks (total_blocks - start) in
+    words := !words + Wafl_util.Bitops.ceil_div len 32;
+    Metafile.harvest_free_into (metafile t) ~start ~len ~offset:0 ~dst ~pos:0
+  | Topology.Raid_aware _ ->
+    (* create only ever builds RAID-agnostic volume topologies *)
+    assert false
 
 (* --- snapshots ---
 

@@ -34,6 +34,11 @@ val reserve_vvbn : t -> vvbn:int -> unit
     before its container entry exists.  Prevents the allocator from
     offering the same VVBN twice across AA re-picks. *)
 
+val reserve_harvested : t -> aa:int -> vvbn:int -> unit
+(** Trusted {!reserve_vvbn} for the write allocator's harvest rings: the
+    caller names the VVBN's AA and guarantees it is free, skipping the
+    VVBN->AA division and the already-allocated re-check. *)
+
 val attach_reserved : t -> vvbn:int -> pvbn:int -> unit
 (** Install the container entry for a previously reserved VVBN. *)
 
@@ -65,6 +70,12 @@ val rebuild_cache : t -> unit
 
 val free_vvbns_of_aa : t -> int -> int list
 (** Currently-free VVBNs of an AA, ascending. *)
+
+val harvest_free_of_aa : t -> int -> dst:int array -> words:int ref -> int
+(** Batch variant of {!free_vvbns_of_aa}: fill [dst] (sized to at least
+    the AA capacity) with the AA's free VVBNs, ascending, word-at-a-time;
+    returns the count and adds bitmap words read to [words].  Allocation-
+    free per block. *)
 
 (** {2 Snapshots}
 

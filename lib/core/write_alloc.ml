@@ -4,10 +4,17 @@ open Wafl_aa
 open Wafl_aacache
 open Wafl_telemetry
 
-(* Per-range (or per-volume) allocation cursor: the free VBNs of the AA
-   currently being filled, plus the AAs taken since the last CP. *)
+(* Per-range (or per-volume) allocation cursor: a preallocated ring holding
+   the free VBNs of the AA currently being filled (harvested word-at-a-time,
+   consumed front to back), plus the AAs taken since the last CP.  The ring
+   is sized to a full AA once, at cursor creation, so the steady-state
+   pick -> harvest -> allocate loop allocates no per-block heap words. *)
 type cursor = {
-  mutable queue : int list;       (* free VBNs still to hand out *)
+  mutable ring : int array;       (* harvested free VBNs; [head, len) live *)
+  mutable head : int;
+  mutable len : int;
+  mutable ring_aa : int;          (* the AA the live entries belong to *)
+  mutable ring_epoch : int;       (* CP epoch the live entries were harvested in *)
   taken : (int, unit) Hashtbl.t;  (* AAs checked out of the cache *)
   mutable scan_pos : int;         (* First_fit scan position *)
 }
@@ -17,6 +24,12 @@ type t = {
   rng : Rng.t;
   cursors : cursor array;                 (* one per physical range *)
   mutable vols : (Flexvol.t * cursor) list;
+  mutable epoch : int;                    (* bumped at every cp_finish *)
+  words : int ref;                        (* cumulative 32-bit bitmap words read *)
+  mutable harvested : int;                (* cumulative VBNs harvested into rings *)
+  elig : int array;                       (* scratch: eligible range indices *)
+  weight : int array;                     (* scratch: weight per eligible entry *)
+  mutable scratch : int array;            (* scratch for the list-returning wrappers *)
   mutable phys_taken : int;
   mutable phys_score_sum : int;
   mutable virt_taken : int;
@@ -24,14 +37,34 @@ type t = {
   mutable candidates_scanned : int;
 }
 
-let new_cursor () = { queue = []; taken = Hashtbl.create 16; scan_pos = 0 }
+let new_cursor ~capacity =
+  {
+    ring = Array.make (max 1 capacity) 0;
+    head = 0;
+    len = 0;
+    ring_aa = 0;
+    ring_epoch = 0;
+    taken = Hashtbl.create 16;
+    scan_pos = 0;
+  }
 
 let create aggregate ~rng =
+  let ranges = Aggregate.ranges aggregate in
   {
     aggregate;
     rng;
-    cursors = Array.map (fun _ -> new_cursor ()) (Aggregate.ranges aggregate);
+    cursors =
+      Array.map
+        (fun (r : Aggregate.range) ->
+          new_cursor ~capacity:(Topology.full_aa_capacity r.Aggregate.topology))
+        ranges;
     vols = [];
+    epoch = 0;
+    words = ref 0;
+    harvested = 0;
+    elig = Array.make (Array.length ranges) 0;
+    weight = Array.make (Array.length ranges) 0;
+    scratch = [||];
     phys_taken = 0;
     phys_score_sum = 0;
     virt_taken = 0;
@@ -41,9 +74,21 @@ let create aggregate ~rng =
 
 let aggregate t = t.aggregate
 
-let register_vol t vol =
-  if not (List.exists (fun (v, _) -> v == vol) t.vols) then
-    t.vols <- (vol, new_cursor ()) :: t.vols
+(* Closure- and option-free lookup: volume cursors sit under the
+   zero-allocation VVBN take path. *)
+let rec find_vol_cursor vols vol =
+  match vols with
+  | [] -> raise Not_found
+  | (v, c) :: rest -> if v == vol then c else find_vol_cursor rest vol
+
+let vol_cursor t vol =
+  try find_vol_cursor t.vols vol
+  with Not_found ->
+    let c = new_cursor ~capacity:(Topology.full_aa_capacity (Flexvol.topology vol)) in
+    t.vols <- (vol, c) :: t.vols;
+    c
+
+let register_vol t vol = ignore (vol_cursor t vol)
 
 (* Pick the next AA id for a space with [n_aas] AAs under [policy].
    [free_of aa] recomputes the AA's current free count (used by the
@@ -106,9 +151,44 @@ let note_virt_take t score =
   t.virt_taken <- t.virt_taken + 1;
   t.virt_score_sum <- t.virt_score_sum + score
 
-(* Refill a range cursor's queue from the next AA; false when no AA with
-   free blocks is available. *)
-let refill_range t range cursor =
+let note_harvest t ~words0 ~count =
+  t.harvested <- t.harvested + count;
+  Telemetry.add "write_alloc.words_scanned" (!(t.words) - words0);
+  Telemetry.add "write_alloc.vbns_harvested" count;
+  Telemetry.max_gauge "write_alloc.ring_high_water" (float_of_int count)
+
+(* Drop ring entries that predate the last CP boundary and have since been
+   allocated: CP-external writers (mount, aging, repair) may touch the
+   bitmap between CPs.  Within one epoch the ring needs no re-check —
+   entries are free at harvest, mid-CP frees only queue (the bitmap bit
+   stays set until commit), and every allocation drains through this
+   cursor — which is what lets the consume path skip the per-block
+   [is_allocated] probe the list-based queue paid. *)
+let revalidate t cursor mf =
+  if cursor.ring_epoch <> t.epoch then begin
+    cursor.ring_epoch <- t.epoch;
+    let rec compact i k =
+      if i >= cursor.len then k
+      else begin
+        let v = cursor.ring.(i) in
+        if Metafile.is_allocated mf v then compact (i + 1) k
+        else begin
+          cursor.ring.(k) <- v;
+          compact (i + 1) (k + 1)
+        end
+      end
+    in
+    let live = compact cursor.head 0 in
+    cursor.head <- 0;
+    cursor.len <- live
+  end
+
+(* Refill a range cursor's ring from the next AA; false when no AA with
+   free blocks is available.  A pick can harvest zero blocks even with a
+   positive cached score: a ring that survived the last CP may have already
+   consumed the AA's blocks that the CP re-filed it with.  Such an AA is
+   simply spent — retry with the next pick. *)
+let rec refill_range t range cursor =
   let policy = (Aggregate.config t.aggregate).Config.aggregate_policy in
   match
     pick_aa t cursor ~policy ~space:range.Aggregate.index ~cache:range.Aggregate.cache
@@ -120,97 +200,145 @@ let refill_range t range cursor =
     note_phys_take t score;
     t.candidates_scanned <-
       t.candidates_scanned + Topology.aa_capacity range.Aggregate.topology aa;
-    let vbns = Aggregate.free_vbns_of_aa t.aggregate range aa in
-    cursor.queue <- vbns;
-    cursor.queue <> []
+    let words0 = !(t.words) in
+    let count =
+      Aggregate.harvest_free_of_aa t.aggregate range aa ~dst:cursor.ring ~words:t.words
+    in
+    cursor.head <- 0;
+    cursor.len <- count;
+    cursor.ring_aa <- aa;
+    cursor.ring_epoch <- t.epoch;
+    note_harvest t ~words0 ~count;
+    count > 0 || refill_range t range cursor
 
-(* Take up to [want] allocatable PVBNs from one range. *)
-let take_from_range t range cursor want =
-  let mf = Aggregate.metafile t.aggregate in
-  let rec go acc want =
-    if want = 0 then acc
-    else begin
-      match cursor.queue with
-      | pvbn :: rest ->
-        cursor.queue <- rest;
-        if Metafile.is_allocated mf pvbn then go acc want
-        else begin
-          Aggregate.allocate t.aggregate ~pvbn;
-          go (pvbn :: acc) (want - 1)
-        end
-      | [] -> if refill_range t range cursor then go acc want else acc
-    end
-  in
-  List.rev (go [] want)
+(* The ring-pop loop, top-level so the steady-state path allocates no
+   closure.  Pops need no [is_allocated] recheck (see [revalidate]). *)
+let rec take_loop t range cursor dst pos want =
+  if want = 0 then pos
+  else if cursor.head < cursor.len then begin
+    let pvbn = cursor.ring.(cursor.head) in
+    cursor.head <- cursor.head + 1;
+    Aggregate.allocate_harvested t.aggregate range ~aa:cursor.ring_aa ~pvbn;
+    dst.(pos) <- pvbn;
+    take_loop t range cursor dst (pos + 1) (want - 1)
+  end
+  else if refill_range t range cursor then take_loop t range cursor dst pos want
+  else pos
 
-let best_score_of_range range =
+(* Take up to [want] allocatable PVBNs from one range into [dst] at [pos];
+   returns the new fill position.  Allocation-free while the ring lasts. *)
+let take_from_range_into t range cursor ~dst ~pos want =
+  revalidate t cursor (Aggregate.metafile t.aggregate);
+  take_loop t range cursor dst pos want
+
+let rec array_max a i best =
+  if i >= Array.length a then best else array_max a (i + 1) (if a.(i) > best then a.(i) else best)
+
+let best_score_of_range (range : Aggregate.range) =
   match range.Aggregate.cache with
-  | Some c -> Option.value (Cache.peek_best_score c) ~default:0
+  | Some c -> Cache.best_score c
   | None ->
     (* cacheless: use the true best score so throttling still works *)
-    Array.fold_left max 0 range.Aggregate.scores
+    array_max range.Aggregate.scores 0 0
+
+(* The fan-out stages of [allocate_pvbns_into], top-level (closure-free):
+   the whole call must allocate nothing when served from rings. *)
+
+let rec filter_elig t ranges min_score i m =
+  if i >= Array.length ranges then m
+  else if best_score_of_range ranges.(i) >= min_score then begin
+    t.elig.(m) <- i;
+    filter_elig t ranges min_score (i + 1) (m + 1)
+  end
+  else filter_elig t ranges min_score (i + 1) m
+
+(* Weight each range by its best AA score: emptier groups get a larger
+   share of the CP's blocks (§4.2).  Weights are computed once per call —
+   not re-derived every mop-up round. *)
+let rec weigh_elig t ranges m k total =
+  if k >= m then total
+  else begin
+    let w = max 1 (best_score_of_range ranges.(t.elig.(k))) in
+    t.weight.(k) <- w;
+    weigh_elig t ranges m (k + 1) (total + w)
+  end
+
+let rec take_shares t ranges dst n m total_weight k got =
+  if k >= m then got
+  else begin
+    let share = n * t.weight.(k) / total_weight in
+    let got =
+      if share > 0 then begin
+        let i = t.elig.(k) in
+        take_from_range_into t ranges.(i) t.cursors.(i) ~dst ~pos:got share
+      end
+      else got
+    in
+    take_shares t ranges dst n m total_weight (k + 1) got
+  end
+
+(* Rounding remainder and any shortfall: round-robin over eligible ranges
+   until satisfied or nothing more is allocatable.  Progress is the fill
+   position itself — no per-round list lengths. *)
+let rec mop_round t ranges dst n m k got =
+  if k >= m || got >= n then got
+  else begin
+    let i = t.elig.(k) in
+    mop_round t ranges dst n m (k + 1)
+      (take_from_range_into t ranges.(i) t.cursors.(i) ~dst ~pos:got (min 64 (n - got)))
+  end
+
+let rec mop_up t ranges dst n m got =
+  if got >= n then got
+  else begin
+    let got' = mop_round t ranges dst n m 0 got in
+    if got' > got then mop_up t ranges dst n m got' else got'
+  end
+
+let allocate_pvbns_into t ~dst n =
+  if n <= 0 then 0
+  else begin
+    let ranges = Aggregate.ranges t.aggregate in
+    let nr = Array.length ranges in
+    let threshold = (Aggregate.config t.aggregate).Config.rg_score_threshold in
+    (* Eligible ranges into the preallocated [elig] scratch. *)
+    let m =
+      match threshold with
+      | None ->
+        for i = 0 to nr - 1 do
+          t.elig.(i) <- i
+        done;
+        nr
+      | Some min_score ->
+        let m = filter_elig t ranges min_score 0 0 in
+        if m > 0 then m
+        else begin
+          (* never stall entirely: fall back to every range (§3.3.1) *)
+          for i = 0 to nr - 1 do
+            t.elig.(i) <- i
+          done;
+          nr
+        end
+    in
+    let total_weight = weigh_elig t ranges m 0 0 in
+    let after_shares = take_shares t ranges dst n m total_weight 0 0 in
+    mop_up t ranges dst n m after_shares
+  end
+
+let ensure_scratch t n = if Array.length t.scratch < n then t.scratch <- Array.make n 0
+
+let list_of_scratch t got =
+  let rec build i acc = if i < 0 then acc else build (i - 1) (t.scratch.(i) :: acc) in
+  build (got - 1) []
 
 let allocate_pvbns t n =
   if n <= 0 then []
   else begin
-    let ranges = Aggregate.ranges t.aggregate in
-    let threshold = (Aggregate.config t.aggregate).Config.rg_score_threshold in
-    let all = Array.to_list (Array.mapi (fun i r -> (i, r)) ranges) in
-    let eligible =
-      match threshold with
-      | None -> all
-      | Some min_score -> (
-        match List.filter (fun (_, r) -> best_score_of_range r >= min_score) all with
-        | [] -> all (* never stall entirely: fall back to every range (§3.3.1) *)
-        | some -> some)
-    in
-    (* Weight each range by its best AA score: emptier groups get a larger
-       share of the CP's blocks (§4.2). *)
-    let weights = List.map (fun (i, r) -> (i, r, max 1 (best_score_of_range r))) eligible in
-    let total_weight = List.fold_left (fun acc (_, _, w) -> acc + w) 0 weights in
-    let shares =
-      List.map (fun (i, r, w) -> (i, r, n * w / total_weight)) weights
-    in
-    let allocated = ref [] in
-    let got = ref 0 in
-    List.iter
-      (fun (i, r, share) ->
-        if share > 0 then begin
-          let blocks = take_from_range t r t.cursors.(i) share in
-          got := !got + List.length blocks;
-          allocated := List.rev_append blocks !allocated
-        end)
-      shares;
-    (* Rounding remainder and any shortfall: round-robin over eligible
-       ranges until satisfied or nothing more is allocatable. *)
-    let rec mop_up remaining stalled =
-      if remaining > 0 && not stalled then begin
-        let progress = ref false in
-        List.iter
-          (fun (i, r, _) ->
-            if !got < n then begin
-              let blocks = take_from_range t r t.cursors.(i) (min 64 (n - !got)) in
-              if blocks <> [] then progress := true;
-              got := !got + List.length blocks;
-              allocated := List.rev_append blocks !allocated
-            end)
-          weights;
-        mop_up (n - !got) (not !progress)
-      end
-    in
-    mop_up (n - !got) false;
-    List.rev !allocated
+    ensure_scratch t n;
+    list_of_scratch t (allocate_pvbns_into t ~dst:t.scratch n)
   end
 
-let vol_cursor t vol =
-  match List.find_opt (fun (v, _) -> v == vol) t.vols with
-  | Some (_, c) -> c
-  | None ->
-    let c = new_cursor () in
-    t.vols <- (vol, c) :: t.vols;
-    c
-
-let refill_vol t vol cursor =
+let rec refill_vol t vol cursor =
   let policy = (Flexvol.spec vol).Config.policy in
   match
     pick_aa t cursor ~policy ~space:(-1) ~cache:(Flexvol.cache vol)
@@ -222,67 +350,75 @@ let refill_vol t vol cursor =
     note_virt_take t score;
     t.candidates_scanned <-
       t.candidates_scanned + Topology.aa_capacity (Flexvol.topology vol) aa;
-    cursor.queue <- Flexvol.free_vvbns_of_aa vol aa;
-    cursor.queue <> []
+    let words0 = !(t.words) in
+    let count = Flexvol.harvest_free_of_aa vol aa ~dst:cursor.ring ~words:t.words in
+    cursor.head <- 0;
+    cursor.len <- count;
+    cursor.ring_aa <- aa;
+    cursor.ring_epoch <- t.epoch;
+    note_harvest t ~words0 ~count;
+    count > 0 || refill_vol t vol cursor
+
+let rec vvbn_loop t vol cursor dst n pos =
+  if pos >= n then pos
+  else if cursor.head < cursor.len then begin
+    let vvbn = cursor.ring.(cursor.head) in
+    cursor.head <- cursor.head + 1;
+    (* reserve immediately so a re-gathered AA cannot offer it again *)
+    Flexvol.reserve_harvested vol ~aa:cursor.ring_aa ~vvbn;
+    dst.(pos) <- vvbn;
+    vvbn_loop t vol cursor dst n (pos + 1)
+  end
+  else if refill_vol t vol cursor then vvbn_loop t vol cursor dst n pos
+  else pos
+
+let allocate_vvbns_into t vol ~dst n =
+  if n <= 0 then 0
+  else begin
+    let cursor = vol_cursor t vol in
+    revalidate t cursor (Flexvol.metafile vol);
+    vvbn_loop t vol cursor dst n 0
+  end
 
 let allocate_vvbns t vol n =
-  let cursor = vol_cursor t vol in
-  let mf = Flexvol.metafile vol in
-  let rec go acc want =
-    if want = 0 then acc
-    else begin
-      match cursor.queue with
-      | vvbn :: rest ->
-        cursor.queue <- rest;
-        if Metafile.is_allocated mf vvbn then go acc want
-        else begin
-          (* reserve immediately so a re-gathered AA cannot offer it again *)
-          Flexvol.reserve_vvbn vol ~vvbn;
-          go (vvbn :: acc) (want - 1)
-        end
-      | [] -> if refill_vol t vol cursor then go acc want else acc
-    end
-  in
-  List.rev (go [] n)
+  if n <= 0 then []
+  else begin
+    ensure_scratch t n;
+    list_of_scratch t (allocate_vvbns_into t vol ~dst:t.scratch n)
+  end
 
 (* CP boundary: apply score deltas and make sure every taken AA is re-filed
-   in its cache, even if its score did not change. *)
+   in its cache, even if its score did not change.  [Score.mem] answers
+   "will apply emit this AA?" directly from the delta's preallocated
+   accumulator, so no per-CP hash table or list concatenation is needed. *)
+let cp_finish_space ~delta ~(scores : int array) ~cache cursor =
+  let extra =
+    Hashtbl.fold
+      (fun aa () acc -> if Score.mem delta ~aa then acc else (aa, scores.(aa)) :: acc)
+      cursor.taken []
+  in
+  Hashtbl.reset cursor.taken;
+  let updates = Score.apply delta scores in
+  match cache with
+  | Some cache -> Cache.cp_update cache (List.rev_append extra updates)
+  | None -> ()
+
 let cp_finish t =
+  t.epoch <- t.epoch + 1;
   Array.iteri
-    (fun i range ->
-      let cursor = t.cursors.(i) in
-      let updates = Score.apply range.Aggregate.delta range.Aggregate.scores in
-      let changed = Hashtbl.create 32 in
-      List.iter (fun (aa, _) -> Hashtbl.replace changed aa ()) updates;
-      let extra =
-        Hashtbl.fold
-          (fun aa () acc ->
-            if Hashtbl.mem changed aa then acc else (aa, range.Aggregate.scores.(aa)) :: acc)
-          cursor.taken []
-      in
-      Hashtbl.reset cursor.taken;
-      match range.Aggregate.cache with
-      | Some cache -> Cache.cp_update cache (updates @ extra)
-      | None -> ())
+    (fun i (range : Aggregate.range) ->
+      cp_finish_space ~delta:range.Aggregate.delta ~scores:range.Aggregate.scores
+        ~cache:range.Aggregate.cache t.cursors.(i))
     (Aggregate.ranges t.aggregate);
   List.iter
     (fun (vol, cursor) ->
-      let updates = Score.apply (Flexvol.delta vol) (Flexvol.scores vol) in
-      let changed = Hashtbl.create 32 in
-      List.iter (fun (aa, _) -> Hashtbl.replace changed aa ()) updates;
-      let extra =
-        Hashtbl.fold
-          (fun aa () acc ->
-            if Hashtbl.mem changed aa then acc else (aa, (Flexvol.scores vol).(aa)) :: acc)
-          cursor.taken []
-      in
-      Hashtbl.reset cursor.taken;
-      match Flexvol.cache vol with
-      | Some cache -> Cache.cp_update cache (updates @ extra)
-      | None -> ())
+      cp_finish_space ~delta:(Flexvol.delta vol) ~scores:(Flexvol.scores vol)
+        ~cache:(Flexvol.cache vol) cursor)
     t.vols
 
 let candidates_scanned t = t.candidates_scanned
+let words_scanned t = !(t.words)
+let vbns_harvested t = t.harvested
 
 let aas_taken t = t.phys_taken + t.virt_taken
 let score_sum_taken t = t.phys_score_sum + t.virt_score_sum
@@ -294,4 +430,6 @@ let reset_take_stats t =
   t.phys_score_sum <- 0;
   t.virt_taken <- 0;
   t.virt_score_sum <- 0;
-  t.candidates_scanned <- 0
+  t.candidates_scanned <- 0;
+  t.words := 0;
+  t.harvested <- 0

@@ -23,9 +23,19 @@ val allocate_pvbns : t -> int -> int list
     proportionally to their best-AA scores.  Returns fewer than [n] only
     when the aggregate runs out of allocatable space. *)
 
+val allocate_pvbns_into : t -> dst:int array -> int -> int
+(** Zero-allocation variant of {!allocate_pvbns}: write up to [n] PVBNs
+    into [dst.(0 .. n-1)] and return the count.  While the current AA's
+    harvest ring lasts, the per-block loop allocates no heap words; AA
+    refills amortize their small setup cost over a whole AA of blocks. *)
+
 val allocate_vvbns : t -> Flexvol.t -> int -> int list
 (** Allocate up to [n] virtual blocks in a volume, from its current AA
     onward. *)
+
+val allocate_vvbns_into : t -> Flexvol.t -> dst:int array -> int -> int
+(** Zero-allocation variant of {!allocate_vvbns}, mirroring
+    {!allocate_pvbns_into}. *)
 
 val cp_finish : t -> unit
 (** CP boundary: apply every range's and volume's batched score delta,
@@ -54,6 +64,16 @@ val candidates_scanned : t -> int
     AAs.  An AA yields its free blocks but costs a scan of its whole span,
     so emptier AAs amortize the allocation path over more blocks — the
     §2.5/§4.1.2 mechanism behind the CPU-per-op reduction. *)
+
+val words_scanned : t -> int
+(** Cumulative 32-bit bitmap words actually read by the harvest kernels —
+    the word-at-a-time cost behind {!candidates_scanned}'s per-bit
+    accounting.  Also emitted as the [write_alloc.words_scanned] counter. *)
+
+val vbns_harvested : t -> int
+(** Cumulative free VBNs harvested into cursor rings.  Also emitted as the
+    [write_alloc.vbns_harvested] counter; the per-refill ring fill level is
+    traced as the [write_alloc.ring_high_water] gauge. *)
 
 val reset_take_stats : t -> unit
 (** Zero the taken-AA trace counters (e.g. after aging, before

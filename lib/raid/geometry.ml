@@ -24,7 +24,11 @@ let vbn_of_location t { device; dbn } =
     invalid_arg "Geometry: location out of bounds";
   (device * t.device_blocks) + dbn
 
-let stripe_of_vbn t vbn = (location_of_vbn t vbn).dbn
+(* Not [(location_of_vbn t vbn).dbn]: building the record would allocate,
+   and this sits under Score.note_alloc on the per-block hot path. *)
+let stripe_of_vbn t vbn =
+  check_vbn t vbn;
+  vbn mod t.device_blocks
 
 let vbns_of_stripe t dbn =
   if dbn < 0 || dbn >= t.device_blocks then invalid_arg "Geometry: stripe out of bounds";

@@ -44,6 +44,32 @@ let clz64 x =
     !n
   end
 
+(* Native-int variants for the allocation hot path.  [int64] values are
+   boxed in OCaml, so the word kernels that must not allocate work on the
+   immediate [int] type instead (bits 0..61 are plenty: the harvest path
+   scans 32-bit chunks). *)
+
+let ctz x =
+  if x = 0 then Sys.int_size
+  else begin
+    let n = ref 0 in
+    let x = ref x in
+    if !x land 0xFFFFFFFF = 0 then (n := !n + 32; x := !x lsr 32);
+    if !x land 0xFFFF = 0 then (n := !n + 16; x := !x lsr 16);
+    if !x land 0xFF = 0 then (n := !n + 8; x := !x lsr 8);
+    if !x land 0xF = 0 then (n := !n + 4; x := !x lsr 4);
+    if !x land 0x3 = 0 then (n := !n + 2; x := !x lsr 2);
+    if !x land 0x1 = 0 then incr n;
+    !n
+  end
+
+let popcount x =
+  (* SWAR popcount over the low 62 bits (native ints are 63-bit). *)
+  let x = x - ((x lsr 1) land 0x1555555555555555) in
+  let x = (x land 0x1333333333333333) + ((x lsr 2) land 0x1333333333333333) in
+  let x = (x + (x lsr 4)) land 0x0F0F0F0F0F0F0F0F in
+  (x * 0x0101010101010101) lsr 56 land 0x7f
+
 let lowest_zero_byte b =
   let b = b land 0xff in
   if b = 0xff then 8

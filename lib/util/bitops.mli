@@ -13,6 +13,15 @@ val ctz64 : int64 -> int
 val clz64 : int64 -> int
 (** Leading-zero count; 64 when the argument is zero. *)
 
+val ctz : int -> int
+(** Trailing-zero count on a native (immediate, never-boxed) int —
+    the hot-path variant the harvest kernels use so a scan allocates
+    nothing.  Returns [Sys.int_size] when the argument is zero. *)
+
+val popcount : int -> int
+(** Set bits of a native int.  Defined on non-negative values (the
+    harvest masks are at most 32 bits wide). *)
+
 val lowest_zero_byte : int -> int
 (** Index of the lowest clear bit of the low 8 bits; 8 if all set. *)
 

@@ -120,6 +120,107 @@ let prop_bitmap_free_extents_cover =
       done;
       !ok)
 
+(* --- word-at-a-time kernels vs naive per-bit references --- *)
+
+(* Random bitmap of [bits] bits with a ragged window [start, start+len). *)
+let ragged_window_gen bits =
+  QCheck.(
+    triple
+      (list (int_bound (bits - 1)))
+      (int_bound (bits - 1))
+      (int_bound (bits - 1)))
+
+let make_bitmap bits sets =
+  let b = Bitmap.create ~bits in
+  List.iter (fun i -> Bitmap.set b i) sets;
+  b
+
+let clamp_window bits start len = (start, min len (bits - start))
+
+let prop_fold_clear_matches_naive =
+  QCheck.Test.make ~name:"fold_clear_in matches naive clear-bit scan" ~count:200
+    (ragged_window_gen 500)
+    (fun (sets, start, len) ->
+      let start, len = clamp_window 500 start len in
+      let b = make_bitmap 500 sets in
+      let naive = ref [] in
+      for i = start + len - 1 downto start do
+        if not (Bitmap.get b i) then naive := i :: !naive
+      done;
+      let folded = List.rev (Bitmap.fold_clear_in b ~start ~len ~init:[] ~f:(fun acc i -> i :: acc)) in
+      folded = !naive)
+
+let prop_harvest_matches_fold =
+  QCheck.Test.make ~name:"harvest_clear_into matches fold_clear_in" ~count:200
+    (ragged_window_gen 500)
+    (fun (sets, start, len) ->
+      let start, len = clamp_window 500 start len in
+      let b = make_bitmap 500 sets in
+      let dst = Array.make 500 (-1) in
+      let n = Bitmap.harvest_clear_into b ~start ~len ~offset:1000 ~dst ~pos:0 in
+      let harvested = Array.to_list (Array.sub dst 0 n) in
+      let expected =
+        List.rev (Bitmap.fold_clear_in b ~start ~len ~init:[] ~f:(fun acc i -> (i + 1000) :: acc))
+      in
+      harvested = expected)
+
+let prop_find_first_matches_naive =
+  QCheck.Test.make ~name:"find_first_clear/set match naive scans" ~count:200
+    QCheck.(pair (list (int_bound 299)) (int_bound 299))
+    (fun (sets, from) ->
+      let b = make_bitmap 300 sets in
+      let naive target =
+        let rec go i =
+          if i >= 300 then None else if Bitmap.get b i = target then Some i else go (i + 1)
+        in
+        go from
+      in
+      Bitmap.find_first_clear b ~from = naive false && Bitmap.find_first_set b ~from = naive true)
+
+let prop_fill_range_matches_naive =
+  QCheck.Test.make ~name:"set_range/clear_range match per-bit loops" ~count:200
+    (ragged_window_gen 500)
+    (fun (sets, start, len) ->
+      let start, len = clamp_window 500 start len in
+      let fast = make_bitmap 500 sets in
+      let slow = make_bitmap 500 sets in
+      Bitmap.set_range fast ~start ~len;
+      for i = start to start + len - 1 do
+        Bitmap.set slow i
+      done;
+      let set_ok = Bitmap.equal fast slow in
+      Bitmap.clear_range fast ~start ~len;
+      for i = start to start + len - 1 do
+        Bitmap.clear slow i
+      done;
+      set_ok && Bitmap.equal fast slow)
+
+let test_clear_mask32 () =
+  let b = Bitmap.create ~bits:100 in
+  Bitmap.set b 0;
+  Bitmap.set b 2;
+  Bitmap.set b 33;
+  (* from bit 0: bits 0 and 2 are set, 33 is outside the 32-bit window *)
+  check_int "mask from 0" (lnot 0b101 land 0xFFFFFFFF) (Bitmap.clear_mask32 b 0);
+  (* from bit 2: set bits at offsets 0 (=2) and 31 (=33) *)
+  check_int "mask from 2" (lnot ((1 lsl 31) lor 1) land 0xFFFFFFFF) (Bitmap.clear_mask32 b 2);
+  (* near the end: only bits [90, 100) exist; the rest must read as used *)
+  check_int "ragged tail" ((1 lsl 10) - 1) (Bitmap.clear_mask32 b 90)
+
+let test_iter_clear_words_window () =
+  let b = Bitmap.create ~bits:200 in
+  Bitmap.set_range b ~start:0 ~len:200;
+  Bitmap.clear b 70;
+  Bitmap.clear b 130;
+  let hits = ref [] in
+  Bitmap.iter_clear_words b ~start:65 ~len:70 ~f:(fun ~base ~mask ->
+      let m = ref mask in
+      while !m <> 0L do
+        hits := (base + Wafl_util.Bitops.ctz64 !m) :: !hits;
+        m := Int64.logand !m (Int64.sub !m 1L)
+      done);
+  Alcotest.(check (list int)) "only in-window clear bits" [ 70; 130 ] (List.rev !hits)
+
 let test_bitmap_blit () =
   let a = Bitmap.create ~bits:128 in
   Bitmap.set_range a ~start:10 ~len:50;
@@ -280,6 +381,11 @@ let () =
       [ prop_bitmap_count_matches_naive; prop_bitmap_free_extents_cover;
         prop_activemap_free_count_consistent ]
   in
+  let kernel_qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_fold_clear_matches_naive; prop_harvest_matches_fold;
+        prop_find_first_matches_naive; prop_fill_range_matches_naive ]
+  in
   Alcotest.run "wafl_bitmap"
     [
       ( "bitmap",
@@ -292,6 +398,12 @@ let () =
           Alcotest.test_case "free extents" `Quick test_bitmap_free_extents;
           Alcotest.test_case "blit" `Quick test_bitmap_blit;
         ] );
+      ( "word kernels",
+        [
+          Alcotest.test_case "clear_mask32" `Quick test_clear_mask32;
+          Alcotest.test_case "iter_clear_words window" `Quick test_iter_clear_words_window;
+        ]
+        @ kernel_qsuite );
       ( "metafile",
         [
           Alcotest.test_case "paging" `Quick test_metafile_paging;

@@ -164,6 +164,95 @@ let test_walloc_first_fit_policy () =
   let blocks = Write_alloc.allocate_pvbns w 100 in
   check_int "first fit allocates" 100 (List.length blocks)
 
+(* --- harvest kernels vs the list-based gather --- *)
+
+let test_harvest_matches_list_raid_aware () =
+  let fs = Fs.create (small_config ()) in
+  let agg = Fs.aggregate fs in
+  let r0 = (Aggregate.ranges agg).(0) in
+  (* fragment a few AAs with a deterministic pseudo-random pattern *)
+  for aa = 0 to 3 do
+    Wafl_aa.Topology.iter_aa_vbns r0.Aggregate.topology aa ~f:(fun local ->
+        if (local * 2654435761) land 7 < 3 then
+          Aggregate.allocate agg ~pvbn:(Aggregate.to_global r0 local))
+  done;
+  let dst = Array.make (Wafl_aa.Topology.full_aa_capacity r0.Aggregate.topology) 0 in
+  let words = ref 0 in
+  for aa = 0 to 4 do
+    let n = Aggregate.harvest_free_of_aa agg r0 aa ~dst ~words in
+    Alcotest.(check (list int))
+      (Printf.sprintf "AA %d: harvest = list gather (stripe-major)" aa)
+      (Aggregate.free_vbns_of_aa agg r0 aa)
+      (Array.to_list (Array.sub dst 0 n))
+  done;
+  check_bool "words were counted" true (!words > 0)
+
+let test_harvest_matches_list_vol () =
+  let vol =
+    Flexvol.create
+      { Config.name = "v"; blocks = 4000; aa_blocks = Some 512; policy = Config.Best_aa }
+  in
+  for vvbn = 0 to 3999 do
+    if (vvbn * 2654435761) land 7 < 3 then Flexvol.reserve_vvbn vol ~vvbn
+  done;
+  let dst = Array.make 512 0 in
+  let words = ref 0 in
+  (* includes the ragged final AA (4000 = 7*512 + 416) *)
+  for aa = 0 to 7 do
+    let n = Flexvol.harvest_free_of_aa vol aa ~dst ~words in
+    Alcotest.(check (list int))
+      (Printf.sprintf "AA %d: harvest = list gather (ascending)" aa)
+      (Flexvol.free_vvbns_of_aa vol aa)
+      (Array.to_list (Array.sub dst 0 n))
+  done
+
+let test_harvest_ring_no_double_handout () =
+  let fs = Fs.create (small_config ()) in
+  let agg = Fs.aggregate fs in
+  let w = Fs.write_alloc fs in
+  let first = Write_alloc.allocate_pvbns w 200 in
+  let p = List.hd first in
+  Aggregate.queue_free agg ~pvbn:p;
+  (* mid-CP: the queued-free block stays unusable (its bitmap bit is still
+     set), even though its AA may be re-harvested *)
+  let mid = Write_alloc.allocate_pvbns w 5000 in
+  check_bool "queued free not re-handed mid-CP" true (not (List.mem p mid));
+  ignore (Aggregate.commit_frees agg);
+  Write_alloc.cp_finish w;
+  (* next CP: drain the aggregate; the freed block comes back exactly once *)
+  let rest = Write_alloc.allocate_pvbns w (Aggregate.free_blocks agg) in
+  check_int "freed block re-handed exactly once" 1
+    (List.length (List.filter (fun q -> q = p) rest));
+  let seen = Hashtbl.create 4096 in
+  List.iter
+    (fun q ->
+      check_bool "no duplicate handout" false (Hashtbl.mem seen q);
+      Hashtbl.replace seen q ())
+    (mid @ rest)
+
+let test_walloc_consume_allocates_nothing () =
+  let fs = Fs.create (small_config ()) in
+  let w = Fs.write_alloc fs in
+  let dst = Array.make 256 0 in
+  let consume () = ignore (Write_alloc.allocate_pvbns_into w ~dst 256) in
+  (* warm up: fills each range's harvest ring (one AA = 2048 blocks) *)
+  consume ();
+  let before = Gc.minor_words () in
+  consume ();
+  let words = Gc.minor_words () -. before in
+  check_bool
+    (Printf.sprintf "ring-served PVBN allocation is heap-allocation-free (%.0f words)" words)
+    true (words = 0.0);
+  let vol = Fs.vol fs "vol0" in
+  let vconsume () = ignore (Write_alloc.allocate_vvbns_into w vol ~dst 256) in
+  vconsume ();
+  let before = Gc.minor_words () in
+  vconsume ();
+  let words = Gc.minor_words () -. before in
+  check_bool
+    (Printf.sprintf "ring-served VVBN allocation is heap-allocation-free (%.0f words)" words)
+    true (words = 0.0)
+
 (* --- CP integration --- *)
 
 let test_cp_simple_write () =
@@ -812,6 +901,12 @@ let () =
           Alcotest.test_case "exhaustion" `Quick test_walloc_exhaustion;
           Alcotest.test_case "random policy" `Quick test_walloc_random_policy_works;
           Alcotest.test_case "first fit policy" `Quick test_walloc_first_fit_policy;
+          Alcotest.test_case "harvest = list (raid-aware)" `Quick
+            test_harvest_matches_list_raid_aware;
+          Alcotest.test_case "harvest = list (volume)" `Quick test_harvest_matches_list_vol;
+          Alcotest.test_case "ring no double handout" `Quick test_harvest_ring_no_double_handout;
+          Alcotest.test_case "consume window zero-alloc" `Quick
+            test_walloc_consume_allocates_nothing;
         ] );
       ( "cp",
         [
