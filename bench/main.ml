@@ -9,6 +9,9 @@
      bench/main.exe alloc [full]  allocation hot path: list queue vs harvest
                                   ring; writes BENCH_alloc.json and asserts
                                   the consume window allocates zero words
+     bench/main.exe faults [full] fault-plane overhead on the CP write path:
+                                  no plane vs zero-probability hooks vs the
+                                  default transient profile
      bench/main.exe fig6|fig7|fig8|fig9|fig10|scalars [full]
 *)
 
@@ -472,14 +475,82 @@ let run_alloc ~scale () =
     exit 1
   end
 
+(* --- fault-plane overhead on the CP write path --- *)
+
+(* A plane is attached to every device but never fires: isolates the cost
+   of the per-I/O hooks from the cost of actually injecting errors. *)
+let zero_fault_spec =
+  {
+    Wafl_fault.Fault.default_spec with
+    Wafl_fault.Fault.transient_p = 0.0;
+    torn_p = 0.0;
+    spike_p = 0.0;
+  }
+
+let run_faults_once spec ~scale =
+  (match spec with
+  | Some s -> Wafl_fault.Fault.install_default s
+  | None -> Wafl_fault.Fault.uninstall_default ());
+  Fun.protect ~finally:Wafl_fault.Fault.uninstall_default (fun () ->
+      let config =
+        Wafl_core.Config.make
+          ~raid_groups:[ Common.hdd_raid_group scale ]
+          ~vols:[ Wafl_core.Config.default_vol ~name:"vol0" ~blocks:65_536 ]
+          ~seed:7 ()
+      in
+      let fs = Wafl_core.Fs.create config in
+      let vol = (Wafl_core.Fs.vols fs).(0) in
+      let cps, ops = match scale with Common.Quick -> (6, 4096) | Common.Full -> (12, 8192) in
+      let blocks = ref 0 in
+      let totals = ref None in
+      let t0 = Unix.gettimeofday () in
+      for cp = 0 to cps - 1 do
+        for i = 0 to ops - 1 do
+          Wafl_core.Fs.stage_write fs ~vol ~file:(cp mod 4) ~offset:i
+        done;
+        let r = Wafl_core.Fs.run_cp fs in
+        blocks := !blocks + r.Wafl_core.Cp.blocks_allocated;
+        totals := r.Wafl_core.Cp.fault_totals
+      done;
+      (Unix.gettimeofday () -. t0, !blocks, !totals))
+
+let run_faults ~scale () =
+  Common.banner "Fault plane overhead on the CP write path (ns/block)";
+  let report name spec =
+    let best = ref infinity in
+    let blocks = ref 0 in
+    let totals = ref None in
+    for _ = 1 to 3 do
+      let secs, b, t = run_faults_once spec ~scale in
+      if secs < !best then best := secs;
+      blocks := b;
+      totals := t
+    done;
+    Printf.printf "  %-24s %8.1f ns/block" name (ns_per_block !best !blocks);
+    (match !totals with
+    | Some t ->
+      Printf.printf "  (transients %d, retries ok %d, failed %d)"
+        t.Wafl_fault.Fault.injected_transient t.Wafl_fault.Fault.retries_ok
+        t.Wafl_fault.Fault.failed
+    | None -> ());
+    print_newline ();
+    !best
+  in
+  let none = report "no fault plane" None in
+  let zero = report "zero-probability plane" (Some zero_fault_spec) in
+  let dflt = report "default transients" (Some Wafl_fault.Fault.default_spec) in
+  Printf.printf "  hook overhead %+.1f%%, default profile %+.1f%% vs no plane\n"
+    (((zero /. none) -. 1.0) *. 100.0)
+    (((dflt /. none) -. 1.0) *. 100.0)
+
 let () =
   let args = Array.to_list Sys.argv in
   let scale = if List.mem "full" args then Common.Full else Common.Quick in
   let has name = List.mem name args in
   let specific =
     [
-      "micro"; "telemetry"; "alloc"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "scalars";
-      "ablation";
+      "micro"; "telemetry"; "alloc"; "faults"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10";
+      "scalars"; "ablation";
     ]
   in
   let run_all = not (List.exists (fun a -> List.mem a specific) args) in
@@ -492,4 +563,5 @@ let () =
   if run_all || has "ablation" then Ablation.print (Ablation.run ~scale ());
   if run_all || has "micro" then run_micro ();
   if run_all || has "telemetry" then run_telemetry_overhead ();
-  if run_all || has "alloc" then run_alloc ~scale ()
+  if run_all || has "alloc" then run_alloc ~scale ();
+  if run_all || has "faults" then run_faults ~scale ()

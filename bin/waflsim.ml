@@ -28,12 +28,71 @@ let trace_capacity_arg =
   let doc = "Ring-buffer capacity (events retained) for $(b,--trace-out)." in
   Arg.(value & opt int 65_536 & info [ "trace-capacity" ] ~docv:"N" ~doc)
 
+let fault_spec_arg =
+  let doc =
+    "Install a device fault-injection profile consulted by every device simulator.  \
+     $(docv) is comma-separated: $(b,seed=N,transient=P,burst=N,torn=P,spike=P:US,\
+     retries=N,backoff=US) plus repeatable $(b,bad=DEV:START+LEN), $(b,offline=DEV@IOS) \
+     and $(b,degraded=DEV@IOS).  $(b,default) selects the default transient profile."
+  in
+  Arg.(value & opt (some string) None & info [ "fault-spec" ] ~docv:"SPEC" ~doc)
+
+let no_iron_gate_arg =
+  let doc =
+    "Skip the post-run consistency gate (by default every system the run built is checked \
+     with WAFL Iron and any finding other than advisory orphan blocks exits nonzero)."
+  in
+  Arg.(value & flag & info [ "no-iron-gate" ] ~doc)
+
 let parse_scale s =
   match Common.scale_of_string s with
   | Some scale -> scale
   | None -> begin
     Printf.eprintf "unknown scale %S (expected quick|full)\n" s;
     exit 2
+  end
+
+let parse_fault_spec = function
+  | None -> None
+  | Some "default" -> Some Wafl_fault.Fault.default_spec
+  | Some s -> (
+    match Wafl_fault.Fault.spec_of_string s with
+    | Ok spec -> Some spec
+    | Error msg ->
+      Printf.eprintf "waflsim: bad --fault-spec: %s\n" msg;
+      exit 2)
+
+let with_fault_spec spec f =
+  match spec with
+  | None -> f ()
+  | Some spec ->
+    Wafl_fault.Fault.install_default spec;
+    Fun.protect ~finally:Wafl_fault.Fault.uninstall_default f
+
+(* Post-run Iron gate: check every system the run registered.  Orphan
+   blocks are advisory (some experiments allocate aggregate blocks with no
+   volume owner by design); anything else is a consistency bug. *)
+let run_iron_gate () =
+  let systems = Wafl_core.Fs.registered () in
+  Wafl_core.Fs.disable_registry ();
+  let bad = ref 0 in
+  List.iteri
+    (fun i fs ->
+      List.iter
+        (fun finding ->
+          match finding with
+          | Wafl_core.Iron.Orphan_blocks _ ->
+            Format.printf "iron gate (system %d, advisory): %a@." i Wafl_core.Iron.pp_finding
+              finding
+          | _ ->
+            incr bad;
+            Format.printf "iron gate (system %d): %a@." i Wafl_core.Iron.pp_finding finding)
+        (Wafl_core.Iron.check fs))
+    systems;
+  if !bad > 0 then begin
+    Printf.eprintf "waflsim: iron gate failed: %d finding(s) across %d system(s)\n" !bad
+      (List.length systems);
+    exit 1
   end
 
 let write_file path contents =
@@ -82,12 +141,17 @@ let with_telemetry ~metrics_out ~trace_out ~trace_capacity f =
     Telemetry.with_installed tel (fun () -> Fun.protect ~finally:flush f)
 
 let experiment_cmd name ~doc run_print =
-  let run s metrics_out trace_out trace_capacity =
-    with_telemetry ~metrics_out ~trace_out ~trace_capacity (fun () ->
-        run_print (parse_scale s))
+  let run s metrics_out trace_out trace_capacity fault_spec no_iron_gate =
+    with_fault_spec (parse_fault_spec fault_spec) (fun () ->
+        if not no_iron_gate then Wafl_core.Fs.enable_registry ();
+        with_telemetry ~metrics_out ~trace_out ~trace_capacity (fun () ->
+            run_print (parse_scale s));
+        if not no_iron_gate then run_iron_gate ())
   in
   Cmd.v (Cmd.info name ~doc)
-    Term.(const run $ scale_arg $ metrics_out_arg $ trace_out_arg $ trace_capacity_arg)
+    Term.(
+      const run $ scale_arg $ metrics_out_arg $ trace_out_arg $ trace_capacity_arg
+      $ fault_spec_arg $ no_iron_gate_arg)
 
 let fig6_cmd =
   experiment_cmd "fig6" ~doc:"AA-cache latency/throughput experiment (Figure 6)"
@@ -128,6 +192,58 @@ let all_cmd =
       Scalars.print (Scalars.run ~scale ());
       Ablation.print (Ablation.run ~scale ()))
 
+let crash_matrix_cmd =
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Workload seed.")
+  in
+  let cps_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "cps" ] ~docv:"N" ~doc:"Warmup CPs committed before the crashed one.")
+  in
+  let ops_arg =
+    Arg.(value & opt int 400 & info [ "ops" ] ~docv:"N" ~doc:"Staged writes per CP.")
+  in
+  let no_cleaner_arg =
+    Arg.(
+      value & flag
+      & info [ "no-cleaner" ]
+          ~doc:"Skip the segment-cleaner pass before the final CP.")
+  in
+  let run seed cps ops no_cleaner fault_spec =
+    with_fault_spec (parse_fault_spec fault_spec) (fun () ->
+        let r =
+          Wafl_core.Crash_matrix.run ~with_cleaner:(not no_cleaner) ~seed ~warmup_cps:cps
+            ~ops_per_cp:ops ()
+        in
+        Printf.printf "crash matrix: %d crash points enumerated (%d workload runs)\n"
+          (List.length r.Wafl_core.Crash_matrix.points) r.Wafl_core.Crash_matrix.runs;
+        let counts =
+          List.fold_left
+            (fun acc p ->
+              match List.assoc_opt p acc with
+              | Some _ -> List.map (fun (q, m) -> if q = p then (q, m + 1) else (q, m)) acc
+              | None -> acc @ [ (p, 1) ])
+            [] r.Wafl_core.Crash_matrix.points
+        in
+        List.iter (fun (p, n) -> Printf.printf "  %-24s x%d\n" p n) counts;
+        match r.Wafl_core.Crash_matrix.violations with
+        | [] -> Printf.printf "crash matrix: every point recovered clean\n"
+        | vs ->
+          List.iter
+            (fun v -> Format.printf "VIOLATION: %a@." Wafl_core.Crash_matrix.pp_violation v)
+            vs;
+          Printf.eprintf "waflsim: crash matrix found %d violation(s)\n" (List.length vs);
+          exit 1)
+  in
+  Cmd.v
+    (Cmd.info "crash-matrix"
+       ~doc:
+         "Kill the system at every instrumented CP/cleaner point, remount, repair, and \
+          verify recovery invariants (no lost acknowledged op, no double-allocated block, \
+          clean Iron check)")
+    Term.(const run $ seed_arg $ cps_arg $ ops_arg $ no_cleaner_arg $ fault_spec_arg)
+
 (* Bare `waflsim --metrics-out m.json` (no subcommand) runs the scalar
    suite — the cheapest end-to-end workload that exercises every
    instrumented layer — so the telemetry flags work without picking an
@@ -146,4 +262,4 @@ let default =
 
 let () =
   let info = Cmd.info "waflsim" ~doc:"WAFL free-block search reproduction experiments" in
-  exit (Cmd.eval (Cmd.group ~default info [ fig6_cmd; fig7_cmd; fig8_cmd; fig9_cmd; fig10_cmd; scalars_cmd; ablation_cmd; all_cmd ]))
+  exit (Cmd.eval (Cmd.group ~default info [ fig6_cmd; fig7_cmd; fig8_cmd; fig9_cmd; fig10_cmd; scalars_cmd; ablation_cmd; all_cmd; crash_matrix_cmd ]))

@@ -125,18 +125,3 @@ let reset_stats t =
   t.score_error_last <- 0.0;
   t.score_error_max <- 0.0
 
-(* --- deprecated pre-telemetry API --- *)
-
-[@@@alert "-deprecated"]
-
-type ops = { picks : int; updates : int; replenishes : int; work : int }
-
-let ops (t : t) : ops =
-  { picks = t.picks; updates = t.updates; replenishes = t.replenishes; work = t.work }
-
-let reset_ops = reset_stats
-let of_heap h = make (Raid_aware h)
-let of_hbps h = make (Raid_agnostic h)
-let heap t = match t.backend with Raid_aware h -> Some h | Raid_agnostic _ -> None
-let hbps t = match t.backend with Raid_agnostic h -> Some h | Raid_aware _ -> None
-let is_raid_aware t = match t.backend with Raid_aware _ -> true | Raid_agnostic _ -> false

@@ -68,18 +68,3 @@ val cp_update : t -> (int * int) list -> unit
 
 val stats : t -> stats
 val reset_stats : t -> unit
-
-(* --- deprecated pre-telemetry API (one release of grace) --- *)
-
-type ops = { picks : int; updates : int; replenishes : int; work : int }
-[@@deprecated "use Cache.stats"]
-
-[@@@alert "-deprecated"]
-
-val ops : t -> ops [@@deprecated "use Cache.stats"]
-val reset_ops : t -> unit [@@deprecated "use Cache.reset_stats"]
-val of_heap : Max_heap.t -> t [@@deprecated "use Cache.make (Raid_aware h)"]
-val of_hbps : Hbps.t -> t [@@deprecated "use Cache.make (Raid_agnostic h)"]
-val heap : t -> Max_heap.t option [@@deprecated "match Cache.backend instead"]
-val hbps : t -> Hbps.t option [@@deprecated "match Cache.backend instead"]
-val is_raid_aware : t -> bool [@@deprecated "match Cache.backend instead"]

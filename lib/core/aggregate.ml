@@ -23,6 +23,7 @@ type range = {
   mutable cache : Cache.t option;
   delta : Score.delta;
   media : Config.media option;
+  mutable fault : Wafl_fault.Fault.device option;
 }
 
 type t = {
@@ -69,6 +70,7 @@ let make_raid_range index base (spec : Config.raid_group_spec) =
     cache = None;
     delta = Score.create_delta topology;
     media = Some spec.Config.media;
+    fault = None;
   }
 
 let make_object_range index base (spec : Config.object_range_spec) =
@@ -89,6 +91,7 @@ let make_object_range index base (spec : Config.object_range_spec) =
     cache = None;
     delta = Score.create_delta topology;
     media = None;
+    fault = None;
   }
 
 let build_cache range =
@@ -104,6 +107,24 @@ let build_cache range =
     | Cache.Raid_agnostic h -> Hbps.replenish h
     | Cache.Raid_aware _ -> ());
     c
+
+(* One fault-plane device handle per range, created in range-index order so
+   the per-device RNG substreams are stable.  The same handle is threaded
+   into the range's device sim (and its AZCS trackers), which model the
+   I/O, and kept on the range for allocation-time probes. *)
+let attach_faults_ranges ranges plane =
+  Array.iter
+    (fun r ->
+      let dev = Wafl_fault.Fault.device plane ~id:r.index in
+      r.fault <- Some dev;
+      match r.device with
+      | Hdd_sim _ -> ()
+      | Ssd_sim ftl -> Ftl.set_fault ftl (Some dev)
+      | Smr_sim (smr, trackers) ->
+        Smr.set_fault smr (Some dev);
+        Array.iter (fun tr -> Azcs.set_tracker_fault tr (Some dev)) trackers
+      | Object_sim store -> Object_store.set_fault store (Some dev))
+    ranges
 
 let create config =
   let ranges = ref [] in
@@ -128,7 +149,12 @@ let create config =
   let t = { config; ranges; activemap = Activemap.create ~blocks:!base (); total_blocks = !base } in
   if config.Config.aggregate_policy = Config.Best_aa then
     Array.iter (fun r -> r.cache <- Some (build_cache r)) ranges;
+  (match Wafl_fault.Fault.installed_default () with
+  | Some spec -> attach_faults_ranges ranges (Wafl_fault.Fault.create spec)
+  | None -> ());
   t
+
+let attach_faults t plane = attach_faults_ranges t.ranges plane
 
 let config t = t.config
 let ranges t = t.ranges

@@ -25,11 +25,24 @@ type range = {
   mutable cache : Wafl_aacache.Cache.t option;  (** None while disabled *)
   delta : Wafl_aa.Score.delta;        (** batched CP score changes *)
   media : Config.media option;        (** None for object ranges *)
+  mutable fault : Wafl_fault.Fault.device option;
+      (** fault-plane handle for this range's device; None = no faults *)
 }
 
 type t
 
 val create : Config.t -> t
+(** Builds the ranges and their caches.  If a process-wide fault spec is
+    installed ({!Wafl_fault.Fault.install_default}), a fault plane is
+    created from it and attached as by {!attach_faults}. *)
+
+val attach_faults : t -> Wafl_fault.Fault.t -> unit
+(** Create one fault-plane device handle per range (in range-index order,
+    so RNG substreams are stable) and thread it into the range's device
+    sim: FTL page writes, SMR block writes, AZCS checksum writes and
+    object-store PUTs consult it; HDD ranges consult it from the CP cost
+    model.  The handle is also kept on [range.fault] for the write
+    allocator's bad-range / offline probes. *)
 
 val config : t -> Config.t
 val ranges : t -> range array

@@ -54,6 +54,7 @@ let clean_fs ?(strategy = Emptiest_first) fs ~aas_per_range =
   let reclaimed = ref 0 in
   Array.iter
     (fun (r : Aggregate.range) ->
+      Wafl_fault.Crash.point "cleaner.range_pass";
       match r.Aggregate.cache with
       | None -> ()
       | Some cache ->

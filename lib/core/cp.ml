@@ -18,6 +18,7 @@ type device_report = {
   device_time_us : float;
   ssd_stats : Ftl.stats option;
   smr_random_checksum_writes : int;
+  fault : Wafl_fault.Fault.io_stats option;
 }
 
 type report = {
@@ -31,6 +32,7 @@ type report = {
   device_time_us : float;
   cache_work : int;
   alloc_candidates : int;
+  fault_totals : Wafl_fault.Fault.io_stats option;
 }
 
 let empty_report =
@@ -45,6 +47,7 @@ let empty_report =
     device_time_us = 0.0;
     cache_work = 0;
     alloc_candidates = 0;
+    fault_totals = None;
   }
 
 (* Writes grouped per volume, preserving order. *)
@@ -114,6 +117,7 @@ let flush_range walloc (range : Aggregate.range) locals freed_locals =
       device_time_us = 0.0;
       ssd_stats = None;
       smr_random_checksum_writes = 0;
+      fault = None;
     }
   in
   let with_raid =
@@ -133,60 +137,90 @@ let flush_range walloc (range : Aggregate.range) locals freed_locals =
   if with_raid.blocks_written > 0 && flush <> None then
     Telemetry.trace_tetris_write ~space:range.Aggregate.index ~tetrises:with_raid.tetrises
       ~full_stripes:with_raid.full_stripes ~partial_stripes:with_raid.partial_stripes;
-  match range.Aggregate.device with
-  | Aggregate.Hdd_sim profile ->
-    (* One positioning per chain; stream data + parity; parity reads for
-       partial stripes are random I/Os. *)
-    let write_time =
-      Hdd.write_cost_us profile ~chains:(with_raid.chains + with_raid.partial_stripes)
-        ~blocks:(with_raid.blocks_written + with_raid.parity_writes)
-    in
-    let read_time = Hdd.random_read_cost_us profile ~ios:with_raid.parity_reads in
-    { with_raid with device_time_us = write_time +. read_time }
-  | Aggregate.Ssd_sim ftl ->
-    let before = Ftl.stats ftl in
-    Ftl.write_batch ftl locals;
-    Ftl.trim_batch ftl freed_locals;
-    let delta = Ftl.diff_stats ~after:(Ftl.stats ftl) ~before in
-    {
-      with_raid with
-      device_time_us = Ftl.service_time_us ftl ~stats_delta:delta;
-      ssd_stats = Some delta;
-    }
-  | Aggregate.Smr_sim (smr, trackers) -> (
-    match range.Aggregate.geometry with
-    | None -> with_raid
-    | Some geometry ->
-      let before = Smr.stats smr in
-      let random_cs = ref 0 in
-      List.iter
-        (fun (device, stream) ->
-          let tracker = trackers.(device) in
-          List.iter
-            (fun dev_pos ->
-              (* stream positions are device positions: checksum blocks are
-                 already interleaved by smr_streams' mapping.  Region closes
-                 are written before the data block that triggered them, so a
-                 sequential close lands exactly in stream order. *)
-              List.iter
-                (fun cw ->
-                  Smr.write smr cw.Azcs.block;
-                  if not cw.Azcs.sequential then incr random_cs)
-                (Azcs.write tracker dev_pos);
-              Smr.write smr dev_pos)
-            stream)
-        (smr_streams geometry locals);
-      let after = Smr.stats smr in
+  let fault_before =
+    match range.Aggregate.fault with
+    | Some dev -> Wafl_fault.Fault.stats dev
+    | None -> Wafl_fault.Fault.zero_stats
+  in
+  let report =
+    match range.Aggregate.device with
+    | Aggregate.Hdd_sim profile ->
+      (* One positioning per chain; stream data + parity; parity reads for
+         partial stripes are random I/Os.  The fault plane is consulted per
+         data block inside the cost model (HDD sims are stateless). *)
+      let write_time =
+        Hdd.faulty_write_cost_us range.Aggregate.fault profile
+          ~chains:(with_raid.chains + with_raid.partial_stripes)
+          ~locals ~parity_writes:with_raid.parity_writes
+      in
+      let read_time = Hdd.random_read_cost_us profile ~ios:with_raid.parity_reads in
+      { with_raid with device_time_us = write_time +. read_time }
+    | Aggregate.Ssd_sim ftl ->
+      let before = Ftl.stats ftl in
+      Ftl.write_batch ftl locals;
+      Ftl.trim_batch ftl freed_locals;
+      let delta = Ftl.diff_stats ~after:(Ftl.stats ftl) ~before in
       {
         with_raid with
-        device_time_us = after.Smr.total_us -. before.Smr.total_us;
-        smr_random_checksum_writes = !random_cs;
-      })
-  | Aggregate.Object_sim store ->
-    let before = Object_store.stats store in
-    Object_store.write_batch store locals;
-    let delta = Object_store.diff_stats ~after:(Object_store.stats store) ~before in
-    { with_raid with device_time_us = Object_store.cost_us store ~stats_delta:delta }
+        device_time_us = Ftl.service_time_us ftl ~stats_delta:delta;
+        ssd_stats = Some delta;
+      }
+    | Aggregate.Smr_sim (smr, trackers) -> (
+      match range.Aggregate.geometry with
+      | None -> with_raid
+      | Some geometry ->
+        let before = Smr.stats smr in
+        let random_cs = ref 0 in
+        List.iter
+          (fun (device, stream) ->
+            let tracker = trackers.(device) in
+            List.iter
+              (fun dev_pos ->
+                (* stream positions are device positions: checksum blocks are
+                   already interleaved by smr_streams' mapping.  Region closes
+                   are written before the data block that triggered them, so a
+                   sequential close lands exactly in stream order. *)
+                List.iter
+                  (fun cw ->
+                    Smr.write smr cw.Azcs.block;
+                    if not cw.Azcs.sequential then incr random_cs)
+                  (Azcs.write tracker dev_pos);
+                Smr.write smr dev_pos)
+              stream)
+          (smr_streams geometry locals);
+        let after = Smr.stats smr in
+        {
+          with_raid with
+          device_time_us = after.Smr.total_us -. before.Smr.total_us;
+          smr_random_checksum_writes = !random_cs;
+        })
+    | Aggregate.Object_sim store ->
+      let before = Object_store.stats store in
+      Object_store.write_batch store locals;
+      let delta = Object_store.diff_stats ~after:(Object_store.stats store) ~before in
+      { with_raid with device_time_us = Object_store.cost_us store ~stats_delta:delta }
+  in
+  match range.Aggregate.fault with
+  | None -> report
+  | Some dev ->
+    let fs =
+      Wafl_fault.Fault.diff_stats ~before:fault_before ~after:(Wafl_fault.Fault.stats dev)
+    in
+    if fs.Wafl_fault.Fault.injected_transient + fs.Wafl_fault.Fault.torn
+       + fs.Wafl_fault.Fault.failed + fs.Wafl_fault.Fault.spikes > 0
+    then
+      Telemetry.trace_fault_inject ~space:range.Aggregate.index
+        ~transients:fs.Wafl_fault.Fault.injected_transient ~torn:fs.Wafl_fault.Fault.torn
+        ~failed:fs.Wafl_fault.Fault.failed ~spikes:fs.Wafl_fault.Fault.spikes;
+    if fs.Wafl_fault.Fault.retries > 0 then
+      Telemetry.trace_io_retry ~space:range.Aggregate.index
+        ~retries:fs.Wafl_fault.Fault.retries ~ok:fs.Wafl_fault.Fault.retries_ok;
+    {
+      report with
+      (* retry backoff and latency spikes stall this range's flush *)
+      device_time_us = report.device_time_us +. fs.Wafl_fault.Fault.penalty_us;
+      fault = Some fs;
+    }
 
 (* Aggregate cache stats over the physical ranges and this CP's active
    volumes: (picks, replenishes, work, worst HBPS score error). *)
@@ -220,6 +254,7 @@ let run walloc staged =
   let allocated_pvbns = ref [] in
   List.iter
     (fun (vol, writes) ->
+      Wafl_fault.Crash.point "cp.place_vol";
       let n = List.length writes in
       let vvbns = Write_alloc.allocate_vvbns walloc vol n in
       let pvbns = Write_alloc.allocate_pvbns walloc (List.length vvbns) in
@@ -254,9 +289,14 @@ let run walloc staged =
       place writes vvbns pvbns)
     by_vol;
   (* 2. Commit delayed frees (aggregate + volumes) and flush metafiles. *)
+  Wafl_fault.Crash.point "cp.agg_free_commit";
   let agg_pages, freed_pvbns = Aggregate.commit_frees aggregate in
   let vol_pages =
-    List.fold_left (fun acc (vol, _) -> acc + Flexvol.commit_frees vol) 0 by_vol
+    List.fold_left
+      (fun acc (vol, _) ->
+        Wafl_fault.Crash.point "cp.vol_free_commit";
+        acc + Flexvol.commit_frees vol)
+      0 by_vol
   in
   (* 3. Device I/O per range: this CP's allocations (and trims) grouped by
         range, in range-local coordinates. *)
@@ -278,11 +318,14 @@ let run walloc staged =
     Array.to_list
       (Array.mapi
          (fun i (r : Aggregate.range) ->
+           Wafl_fault.Crash.point "cp.device_flush";
            flush_range walloc r (List.rev locals_by_range.(i)) (List.rev freed_by_range.(i)))
          ranges)
   in
   (* 4. CP boundary: batched score updates, cache rebalance. *)
+  Wafl_fault.Crash.point "cp.score_refile";
   Write_alloc.cp_finish walloc;
+  Wafl_fault.Crash.point "cp.topaa_write";
   let picks_after, replenishes_after, cache_work_after, score_error_max =
     cache_totals ranges by_vol
   in
@@ -290,6 +333,31 @@ let run walloc staged =
     List.fold_left
       (fun acc (d : device_report) -> Float.max acc d.device_time_us)
       0.0 devices
+  in
+  let fault_totals =
+    List.fold_left
+      (fun acc (d : device_report) ->
+        match d.fault with
+        | None -> acc
+        | Some fs -> (
+          match acc with
+          | None -> Some fs
+          | Some t ->
+            Some
+              {
+                Wafl_fault.Fault.ios = t.Wafl_fault.Fault.ios + fs.Wafl_fault.Fault.ios;
+                injected_transient =
+                  t.Wafl_fault.Fault.injected_transient
+                  + fs.Wafl_fault.Fault.injected_transient;
+                retries = t.Wafl_fault.Fault.retries + fs.Wafl_fault.Fault.retries;
+                retries_ok = t.Wafl_fault.Fault.retries_ok + fs.Wafl_fault.Fault.retries_ok;
+                torn = t.Wafl_fault.Fault.torn + fs.Wafl_fault.Fault.torn;
+                failed = t.Wafl_fault.Fault.failed + fs.Wafl_fault.Fault.failed;
+                spikes = t.Wafl_fault.Fault.spikes + fs.Wafl_fault.Fault.spikes;
+                penalty_us =
+                  t.Wafl_fault.Fault.penalty_us +. fs.Wafl_fault.Fault.penalty_us;
+              }))
+      None devices
   in
   let report =
     {
@@ -303,6 +371,7 @@ let run walloc staged =
       device_time_us;
       cache_work = cache_work_after - cache_work_before;
       alloc_candidates = Write_alloc.candidates_scanned walloc - candidates_before;
+      fault_totals;
     }
   in
   (* 5. Telemetry: a per-CP snapshot plus CP-granularity counters (the hot
@@ -340,6 +409,20 @@ let run walloc staged =
           ("alloc_candidates", Telemetry.Int report.alloc_candidates);
           ("device_time_us", Telemetry.Float device_time_us);
         ]
+      in
+      let base =
+        match report.fault_totals with
+        | None -> base
+        | Some fs ->
+          base
+          @ [
+              ("fault.transients", Telemetry.Int fs.Wafl_fault.Fault.injected_transient);
+              ("fault.retries", Telemetry.Int fs.Wafl_fault.Fault.retries);
+              ("fault.retries_ok", Telemetry.Int fs.Wafl_fault.Fault.retries_ok);
+              ("fault.torn", Telemetry.Int fs.Wafl_fault.Fault.torn);
+              ("fault.failed", Telemetry.Int fs.Wafl_fault.Fault.failed);
+              ("fault.penalty_us", Telemetry.Float fs.Wafl_fault.Fault.penalty_us);
+            ]
       in
       let per_range =
         List.concat_map

@@ -22,6 +22,9 @@ type device_report = {
   device_time_us : float;
   ssd_stats : Wafl_device.Ftl.stats option;      (** this CP's delta *)
   smr_random_checksum_writes : int;
+  fault : Wafl_fault.Fault.io_stats option;
+      (** this CP's fault/retry activity on the range's device; [None]
+          when no fault plane is attached *)
 }
 
 type report = {
@@ -38,6 +41,8 @@ type report = {
   alloc_candidates : int;      (** bitmap positions scanned to gather the
                                    CP's free VBNs — fewer per block when
                                    AAs are emptier (§2.5) *)
+  fault_totals : Wafl_fault.Fault.io_stats option;
+      (** summed fault activity across devices; [None] without a plane *)
 }
 
 val run : Write_alloc.t -> staged list -> report

@@ -1,0 +1,43 @@
+(** Exhaustive crash-point matrix: kill the system at every instrumented
+    point inside the CP pipeline (and the segment cleaner), remount from
+    the crash image, repair, and verify the recovery invariants.
+
+    The matrix is enumerated programmatically: a Recording pass collects
+    the dynamic sequence of {!Wafl_fault.Crash.point} sites the workload
+    reaches, then the identical seeded workload is re-run once per site
+    with the crasher armed there.  Each crashed run is snapshotted
+    ({!Mount.snapshot} stands in for what the devices would hold), mounted,
+    and repaired with {!Iron.Container_authority} (the namespace reached
+    NVRAM, so it outranks a torn bitmap), after which three invariants
+    must hold, both before and after the NVRAM-replay CP:
+
+    - {!Iron.check} reports nothing;
+    - no physical block is referenced by two virtual blocks;
+    - every acknowledged operation (staged before the crash) reads back
+      to an allocated physical block. *)
+
+type violation = { point : string; index : int; what : string }
+
+type result = {
+  points : string list;     (** the enumerated dynamic site sequence *)
+  runs : int;               (** workload executions: enumeration + one per point *)
+  violations : violation list;  (** empty = every crash point recovered clean *)
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val default_config : seed:int -> Config.t
+(** A small two-RAID-group HDD system sized so the matrix stays fast. *)
+
+val run :
+  ?config:Config.t ->
+  ?with_cleaner:bool ->
+  seed:int ->
+  warmup_cps:int ->
+  ops_per_cp:int ->
+  unit ->
+  result
+(** Run the full matrix.  [with_cleaner] (default true) inserts a cleaner
+    pass before the final CP so the cleaner's crash point is exercised.
+    If a process-wide fault spec is installed, every run (including the
+    remounts) executes under it. *)

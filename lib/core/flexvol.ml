@@ -230,3 +230,32 @@ let file_blocks t ~file =
   match Hashtbl.find_opt t.inodes file with None -> 0 | Some map -> Hashtbl.length map
 
 let files t = Hashtbl.fold (fun file _ acc -> file :: acc) t.inodes []
+
+(* --- namespace persistence (crash images) ---
+
+   The container map and inode maps are the durable namespace a crash
+   image must carry: without them a remount cannot answer "which physical
+   block holds file F offset O", and Iron cannot cross-check container
+   references against the bitmaps. *)
+
+let export_namespace t =
+  let mappings = ref [] in
+  Array.iteri
+    (fun vvbn pvbn -> if pvbn >= 0 then mappings := (vvbn, pvbn) :: !mappings)
+    t.container;
+  let files =
+    Hashtbl.fold
+      (fun file map acc ->
+        Hashtbl.fold (fun offset vvbn acc -> (file, offset, vvbn) :: acc) map acc)
+      t.inodes []
+  in
+  (List.rev !mappings, files)
+
+let import_namespace t ~mappings ~files =
+  List.iter
+    (fun (vvbn, pvbn) ->
+      if vvbn < 0 || vvbn >= Array.length t.container then
+        invalid_arg "Flexvol.import_namespace: VVBN out of range";
+      t.container.(vvbn) <- pvbn)
+    mappings;
+  List.iter (fun (file, offset, vvbn) -> Hashtbl.replace (inode t file) offset vvbn) files

@@ -124,3 +124,16 @@ val file_blocks : t -> file:int -> int
 (** Blocks currently mapped in a file. *)
 
 val files : t -> int list
+
+(** {2 Namespace persistence} *)
+
+val export_namespace : t -> (int * int) list * (int * int * int) list
+(** [(container mappings as (vvbn, pvbn), inode entries as (file, offset,
+    vvbn))] — the durable namespace a crash image carries so a remounted
+    system can still translate file reads and Iron can cross-check
+    container references. *)
+
+val import_namespace :
+  t -> mappings:(int * int) list -> files:(int * int * int) list -> unit
+(** Load a namespace captured by {!export_namespace} into a fresh volume.
+    Raises [Invalid_argument] if a VVBN is out of range for this volume. *)

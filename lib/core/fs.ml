@@ -12,22 +12,39 @@ type t = {
   mutable cps : int;
 }
 
+(* Optional process-wide registry of live systems, so batch drivers
+   (waflsim) can audit every Fs an experiment built without the
+   experiment having to surface its handles. *)
+let registry_enabled = ref false
+let registered_rev : t list ref = ref []
+let enable_registry () =
+  registry_enabled := true;
+  registered_rev := []
+let disable_registry () =
+  registry_enabled := false;
+  registered_rev := []
+let registered () = List.rev !registered_rev
+
 let create config =
   let aggregate = Aggregate.create config in
   let rng = Rng.create ~seed:config.Config.seed in
   let walloc = Write_alloc.create aggregate ~rng:(Rng.split rng) in
   let vols = Array.of_list (List.map Flexvol.create config.Config.vols) in
   Array.iter (Write_alloc.register_vol walloc) vols;
-  {
-    config;
-    aggregate;
-    walloc;
-    vols;
-    rng;
-    staged = Hashtbl.create 4096;
-    staged_order = [];
-    cps = 0;
-  }
+  let t =
+    {
+      config;
+      aggregate;
+      walloc;
+      vols;
+      rng;
+      staged = Hashtbl.create 4096;
+      staged_order = [];
+      cps = 0;
+    }
+  in
+  if !registry_enabled then registered_rev := t :: !registered_rev;
+  t
 
 let config t = t.config
 let aggregate t = t.aggregate
@@ -65,10 +82,14 @@ let staged_ops t =
 
 let run_cp t =
   let writes = List.rev_map (fun key -> Hashtbl.find t.staged key) t.staged_order in
+  (* run the CP before draining the staged table: it stands in for the
+     NVRAM log, which survives a mid-CP crash so the ops can be replayed
+     (re-running a partial CP is idempotent under COW) *)
+  let report = Cp.run t.walloc writes in
   Hashtbl.reset t.staged;
   t.staged_order <- [];
   t.cps <- t.cps + 1;
-  Cp.run t.walloc writes
+  report
 
 let cps_completed t = t.cps
 

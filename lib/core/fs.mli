@@ -8,6 +8,15 @@ type t
 
 val create : Config.t -> t
 
+val enable_registry : unit -> unit
+(** Start recording every subsequently {!create}d system in a process-wide
+    list (clearing any previous recording).  Lets batch drivers audit the
+    systems an experiment built without plumbing handles through. *)
+
+val disable_registry : unit -> unit
+val registered : unit -> t list
+(** Systems created since {!enable_registry}, in creation order. *)
+
 val config : t -> Config.t
 val aggregate : t -> Aggregate.t
 val write_alloc : t -> Write_alloc.t

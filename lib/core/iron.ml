@@ -77,26 +77,67 @@ let check fs =
   if !orphans > 0 then findings := Orphan_blocks { count = !orphans } :: !findings;
   List.rev !findings
 
-let repair fs =
+type authority = Bitmap_authority | Container_authority
+
+let repair ?(authority = Bitmap_authority) fs =
   let findings = check fs in
   let aggregate = Fs.aggregate fs in
+  let mf = Aggregate.metafile aggregate in
   let repaired = ref 0 in
   let drifted_ranges = Hashtbl.create 8 in
   let drifted_vols = Hashtbl.create 8 in
+  let container_fixes = ref 0 in
+  (* findings arrive in check order — dangling references before the
+     orphan summary — so under [Container_authority] the re-marked blocks
+     are owned by the time the orphan rescan below runs *)
   List.iter
     (function
       | Range_score_drift { range; _ } -> Hashtbl.replace drifted_ranges range ()
       | Vol_score_drift { vol; _ } -> Hashtbl.replace drifted_vols vol ()
-      | Dangling_container { vol; vvbn; _ } ->
-        (* sever the reference; the vvbn itself is released like any other
-           COW free so the space books stay balanced *)
-        let v = Fs.vol fs vol in
-        Flexvol.queue_unmap v ~vvbn;
-        ignore (Flexvol.commit_frees v);
-        incr repaired
-      | Cross_link _ | Orphan_blocks _ -> ())
+      | Dangling_container { vol; vvbn; pvbn } -> (
+        match authority with
+        | Bitmap_authority ->
+          (* sever the reference; the vvbn itself is released like any other
+             COW free so the space books stay balanced *)
+          let v = Fs.vol fs vol in
+          Flexvol.queue_unmap v ~vvbn;
+          ignore (Flexvol.commit_frees v);
+          incr repaired
+        | Container_authority ->
+          (* the namespace reached NVRAM, so it is the truth: the bitmap
+             lost the allocation (torn page) — re-mark the block *)
+          if not (Metafile.is_allocated mf pvbn) then Aggregate.allocate aggregate ~pvbn;
+          incr repaired;
+          incr container_fixes)
+      | Orphan_blocks _ -> (
+        match authority with
+        | Bitmap_authority -> ()
+        | Container_authority ->
+          (* free every allocated physical block no container references;
+             rescan ownership rather than trusting the pre-repair count,
+             since dangling fixes above may have adopted some blocks *)
+          let owners = Hashtbl.create 4096 in
+          Array.iter
+            (fun vol ->
+              for vvbn = 0 to Flexvol.blocks vol - 1 do
+                match Flexvol.pvbn_of_vvbn vol vvbn with
+                | Some pvbn -> Hashtbl.replace owners pvbn ()
+                | None -> ()
+              done)
+            (Fs.vols fs);
+          let freed = ref 0 in
+          for pvbn = 0 to Aggregate.total_blocks aggregate - 1 do
+            if Metafile.is_allocated mf pvbn && not (Hashtbl.mem owners pvbn) then begin
+              Aggregate.queue_free aggregate ~pvbn;
+              incr freed
+            end
+          done;
+          ignore (Aggregate.commit_frees aggregate);
+          repaired := !repaired + !freed;
+          incr container_fixes)
+      | Cross_link _ -> ())
     findings;
-  if Hashtbl.length drifted_ranges > 0 then begin
+  if Hashtbl.length drifted_ranges > 0 || !container_fixes > 0 then begin
     (* recompute every range's scores and rebuild the caches from truth *)
     Aggregate.rebuild_caches aggregate;
     repaired := !repaired + Hashtbl.length drifted_ranges

@@ -28,8 +28,20 @@ val pp_finding : Format.formatter -> finding -> unit
 val check : Fs.t -> finding list
 (** Scan everything; empty list = consistent. *)
 
-val repair : Fs.t -> finding list * int
-(** Run {!check}, then fix what is derivable: score drift is repaired by
-    recomputing scores and rebuilding the affected caches; dangling
-    container entries are cleared.  Cross-links and orphans are reported
-    but left alone.  Returns (original findings, number repaired). *)
+type authority =
+  | Bitmap_authority
+      (** the allocation bitmaps are truth: dangling container entries are
+          severed; orphans are left alone *)
+  | Container_authority
+      (** the container maps are truth (they reached NVRAM): dangling
+          entries re-mark their physical block allocated, and orphaned
+          allocated blocks are freed — the stance crash recovery needs
+          when a bitmap page write was torn *)
+
+val repair : ?authority:authority -> Fs.t -> finding list * int
+(** Run {!check}, then fix what is derivable under [authority] (default
+    {!Bitmap_authority}): score drift is repaired by recomputing scores
+    and rebuilding the affected caches; dangling container entries are
+    cleared (or re-marked, under {!Container_authority}, which also frees
+    orphans).  Cross-links are reported but left alone.  Returns
+    (original findings, number repaired). *)

@@ -10,6 +10,9 @@ type image = {
   range_topaa : Bytes.t array;            (* one block per physical range *)
   vol_topaa : (Bytes.t * Bytes.t) array;  (* HBPS pages per volume *)
   nvram : (string * int * int) list;      (* logged ops since the last CP *)
+  namespace : (string * ((int * int) list * (int * int * int) list)) array;
+      (* per volume: container (vvbn, pvbn) mappings and (file, offset,
+         vvbn) inode entries — the durable namespace Iron cross-checks *)
 }
 
 type timing = {
@@ -72,18 +75,39 @@ let snapshot fs =
     range_topaa;
     vol_topaa;
     nvram = Fs.staged_ops fs;
+    namespace =
+      Array.map (fun v -> (Flexvol.name v, Flexvol.export_namespace v)) (Fs.vols fs);
   }
 
 let corrupt_block b =
   let i = Bytes.length b / 2 in
   Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x5a))
 
-let corrupt_range_topaa image i = corrupt_block image.range_topaa.(i)
+let corrupt_range_topaa image i =
+  if i < 0 || i >= Array.length image.range_topaa then
+    invalid_arg "Mount.corrupt_range_topaa: range index out of range";
+  corrupt_block image.range_topaa.(i)
 
 let corrupt_vol_topaa image i =
+  if i < 0 || i >= Array.length image.vol_topaa then
+    invalid_arg "Mount.corrupt_vol_topaa: volume index out of range";
   let histogram, list_page = image.vol_topaa.(i) in
   corrupt_block histogram;
   corrupt_block list_page
+
+(* Model a torn write to an aggregate bitmap-metafile page: the first half
+   of the page reached the platter, the second half did not (reads back as
+   zeros, i.e. "free").  Iron detects the resulting container references
+   to unallocated PVBNs as [Dangling_container]. *)
+let tear_agg_bitmap_page image ~page =
+  let page_bits = Wafl_block.Units.bits_per_metafile_block in
+  let total = Bitmap.length image.agg_bits in
+  let start = page * page_bits in
+  if page < 0 || start >= total then
+    invalid_arg "Mount.tear_agg_bitmap_page: page out of range";
+  let half = start + (page_bits / 2) in
+  let len = min (page_bits / 2) (total - half) in
+  if len > 0 then Bitmap.clear_range image.agg_bits ~start:half ~len
 
 (* Restore space state into a fresh system.  The caches Fs.create builds
    assume an empty file system; drop them — the caller installs either
@@ -95,6 +119,10 @@ let restore image =
   Array.iter
     (fun (name, bits) -> Metafile.load (Flexvol.metafile (Fs.vol fs name)) bits)
     image.vol_bits;
+  Array.iter
+    (fun (name, (mappings, files)) ->
+      Flexvol.import_namespace (Fs.vol fs name) ~mappings ~files)
+    image.namespace;
   Aggregate.disable_caches aggregate;
   Array.iter (fun v -> Flexvol.set_cache v None) (Fs.vols fs);
   fs

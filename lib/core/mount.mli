@@ -37,10 +37,19 @@ val snapshot : Fs.t -> image
 val corrupt_range_topaa : image -> int -> unit
 (** Fault injection: flip bytes in the TopAA block of physical range [i].
     A subsequent {!mount} detects the damage via the block checksum and
-    falls back to scanning that range's bitmap (charged to [ready_us]). *)
+    falls back to scanning that range's bitmap (charged to [ready_us]).
+    Raises [Invalid_argument] if [i] is not a valid range index. *)
 
 val corrupt_vol_topaa : image -> int -> unit
-(** Same, for the HBPS pages of volume [i]. *)
+(** Same, for the HBPS pages of volume [i].
+    Raises [Invalid_argument] if [i] is not a valid volume index. *)
+
+val tear_agg_bitmap_page : image -> page:int -> unit
+(** Fault injection: model a torn write to aggregate bitmap-metafile page
+    [page] — its second half reads back as zeros ("free").  {!Iron.check}
+    on the mounted system reports the inconsistencies; {!Iron.repair} with
+    [Container_authority] re-marks the referenced blocks.  Raises
+    [Invalid_argument] if [page] is out of range. *)
 
 val mount :
   ?cost:cost_model -> ?background_rebuild:bool -> image -> with_topaa:bool -> Fs.t * timing

@@ -16,6 +16,7 @@ type cursor = {
   mutable ring_aa : int;          (* the AA the live entries belong to *)
   mutable ring_epoch : int;       (* CP epoch the live entries were harvested in *)
   taken : (int, unit) Hashtbl.t;  (* AAs checked out of the cache *)
+  quarantined : (int, unit) Hashtbl.t;  (* AAs overlapping device bad ranges *)
   mutable scan_pos : int;         (* First_fit scan position *)
 }
 
@@ -45,6 +46,7 @@ let new_cursor ~capacity =
     ring_aa = 0;
     ring_epoch = 0;
     taken = Hashtbl.create 16;
+    quarantined = Hashtbl.create 8;
     scan_pos = 0;
   }
 
@@ -183,12 +185,27 @@ let revalidate t cursor mf =
     cursor.len <- live
   end
 
+(* Does the AA (its range-local extents) overlap a permanent bad range of
+   the range's fault device?  Only called with a fault handle attached. *)
+let aa_overlaps_fault (range : Aggregate.range) dev aa =
+  List.exists
+    (fun e ->
+      Wafl_fault.Fault.range_faulty dev ~start:(Wafl_block.Extent.start e)
+        ~len:(Wafl_block.Extent.len e))
+    (Topology.extents_of_aa range.Aggregate.topology aa)
+
 (* Refill a range cursor's ring from the next AA; false when no AA with
    free blocks is available.  A pick can harvest zero blocks even with a
    positive cached score: a ring that survived the last CP may have already
    consumed the AA's blocks that the CP re-filed it with.  Such an AA is
-   simply spent — retry with the next pick. *)
-let rec refill_range t range cursor =
+   simply spent — retry with the next pick.
+
+   With a fault device attached, an AA overlapping a permanent bad range is
+   quarantined instead of harvested: it leaves the cursor's taken set (so
+   cp_finish never re-files it) and the pick retries.  Quarantine retries
+   are bounded so the cacheless policies (which pick by free count and
+   cannot learn) give up instead of spinning on an all-bad range. *)
+let rec refill_range_guarded t range cursor qbudget =
   let policy = (Aggregate.config t.aggregate).Config.aggregate_policy in
   match
     pick_aa t cursor ~policy ~space:range.Aggregate.index ~cache:range.Aggregate.cache
@@ -197,19 +214,40 @@ let rec refill_range t range cursor =
   with
   | None -> false
   | Some (aa, score) ->
-    note_phys_take t score;
-    t.candidates_scanned <-
-      t.candidates_scanned + Topology.aa_capacity range.Aggregate.topology aa;
-    let words0 = !(t.words) in
-    let count =
-      Aggregate.harvest_free_of_aa t.aggregate range aa ~dst:cursor.ring ~words:t.words
+    let bad =
+      match range.Aggregate.fault with
+      | Some dev -> aa_overlaps_fault range dev aa
+      | None -> false
     in
-    cursor.head <- 0;
-    cursor.len <- count;
-    cursor.ring_aa <- aa;
-    cursor.ring_epoch <- t.epoch;
-    note_harvest t ~words0 ~count;
-    count > 0 || refill_range t range cursor
+    if bad then begin
+      if qbudget = 0 then false
+      else begin
+        Hashtbl.replace cursor.quarantined aa ();
+        Hashtbl.remove cursor.taken aa;
+        Telemetry.incr "fault.aa_quarantined";
+        refill_range_guarded t range cursor (qbudget - 1)
+      end
+    end
+    else begin
+      note_phys_take t score;
+      t.candidates_scanned <-
+        t.candidates_scanned + Topology.aa_capacity range.Aggregate.topology aa;
+      let words0 = !(t.words) in
+      let count =
+        Aggregate.harvest_free_of_aa t.aggregate range aa ~dst:cursor.ring ~words:t.words
+      in
+      cursor.head <- 0;
+      cursor.len <- count;
+      cursor.ring_aa <- aa;
+      cursor.ring_epoch <- t.epoch;
+      note_harvest t ~words0 ~count;
+      count > 0 || refill_range_guarded t range cursor qbudget
+    end
+
+let refill_range t range cursor =
+  match range.Aggregate.fault with
+  | Some dev when not (Wafl_fault.Fault.online dev) -> false
+  | _ -> refill_range_guarded t range cursor 64
 
 (* The ring-pop loop, top-level so the steady-state path allocates no
    closure.  Pops need no [is_allocated] recheck (see [revalidate]). *)
@@ -235,11 +273,16 @@ let rec array_max a i best =
   if i >= Array.length a then best else array_max a (i + 1) (if a.(i) > best then a.(i) else best)
 
 let best_score_of_range (range : Aggregate.range) =
-  match range.Aggregate.cache with
-  | Some c -> Cache.best_score c
-  | None ->
-    (* cacheless: use the true best score so throttling still works *)
-    array_max range.Aggregate.scores 0 0
+  match range.Aggregate.fault with
+  | Some dev when not (Wafl_fault.Fault.online dev) ->
+    (* an offline device offers nothing, whatever its cache says *)
+    0
+  | _ -> (
+    match range.Aggregate.cache with
+    | Some c -> Cache.best_score c
+    | None ->
+      (* cacheless: use the true best score so throttling still works *)
+      array_max range.Aggregate.scores 0 0)
 
 (* The fan-out stages of [allocate_pvbns_into], top-level (closure-free):
    the whole call must allocate nothing when served from rings. *)
@@ -400,7 +443,18 @@ let cp_finish_space ~delta ~(scores : int array) ~cache cursor =
   Hashtbl.reset cursor.taken;
   let updates = Score.apply delta scores in
   match cache with
-  | Some cache -> Cache.cp_update cache (List.rev_append extra updates)
+  | Some cache ->
+    let updates =
+      (* quarantined AAs sit on bad device ranges: never re-file them, or
+         the cache would hand them right back.  Empty quarantine (the
+         fault-free common case) skips the filter allocation. *)
+      if Hashtbl.length cursor.quarantined = 0 then List.rev_append extra updates
+      else
+        List.filter
+          (fun (aa, _) -> not (Hashtbl.mem cursor.quarantined aa))
+          (List.rev_append extra updates)
+    in
+    Cache.cp_update cache updates
   | None -> ()
 
 let cp_finish t =

@@ -42,16 +42,31 @@ type tracker = {
   mutable data_writes : int;
   mutable seq_cs : int;
   mutable rand_cs : int;
+  mutable fault : Wafl_fault.Fault.device option;
 }
 
-let create_tracker () = { current = None; data_writes = 0; seq_cs = 0; rand_cs = 0 }
+let create_tracker () =
+  { current = None; data_writes = 0; seq_cs = 0; rand_cs = 0; fault = None }
+
+let set_tracker_fault t f = t.fault <- f
 
 let close_visit t v =
   (* A visit that covered every data block in order earns a sequential
-     checksum append; anything else pays a random checksum write later. *)
-  let sequential = v.in_order && v.written = data_blocks in
+     checksum append; anything else pays a random checksum write later.
+     A fault on the checksum block itself (torn or failed) forces the
+     drive to rewrite it out of order. *)
+  let block = checksum_block ~region:v.region in
+  let clean =
+    match t.fault with
+    | None -> true
+    | Some dev -> (
+      match Wafl_fault.Fault.write dev ~block with
+      | Wafl_fault.Fault.Written -> true
+      | Wafl_fault.Fault.Written_torn | Wafl_fault.Fault.Failed -> false)
+  in
+  let sequential = clean && v.in_order && v.written = data_blocks in
   if sequential then t.seq_cs <- t.seq_cs + 1 else t.rand_cs <- t.rand_cs + 1;
-  { block = checksum_block ~region:v.region; sequential }
+  { block; sequential }
 
 let write t pos =
   if is_checksum_block pos then invalid_arg "Azcs.write: checksum block in data stream";

@@ -63,6 +63,11 @@ type summary = {
 
 val create_tracker : unit -> tracker
 
+val set_tracker_fault : tracker -> Wafl_fault.Fault.device option -> unit
+(** Attach (or detach) a fault-injection handle.  The tracker consults it
+    when it emits a checksum-block write: a torn or failed checksum write
+    is classified as random (the drive must rewrite it out of order). *)
+
 val write : tracker -> int -> checksum_write list
 (** Feed the next data-block write position (must not be a checksum block).
     Returns the checksum-block writes this transition triggers: leaving a

@@ -20,6 +20,7 @@ type t = {
   mutable relocated_pages : int;
   mutable erases : int;
   mutable trimmed_pages : int;
+  mutable fault : Wafl_fault.Fault.device option;
 }
 
 let create ?(profile = Profile.default_ssd) ?(open_blocks = 8) ~logical_blocks () =
@@ -37,10 +38,13 @@ let create ?(profile = Profile.default_ssd) ?(open_blocks = 8) ~logical_blocks (
     relocated_pages = 0;
     erases = 0;
     trimmed_pages = 0;
+    fault = None;
   }
 
 let logical_blocks t = t.logical_blocks
 let profile t = t.profile
+let set_fault t f = t.fault <- f
+let fault t = t.fault
 
 let is_live t p = Bytes.unsafe_get t.live p <> '\000'
 
@@ -114,17 +118,39 @@ let write_batch t pages =
     pages;
   Hashtbl.iter
     (fun eb batch ->
-      let in_batch = Hashtbl.create 64 in
-      List.iter (fun p -> Hashtbl.replace in_batch p ()) batch;
-      if not (is_open t ~eb) then open_eb t eb ~in_batch else touch_lru t eb;
-      let written = List.length batch in
-      t.host_pages_written <- t.host_pages_written + written;
-      t.device_pages_written <- t.device_pages_written + written;
-      let appended = (try Hashtbl.find t.appended eb with Not_found -> 0) + written in
-      let eb_start = eb * ebs in
-      let eb_len = min ebs (t.logical_blocks - eb_start) in
-      if appended >= eb_len then close_eb t eb else Hashtbl.replace t.appended eb appended;
-      List.iter (fun p -> set_live t p true) batch)
+      (* Fault plane: dropped pages never reach the flash; torn pages are
+         programmed (cost is paid) but their content is garbage, so they
+         do not become live. *)
+      let batch, torn =
+        match t.fault with
+        | None -> (batch, [])
+        | Some dev ->
+          let kept = ref [] and torn = ref [] in
+          List.iter
+            (fun p ->
+              match Wafl_fault.Fault.write dev ~block:p with
+              | Wafl_fault.Fault.Written -> kept := p :: !kept
+              | Wafl_fault.Fault.Written_torn ->
+                kept := p :: !kept;
+                torn := p :: !torn
+              | Wafl_fault.Fault.Failed -> ())
+            batch;
+          (!kept, !torn)
+      in
+      if batch <> [] then begin
+        let in_batch = Hashtbl.create 64 in
+        List.iter (fun p -> Hashtbl.replace in_batch p ()) batch;
+        if not (is_open t ~eb) then open_eb t eb ~in_batch else touch_lru t eb;
+        let written = List.length batch in
+        t.host_pages_written <- t.host_pages_written + written;
+        t.device_pages_written <- t.device_pages_written + written;
+        let appended = (try Hashtbl.find t.appended eb with Not_found -> 0) + written in
+        let eb_start = eb * ebs in
+        let eb_len = min ebs (t.logical_blocks - eb_start) in
+        if appended >= eb_len then close_eb t eb else Hashtbl.replace t.appended eb appended;
+        List.iter (fun p -> set_live t p true) batch;
+        List.iter (fun p -> set_live t p false) torn
+      end)
     by_eb;
   Wafl_telemetry.Telemetry.add "device.ssd.host_pages_written" (Hashtbl.length seen)
 

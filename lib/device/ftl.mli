@@ -49,6 +49,13 @@ val create :
 val logical_blocks : t -> int
 val profile : t -> Profile.ssd
 
+val set_fault : t -> Wafl_fault.Fault.device option -> unit
+(** Attach (or detach) a fault-injection handle.  With one attached,
+    {!write_batch} consults it per page: failed pages never reach the
+    flash, torn pages are programmed but do not become live. *)
+
+val fault : t -> Wafl_fault.Fault.device option
+
 val live_pages_in : t -> start:int -> len:int -> int
 (** Pages in the logical range currently holding live data. *)
 

@@ -5,6 +5,23 @@ let write_cost_us (p : Profile.hdd) ~chains ~blocks =
 let random_read_cost_us (p : Profile.hdd) ~ios =
   float_of_int ios *. (p.Profile.seek_us +. p.Profile.transfer_us_per_block)
 
+(* HDDs are stateless cost models, so fault handling lives in the cost
+   function: each block in [locals] is offered to the fault plane; failed
+   blocks transfer nothing (torn blocks still spin under the head). *)
+let faulty_write_cost_us fault (p : Profile.hdd) ~chains ~locals ~parity_writes =
+  let written =
+    match fault with
+    | None -> List.length locals
+    | Some dev ->
+      List.fold_left
+        (fun acc b ->
+          match Wafl_fault.Fault.write dev ~block:b with
+          | Wafl_fault.Fault.Written | Wafl_fault.Fault.Written_torn -> acc + 1
+          | Wafl_fault.Fault.Failed -> acc)
+        0 locals
+  in
+  write_cost_us p ~chains ~blocks:(written + parity_writes)
+
 let sequential_read_cost_us p ~chains ~blocks = write_cost_us p ~chains ~blocks
 
 let streaming_bandwidth_blocks_per_s p = 1_000_000.0 /. p.Profile.transfer_us_per_block

@@ -12,6 +12,17 @@ val write_cost_us : Profile.hdd -> chains:int -> blocks:int -> float
 val random_read_cost_us : Profile.hdd -> ios:int -> float
 (** Cost of [ios] independent 4KiB reads. *)
 
+val faulty_write_cost_us :
+  Wafl_fault.Fault.device option ->
+  Profile.hdd ->
+  chains:int ->
+  locals:int list ->
+  parity_writes:int ->
+  float
+(** {!write_cost_us} with a fault plane consulted per data block in
+    [locals] (range-local block numbers): failed blocks transfer nothing.
+    With [None] it is exactly [write_cost_us ~blocks:(len locals + parity_writes)]. *)
+
 val sequential_read_cost_us : Profile.hdd -> chains:int -> blocks:int -> float
 (** Same shape as writes: one seek per chain plus streaming. *)
 

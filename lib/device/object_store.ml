@@ -1,10 +1,18 @@
 type stats = { puts : int; blocks_written : int }
 
-type t = { profile : Profile.object_store; mutable puts : int; mutable blocks_written : int }
+type t = {
+  profile : Profile.object_store;
+  mutable puts : int;
+  mutable blocks_written : int;
+  mutable fault : Wafl_fault.Fault.device option;
+}
 
-let create ?(profile = Profile.default_object_store) () = { profile; puts = 0; blocks_written = 0 }
+let create ?(profile = Profile.default_object_store) () =
+  { profile; puts = 0; blocks_written = 0; fault = None }
 
 let profile t = t.profile
+let set_fault t f = t.fault <- f
+let fault t = t.fault
 
 let objects_of_batch t vbns =
   let objs = Hashtbl.create 16 in
@@ -23,6 +31,19 @@ let objects_of_batch t vbns =
 let put_count_for t vbns = fst (objects_of_batch t vbns)
 
 let write_batch t vbns =
+  (* Dropped blocks never make it into an object PUT; a torn block still
+     uploads (the store accepted garbage bytes). *)
+  let vbns =
+    match t.fault with
+    | None -> vbns
+    | Some dev ->
+      List.filter
+        (fun vbn ->
+          match Wafl_fault.Fault.write dev ~block:vbn with
+          | Wafl_fault.Fault.Written | Wafl_fault.Fault.Written_torn -> true
+          | Wafl_fault.Fault.Failed -> false)
+        vbns
+  in
   let puts, blocks = objects_of_batch t vbns in
   t.puts <- t.puts + puts;
   t.blocks_written <- t.blocks_written + blocks;

@@ -14,6 +14,12 @@ val create : ?profile:Profile.object_store -> unit -> t
 
 val profile : t -> Profile.object_store
 
+val set_fault : t -> Wafl_fault.Fault.device option -> unit
+(** Attach (or detach) a fault-injection handle; {!write_batch} consults
+    it per block and drops failed blocks from the PUT accounting. *)
+
+val fault : t -> Wafl_fault.Fault.device option
+
 val write_batch : t -> int list -> unit
 (** Write a batch of VBNs; each distinct [object_blocks]-aligned range
     touched costs one PUT (duplicates coalesced). *)

@@ -16,6 +16,7 @@ type t = {
   mutable random_writes : int;
   mutable rmw_blocks : int;
   mutable total_us : float;
+  mutable fault : Wafl_fault.Fault.device option;
 }
 
 let create ?(profile = Profile.default_smr) ~blocks () =
@@ -31,11 +32,14 @@ let create ?(profile = Profile.default_smr) ~blocks () =
     random_writes = 0;
     rmw_blocks = 0;
     total_us = 0.0;
+    fault = None;
   }
 
 let blocks t = t.n_blocks
 let profile t = t.profile
 let zones t = Array.length t.write_pointers
+let set_fault t f = t.fault <- f
+let fault t = t.fault
 
 let zone_of_block t b =
   if b < 0 || b >= t.n_blocks then invalid_arg "Smr: block out of bounds";
@@ -45,7 +49,7 @@ let write_pointer t ~zone =
   if zone < 0 || zone >= zones t then invalid_arg "Smr: zone out of bounds";
   t.write_pointers.(zone)
 
-let write t pos =
+let write_block t pos =
   let zone = zone_of_block t pos in
   let zone_start = zone * t.profile.Profile.zone_blocks in
   let offset = pos - zone_start in
@@ -73,6 +77,17 @@ let write t pos =
   t.blocks_written <- t.blocks_written + 1;
   t.total_us <- t.total_us +. !cost;
   t.last_pos <- Some pos
+
+(* A dropped (failed) write never moves the head or the write pointer; a
+   torn write pays the full mechanical cost — the head moved, only the
+   content is garbage, which the shingle model does not track per block. *)
+let write t pos =
+  match t.fault with
+  | None -> write_block t pos
+  | Some dev -> (
+    match Wafl_fault.Fault.write dev ~block:pos with
+    | Wafl_fault.Fault.Written | Wafl_fault.Fault.Written_torn -> write_block t pos
+    | Wafl_fault.Fault.Failed -> ())
 
 let write_stream t positions =
   let rmw_before = t.rmw_blocks in

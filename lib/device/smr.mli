@@ -25,6 +25,13 @@ val blocks : t -> int
 val profile : t -> Profile.smr
 val zones : t -> int
 
+val set_fault : t -> Wafl_fault.Fault.device option -> unit
+(** Attach (or detach) a fault-injection handle; {!write} consults it per
+    block.  Failed writes are dropped (no head movement, no pointer
+    advance); torn writes pay the full mechanical cost. *)
+
+val fault : t -> Wafl_fault.Fault.device option
+
 val zone_of_block : t -> int -> int
 val write_pointer : t -> zone:int -> int
 (** Highest written position + 1 within the zone (0 = empty zone). *)

@@ -1,0 +1,34 @@
+exception Crashed of { point : string; index : int }
+
+type mode = Off | Recording | Armed of int
+
+let mode = ref Off
+let seen = ref 0
+let recorded_rev : string list ref = ref []
+
+let point name =
+  match !mode with
+  | Off -> ()
+  | Recording ->
+    recorded_rev := name :: !recorded_rev;
+    incr seen
+  | Armed k ->
+    let i = !seen in
+    seen := i + 1;
+    if i = k then raise (Crashed { point = name; index = i })
+
+let record () =
+  recorded_rev := [];
+  seen := 0;
+  mode := Recording
+
+let arm ~at =
+  seen := 0;
+  mode := Armed at
+
+let disarm () =
+  seen := 0;
+  mode := Off
+
+let recorded () = List.rev !recorded_rev
+let count () = List.length !recorded_rev

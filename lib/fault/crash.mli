@@ -1,0 +1,33 @@
+(** Crash points: named instrumentation sites inside the CP pipeline that
+    a harness can enumerate and then kill, one at a time.
+
+    The instrumented code calls [Crash.point "name"] at each site.  In the
+    default {e Off} mode that is a single branch.  A harness first runs one
+    {e Recording} pass (collecting the dynamic sequence of sites the
+    workload actually reaches — enumeration is programmatic, never a
+    hand-maintained list), then re-runs the workload once per index with
+    the crasher {e Armed} at that index: reaching it raises {!Crashed},
+    simulating a kill at exactly that point. *)
+
+exception Crashed of { point : string; index : int }
+
+val point : string -> unit
+(** Instrumentation site.  Off: a branch.  Recording: appends [name] to
+    the recorded sequence.  Armed [k]: raises {!Crashed} when the [k]-th
+    dynamic site (0-based) is reached. *)
+
+val record : unit -> unit
+(** Clear the recorded sequence and enter Recording mode. *)
+
+val arm : at:int -> unit
+(** Enter Armed mode: the [at]-th subsequent {!point} call raises. *)
+
+val disarm : unit -> unit
+(** Back to Off.  Harnesses should call this in a [Fun.protect] finalizer
+    so a crashed run cannot leave the crasher armed. *)
+
+val recorded : unit -> string list
+(** The dynamic site sequence from the last Recording pass, in order. *)
+
+val count : unit -> int
+(** [List.length (recorded ())]. *)

@@ -111,7 +111,7 @@ let trace_columns =
   [
     "event"; "cp"; "space"; "aa"; "score"; "ops"; "blocks"; "freed"; "pages"; "listed";
     "tetrises"; "full_stripes"; "partial_stripes"; "aas"; "relocated"; "reclaimed";
-    "device_us";
+    "device_us"; "transients"; "torn"; "failed"; "spikes"; "retries"; "ok";
   ]
 
 let event_fields (ev : Tracer.event) =
@@ -151,6 +151,20 @@ let event_fields (ev : Tracer.event) =
       ("space", string_of_int e.space);
       ("freed", string_of_int e.freed);
       ("pages", string_of_int e.pages);
+    ]
+  | Tracer.Fault_inject e ->
+    [
+      ("space", string_of_int e.space);
+      ("transients", string_of_int e.transients);
+      ("torn", string_of_int e.torn);
+      ("failed", string_of_int e.failed);
+      ("spikes", string_of_int e.spikes);
+    ]
+  | Tracer.Io_retry e ->
+    [
+      ("space", string_of_int e.space);
+      ("retries", string_of_int e.retries);
+      ("ok", string_of_int e.ok);
     ]
 
 let trace_csv tel =

@@ -96,3 +96,11 @@ let trace_free_commit ~space ~freed ~pages =
   match !state with
   | None -> ()
   | Some t -> Tracer.free_commit t.tracer ~space ~freed ~pages
+
+let trace_fault_inject ~space ~transients ~torn ~failed ~spikes =
+  match !state with
+  | None -> ()
+  | Some t -> Tracer.fault_inject t.tracer ~space ~transients ~torn ~failed ~spikes
+
+let trace_io_retry ~space ~retries ~ok =
+  match !state with None -> () | Some t -> Tracer.io_retry t.tracer ~space ~retries ~ok

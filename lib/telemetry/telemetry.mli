@@ -78,3 +78,8 @@ val trace_tetris_write :
 
 val trace_cleaner_pass : aas:int -> relocated:int -> reclaimed:int -> unit
 val trace_free_commit : space:int -> freed:int -> pages:int -> unit
+
+val trace_fault_inject :
+  space:int -> transients:int -> torn:int -> failed:int -> spikes:int -> unit
+
+val trace_io_retry : space:int -> retries:int -> ok:int -> unit

@@ -19,6 +19,15 @@ type event =
     }
   | Cleaner_pass of { cp : int; aas : int; relocated : int; reclaimed : int }
   | Free_commit of { cp : int; space : int; freed : int; pages : int }
+  | Fault_inject of {
+      cp : int;
+      space : int;
+      transients : int;
+      torn : int;
+      failed : int;
+      spikes : int;
+    }
+  | Io_retry of { cp : int; space : int; retries : int; ok : int }
 
 type t = {
   ring : event array;
@@ -78,6 +87,13 @@ let cleaner_pass t ~aas ~relocated ~reclaimed =
 let free_commit t ~space ~freed ~pages =
   if t.enabled then push t (Free_commit { cp = t.cp; space; freed; pages })
 
+let fault_inject t ~space ~transients ~torn ~failed ~spikes =
+  if t.enabled then
+    push t (Fault_inject { cp = t.cp; space; transients; torn; failed; spikes })
+
+let io_retry t ~space ~retries ~ok =
+  if t.enabled then push t (Io_retry { cp = t.cp; space; retries; ok })
+
 let event_name = function
   | Cp_begin _ -> "cp_begin"
   | Cp_end _ -> "cp_end"
@@ -86,6 +102,8 @@ let event_name = function
   | Tetris_write _ -> "tetris_write"
   | Cleaner_pass _ -> "cleaner_pass"
   | Free_commit _ -> "free_commit"
+  | Fault_inject _ -> "fault_inject"
+  | Io_retry _ -> "io_retry"
 
 let event_cp = function
   | Cp_begin { cp } -> cp
@@ -95,3 +113,5 @@ let event_cp = function
   | Tetris_write { cp; _ } -> cp
   | Cleaner_pass { cp; _ } -> cp
   | Free_commit { cp; _ } -> cp
+  | Fault_inject { cp; _ } -> cp
+  | Io_retry { cp; _ } -> cp

@@ -31,6 +31,16 @@ type event =
     }
   | Cleaner_pass of { cp : int; aas : int; relocated : int; reclaimed : int }
   | Free_commit of { cp : int; space : int; freed : int; pages : int }
+  | Fault_inject of {
+      cp : int;
+      space : int;
+      transients : int;
+      torn : int;
+      failed : int;
+      spikes : int;
+    }  (** injected faults observed by one device during one CP flush *)
+  | Io_retry of { cp : int; space : int; retries : int; ok : int }
+      (** retry activity (attempts / bursts outlived) for one device, one CP *)
 
 type t
 
@@ -69,6 +79,11 @@ val tetris_write :
 
 val cleaner_pass : t -> aas:int -> relocated:int -> reclaimed:int -> unit
 val free_commit : t -> space:int -> freed:int -> pages:int -> unit
+
+val fault_inject :
+  t -> space:int -> transients:int -> torn:int -> failed:int -> spikes:int -> unit
+
+val io_retry : t -> space:int -> retries:int -> ok:int -> unit
 
 (* --- rendering --- *)
 

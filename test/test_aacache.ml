@@ -423,15 +423,6 @@ let test_cache_stats_entries_and_space () =
   Cache.reset_stats c;
   check_int "reset picks" 0 (Cache.stats c).Cache.picks
 
-(* The pre-telemetry constructors must keep working for one release. *)
-let test_cache_deprecated_aliases () =
-  let[@alert "-deprecated"] c = Cache.of_heap (Max_heap.of_scores [| 4; 8 |]) in
-  (match Cache.take_best c with
-  | Some (_, s) -> check_int "of_heap still picks" 8 s
-  | None -> Alcotest.fail "empty");
-  let[@alert "-deprecated"] o = Cache.ops c in
-  check_int "ops mirrors stats" 1 o.Cache.picks
-
 let () =
   let qsuite =
     List.map QCheck_alcotest.to_alcotest
@@ -488,7 +479,6 @@ let () =
             test_cache_hbps_score_error_bound;
           Alcotest.test_case "stats entries and space" `Quick
             test_cache_stats_entries_and_space;
-          Alcotest.test_case "deprecated aliases" `Quick test_cache_deprecated_aliases;
         ] );
       ( "properties", qsuite );
     ]

@@ -576,6 +576,86 @@ let test_mount_corrupt_costlier_than_clean () =
   check_bool "corruption costs ready time" true
     (t_damaged.Mount.ready_us > t_clean.Mount.ready_us)
 
+let test_mount_corrupt_bounds () =
+  let fs = Fs.create (small_config ()) in
+  let image = Mount.snapshot fs in
+  let raises name f =
+    check_bool name true
+      (try
+         f ();
+         false
+       with Invalid_argument _ -> true)
+  in
+  raises "range index too large" (fun () -> Mount.corrupt_range_topaa image 99);
+  raises "range index negative" (fun () -> Mount.corrupt_range_topaa image (-1));
+  raises "vol index too large" (fun () -> Mount.corrupt_vol_topaa image 99);
+  raises "vol index negative" (fun () -> Mount.corrupt_vol_topaa image (-1));
+  raises "page out of range" (fun () -> Mount.tear_agg_bitmap_page image ~page:1000);
+  (* in-range indices still work *)
+  Mount.corrupt_range_topaa image 0;
+  Mount.corrupt_vol_topaa image 0;
+  Mount.tear_agg_bitmap_page image ~page:0
+
+let test_mount_restores_namespace () =
+  let fs = Fs.create (small_config ()) in
+  let vol = Fs.vol fs "vol0" in
+  for offset = 0 to 999 do
+    Fs.stage_write fs ~vol ~file:3 ~offset
+  done;
+  let _ = Fs.run_cp fs in
+  let fs2, _ = Mount.mount (Mount.snapshot fs) ~with_topaa:true in
+  let vol2 = Fs.vol fs2 "vol0" in
+  let mf = Aggregate.metafile (Fs.aggregate fs2) in
+  for offset = 0 to 999 do
+    match Flexvol.read_file vol2 ~file:3 ~offset with
+    | None -> Alcotest.fail "file block lost across mount"
+    | Some vvbn ->
+      let pvbn = Option.get (Flexvol.pvbn_of_vvbn vol2 vvbn) in
+      check_bool "mapped block allocated" true (Metafile.is_allocated mf pvbn)
+  done;
+  (* the two systems agree block for block *)
+  check_bool "identical mapping" true
+    (Flexvol.read_file vol ~file:3 ~offset:17 = Flexvol.read_file vol2 ~file:3 ~offset:17)
+
+let test_torn_bitmap_page_repaired () =
+  let fs = Fs.create (small_config ()) in
+  let vol = Fs.vol fs "vol0" in
+  for offset = 0 to 4999 do
+    Fs.stage_write fs ~vol ~file:1 ~offset
+  done;
+  let _ = Fs.run_cp fs in
+  let image = Mount.snapshot fs in
+  (* tear the bitmap page of some mapped block that sits in a page's second
+     half (the half a torn write loses) *)
+  let page_bits = Wafl_block.Units.bits_per_metafile_block in
+  let victim = ref None in
+  for offset = 0 to 4999 do
+    if !victim = None then begin
+      let vvbn = Option.get (Flexvol.read_file vol ~file:1 ~offset) in
+      let pvbn = Option.get (Flexvol.pvbn_of_vvbn vol vvbn) in
+      if pvbn mod page_bits >= page_bits / 2 then victim := Some pvbn
+    end
+  done;
+  let victim = Option.get !victim in
+  Mount.tear_agg_bitmap_page image ~page:(victim / page_bits);
+  let fs2, _ = Mount.mount image ~with_topaa:true in
+  let findings = Iron.check fs2 in
+  check_bool "torn page produces dangling refs" true
+    (List.exists
+       (function Iron.Dangling_container { pvbn = p; _ } -> p = victim | _ -> false)
+       findings);
+  (* the namespace reached NVRAM: it outranks the torn bitmap *)
+  let _, repaired = Iron.repair ~authority:Iron.Container_authority fs2 in
+  check_bool "repaired" true (repaired > 0);
+  check_int "clean after repair" 0 (List.length (Iron.check fs2));
+  let vol2 = Fs.vol fs2 "vol0" in
+  let mf = Aggregate.metafile (Fs.aggregate fs2) in
+  for offset = 0 to 4999 do
+    let vvbn = Option.get (Flexvol.read_file vol2 ~file:1 ~offset) in
+    let pvbn = Option.get (Flexvol.pvbn_of_vvbn vol2 vvbn) in
+    check_bool "every acked block allocated again" true (Metafile.is_allocated mf pvbn)
+  done
+
 (* --- Mixed-media aggregates (Flash Pool / Fabric Pool, §2.1) --- *)
 
 let test_flash_pool_mixed_media () =
@@ -825,6 +905,65 @@ let test_iron_reports_orphans () =
   check_bool "orphan reported" true
     (List.exists (function Iron.Orphan_blocks { count } -> count = 1 | _ -> false) findings)
 
+let test_iron_repairs_orphans_container_authority () =
+  let fs = Fs.create (small_config ()) in
+  Aggregate.allocate (Fs.aggregate fs) ~pvbn:1234;
+  Aggregate.allocate (Fs.aggregate fs) ~pvbn:4321;
+  Write_alloc.cp_finish (Fs.write_alloc fs);
+  (* bitmap authority leaves orphans alone... *)
+  let _, repaired = Iron.repair fs in
+  check_int "bitmap authority: nothing to repair" 0 repaired;
+  check_bool "orphans persist" true
+    (List.exists (function Iron.Orphan_blocks _ -> true | _ -> false) (Iron.check fs));
+  (* ...container authority frees them *)
+  let findings, repaired = Iron.repair ~authority:Iron.Container_authority fs in
+  check_bool "orphans were found" true
+    (List.exists (function Iron.Orphan_blocks { count } -> count = 2 | _ -> false) findings);
+  check_int "both freed" 2 repaired;
+  check_int "clean after repair" 0 (List.length (Iron.check fs));
+  let mf = Aggregate.metafile (Fs.aggregate fs) in
+  check_bool "blocks free again" false
+    (Metafile.is_allocated mf 1234 || Metafile.is_allocated mf 4321)
+
+let test_iron_repairs_dangling_container_authority () =
+  let fs = Fs.create (small_config ()) in
+  let vol = Fs.vol fs "vol0" in
+  for offset = 0 to 9 do
+    Fs.stage_write fs ~vol ~file:1 ~offset
+  done;
+  let _ = Fs.run_cp fs in
+  let vvbn = Option.get (Flexvol.read_file vol ~file:1 ~offset:4) in
+  let pvbn = Option.get (Flexvol.pvbn_of_vvbn vol vvbn) in
+  let mf = Aggregate.metafile (Fs.aggregate fs) in
+  Metafile.free mf pvbn;
+  let _, repaired = Iron.repair ~authority:Iron.Container_authority fs in
+  check_bool "repaired" true (repaired > 0);
+  (* the mapping survives and the block is allocated again — the opposite
+     of Bitmap_authority, which would sever the reference *)
+  check_bool "mapping intact" true (Flexvol.pvbn_of_vvbn vol vvbn = Some pvbn);
+  check_bool "block re-marked" true (Metafile.is_allocated mf pvbn);
+  check_int "clean after repair" 0 (List.length (Iron.check fs))
+
+let test_iron_reports_cross_link () =
+  let fs = Fs.create (small_config ()) in
+  let vol = Fs.vol fs "vol0" in
+  for offset = 0 to 9 do
+    Fs.stage_write fs ~vol ~file:1 ~offset
+  done;
+  let _ = Fs.run_cp fs in
+  (* corrupt: map a second virtual block onto an owned physical block *)
+  let vvbn = Option.get (Flexvol.read_file vol ~file:1 ~offset:0) in
+  let pvbn = Option.get (Flexvol.pvbn_of_vvbn vol vvbn) in
+  Flexvol.map_vvbn vol ~vvbn:60_000 ~pvbn;
+  let findings = Iron.check fs in
+  check_bool "cross-link found" true
+    (List.exists (function Iron.Cross_link { pvbn = p; _ } -> p = pvbn | _ -> false) findings);
+  (* cross-links cannot be auto-repaired (no way to pick the owner): both
+     authorities report and leave them *)
+  let _, _ = Iron.repair ~authority:Iron.Container_authority fs in
+  check_bool "cross-link persists" true
+    (List.exists (function Iron.Cross_link _ -> true | _ -> false) (Iron.check fs))
+
 (* --- Cleaner --- *)
 
 let test_cleaner_strategies () =
@@ -946,6 +1085,12 @@ let () =
           Alcotest.test_case "score drift" `Quick test_iron_detects_and_repairs_score_drift;
           Alcotest.test_case "dangling container" `Quick test_iron_detects_dangling_container;
           Alcotest.test_case "orphans" `Quick test_iron_reports_orphans;
+          Alcotest.test_case "orphans freed (container authority)" `Quick
+            test_iron_repairs_orphans_container_authority;
+          Alcotest.test_case "dangling re-marked (container authority)" `Quick
+            test_iron_repairs_dangling_container_authority;
+          Alcotest.test_case "cross-link reported, not repaired" `Quick
+            test_iron_reports_cross_link;
         ] );
       ( "nvram",
         [
@@ -956,6 +1101,9 @@ let () =
         [
           Alcotest.test_case "corrupt topaa falls back" `Quick test_mount_corrupt_topaa_falls_back;
           Alcotest.test_case "corruption costs time" `Quick test_mount_corrupt_costlier_than_clean;
+          Alcotest.test_case "corrupt bounds checked" `Quick test_mount_corrupt_bounds;
+          Alcotest.test_case "namespace survives mount" `Quick test_mount_restores_namespace;
+          Alcotest.test_case "torn bitmap page repaired" `Quick test_torn_bitmap_page_repaired;
         ] );
       ( "mixed-media",
         [

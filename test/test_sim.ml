@@ -18,6 +18,7 @@ let report ~ops ~pages ~device_us ~cache_work =
     device_time_us = device_us;
     cache_work;
     alloc_candidates = 0;
+    fault_totals = None;
   }
 
 let base = Cost_model.default.Cost_model.cpu_base_us_per_op
