@@ -37,6 +37,27 @@ let fault_spec_arg =
   in
   Arg.(value & opt (some string) None & info [ "fault-spec" ] ~docv:"SPEC" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Install a process-wide domain pool of $(docv) workers.  Every parallel-capable \
+     stage — mount-time cache rebuilds, Iron's scans, the CP's free commits and \
+     device flushes, large-AA harvests — shards over the pool, with results \
+     bit-identical to a serial run at any $(docv).  The default of 1 keeps every \
+     path serial."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let with_jobs jobs f =
+  if jobs < 1 then begin
+    Printf.eprintf "waflsim: --jobs must be at least 1 (got %d)\n" jobs;
+    exit 2
+  end
+  else if jobs = 1 then f ()
+  else begin
+    Wafl_par.Par.install ~jobs;
+    Fun.protect ~finally:Wafl_par.Par.uninstall f
+  end
+
 let no_iron_gate_arg =
   let doc =
     "Skip the post-run consistency gate (by default every system the run built is checked \
@@ -141,17 +162,18 @@ let with_telemetry ~metrics_out ~trace_out ~trace_capacity f =
     Telemetry.with_installed tel (fun () -> Fun.protect ~finally:flush f)
 
 let experiment_cmd name ~doc run_print =
-  let run s metrics_out trace_out trace_capacity fault_spec no_iron_gate =
-    with_fault_spec (parse_fault_spec fault_spec) (fun () ->
-        if not no_iron_gate then Wafl_core.Fs.enable_registry ();
-        with_telemetry ~metrics_out ~trace_out ~trace_capacity (fun () ->
-            run_print (parse_scale s));
-        if not no_iron_gate then run_iron_gate ())
+  let run s metrics_out trace_out trace_capacity fault_spec no_iron_gate jobs =
+    with_jobs jobs (fun () ->
+        with_fault_spec (parse_fault_spec fault_spec) (fun () ->
+            if not no_iron_gate then Wafl_core.Fs.enable_registry ();
+            with_telemetry ~metrics_out ~trace_out ~trace_capacity (fun () ->
+                run_print (parse_scale s));
+            if not no_iron_gate then run_iron_gate ()))
   in
   Cmd.v (Cmd.info name ~doc)
     Term.(
       const run $ scale_arg $ metrics_out_arg $ trace_out_arg $ trace_capacity_arg
-      $ fault_spec_arg $ no_iron_gate_arg)
+      $ fault_spec_arg $ no_iron_gate_arg $ jobs_arg)
 
 let fig6_cmd =
   experiment_cmd "fig6" ~doc:"AA-cache latency/throughput experiment (Figure 6)"
@@ -210,10 +232,21 @@ let crash_matrix_cmd =
       & info [ "no-cleaner" ]
           ~doc:"Skip the segment-cleaner pass before the final CP.")
   in
-  let run seed cps ops no_cleaner fault_spec =
+  let foreground_rebuild_arg =
+    Arg.(
+      value & flag
+      & info [ "foreground-rebuild" ]
+          ~doc:
+            "Remount each crashed image on its seeded TopAA caches alone (no background \
+             full rebuild) — verifies recovery in the immediate-post-failover state the \
+             paper measures.")
+  in
+  let run seed cps ops no_cleaner foreground_rebuild fault_spec jobs =
+    with_jobs jobs (fun () ->
     with_fault_spec (parse_fault_spec fault_spec) (fun () ->
         let r =
-          Wafl_core.Crash_matrix.run ~with_cleaner:(not no_cleaner) ~seed ~warmup_cps:cps
+          Wafl_core.Crash_matrix.run ~with_cleaner:(not no_cleaner)
+            ~background_rebuild:(not foreground_rebuild) ~seed ~warmup_cps:cps
             ~ops_per_cp:ops ()
         in
         Printf.printf "crash matrix: %d crash points enumerated (%d workload runs)\n"
@@ -234,7 +267,7 @@ let crash_matrix_cmd =
             (fun v -> Format.printf "VIOLATION: %a@." Wafl_core.Crash_matrix.pp_violation v)
             vs;
           Printf.eprintf "waflsim: crash matrix found %d violation(s)\n" (List.length vs);
-          exit 1)
+          exit 1))
   in
   Cmd.v
     (Cmd.info "crash-matrix"
@@ -242,23 +275,28 @@ let crash_matrix_cmd =
          "Kill the system at every instrumented CP/cleaner point, remount, repair, and \
           verify recovery invariants (no lost acknowledged op, no double-allocated block, \
           clean Iron check)")
-    Term.(const run $ seed_arg $ cps_arg $ ops_arg $ no_cleaner_arg $ fault_spec_arg)
+    Term.(
+      const run $ seed_arg $ cps_arg $ ops_arg $ no_cleaner_arg $ foreground_rebuild_arg
+      $ fault_spec_arg $ jobs_arg)
 
 (* Bare `waflsim --metrics-out m.json` (no subcommand) runs the scalar
    suite — the cheapest end-to-end workload that exercises every
    instrumented layer — so the telemetry flags work without picking an
    experiment.  Without either flag the default remains the help page. *)
 let default =
-  let run s metrics_out trace_out trace_capacity =
+  let run s metrics_out trace_out trace_capacity jobs =
     match (metrics_out, trace_out) with
     | None, None -> `Help (`Pager, None)
     | _ ->
-      with_telemetry ~metrics_out ~trace_out ~trace_capacity (fun () ->
-          Scalars.print (Scalars.run ~scale:(parse_scale s) ()));
+      with_jobs jobs (fun () ->
+          with_telemetry ~metrics_out ~trace_out ~trace_capacity (fun () ->
+              Scalars.print (Scalars.run ~scale:(parse_scale s) ())));
       `Ok ()
   in
   Term.(
-    ret (const run $ scale_arg $ metrics_out_arg $ trace_out_arg $ trace_capacity_arg))
+    ret
+      (const run $ scale_arg $ metrics_out_arg $ trace_out_arg $ trace_capacity_arg
+     $ jobs_arg))
 
 let () =
   let info = Cmd.info "waflsim" ~doc:"WAFL free-block search reproduction experiments" in

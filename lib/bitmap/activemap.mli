@@ -43,8 +43,15 @@ val pending_free_count : t -> int
 
 val has_pending_free : t -> int -> bool
 
-val commit : t -> commit_result
-(** Apply all queued frees, flush the metafile, and return the batch. *)
+val commit : ?pool:Wafl_par.Par.t -> t -> commit_result
+(** Apply all queued frees, flush the metafile, and return the batch.
+    With a pool (explicit, or installed via [Wafl_par.Par.install]) and
+    enough queued frees, the bit clears are applied in parallel: VBNs
+    are bucketed into page-aligned chunks of the block space so domains
+    own disjoint bitmap bytes and disjoint pages, and the dirty-page
+    sets are merged serially afterwards — the resulting map, pending
+    state, freed list and page count are identical to the serial
+    apply. *)
 
 val free_count : t -> start:int -> len:int -> int
 (** Free VBNs in a range per the on-media state. *)

@@ -84,6 +84,32 @@ let used_count t ~start ~len = Bitmap.count_set_in t.map ~start ~len
 let free_extents t ~start ~len = Bitmap.free_extents t.map ~start ~len
 let find_first_free t ~from = Bitmap.find_first_clear t.map ~from
 
+(* Parallel delayed-free support.  [free_batch_into] clears map bits
+   without touching the shared dirty bitmap: each pool domain gets a
+   slice of [vbns] pre-bucketed so its map/page bytes are disjoint from
+   every other domain's, and records the pages it dirtied as one byte
+   per page in [touched] (bytes of a Bytes.t are distinct locations, so
+   domains writing their own pages' bytes never race).  The caller then
+   folds [touched] into the dirty state serially with
+   [mark_touched_dirty], in ascending page order — the dirty set, and
+   hence the flush count, is identical to per-free [free] calls. *)
+
+let free_batch_into t ~vbns ~pos ~len ~touched =
+  for i = pos to pos + len - 1 do
+    let vbn = vbns.(i) in
+    if not (Bitmap.get t.map vbn) then invalid_arg "Metafile.free: VBN already free";
+    Bitmap.clear t.map vbn;
+    let page = if t.page_shift >= 0 then vbn lsr t.page_shift else vbn / t.page_bits in
+    Bytes.unsafe_set touched page '\001'
+  done
+
+let mark_touched_dirty t ~touched =
+  if Bytes.length touched <> t.n_pages then
+    invalid_arg "Metafile.mark_touched_dirty: touched length <> pages";
+  for page = 0 to t.n_pages - 1 do
+    if Bytes.unsafe_get touched page <> '\000' then mark_dirty t page
+  done
+
 let dirty_pages t = t.n_dirty
 
 let flush t =

@@ -75,6 +75,20 @@ val free_extents : t -> start:int -> len:int -> Wafl_block.Extent.t list
 
 val find_first_free : t -> from:int -> int option
 
+val free_batch_into : t -> vbns:int array -> pos:int -> len:int -> touched:Bytes.t -> unit
+(** Free [vbns.(pos .. pos+len-1)] without updating the shared dirty
+    state, recording each dirtied page as a nonzero byte in [touched]
+    (length {!pages}).  Building block of the parallel delayed-free
+    apply: callers partition VBNs so concurrent batches touch disjoint
+    bitmap bytes and disjoint pages, then merge with
+    {!mark_touched_dirty}.  Raises [Invalid_argument] on an
+    already-free VBN, like [free]. *)
+
+val mark_touched_dirty : t -> touched:Bytes.t -> unit
+(** Fold a [touched] page set into the dirty state, ascending — the
+    serial merge step after {!free_batch_into} batches.  The resulting
+    dirty set equals what per-VBN [free] calls would have produced. *)
+
 val dirty_pages : t -> int
 (** Distinct pages dirtied since the last flush. *)
 

@@ -4,6 +4,7 @@ open Wafl_device
 open Wafl_aa
 open Wafl_aacache
 open Wafl_telemetry
+module Par = Wafl_par.Par
 
 type device_sim =
   | Hdd_sim of Profile.hdd
@@ -202,8 +203,8 @@ let[@inline] allocate_harvested t range ~aa ~pvbn =
 
 let queue_free t ~pvbn = Activemap.queue_free t.activemap pvbn
 
-let commit_frees t =
-  let result = Activemap.commit t.activemap in
+let commit_frees ?pool t =
+  let result = Activemap.commit ?pool t.activemap in
   List.iter
     (fun pvbn ->
       let r = range_of_pvbn t pvbn in
@@ -231,14 +232,37 @@ let aa_score_now t range aa =
     0
     (Topology.extents_of_aa range.topology aa)
 
-let rebuild_caches t =
+(* Below this many AAs a range is rescored inline: the pool's dispatch
+   overhead would exceed the scan. *)
+let par_min_aas = 32
+
+(* Rescore [scores.(aa)] for every AA of [r].  Parallel mode chunks the
+   AA index space and lets each domain fill its chunk's (disjoint) score
+   slots; since each slot is written exactly once with a value that is a
+   pure function of the bitmap, the array is bit-identical to the serial
+   fill at any domain count. *)
+let rescore_range pool t r =
+  let n = Topology.aa_count r.topology in
+  match pool with
+  | Some p when Par.jobs p > 1 && n >= par_min_aas ->
+    let bounds = Par.chunk_bounds ~total:n ~align:1 ~chunks:(Par.jobs p * 4) in
+    Par.run p ~chunks:(Array.length bounds) ~f:(fun c ->
+        let s, len = bounds.(c) in
+        for aa = s to s + len - 1 do
+          r.scores.(aa) <- aa_score_now t r aa
+        done)
+  | _ ->
+    for aa = 0 to n - 1 do
+      r.scores.(aa) <- aa_score_now t r aa
+    done
+
+let rebuild_caches ?pool t =
   Telemetry.incr "aggregate.cache_rebuilds";
+  let pool = Par.resolve pool in
   Array.iter
     (fun r ->
       Score.clear r.delta;
-      for aa = 0 to Topology.aa_count r.topology - 1 do
-        r.scores.(aa) <- aa_score_now t r aa
-      done;
+      rescore_range pool t r;
       r.cache <- Some (build_cache r))
     t.ranges
 
@@ -260,6 +284,45 @@ let free_vbns_of_aa t range aa =
    block, and one ctz per such stripe replaces 32 * devices bit probes.
    Adds words (32-bit masks) read to [words].  The per-block inner loop
    allocates nothing; only the per-AA setup does (a small mask array). *)
+(* Stripe-window kernel shared by the serial and the sharded harvest:
+   emit the free PVBNs of stripes [first, first + count) into [dst] from
+   index 0, stripe-major.  Pure bitmap reads; the words-read cost is
+   [data_devices * ceil_div count 32] (computed by the callers so a
+   shared accumulator never sees concurrent writes). *)
+let harvest_stripes mf range geometry ~first ~count ~dst =
+  let devices = Geometry.data_devices geometry in
+  let device_blocks = Geometry.device_blocks geometry in
+  let masks = Array.make devices 0 in
+  let pos = ref 0 in
+  let s = ref first in
+  let finish = first + count in
+  while !s < finish do
+    let chunk = min 32 (finish - !s) in
+    let chunk_mask = if chunk < 32 then (1 lsl chunk) - 1 else 0xFFFFFFFF in
+    let or_mask = ref 0 in
+    for d = 0 to devices - 1 do
+      let m =
+        Metafile.free_mask32 mf (range.base + (d * device_blocks) + !s) land chunk_mask
+      in
+      masks.(d) <- m;
+      or_mask := !or_mask lor m
+    done;
+    while !or_mask <> 0 do
+      let b = Wafl_util.Bitops.ctz !or_mask in
+      let bit = 1 lsl b in
+      let stripe_vbn = range.base + !s + b in
+      for d = 0 to devices - 1 do
+        if masks.(d) land bit <> 0 then begin
+          dst.(!pos) <- stripe_vbn + (d * device_blocks);
+          incr pos
+        end
+      done;
+      or_mask := !or_mask land lnot bit
+    done;
+    s := !s + 32
+  done;
+  !pos
+
 let harvest_free_of_aa t range aa ~dst ~words =
   if aa < 0 || aa >= Topology.aa_count range.topology then
     invalid_arg "Aggregate.harvest_free_of_aa: AA index out of bounds";
@@ -273,36 +336,59 @@ let harvest_free_of_aa t range aa ~dst ~words =
   | Topology.Raid_aware { geometry; aa_stripes } ->
     let first = aa * aa_stripes in
     let count = min aa_stripes (Geometry.stripes geometry - first) in
-    let devices = Geometry.data_devices geometry in
-    let device_blocks = Geometry.device_blocks geometry in
-    let masks = Array.make devices 0 in
+    words := !words + (Geometry.data_devices geometry * Wafl_util.Bitops.ceil_div count 32);
+    harvest_stripes mf range geometry ~first ~count ~dst
+
+(* Sharded harvest: split the AA's span into one 32-aligned chunk per
+   shard, let each pool domain harvest its chunk into its own scratch
+   ring, then concatenate the shards into [dst] in chunk order.  Chunk
+   boundaries fall on 32-block (or 32-stripe) marks, so the per-chunk
+   word counts sum to exactly the serial count and the concatenation
+   reproduces the serial emission order — ring contents are identical to
+   {!harvest_free_of_aa} at any domain count.  Every shard must hold the
+   AA's full capacity (chunk sizes are an internal detail). *)
+let harvest_free_of_aa_sharded pool t range aa ~shards ~dst ~words =
+  if aa < 0 || aa >= Topology.aa_count range.topology then
+    invalid_arg "Aggregate.harvest_free_of_aa_sharded: AA index out of bounds";
+  let mf = metafile t in
+  let gather counts =
     let pos = ref 0 in
-    let s = ref first in
-    let finish = first + count in
-    while !s < finish do
-      let chunk = min 32 (finish - !s) in
-      let chunk_mask = if chunk < 32 then (1 lsl chunk) - 1 else 0xFFFFFFFF in
-      let or_mask = ref 0 in
-      for d = 0 to devices - 1 do
-        let m =
-          Metafile.free_mask32 mf (range.base + (d * device_blocks) + !s) land chunk_mask
-        in
-        masks.(d) <- m;
-        or_mask := !or_mask lor m
-      done;
-      words := !words + devices;
-      while !or_mask <> 0 do
-        let b = Wafl_util.Bitops.ctz !or_mask in
-        let bit = 1 lsl b in
-        let stripe_vbn = range.base + !s + b in
-        for d = 0 to devices - 1 do
-          if masks.(d) land bit <> 0 then begin
-            dst.(!pos) <- stripe_vbn + (d * device_blocks);
-            incr pos
-          end
-        done;
-        or_mask := !or_mask land lnot bit
-      done;
-      s := !s + 32
-    done;
+    Array.iteri
+      (fun c count ->
+        Array.blit shards.(c) 0 dst !pos count;
+        pos := !pos + count)
+      counts;
     !pos
+  in
+  match range.topology with
+  | Topology.Raid_agnostic { total_blocks; aa_blocks } ->
+    let start = aa * aa_blocks in
+    let len = min aa_blocks (total_blocks - start) in
+    let bounds = Par.chunk_bounds ~total:len ~align:32 ~chunks:(Array.length shards) in
+    if Array.length bounds <= 1 then harvest_free_of_aa t range aa ~dst ~words
+    else begin
+      words := !words + Wafl_util.Bitops.ceil_div len 32;
+      let counts =
+        Par.map pool ~chunks:(Array.length bounds) ~f:(fun c ->
+            let cstart, clen = bounds.(c) in
+            Metafile.harvest_free_into mf ~start:(range.base + start + cstart) ~len:clen
+              ~offset:0 ~dst:shards.(c) ~pos:0)
+      in
+      gather counts
+    end
+  | Topology.Raid_aware { geometry; aa_stripes } ->
+    let first = aa * aa_stripes in
+    let count = min aa_stripes (Geometry.stripes geometry - first) in
+    let bounds = Par.chunk_bounds ~total:count ~align:32 ~chunks:(Array.length shards) in
+    if Array.length bounds <= 1 then harvest_free_of_aa t range aa ~dst ~words
+    else begin
+      words :=
+        !words + (Geometry.data_devices geometry * Wafl_util.Bitops.ceil_div count 32);
+      let counts =
+        Par.map pool ~chunks:(Array.length bounds) ~f:(fun c ->
+            let cfirst, ccount = bounds.(c) in
+            harvest_stripes mf range geometry ~first:(first + cfirst) ~count:ccount
+              ~dst:shards.(c))
+      in
+      gather counts
+    end

@@ -74,19 +74,26 @@ val allocate_harvested : t -> range -> aa:int -> pvbn:int -> unit
 val queue_free : t -> pvbn:int -> unit
 (** Queue a PVBN free for the next CP. *)
 
-val commit_frees : t -> int * int list
+val commit_frees : ?pool:Wafl_par.Par.t -> t -> int * int list
 (** Apply queued frees (noting score increments) and flush the aggregate
     bitmap metafile; returns (metafile pages written, freed PVBNs).  The
-    freed list is what gets trimmed down to SSDs. *)
+    freed list is what gets trimmed down to SSDs.  [pool] (defaulting to
+    the installed one) parallelises the bit-clear apply — see
+    {!Wafl_bitmap.Activemap.commit}. *)
 
 val cp_update_caches : t -> unit
 (** Apply each range's batched score delta to its score array and rebalance
     its cache — the CP-boundary step of §3.3. *)
 
-val rebuild_caches : t -> unit
+val rebuild_caches : ?pool:Wafl_par.Par.t -> t -> unit
 (** Recompute every range's scores from the bitmap and rebuild its cache —
     the expensive full scan that mounting without TopAA requires (§3.4).
-    Also used to (re-)enable caches after policy changes. *)
+    Also used to (re-)enable caches after policy changes.  With a pool
+    (explicit, or installed process-wide) the per-AA rescoring is
+    spread over its domains; every score slot is written exactly once
+    with a pure function of the bitmap, so the score arrays — and the
+    caches built from them — are bit-identical to a serial rebuild at
+    any domain count. *)
 
 val disable_caches : t -> unit
 
@@ -102,6 +109,23 @@ val harvest_free_of_aa : t -> range -> int -> dst:int array -> words:int ref -> 
     allocation order, word-at-a-time, and return how many were written.
     Adds the number of 32-bit bitmap words read to [words].  The per-block
     loop performs no heap allocation — the §3.3 harvest-cursor kernel. *)
+
+val harvest_free_of_aa_sharded :
+  Wafl_par.Par.t ->
+  t ->
+  range ->
+  int ->
+  shards:int array array ->
+  dst:int array ->
+  words:int ref ->
+  int
+(** Pool-driven {!harvest_free_of_aa}: the AA's span is split into one
+    32-aligned chunk per shard, each pool domain harvests its chunk into
+    its own scratch ring, and the shards are concatenated into [dst] in
+    chunk order — emission order, count and words-read accounting are
+    identical to the serial harvest at any domain count.  Each shard
+    must hold the AA's full capacity.  Falls back to the serial harvest
+    when the span is too small to split. *)
 
 val aa_score_now : t -> range -> int -> int
 (** Recompute an AA's score from the bitmap (bypasses the cached array). *)

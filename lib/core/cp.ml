@@ -2,6 +2,7 @@ open Wafl_raid
 open Wafl_device
 open Wafl_aacache
 open Wafl_telemetry
+module Par = Wafl_par.Par
 
 type staged = { vol : Flexvol.t; file : int; offset : int }
 
@@ -239,7 +240,8 @@ let cache_totals ranges by_vol =
   List.iter (fun (vol, _) -> tally (Flexvol.cache vol)) by_vol;
   (!picks, !repl, !work, !err)
 
-let run walloc staged =
+let run ?pool walloc staged =
+  let pool = Par.resolve pool in
   Telemetry.trace_cp_begin ();
   let aggregate = Write_alloc.aggregate walloc in
   let by_vol = group_by_vol staged in
@@ -290,13 +292,27 @@ let run walloc staged =
     by_vol;
   (* 2. Commit delayed frees (aggregate + volumes) and flush metafiles. *)
   Wafl_fault.Crash.point "cp.agg_free_commit";
-  let agg_pages, freed_pvbns = Aggregate.commit_frees aggregate in
+  let agg_pages, freed_pvbns = Aggregate.commit_frees ?pool aggregate in
   let vol_pages =
-    List.fold_left
-      (fun acc (vol, _) ->
-        Wafl_fault.Crash.point "cp.vol_free_commit";
-        acc + Flexvol.commit_frees vol)
-      0 by_vol
+    match pool with
+    | Some p when Par.jobs p > 1 && List.length by_vol > 1 ->
+      (* Fire the per-volume crash points first, serially — same count and
+         sequence position as the serial fold — then commit the volumes in
+         parallel: each volume's activemap, metafile and score delta are
+         private to it, and the page counts are summed in volume order.
+         (A nested Activemap.commit sees this pool busy and runs inline.) *)
+      List.iter (fun _ -> Wafl_fault.Crash.point "cp.vol_free_commit") by_vol;
+      let vols = Array.of_list (List.map fst by_vol) in
+      let pages =
+        Par.map p ~chunks:(Array.length vols) ~f:(fun i -> Flexvol.commit_frees vols.(i))
+      in
+      Array.fold_left ( + ) 0 pages
+    | _ ->
+      List.fold_left
+        (fun acc (vol, _) ->
+          Wafl_fault.Crash.point "cp.vol_free_commit";
+          acc + Flexvol.commit_frees ?pool vol)
+        0 by_vol
   in
   (* 3. Device I/O per range: this CP's allocations (and trims) grouped by
         range, in range-local coordinates. *)
@@ -315,12 +331,27 @@ let run walloc staged =
         Aggregate.to_local r pvbn :: freed_by_range.(r.Aggregate.index))
     freed_pvbns;
   let devices =
-    Array.to_list
-      (Array.mapi
-         (fun i (r : Aggregate.range) ->
-           Wafl_fault.Crash.point "cp.device_flush";
-           flush_range walloc r (List.rev locals_by_range.(i)) (List.rev freed_by_range.(i)))
-         ranges)
+    match pool with
+    | Some p when Par.jobs p > 1 && Array.length ranges > 1 ->
+      (* Hoist the per-range crash points out of the parallel section —
+         same count and sequence position as the serial mapi — then flush
+         every range on its own domain: a range's RAID group, device
+         simulator and fault handle are private to it, trace emission is
+         mutex-guarded, and the reports land in range order. *)
+      Array.iter (fun _ -> Wafl_fault.Crash.point "cp.device_flush") ranges;
+      Array.to_list
+        (Par.map p ~chunks:(Array.length ranges) ~f:(fun i ->
+             flush_range walloc ranges.(i)
+               (List.rev locals_by_range.(i))
+               (List.rev freed_by_range.(i))))
+    | _ ->
+      Array.to_list
+        (Array.mapi
+           (fun i (r : Aggregate.range) ->
+             Wafl_fault.Crash.point "cp.device_flush";
+             flush_range walloc r (List.rev locals_by_range.(i))
+               (List.rev freed_by_range.(i)))
+           ranges)
   in
   (* 4. CP boundary: batched score updates, cache rebalance. *)
   Wafl_fault.Crash.point "cp.score_refile";

@@ -45,7 +45,15 @@ type report = {
       (** summed fault activity across devices; [None] without a plane *)
 }
 
-val run : Write_alloc.t -> staged list -> report
-(** Execute one CP over the staged writes. *)
+val run : ?pool:Wafl_par.Par.t -> Write_alloc.t -> staged list -> report
+(** Execute one CP over the staged writes.  With a pool (explicit, or
+    installed via [Wafl_par.Par.install]) the CP is sharded: the delayed-
+    free apply is chunked over page-aligned slices of the block space, the
+    per-volume commits run one volume per domain, and the per-range device
+    flushes run one range per domain.  Crash points fire serially before
+    each parallel section (same names, counts and order as a serial CP),
+    and results merge in volume/range order, so reports, telemetry
+    counters, and all bitmap/cache state are identical to a serial CP at
+    any domain count. *)
 
 val empty_report : report

@@ -32,6 +32,7 @@ val default_config : seed:int -> Config.t
 val run :
   ?config:Config.t ->
   ?with_cleaner:bool ->
+  ?background_rebuild:bool ->
   seed:int ->
   warmup_cps:int ->
   ops_per_cp:int ->
@@ -39,5 +40,11 @@ val run :
   result
 (** Run the full matrix.  [with_cleaner] (default true) inserts a cleaner
     pass before the final CP so the cleaner's crash point is exercised.
+    [background_rebuild] (default true) is forwarded to {!Mount.mount} for
+    every post-crash remount; pass [false] to verify recovery on the
+    seeded TopAA caches alone — the immediate-post-failover state.
     If a process-wide fault spec is installed, every run (including the
-    remounts) executes under it. *)
+    remounts) executes under it.  If a domain pool is installed
+    ({!Wafl_par.Par.install}), the remounts, repairs and replay CPs all
+    shard over it — the recorded point sequence and the verdicts are
+    identical at any domain count. *)

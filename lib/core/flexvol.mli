@@ -59,14 +59,18 @@ val queue_unmap : t -> vvbn:int -> unit
     commits). Clears the container-map entry immediately; the VVBN itself
     stays unusable until the commit. *)
 
-val commit_frees : t -> int
+val commit_frees : ?pool:Wafl_par.Par.t -> t -> int
 (** Apply queued frees and flush the volume's bitmap metafile; returns
-    metafile pages written. *)
+    metafile pages written.  [pool] parallelises the bit-clear apply
+    (see {!Wafl_bitmap.Activemap.commit}). *)
 
 val cp_update_cache : t -> unit
 
-val rebuild_cache : t -> unit
-(** Full-scan score recomputation + fresh HBPS (mount without TopAA). *)
+val rebuild_cache : ?pool:Wafl_par.Par.t -> t -> unit
+(** Full-scan score recomputation + fresh HBPS (mount without TopAA).
+    With a pool the per-AA rescoring is spread over its domains; the
+    scores — and the HBPS built from them — are bit-identical to a
+    serial rebuild at any domain count. *)
 
 val free_vvbns_of_aa : t -> int -> int list
 (** Currently-free VVBNs of an AA, ascending. *)

@@ -80,12 +80,12 @@ let staged_ops t =
       (Flexvol.name s.Cp.vol, s.Cp.file, s.Cp.offset))
     t.staged_order
 
-let run_cp t =
+let run_cp ?pool t =
   let writes = List.rev_map (fun key -> Hashtbl.find t.staged key) t.staged_order in
   (* run the CP before draining the staged table: it stands in for the
      NVRAM log, which survives a mid-CP crash so the ops can be replayed
      (re-running a partial CP is idempotent under COW) *)
-  let report = Cp.run t.walloc writes in
+  let report = Cp.run ?pool t.walloc writes in
   Hashtbl.reset t.staged;
   t.staged_order <- [];
   t.cps <- t.cps + 1;

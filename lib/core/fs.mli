@@ -38,8 +38,10 @@ val staged_ops : t -> (string * int * int) list
     file, offset) in arrival order — the NVRAM log a failover partner
     replays before resuming service (§3.4). *)
 
-val run_cp : t -> Cp.report
-(** Flush everything staged as one consistency point. *)
+val run_cp : ?pool:Wafl_par.Par.t -> t -> Cp.report
+(** Flush everything staged as one consistency point.  [pool] (or the
+    installed one) shards the CP over its domains with results identical
+    to a serial CP — see {!Cp.run}. *)
 
 val create_snapshot : t -> vol:Flexvol.t -> int
 (** Pin the volume's current state (free at creation, COW). *)

@@ -21,34 +21,58 @@ let pp_finding fmt = function
   | Orphan_blocks { count } ->
     Format.fprintf fmt "%d allocated physical blocks have no volume owner" count
 
-let check fs =
+module Par = Wafl_par.Par
+
+(* Pool-chunked index scan that preserves serial finding order: each
+   chunk builds its findings as an ascending list (pure reads, private
+   accumulator), and the chunk lists are pushed in chunk order — exactly
+   the ascending sequence the serial [0, n) loop produces. *)
+let scan_indices pool n ~test ~push =
+  match pool with
+  | Some p when Par.jobs p > 1 && n >= 32 ->
+    let bounds = Par.chunk_bounds ~total:n ~align:1 ~chunks:(Par.jobs p * 4) in
+    let lists =
+      Par.map p ~chunks:(Array.length bounds) ~f:(fun c ->
+          let s, len = bounds.(c) in
+          let acc = ref [] in
+          for i = s + len - 1 downto s do
+            match test i with Some f -> acc := f :: !acc | None -> ()
+          done;
+          !acc)
+    in
+    Array.iter (fun l -> List.iter push l) lists
+  | _ ->
+    for i = 0 to n - 1 do
+      match test i with Some f -> push f | None -> ()
+    done
+
+let check ?pool fs =
+  let pool = Par.resolve pool in
   let aggregate = Fs.aggregate fs in
   let mf = Aggregate.metafile aggregate in
   let findings = ref [] in
+  let push f = findings := f :: !findings in
   (* 1. cached AA scores vs bitmap truth (pending deltas excluded: run this
         between CPs) *)
   Array.iter
     (fun (r : Aggregate.range) ->
       if Score.is_empty r.Aggregate.delta then
-        Array.iteri
-          (fun aa cached ->
+        scan_indices pool (Array.length r.Aggregate.scores) ~push ~test:(fun aa ->
+            let cached = r.Aggregate.scores.(aa) in
             let actual = Aggregate.aa_score_now aggregate r aa in
             if cached <> actual then
-              findings :=
-                Range_score_drift { range = r.Aggregate.index; aa; cached; actual }
-                :: !findings)
-          r.Aggregate.scores)
+              Some (Range_score_drift { range = r.Aggregate.index; aa; cached; actual })
+            else None))
     (Aggregate.ranges aggregate);
   Array.iter
     (fun vol ->
       if Score.is_empty (Flexvol.delta vol) then
-        Array.iteri
-          (fun aa cached ->
+        scan_indices pool (Array.length (Flexvol.scores vol)) ~push ~test:(fun aa ->
+            let cached = (Flexvol.scores vol).(aa) in
             let actual = Score.score_of_aa (Flexvol.topology vol) (Flexvol.metafile vol) aa in
             if cached <> actual then
-              findings :=
-                Vol_score_drift { vol = Flexvol.name vol; aa; cached; actual } :: !findings)
-          (Flexvol.scores vol))
+              Some (Vol_score_drift { vol = Flexvol.name vol; aa; cached; actual })
+            else None))
     (Fs.vols fs);
   (* 2. container references: dangling and cross-linked *)
   let owners = Hashtbl.create 4096 in
@@ -68,19 +92,38 @@ let check fs =
           Hashtbl.replace owners pvbn (Flexvol.name vol :: prior)
       done)
     (Fs.vols fs);
-  (* 3. orphans: allocated physical blocks without a container reference *)
-  let orphans = ref 0 in
+  (* 3. orphans: allocated physical blocks without a container reference.
+        Pure reads ([owners] is frozen after phase 2, and concurrent
+        lookups of an unmutated hashtable are safe), so the count is
+        chunked over the PVBN space and summed in chunk order. *)
   let total = Aggregate.total_blocks aggregate in
-  for pvbn = 0 to total - 1 do
-    if Metafile.is_allocated mf pvbn && not (Hashtbl.mem owners pvbn) then incr orphans
-  done;
-  if !orphans > 0 then findings := Orphan_blocks { count = !orphans } :: !findings;
+  let count_orphans s len =
+    let n = ref 0 in
+    for pvbn = s to s + len - 1 do
+      if Metafile.is_allocated mf pvbn && not (Hashtbl.mem owners pvbn) then incr n
+    done;
+    !n
+  in
+  let orphans =
+    match pool with
+    | Some p when Par.jobs p > 1 && total >= 4096 ->
+      let bounds = Par.chunk_bounds ~total ~align:1 ~chunks:(Par.jobs p * 4) in
+      let counts =
+        Par.map p ~chunks:(Array.length bounds) ~f:(fun c ->
+            let s, len = bounds.(c) in
+            count_orphans s len)
+      in
+      Array.fold_left ( + ) 0 counts
+    | _ -> count_orphans 0 total
+  in
+  if orphans > 0 then findings := Orphan_blocks { count = orphans } :: !findings;
   List.rev !findings
 
 type authority = Bitmap_authority | Container_authority
 
-let repair ?(authority = Bitmap_authority) fs =
-  let findings = check fs in
+let repair ?(authority = Bitmap_authority) ?pool fs =
+  let pool = Par.resolve pool in
+  let findings = check ?pool fs in
   let aggregate = Fs.aggregate fs in
   let mf = Aggregate.metafile aggregate in
   let repaired = ref 0 in
@@ -139,12 +182,12 @@ let repair ?(authority = Bitmap_authority) fs =
     findings;
   if Hashtbl.length drifted_ranges > 0 || !container_fixes > 0 then begin
     (* recompute every range's scores and rebuild the caches from truth *)
-    Aggregate.rebuild_caches aggregate;
+    Aggregate.rebuild_caches ?pool aggregate;
     repaired := !repaired + Hashtbl.length drifted_ranges
   end;
   Hashtbl.iter
     (fun vol () ->
-      Flexvol.rebuild_cache (Fs.vol fs vol);
+      Flexvol.rebuild_cache ?pool (Fs.vol fs vol);
       incr repaired)
     drifted_vols;
   (findings, !repaired)

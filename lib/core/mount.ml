@@ -152,7 +152,9 @@ let seed_range_cache aggregate (r : Aggregate.range) block =
       Some (Cache.raid_aware ~space:r.Aggregate.index ~scores:r.Aggregate.scores ());
     (0, pages)
 
-let mount ?(cost = default_cost_model) ?(background_rebuild = true) image ~with_topaa =
+let mount ?(cost = default_cost_model) ?(background_rebuild = true) ?pool image
+    ~with_topaa =
+  let pool = Wafl_par.Par.resolve pool in
   let fs = restore image in
   (* replay the NVRAM log: the logged client operations are re-staged so
      the first CP commits them (no data loss across the takeover) *)
@@ -207,8 +209,8 @@ let mount ?(cost = default_cost_model) ?(background_rebuild = true) image ~with_
       +. replay_us
     in
     if background_rebuild then begin
-      Aggregate.rebuild_caches aggregate;
-      Array.iter Flexvol.rebuild_cache (Fs.vols fs)
+      Aggregate.rebuild_caches ?pool aggregate;
+      Array.iter (Flexvol.rebuild_cache ?pool) (Fs.vols fs)
     end;
     Telemetry.incr "mount.topaa_mounts";
     Telemetry.add "mount.topaa_blocks_read" blocks_read;
@@ -236,8 +238,8 @@ let mount ?(cost = default_cost_model) ?(background_rebuild = true) image ~with_
           acc + Metafile.scan_read (Flexvol.metafile vol) ~start:0 ~len:(Flexvol.blocks vol))
         0 (Fs.vols fs)
     in
-    Aggregate.rebuild_caches aggregate;
-    Array.iter Flexvol.rebuild_cache (Fs.vols fs);
+    Aggregate.rebuild_caches ?pool aggregate;
+    Array.iter (Flexvol.rebuild_cache ?pool) (Fs.vols fs);
     let aas =
       Array.fold_left
         (fun acc (r : Aggregate.range) -> acc + Topology.aa_count r.Aggregate.topology)
@@ -250,8 +252,14 @@ let mount ?(cost = default_cost_model) ?(background_rebuild = true) image ~with_
     Telemetry.incr "mount.full_scan_mounts";
     Telemetry.add "mount.scan_pages" pages;
     Telemetry.add "mount.aas_scored" aas;
+    (* With a pool each domain reads and scores its own disjoint slice of
+       the AA range — page reads spread over the RAID group's spindles,
+       scoring over the cores — so the linear page term divides by the
+       domain count.  Seeding the caches and replaying the log stay
+       serial.  With one job this is exactly the serial model. *)
+    let jobs = float_of_int (Wafl_par.Par.effective_jobs pool) in
     let ready_us =
-      float_of_int pages *. (cost.page_read_us +. cost.page_scan_cpu_us)
+      (float_of_int pages *. (cost.page_read_us +. cost.page_scan_cpu_us) /. jobs)
       +. (float_of_int aas *. cost.seed_insert_us)
       +. replay_us
     in

@@ -52,11 +52,39 @@ val tear_agg_bitmap_page : image -> page:int -> unit
     [Invalid_argument] if [page] is out of range. *)
 
 val mount :
-  ?cost:cost_model -> ?background_rebuild:bool -> image -> with_topaa:bool -> Fs.t * timing
+  ?cost:cost_model ->
+  ?background_rebuild:bool ->
+  ?pool:Wafl_par.Par.t ->
+  image ->
+  with_topaa:bool ->
+  Fs.t * timing
 (** Bring the snapshot back as a fresh system (the file namespace itself is
     not part of the image; only the space state matters for allocator
     readiness).  [with_topaa:true] seeds caches from the persisted blocks;
-    [false] pays the full scan.  [background_rebuild] (default true)
-    completes the full cache rebuild after seeding, off the timed path —
-    by the time the timing is returned both variants allocate identically,
-    matching the paper's behaviour dozens of seconds after mount. *)
+    [false] pays the full scan.
+
+    [background_rebuild] selects what happens after TopAA seeding:
+    - [true] (the default): the mount additionally runs the full
+      cache rebuild — exact scores for every AA — off the timed path,
+      the way the production system finishes its background scanner
+      dozens of seconds after mount.  By the time [mount] returns, a
+      TopAA mount allocates identically to a full-scan mount.
+    - [false]: the system runs on the seeded caches alone (top ~500
+      AAs per range) until something else rebuilds them — the state the
+      paper measures immediately after failover.  Use this to observe
+      seeded-cache behaviour, or to keep mount itself cheap in tests.
+
+    [background_rebuild] only affects [with_topaa:true] mounts; the
+    full-scan path always rebuilds exactly.  Every mount increments
+    exactly one of the [mount.topaa_mounts] / [mount.full_scan_mounts]
+    telemetry counters, so which path a workload took is observable;
+    TopAA mounts also emit [mount.topaa_blocks_read], [mount.topaa_seeds]
+    and [mount.fallback_pages_scanned], full-scan mounts
+    [mount.scan_pages] and [mount.aas_scored].
+
+    [pool] (defaulting to the installed one) parallelises the full-scan
+    rescoring — and the background rebuild — across its domains with
+    bit-identical resulting cache state; the modeled [ready_us] of a
+    full-scan mount divides its linear page-scan term by the domain
+    count, since each domain reads and scores a disjoint slice of the
+    AA ranges. *)

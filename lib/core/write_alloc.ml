@@ -3,6 +3,12 @@ open Wafl_bitmap
 open Wafl_aa
 open Wafl_aacache
 open Wafl_telemetry
+module Par = Wafl_par.Par
+
+(* Below this AA capacity a sharded harvest's chunk setup costs more than
+   the word loop it spreads out; Quick-scale AAs (4096 blocks) stay on the
+   serial kernel, Full-scale AAs (16384) shard. *)
+let min_sharded_capacity = 8192
 
 (* Per-range (or per-volume) allocation cursor: a preallocated ring holding
    the free VBNs of the AA currently being filled (harvested word-at-a-time,
@@ -31,6 +37,7 @@ type t = {
   elig : int array;                       (* scratch: eligible range indices *)
   weight : int array;                     (* scratch: weight per eligible entry *)
   mutable scratch : int array;            (* scratch for the list-returning wrappers *)
+  mutable shards : int array array;       (* per-domain harvest rings (lazy) *)
   mutable phys_taken : int;
   mutable phys_score_sum : int;
   mutable virt_taken : int;
@@ -67,6 +74,7 @@ let create aggregate ~rng =
     elig = Array.make (Array.length ranges) 0;
     weight = Array.make (Array.length ranges) 0;
     scratch = [||];
+    shards = [||];
     phys_taken = 0;
     phys_score_sum = 0;
     virt_taken = 0;
@@ -205,6 +213,29 @@ let aa_overlaps_fault (range : Aggregate.range) dev aa =
    cp_finish never re-files it) and the pick retries.  Quarantine retries
    are bounded so the cacheless policies (which pick by free count and
    cannot learn) give up instead of spinning on an all-bad range. *)
+(* Per-domain scratch rings for the sharded harvest, grown to the largest
+   (jobs, capacity) seen.  Refill is off the consume window, so sizing (and
+   the pool dispatch below) may allocate; the per-block loops inside the
+   harvest kernels still do not. *)
+let ensure_shards t ~jobs ~capacity =
+  if
+    Array.length t.shards < jobs
+    || (Array.length t.shards > 0 && Array.length t.shards.(0) < capacity)
+  then t.shards <- Array.init jobs (fun _ -> Array.make capacity 0);
+  t.shards
+
+(* Harvest an AA into the cursor's ring: serial kernel for small AAs (or
+   without a pool), the pool-sharded kernel — bit-identical ring contents,
+   see {!Aggregate.harvest_free_of_aa_sharded} — for large ones. *)
+let harvest_range t range aa ~(cursor : cursor) =
+  let capacity = Array.length cursor.ring in
+  match Par.resolve None with
+  | Some p when Par.jobs p > 1 && capacity >= min_sharded_capacity ->
+    let shards = ensure_shards t ~jobs:(Par.jobs p) ~capacity in
+    Aggregate.harvest_free_of_aa_sharded p t.aggregate range aa ~shards ~dst:cursor.ring
+      ~words:t.words
+  | _ -> Aggregate.harvest_free_of_aa t.aggregate range aa ~dst:cursor.ring ~words:t.words
+
 let rec refill_range_guarded t range cursor qbudget =
   let policy = (Aggregate.config t.aggregate).Config.aggregate_policy in
   match
@@ -233,9 +264,7 @@ let rec refill_range_guarded t range cursor qbudget =
       t.candidates_scanned <-
         t.candidates_scanned + Topology.aa_capacity range.Aggregate.topology aa;
       let words0 = !(t.words) in
-      let count =
-        Aggregate.harvest_free_of_aa t.aggregate range aa ~dst:cursor.ring ~words:t.words
-      in
+      let count = harvest_range t range aa ~cursor in
       cursor.head <- 0;
       cursor.len <- count;
       cursor.ring_aa <- aa;

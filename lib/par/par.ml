@@ -1,0 +1,210 @@
+(* Fixed-size domain pool with deterministic chunk scheduling.
+
+   Work is expressed as [chunks] indexed closures.  An atomic counter
+   hands indices out to whichever domain is free, so load-balancing is
+   dynamic, but determinism is preserved structurally: every index runs
+   exactly once, results go to slots keyed by index, and failures are
+   reported as the lowest failed index (what a serial ascending loop
+   would have raised first).
+
+   Completion is a hybrid wait: the caller drains chunks itself, spins
+   briefly on the atomic pending counter (cheap for the common case
+   where workers finish within microseconds), then blocks on a
+   condition variable signalled by whichever domain retires the last
+   chunk.  The final decrement of [pending] is the release/acquire edge
+   that publishes the workers' non-atomic result writes to the
+   caller. *)
+
+type task = {
+  f : int -> unit;
+  next : int Atomic.t;
+  total : int;
+  pending : int Atomic.t;
+  failed : (int * exn) option Atomic.t;
+}
+
+type t = {
+  jobs : int;
+  mutable workers : unit Domain.t array;
+  m : Mutex.t;
+  work_cv : Condition.t;
+  done_cv : Condition.t;
+  mutable task : task option;
+  mutable generation : int;
+  mutable stop : bool;
+  busy : bool Atomic.t;
+  mutable live : bool;
+}
+
+let jobs t = t.jobs
+
+(* Keep the lowest-index failure: serial order raises it first. *)
+let record_failure task idx exn =
+  let rec loop () =
+    match Atomic.get task.failed with
+    | Some (i, _) when i <= idx -> ()
+    | cur ->
+      if not (Atomic.compare_and_set task.failed cur (Some (idx, exn))) then loop ()
+  in
+  loop ()
+
+let drain t task =
+  let rec go () =
+    let i = Atomic.fetch_and_add task.next 1 in
+    if i < task.total then begin
+      (try task.f i with exn -> record_failure task i exn);
+      if Atomic.fetch_and_add task.pending (-1) = 1 then begin
+        (* Last chunk retired: wake a caller blocked in [await]. *)
+        Mutex.lock t.m;
+        Condition.broadcast t.done_cv;
+        Mutex.unlock t.m
+      end;
+      go ()
+    end
+  in
+  go ()
+
+let rec worker_loop t gen =
+  Mutex.lock t.m;
+  while (not t.stop) && t.generation = gen do
+    Condition.wait t.work_cv t.m
+  done;
+  let stop = t.stop in
+  let gen = t.generation in
+  let task = t.task in
+  Mutex.unlock t.m;
+  if not stop then begin
+    (match task with Some task -> drain t task | None -> ());
+    worker_loop t gen
+  end
+
+let serial ~chunks ~f =
+  for i = 0 to chunks - 1 do
+    f i
+  done
+
+let spin_budget = 2_000
+
+let await t task =
+  let spins = ref 0 in
+  while Atomic.get task.pending > 0 && !spins < spin_budget do
+    incr spins;
+    Domain.cpu_relax ()
+  done;
+  if Atomic.get task.pending > 0 then begin
+    Mutex.lock t.m;
+    while Atomic.get task.pending > 0 do
+      Condition.wait t.done_cv t.m
+    done;
+    Mutex.unlock t.m
+  end
+
+let run_parallel t ~chunks ~f =
+  let task =
+    {
+      f;
+      next = Atomic.make 0;
+      total = chunks;
+      pending = Atomic.make chunks;
+      failed = Atomic.make None;
+    }
+  in
+  Mutex.lock t.m;
+  t.task <- Some task;
+  t.generation <- t.generation + 1;
+  Condition.broadcast t.work_cv;
+  Mutex.unlock t.m;
+  drain t task;
+  await t task;
+  match Atomic.get task.failed with None -> () | Some (_, exn) -> raise exn
+
+let run t ~chunks ~f =
+  if chunks <= 0 then ()
+  else if t.jobs <= 1 || (not t.live) || chunks = 1 then serial ~chunks ~f
+  else if not (Atomic.compare_and_set t.busy false true) then
+    (* Nested run (e.g. issued from inside a chunk): inline serially
+       rather than deadlocking on the single task slot. *)
+    serial ~chunks ~f
+  else
+    Fun.protect
+      ~finally:(fun () -> Atomic.set t.busy false)
+      (fun () -> run_parallel t ~chunks ~f)
+
+let map t ~chunks ~f =
+  if chunks <= 0 then [||]
+  else begin
+    (* Chunk 0 runs inline to seed the array; an exception here is what
+       serial order would raise first, so letting it escape is correct. *)
+    let first = f 0 in
+    let out = Array.make chunks first in
+    if chunks > 1 then run t ~chunks:(chunks - 1) ~f:(fun i -> out.(i + 1) <- f (i + 1));
+    out
+  end
+
+let create ~jobs =
+  let jobs = if jobs < 1 then 1 else jobs in
+  let t =
+    {
+      jobs;
+      workers = [||];
+      m = Mutex.create ();
+      work_cv = Condition.create ();
+      done_cv = Condition.create ();
+      task = None;
+      generation = 0;
+      stop = false;
+      busy = Atomic.make false;
+      live = true;
+    }
+  in
+  t.workers <- Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t 0));
+  t
+
+let shutdown t =
+  if t.live then begin
+    t.live <- false;
+    Mutex.lock t.m;
+    t.stop <- true;
+    Condition.broadcast t.work_cv;
+    Mutex.unlock t.m;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let chunk_bounds ~total ~align ~chunks =
+  if total <= 0 then [||]
+  else begin
+    let align = if align <= 0 then 1 else align in
+    let chunks = if chunks <= 0 then 1 else chunks in
+    let units = (total + align - 1) / align in
+    let n = if chunks < units then chunks else units in
+    Array.init n (fun i ->
+        let u0 = units * i / n in
+        let u1 = units * (i + 1) / n in
+        let start = u0 * align in
+        let stop = if u1 * align < total then u1 * align else total in
+        (start, stop - start))
+  end
+
+(* Process-wide default, mirroring Telemetry.install. *)
+
+let default : t option ref = ref None
+
+let uninstall () =
+  match !default with
+  | None -> ()
+  | Some t ->
+    default := None;
+    shutdown t
+
+let install ~jobs =
+  uninstall ();
+  default := Some (create ~jobs)
+
+let installed () = !default
+let resolve = function Some _ as p -> p | None -> !default
+let effective_jobs pool = match resolve pool with Some t -> jobs t | None -> 1

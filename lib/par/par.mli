@@ -1,0 +1,83 @@
+(** Domain-parallel scan engine.
+
+    A fixed-size pool of worker domains executes indexed chunks of work.
+    Chunks are handed out by an atomic counter, so any domain may run any
+    chunk — but every chunk index runs exactly once and results land in
+    preassigned slots (or are merged in ascending chunk order by the
+    caller), which makes the output of a pool-driven scan bit-identical
+    to the serial loop regardless of how many domains participated.
+
+    Determinism contract: for [map], slot [i] of the result array holds
+    [f i]; for [run], the caller must write chunk [i]'s results only to
+    state owned by chunk [i] (disjoint array slices, per-chunk
+    accumulators merged afterwards in index order).  Under that
+    discipline the pool introduces no observable nondeterminism.
+
+    Memory model: each chunk's non-atomic writes are published to the
+    caller by the final decrement of an atomic pending-counter, which
+    the caller reads before touching any result (release/acquire in the
+    OCaml 5 memory model) — no additional synchronisation is needed for
+    the per-chunk result slots.
+
+    Pools are reentrancy-safe: a [run]/[map] issued while the pool is
+    already driving work (e.g. from inside a worker's chunk function)
+    falls back to an inline serial loop instead of deadlocking. *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [jobs - 1] worker domains (the caller
+    participates as the [jobs]-th).  [jobs] is clamped to at least 1;
+    [jobs = 1] yields a poolless handle whose [run]/[map] are plain
+    serial loops. *)
+
+val jobs : t -> int
+(** Degree of parallelism, including the calling domain. *)
+
+val shutdown : t -> unit
+(** Join and discard the worker domains.  Subsequent [run]/[map] on the
+    handle degrade to serial.  Idempotent. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [create], run the function, [shutdown] — even on exceptions. *)
+
+val run : t -> chunks:int -> f:(int -> unit) -> unit
+(** Execute [f 0 .. f (chunks - 1)], each exactly once, distributed over
+    the pool's domains.  Blocks until every chunk finished.  If any
+    chunks raised, re-raises the exception of the lowest-indexed failed
+    chunk (matching what the serial loop would have raised first);
+    remaining chunks still run to completion first. *)
+
+val map : t -> chunks:int -> f:(int -> 'a) -> 'a array
+(** Like [run], but collects [| f 0; ...; f (chunks - 1) |].  Slot order
+    is by chunk index, never by completion order. *)
+
+val chunk_bounds : total:int -> align:int -> chunks:int -> (int * int) array
+(** [chunk_bounds ~total ~align ~chunks] splits the range
+    [0 .. total - 1] into at most [chunks] contiguous [(start, len)]
+    pieces of near-equal size whose internal boundaries fall on
+    multiples of [align].  Every piece is non-empty and the pieces cover
+    the range exactly; returns [[||]] when [total <= 0].  Purely
+    arithmetic — the same inputs always produce the same split. *)
+
+(** {1 Process-wide default pool}
+
+    Mirrors [Telemetry.install]: subsystems take [?pool] and fall back
+    to the installed pool via [resolve], so a single [--jobs N] at the
+    CLI parallelises every scan without threading a handle through the
+    whole call graph. *)
+
+val install : jobs:int -> unit
+(** Install a fresh process-wide pool, shutting down any previous one. *)
+
+val uninstall : unit -> unit
+(** Shut down and remove the process-wide pool, if any. *)
+
+val installed : unit -> t option
+
+val resolve : t option -> t option
+(** [resolve (Some p)] is [Some p]; [resolve None] is [installed ()].
+    The conventional first line of every [?pool] entry point. *)
+
+val effective_jobs : t option -> int
+(** [jobs] of [resolve pool], or 1 when no pool is available. *)

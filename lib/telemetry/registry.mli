@@ -1,10 +1,17 @@
 (** Metrics registry: named counters, gauges and log₂-bucket histograms.
 
-    Handles are cheap mutable records meant to be resolved once (by name)
-    and then updated directly on whatever path owns them.  Per-CP paths may
+    Handles are cheap records meant to be resolved once (by name) and
+    then updated directly on whatever path owns them.  Per-CP paths may
     instead go through the name-based helpers each time; the hot allocation
     path must not (see {!Tracer} for the per-pick instrument).  Metric
-    names are dotted, e.g. ["cache.picks"]. *)
+    names are dotted, e.g. ["cache.picks"].
+
+    Domain safety: counters and gauges are [Atomic]-backed — concurrent
+    [incr]/[add]/[set_max] from pool domains lose no updates — and
+    registration of a new name is serialised by an internal lock.
+    Histograms are {e not} atomic: every [observe] site must run in a
+    single-domain section (all current ones run in the serial part of
+    [Cp.run]). *)
 
 type t
 

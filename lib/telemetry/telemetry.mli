@@ -9,6 +9,12 @@
     emitters additionally check the tracer's enabled flag, so an installed
     instance with tracing off still allocates nothing on the pick path.
 
+    Domain safety: counter and gauge updates are atomic and trace pushes
+    are serialised, so the name-based helpers below may be called from
+    parallel scan domains (see {!Wafl_par.Par}) without losing updates.
+    Snapshots and histogram observations remain single-domain: they are
+    emitted only from the serial sections of [Cp.run].
+
     Typical use:
     {[
       let tel = Telemetry.create ~tracing:true () in

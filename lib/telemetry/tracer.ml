@@ -35,11 +35,19 @@ type t = {
   mutable next : int; (* ring slot the next event lands in *)
   mutable emitted : int;
   mutable cp : int;
+  lock : Mutex.t; (* guards next/emitted/ring when enabled emitters race *)
 }
 
 let create ?(capacity = 4096) ?(enabled = false) () =
   if capacity <= 0 then invalid_arg "Tracer.create: capacity must be positive";
-  { ring = Array.make capacity (Cp_begin { cp = 0 }); enabled; next = 0; emitted = 0; cp = 0 }
+  {
+    ring = Array.make capacity (Cp_begin { cp = 0 });
+    enabled;
+    next = 0;
+    emitted = 0;
+    cp = 0;
+    lock = Mutex.create ();
+  }
 
 let enabled t = t.enabled
 let set_enabled t on = t.enabled <- on
@@ -48,10 +56,15 @@ let emitted t = t.emitted
 let length t = min t.emitted (Array.length t.ring)
 let current_cp t = t.cp
 
+(* Emitters may run inside pool domains (e.g. tetris/fault traces from a
+   parallel device flush), so slot claims are serialised.  The disabled
+   path never reaches here and stays lock- and allocation-free. *)
 let push t ev =
+  Mutex.lock t.lock;
   t.ring.(t.next) <- ev;
   t.next <- (t.next + 1) mod Array.length t.ring;
-  t.emitted <- t.emitted + 1
+  t.emitted <- t.emitted + 1;
+  Mutex.unlock t.lock
 
 let to_list t =
   let n = length t in

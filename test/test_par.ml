@@ -1,0 +1,374 @@
+(* Tests for the domain-parallel scan engine: pool semantics and
+   chunking, domain-safe telemetry, and — the load-bearing property —
+   that every pool-driven scan (mount rebuild, cache rebuild, Iron,
+   activemap commit, sharded harvest, whole CPs) produces state
+   bit-identical to its serial counterpart at any domain count. *)
+
+open Wafl_bitmap
+open Wafl_aacache
+open Wafl_core
+open Wafl_telemetry
+module Par = Wafl_par.Par
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- pool semantics --- *)
+
+let test_run_covers_all_chunks () =
+  Par.with_pool ~jobs:4 (fun p ->
+      check_int "jobs" 4 (Par.jobs p);
+      let n = 100 in
+      let slots = Array.make n 0 in
+      (* chunk i owns slot i: disjoint writes, published by the pool's
+         completion barrier *)
+      Par.run p ~chunks:n ~f:(fun i -> slots.(i) <- slots.(i) + 1);
+      Array.iteri (fun i v -> check_int (Printf.sprintf "chunk %d ran once" i) 1 v) slots)
+
+let test_map_slot_order () =
+  Par.with_pool ~jobs:3 (fun p ->
+      let got = Par.map p ~chunks:50 ~f:(fun i -> i * i) in
+      Array.iteri (fun i v -> check_int "slot holds f i" (i * i) v) got)
+
+let test_exception_lowest_chunk () =
+  Par.with_pool ~jobs:4 (fun p ->
+      match
+        Par.run p ~chunks:16 ~f:(fun i -> if i = 3 || i = 7 then failwith (string_of_int i))
+      with
+      | () -> Alcotest.fail "expected an exception"
+      | exception Failure msg -> check_int "lowest failed chunk wins" 3 (int_of_string msg))
+
+let test_nested_run_is_serial () =
+  Par.with_pool ~jobs:2 (fun p ->
+      let inner = Array.make 8 0 in
+      (* a chunk issuing run on its own pool must not deadlock *)
+      Par.run p ~chunks:2 ~f:(fun outer ->
+          Par.run p ~chunks:4 ~f:(fun i -> inner.((outer * 4) + i) <- 1));
+      check_int "all nested chunks ran" 8 (Array.fold_left ( + ) 0 inner))
+
+let test_jobs1_and_shutdown_degrade () =
+  let p = Par.create ~jobs:1 in
+  check_int "jobs clamps to 1" 1 (Par.jobs p);
+  check_bool "jobs=1 map works" true (Par.map p ~chunks:4 ~f:Fun.id = [| 0; 1; 2; 3 |]);
+  Par.shutdown p;
+  let q = Par.create ~jobs:4 in
+  Par.shutdown q;
+  Par.shutdown q;
+  check_bool "map after shutdown is serial" true
+    (Par.map q ~chunks:4 ~f:Fun.id = [| 0; 1; 2; 3 |])
+
+let test_chunk_bounds_properties () =
+  List.iter
+    (fun total ->
+      List.iter
+        (fun align ->
+          List.iter
+            (fun chunks ->
+              let bounds = Par.chunk_bounds ~total ~align ~chunks in
+              let label = Printf.sprintf "total=%d align=%d chunks=%d" total align chunks in
+              if total <= 0 then check_int (label ^ ": empty") 0 (Array.length bounds)
+              else begin
+                check_bool (label ^ ": at most chunks pieces") true
+                  (Array.length bounds <= chunks && Array.length bounds >= 1);
+                let pos = ref 0 in
+                Array.iteri
+                  (fun i (s, len) ->
+                    check_int (label ^ ": contiguous") !pos s;
+                    check_bool (label ^ ": non-empty") true (len > 0);
+                    if i > 0 then
+                      check_int (label ^ ": aligned boundary") 0 (s mod align);
+                    pos := s + len)
+                  bounds;
+                check_int (label ^ ": covers range") total !pos;
+                check_bool (label ^ ": deterministic") true
+                  (bounds = Par.chunk_bounds ~total ~align ~chunks)
+              end)
+            [ 1; 2; 3; 7; 16 ])
+        [ 1; 8; 32; 256 ])
+    [ 0; 1; 5; 31; 32; 33; 1000; 4096 ]
+
+let test_install_resolve () =
+  Par.install ~jobs:3;
+  Fun.protect ~finally:Par.uninstall (fun () ->
+      check_bool "resolve None finds installed" true (Par.resolve None <> None);
+      check_int "effective jobs" 3 (Par.effective_jobs None));
+  check_bool "uninstalled" true (Par.installed () = None);
+  check_int "effective jobs without pool" 1 (Par.effective_jobs None)
+
+(* --- domain-safe telemetry: no lost increments under a multi-domain
+       hammer --- *)
+
+let test_telemetry_hammer () =
+  let tel = Telemetry.create () in
+  Telemetry.with_installed tel (fun () ->
+      let domains = 4 and per_domain = 50_000 in
+      let workers =
+        Array.init domains (fun d ->
+            Domain.spawn (fun () ->
+                for _ = 1 to per_domain do
+                  Telemetry.incr "hammer.count"
+                done;
+                Telemetry.add "hammer.add" d;
+                Telemetry.max_gauge "hammer.max" (float_of_int d)))
+      in
+      Array.iter Domain.join workers;
+      let reg = Telemetry.registry tel in
+      (match Registry.find reg "hammer.count" with
+      | Some (Registry.Counter c) ->
+        check_int "no lost increments" (domains * per_domain) (Registry.count c)
+      | _ -> Alcotest.fail "hammer.count not registered");
+      (match Registry.find reg "hammer.add" with
+      | Some (Registry.Counter c) -> check_int "adds summed" 6 (Registry.count c)
+      | _ -> Alcotest.fail "hammer.add not registered");
+      match Registry.find reg "hammer.max" with
+      | Some (Registry.Gauge g) ->
+        Alcotest.(check (float 0.0)) "max gauge kept the max" 3.0 (Registry.value g)
+      | _ -> Alcotest.fail "hammer.max not registered")
+
+(* --- determinism: parallel scans vs serial, bit for bit --- *)
+
+let aged_config =
+  let rg =
+    {
+      Config.media = Config.Hdd Wafl_device.Profile.default_hdd;
+      data_devices = 4;
+      parity_devices = 1;
+      device_blocks = 8192;
+      aa_stripes = Some 512;
+    }
+  in
+  Config.make ~raid_groups:[ rg; rg ]
+    ~vols:[ Config.default_vol ~name:"vol0" ~blocks:65536 ]
+    ~aggregate_policy:Config.Best_aa ~seed:11 ()
+
+(* Overwrite pressure leaves nonuniform free space behind, so the scans
+   under test have real structure to reproduce. *)
+let aged_fs () =
+  let fs = Fs.create aged_config in
+  let vol = (Fs.vols fs).(0) in
+  for cp = 0 to 2 do
+    for i = 0 to 1023 do
+      Fs.stage_write fs ~vol ~file:(cp mod 2) ~offset:i
+    done;
+    ignore (Fs.run_cp fs)
+  done;
+  fs
+
+(* The full observable cache state: every score array plus the persisted
+   TopAA bytes of every cache (heap contents / HBPS pages). *)
+let cache_state fs =
+  let range_state (r : Aggregate.range) =
+    let topaa =
+      match Option.map Cache.backend r.Aggregate.cache with
+      | Some (Cache.Raid_aware heap) -> Some (Topaa.save_raid_aware heap)
+      | Some (Cache.Raid_agnostic hbps) -> Some (fst (Topaa.save_hbps hbps))
+      | None -> None
+    in
+    (Array.copy r.Aggregate.scores, topaa)
+  in
+  let vol_state vol =
+    let hbps =
+      match Option.map Cache.backend (Flexvol.cache vol) with
+      | Some (Cache.Raid_agnostic h) -> Some (Topaa.save_hbps h)
+      | _ -> None
+    in
+    (Array.copy (Flexvol.scores vol), hbps)
+  in
+  ( Array.map range_state (Aggregate.ranges (Fs.aggregate fs)),
+    Array.map vol_state (Fs.vols fs) )
+
+let check_bitmaps_equal label fs_a fs_b =
+  check_bool (label ^ ": aggregate bitmap")
+    true
+    (Bitmap.equal
+       (Metafile.snapshot (Aggregate.metafile (Fs.aggregate fs_a)))
+       (Metafile.snapshot (Aggregate.metafile (Fs.aggregate fs_b))));
+  Array.iteri
+    (fun i va ->
+      check_bool
+        (Printf.sprintf "%s: vol %d bitmap" label i)
+        true
+        (Bitmap.equal
+           (Metafile.snapshot (Flexvol.metafile va))
+           (Metafile.snapshot (Flexvol.metafile (Fs.vols fs_b).(i)))))
+    (Fs.vols fs_a)
+
+let test_mount_full_scan_determinism () =
+  let image = Mount.snapshot (aged_fs ()) in
+  let fs_serial, timing_serial = Mount.mount image ~with_topaa:false in
+  let want = cache_state fs_serial in
+  List.iter
+    (fun jobs ->
+      Par.with_pool ~jobs (fun p ->
+          let fs_par, timing_par = Mount.mount ~pool:p image ~with_topaa:false in
+          check_bool
+            (Printf.sprintf "jobs=%d cache state identical" jobs)
+            true
+            (cache_state fs_par = want);
+          check_bitmaps_equal (Printf.sprintf "jobs=%d" jobs) fs_par fs_serial;
+          check_int
+            (Printf.sprintf "jobs=%d same pages scanned" jobs)
+            timing_serial.Mount.metafile_pages_scanned
+            timing_par.Mount.metafile_pages_scanned;
+          check_bool
+            (Printf.sprintf "jobs=%d modeled ready_us shrinks" jobs)
+            true
+            (timing_par.Mount.ready_us < timing_serial.Mount.ready_us)))
+    [ 2; 3; 8 ];
+  (* jobs=1 through a pool must model exactly the serial mount *)
+  Par.with_pool ~jobs:1 (fun p ->
+      let _, timing1 = Mount.mount ~pool:p image ~with_topaa:false in
+      Alcotest.(check (float 0.0))
+        "jobs=1 ready_us equals serial" timing_serial.Mount.ready_us timing1.Mount.ready_us)
+
+let test_rebuild_caches_determinism () =
+  let fs = aged_fs () in
+  Aggregate.rebuild_caches (Fs.aggregate fs);
+  Array.iter (fun v -> Flexvol.rebuild_cache v) (Fs.vols fs);
+  let want = cache_state fs in
+  List.iter
+    (fun jobs ->
+      Par.with_pool ~jobs (fun p ->
+          Aggregate.rebuild_caches ~pool:p (Fs.aggregate fs);
+          Array.iter (fun v -> Flexvol.rebuild_cache ~pool:p v) (Fs.vols fs);
+          check_bool
+            (Printf.sprintf "jobs=%d rebuild identical" jobs)
+            true
+            (cache_state fs = want)))
+    [ 2; 5 ]
+
+let test_iron_determinism () =
+  let fs = aged_fs () in
+  (* inject score drift in a range and a volume so the scans have
+     findings to order *)
+  let r = (Aggregate.ranges (Fs.aggregate fs)).(1) in
+  r.Aggregate.scores.(3) <- r.Aggregate.scores.(3) + 1;
+  r.Aggregate.scores.(Array.length r.Aggregate.scores - 1) <-
+    r.Aggregate.scores.(Array.length r.Aggregate.scores - 1) + 2;
+  let vol = (Fs.vols fs).(0) in
+  let vol_scores = Flexvol.scores vol in
+  vol_scores.(Array.length vol_scores - 1) <- vol_scores.(Array.length vol_scores - 1) + 1;
+  let serial = Iron.check fs in
+  check_bool "drift detected" true (List.length serial >= 3);
+  List.iter
+    (fun jobs ->
+      Par.with_pool ~jobs (fun p ->
+          check_bool
+            (Printf.sprintf "jobs=%d findings identical (content and order)" jobs)
+            true
+            (Iron.check ~pool:p fs = serial)))
+    [ 2; 4 ]
+
+let test_activemap_parallel_commit () =
+  let build () =
+    let am = Activemap.create ~blocks:65536 () in
+    for vbn = 0 to 65535 do
+      if vbn mod 2 = 0 then Activemap.allocate am vbn
+    done;
+    for vbn = 0 to 65535 do
+      (* a scattered, page-spanning free pattern, well over par_min_frees *)
+      if vbn mod 6 = 0 then Activemap.queue_free am vbn
+    done;
+    am
+  in
+  let serial_am = build () in
+  let serial = Activemap.commit serial_am in
+  Par.with_pool ~jobs:4 (fun p ->
+      let par_am = build () in
+      let par = Activemap.commit ~pool:p par_am in
+      check_bool "freed lists identical (same order)" true
+        (par.Activemap.freed = serial.Activemap.freed);
+      check_int "pages written identical" serial.Activemap.pages_written
+        par.Activemap.pages_written;
+      check_bool "maps identical" true
+        (Bitmap.equal
+           (Metafile.snapshot (Activemap.metafile par_am))
+           (Metafile.snapshot (Activemap.metafile serial_am)));
+      check_int "pending drained" 0 (Activemap.pending_free_count par_am))
+
+let test_sharded_harvest_identical () =
+  let agg = Aggregate.create aged_config in
+  (* scatter allocations so the free pattern is nonuniform *)
+  for pvbn = 0 to Aggregate.total_blocks agg - 1 do
+    if pvbn mod 3 = 0 || pvbn mod 7 = 0 then Aggregate.allocate agg ~pvbn
+  done;
+  let range = (Aggregate.ranges agg).(0) in
+  let capacity = Wafl_aa.Topology.full_aa_capacity range.Aggregate.topology in
+  Par.with_pool ~jobs:4 (fun p ->
+      List.iter
+        (fun aa ->
+          let dst_serial = Array.make capacity 0 in
+          let words_serial = ref 0 in
+          let n_serial =
+            Aggregate.harvest_free_of_aa agg range aa ~dst:dst_serial ~words:words_serial
+          in
+          let dst_par = Array.make capacity 0 in
+          let words_par = ref 0 in
+          let shards = Array.init (Par.jobs p) (fun _ -> Array.make capacity 0) in
+          let n_par =
+            Aggregate.harvest_free_of_aa_sharded p agg range aa ~shards ~dst:dst_par
+              ~words:words_par
+          in
+          let label = Printf.sprintf "aa %d" aa in
+          check_int (label ^ ": same count") n_serial n_par;
+          check_int (label ^ ": same words read") !words_serial !words_par;
+          check_bool (label ^ ": same VBNs in same order") true
+            (Array.sub dst_serial 0 n_serial = Array.sub dst_par 0 n_par))
+        [ 0; 1; 5 ])
+
+let test_parallel_cp_identical () =
+  let final_cp fs pool =
+    let vol = (Fs.vols fs).(0) in
+    for i = 0 to 1023 do
+      (* overwrites: generates > par_min_frees queued frees *)
+      Fs.stage_write fs ~vol ~file:0 ~offset:i
+    done;
+    Fs.run_cp ?pool fs
+  in
+  let fs_serial = aged_fs () in
+  let serial_report = final_cp fs_serial None in
+  let want = cache_state fs_serial in
+  Par.with_pool ~jobs:4 (fun p ->
+      let fs_par = aged_fs () in
+      let par_report = final_cp fs_par (Some p) in
+      check_bool "reports identical" true (par_report = serial_report);
+      check_bool "cache state identical" true (cache_state fs_par = want);
+      check_bitmaps_equal "parallel CP" fs_par fs_serial)
+
+let test_crash_matrix_with_pool () =
+  let serial = Crash_matrix.run ~seed:5 ~warmup_cps:1 ~ops_per_cp:60 () in
+  check_bool "serial matrix clean" true (serial.Crash_matrix.violations = []);
+  Par.install ~jobs:2;
+  Fun.protect ~finally:Par.uninstall (fun () ->
+      let par = Crash_matrix.run ~seed:5 ~warmup_cps:1 ~ops_per_cp:60 () in
+      check_bool "same crash-point sequence" true
+        (par.Crash_matrix.points = serial.Crash_matrix.points);
+      check_bool "parallel matrix clean" true (par.Crash_matrix.violations = []))
+
+let () =
+  Alcotest.run "wafl_par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "run covers all chunks" `Quick test_run_covers_all_chunks;
+          Alcotest.test_case "map slot order" `Quick test_map_slot_order;
+          Alcotest.test_case "lowest-chunk exception" `Quick test_exception_lowest_chunk;
+          Alcotest.test_case "nested run is serial" `Quick test_nested_run_is_serial;
+          Alcotest.test_case "jobs=1 and shutdown degrade" `Quick
+            test_jobs1_and_shutdown_degrade;
+          Alcotest.test_case "chunk_bounds properties" `Quick test_chunk_bounds_properties;
+          Alcotest.test_case "install/resolve" `Quick test_install_resolve;
+        ] );
+      ( "telemetry",
+        [ Alcotest.test_case "multi-domain hammer" `Quick test_telemetry_hammer ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "mount full scan" `Quick test_mount_full_scan_determinism;
+          Alcotest.test_case "rebuild caches" `Quick test_rebuild_caches_determinism;
+          Alcotest.test_case "iron findings" `Quick test_iron_determinism;
+          Alcotest.test_case "activemap commit" `Quick test_activemap_parallel_commit;
+          Alcotest.test_case "sharded harvest" `Quick test_sharded_harvest_identical;
+          Alcotest.test_case "whole CP" `Quick test_parallel_cp_identical;
+          Alcotest.test_case "crash matrix under a pool" `Slow test_crash_matrix_with_pool;
+        ] );
+    ]
