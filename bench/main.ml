@@ -150,6 +150,22 @@ let run_telemetry_overhead () =
       Printf.printf "  %-28s %10.1f ns/op   (%+.1f%% vs uninstalled)\n" label ns
         ((ns -. base) /. base *. 100.0))
     [ off; installed; tracing ];
+  (* Span enter/exit pair in isolation: the per-phase cost an installed
+     recorder adds (uninstalled it is one match on a global ref). *)
+  let span_pair_ns label =
+    let iters = 1_000_000 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      Wafl_telemetry.Telemetry.span_enter Wafl_telemetry.Span.Pick;
+      Wafl_telemetry.Telemetry.span_exit Wafl_telemetry.Span.Pick
+    done;
+    let ns = (Unix.gettimeofday () -. t0) /. float_of_int iters *. 1e9 in
+    Printf.printf "  span enter+exit %-12s %10.1f ns/pair\n" label ns
+  in
+  span_pair_ns "uninstalled";
+  Wafl_telemetry.Telemetry.with_installed
+    (Wafl_telemetry.Telemetry.create ())
+    (fun () -> span_pair_ns "installed");
   (* End-to-end: CP throughput of a sequential write workload, where the
      pick path is one small component.  This is the number the <5%
      regression budget applies to. *)
@@ -202,7 +218,12 @@ let run_telemetry_overhead () =
       ("telemetry uninstalled", e2e_off);
       ("installed, tracing off", e2e_installed);
       ("installed, tracing on", e2e_tracing);
-    ]
+    ];
+  (* An installed instance now records spans and per-CP time-series rows,
+     so the "installed, tracing off" delta is the span overhead the <5%
+     regression budget is stated against. *)
+  Printf.printf "  span+series overhead (installed vs uninstalled): %+.1f%% (budget < 5%%)\n"
+    ((e2e_off -. e2e_installed) /. e2e_off *. 100.0)
 
 (* --- allocation hot path: list queue vs harvest ring (PR 2) ---
 
@@ -732,7 +753,94 @@ let run_faults ~scale () =
     (((zero /. none) -. 1.0) *. 100.0)
     (((dflt /. none) -. 1.0) *. 100.0)
 
-let () =
+(* --- regress: diff two metric/time-series JSON snapshots ---
+
+   bench/main.exe regress BASELINE.json NEW.json [--threshold FACTOR]
+
+   Every numeric leaf the two documents share is compared by its dotted
+   path (array indices become path components).  A leaf whose values
+   differ by more than FACTOR in either direction (default 2.0), changes
+   sign, or exists in the baseline but not in the new snapshot is a
+   regression; any regression exits 1 so CI can gate fresh bench output
+   against the committed BENCH_*.json baselines.  Leaves only present in
+   the new snapshot are reported but allowed — new metrics are not
+   regressions. *)
+
+let regress_load path =
+  let contents =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error msg ->
+      Printf.eprintf "bench regress: cannot read %s: %s\n" path msg;
+      exit 2
+  in
+  match Wafl_util.Json.parse contents with
+  | Ok v -> v
+  | Error msg ->
+    Printf.eprintf "bench regress: %s: %s\n" path msg;
+    exit 2
+
+let run_regress argv =
+  let usage () =
+    prerr_endline "usage: bench/main.exe regress BASELINE.json NEW.json [--threshold FACTOR]";
+    exit 2
+  in
+  let rec parse files threshold = function
+    | [] -> (List.rev files, threshold)
+    | "--threshold" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some f when f >= 1.0 -> parse files f rest
+      | _ ->
+        Printf.eprintf "bench regress: --threshold expects a factor >= 1.0 (got %S)\n" v;
+        exit 2)
+    | "--threshold" :: [] -> usage ()
+    | a :: rest -> parse (a :: files) threshold rest
+  in
+  let files, threshold = parse [] 2.0 argv in
+  let base_path, new_path =
+    match files with [ b; n ] -> (b, n) | _ -> usage ()
+  in
+  let leaves path =
+    List.map
+      (fun (p, x) -> (String.concat "." p, x))
+      (Wafl_util.Json.number_leaves (regress_load path))
+  in
+  let base = leaves base_path and fresh = leaves new_path in
+  let regressions = ref 0 in
+  let compared = ref 0 in
+  let flag fmt = incr regressions; Printf.printf fmt in
+  List.iter
+    (fun (path, a) ->
+      match List.assoc_opt path fresh with
+      | None -> flag "  MISSING   %-52s (baseline %g)\n" path a
+      | Some b ->
+        incr compared;
+        if a <> b then begin
+          let eps = 1e-9 in
+          if (a < 0.0) <> (b < 0.0) && Float.abs a > eps && Float.abs b > eps then
+            flag "  SIGN FLIP %-52s %g -> %g\n" path a b
+          else begin
+            let r = (Float.abs b +. eps) /. (Float.abs a +. eps) in
+            let factor = Float.max r (1.0 /. r) in
+            if factor > threshold then
+              flag "  REGRESSED %-52s %g -> %g (%.2fx, threshold %.2fx)\n" path a b factor
+                threshold
+          end
+        end)
+    base;
+  List.iter
+    (fun (path, b) ->
+      if List.assoc_opt path base = None then
+        Printf.printf "  new leaf  %-52s %g (allowed)\n" path b)
+    fresh;
+  Printf.printf "regress: %d shared leaves compared, %d regression(s) (threshold %.2fx)\n"
+    !compared !regressions threshold;
+  if !regressions > 0 then exit 1
+
+let main_bench () =
   let args = Array.to_list Sys.argv in
   let scale = if List.mem "full" args then Common.Full else Common.Quick in
   let has name = List.mem name args in
@@ -755,3 +863,8 @@ let () =
   if run_all || has "alloc" then run_alloc ~scale ();
   if run_all || has "faults" then run_faults ~scale ();
   if run_all || has "par" then run_par ~scale ()
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "regress" :: rest -> run_regress rest
+  | _ -> main_bench ()

@@ -24,9 +24,31 @@ let trace_out_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
 
+(* Reject non-positive numeric flags at parse time, before any experiment
+   state is built, with the flag's own name in the message. *)
+let positive_int flag =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Ok n
+    | Some n -> Error (`Msg (Printf.sprintf "%s must be positive (got %d)" flag n))
+    | None -> Error (`Msg (Printf.sprintf "%s expects a positive integer (got %S)" flag s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
 let trace_capacity_arg =
   let doc = "Ring-buffer capacity (events retained) for $(b,--trace-out)." in
-  Arg.(value & opt int 65_536 & info [ "trace-capacity" ] ~docv:"N" ~doc)
+  Arg.(
+    value
+    & opt (positive_int "--trace-capacity") 65_536
+    & info [ "trace-capacity" ] ~docv:"N" ~doc)
+
+let timeseries_out_arg =
+  let doc =
+    "Write the per-CP time series (search ns/block, HBPS score-error bound, AA score \
+     deciles, free-space fragmentation, ring high-water, fault totals) to $(docv) when \
+     the run finishes — JSON by default, CSV with a $(b,.csv) extension."
+  in
+  Arg.(value & opt (some string) None & info [ "timeseries-out" ] ~docv:"FILE" ~doc)
 
 let fault_spec_arg =
   let doc =
@@ -127,11 +149,38 @@ let check_writable path =
     Printf.eprintf "waflsim: cannot write %s: %s\n" path msg;
     exit 2
 
-(* Run [f] with a telemetry instance installed when either output flag is
+let flush_telemetry ~metrics_out ~trace_out ~timeseries_out tel =
+  Option.iter
+    (fun path ->
+      let render =
+        if Filename.check_suffix path ".csv" then Export.metrics_csv else Export.metrics_json
+      in
+      write_file path (render tel);
+      Printf.printf "telemetry: metrics written to %s\n%!" path)
+    metrics_out;
+  Option.iter
+    (fun path ->
+      let render =
+        if Filename.check_suffix path ".json" then Export.trace_json else Export.trace_csv
+      in
+      write_file path (render tel);
+      Printf.printf "telemetry: trace written to %s\n%!" path)
+    trace_out;
+  Option.iter
+    (fun path ->
+      let render =
+        if Filename.check_suffix path ".csv" then Export.timeseries_csv
+        else Export.timeseries_json
+      in
+      write_file path (render tel);
+      Printf.printf "telemetry: time series written to %s\n%!" path)
+    timeseries_out
+
+(* Run [f] with a telemetry instance installed when any output flag is
    given; flush the reports afterwards even if [f] raises. *)
-let with_telemetry ~metrics_out ~trace_out ~trace_capacity f =
-  match (metrics_out, trace_out) with
-  | None, None -> f ()
+let with_telemetry ~metrics_out ~trace_out ~trace_capacity ~timeseries_out f =
+  match (metrics_out, trace_out, timeseries_out) with
+  | None, None, None -> f ()
   | _ ->
     if trace_capacity <= 0 then begin
       Printf.eprintf "waflsim: --trace-capacity must be positive (got %d)\n" trace_capacity;
@@ -139,41 +188,25 @@ let with_telemetry ~metrics_out ~trace_out ~trace_capacity f =
     end;
     Option.iter check_writable metrics_out;
     Option.iter check_writable trace_out;
+    Option.iter check_writable timeseries_out;
     let tel = Telemetry.create ~trace_capacity ~tracing:(trace_out <> None) () in
-    let flush () =
-      Option.iter
-        (fun path ->
-          let render =
-            if Filename.check_suffix path ".csv" then Export.metrics_csv
-            else Export.metrics_json
-          in
-          write_file path (render tel);
-          Printf.printf "telemetry: metrics written to %s\n%!" path)
-        metrics_out;
-      Option.iter
-        (fun path ->
-          let render =
-            if Filename.check_suffix path ".json" then Export.trace_json else Export.trace_csv
-          in
-          write_file path (render tel);
-          Printf.printf "telemetry: trace written to %s\n%!" path)
-        trace_out
-    in
+    let flush () = flush_telemetry ~metrics_out ~trace_out ~timeseries_out tel in
     Telemetry.with_installed tel (fun () -> Fun.protect ~finally:flush f)
 
 let experiment_cmd name ~doc run_print =
-  let run s metrics_out trace_out trace_capacity fault_spec no_iron_gate jobs =
+  let run s metrics_out trace_out trace_capacity timeseries_out fault_spec no_iron_gate
+      jobs =
     with_jobs jobs (fun () ->
         with_fault_spec (parse_fault_spec fault_spec) (fun () ->
             if not no_iron_gate then Wafl_core.Fs.enable_registry ();
-            with_telemetry ~metrics_out ~trace_out ~trace_capacity (fun () ->
-                run_print (parse_scale s));
+            with_telemetry ~metrics_out ~trace_out ~trace_capacity ~timeseries_out
+              (fun () -> run_print (parse_scale s));
             if not no_iron_gate then run_iron_gate ()))
   in
   Cmd.v (Cmd.info name ~doc)
     Term.(
       const run $ scale_arg $ metrics_out_arg $ trace_out_arg $ trace_capacity_arg
-      $ fault_spec_arg $ no_iron_gate_arg $ jobs_arg)
+      $ timeseries_out_arg $ fault_spec_arg $ no_iron_gate_arg $ jobs_arg)
 
 let fig6_cmd =
   experiment_cmd "fig6" ~doc:"AA-cache latency/throughput experiment (Figure 6)"
@@ -241,9 +274,11 @@ let crash_matrix_cmd =
              full rebuild) — verifies recovery in the immediate-post-failover state the \
              paper measures.")
   in
-  let run seed cps ops no_cleaner foreground_rebuild fault_spec jobs =
+  let run seed cps ops no_cleaner foreground_rebuild fault_spec jobs metrics_out trace_out
+      trace_capacity timeseries_out =
     with_jobs jobs (fun () ->
     with_fault_spec (parse_fault_spec fault_spec) (fun () ->
+    with_telemetry ~metrics_out ~trace_out ~trace_capacity ~timeseries_out (fun () ->
         let r =
           Wafl_core.Crash_matrix.run ~with_cleaner:(not no_cleaner)
             ~background_rebuild:(not foreground_rebuild) ~seed ~warmup_cps:cps
@@ -267,7 +302,7 @@ let crash_matrix_cmd =
             (fun v -> Format.printf "VIOLATION: %a@." Wafl_core.Crash_matrix.pp_violation v)
             vs;
           Printf.eprintf "waflsim: crash matrix found %d violation(s)\n" (List.length vs);
-          exit 1))
+          exit 1)))
   in
   Cmd.v
     (Cmd.info "crash-matrix"
@@ -277,27 +312,123 @@ let crash_matrix_cmd =
           clean Iron check)")
     Term.(
       const run $ seed_arg $ cps_arg $ ops_arg $ no_cleaner_arg $ foreground_rebuild_arg
+      $ fault_spec_arg $ jobs_arg $ metrics_out_arg $ trace_out_arg $ trace_capacity_arg
+      $ timeseries_out_arg)
+
+(* `waflsim top`: drive an aged random-overwrite system and redraw a
+   one-screen health view (current CP phase, picks/s, search ns/block,
+   fragmentation trend) every --stats-interval CPs.  The screen is only
+   cleared between redraws when stdout is a terminal, so piped output
+   stays a readable sequence of frames. *)
+let top_cmd =
+  let cps_arg =
+    Arg.(
+      value
+      & opt (positive_int "--cps") 120
+      & info [ "cps" ] ~docv:"N" ~doc:"Consistency points to run.")
+  in
+  let ops_arg =
+    Arg.(
+      value
+      & opt (positive_int "--ops") 1000
+      & info [ "ops" ] ~docv:"N" ~doc:"Staged client operations per CP.")
+  in
+  let stats_interval_arg =
+    Arg.(
+      value
+      & opt (positive_int "--stats-interval") 5
+      & info [ "stats-interval" ] ~docv:"N" ~doc:"Redraw the health view every $(docv) CPs.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Workload seed.")
+  in
+  let run s cps ops interval seed metrics_out trace_out trace_capacity timeseries_out
+      fault_spec jobs =
+    let scale = parse_scale s in
+    with_jobs jobs (fun () ->
+        with_fault_spec (parse_fault_spec fault_spec) (fun () ->
+            Option.iter check_writable metrics_out;
+            Option.iter check_writable trace_out;
+            Option.iter check_writable timeseries_out;
+            (* top always installs telemetry: the health view is the point *)
+            let tel =
+              Telemetry.create ~trace_capacity ~series_capacity:(max 1024 cps)
+                ~tracing:(trace_out <> None) ()
+            in
+            let tty = Unix.isatty Unix.stdout in
+            let redraw () =
+              if tty then print_string "\027[2J\027[H";
+              print_string (Report.health tel);
+              flush stdout
+            in
+            let samples = ref 0 in
+            Telemetry.on_sample tel
+              (Some
+                 (fun () ->
+                   incr samples;
+                   if !samples mod interval = 0 then redraw ()));
+            Telemetry.with_installed tel (fun () ->
+                Fun.protect
+                  ~finally:(fun () ->
+                    flush_telemetry ~metrics_out ~trace_out ~timeseries_out tel)
+                  (fun () ->
+                    let rg = Common.hdd_raid_group scale in
+                    let agg_blocks =
+                      rg.Wafl_core.Config.data_devices * rg.Wafl_core.Config.device_blocks
+                    in
+                    let config =
+                      Wafl_core.Config.make ~raid_groups:[ rg ]
+                        ~vols:
+                          [ { Wafl_core.Config.name = "lun"; blocks = agg_blocks * 9 / 8;
+                              aa_blocks = Some 1024; policy = Wafl_core.Config.Best_aa } ]
+                        ~aggregate_policy:Wafl_core.Config.Best_aa ~seed ()
+                    in
+                    let fs = Wafl_core.Fs.create config in
+                    let vol = Wafl_core.Fs.vol fs "lun" in
+                    let rng = Wafl_util.Rng.split (Wafl_core.Fs.rng fs) in
+                    let spec =
+                      { Wafl_workload.Aging.fill_fraction = 0.55; fragmentation_cps = 20;
+                        writes_per_cp = 1000; file = 1 }
+                    in
+                    let working_set = Wafl_workload.Aging.age fs vol ~spec ~rng () in
+                    let workload =
+                      Wafl_workload.Random_overwrite.create fs vol ~working_set
+                        ~rng:(Wafl_util.Rng.split rng) ()
+                    in
+                    for _ = 1 to cps do
+                      ignore (Wafl_workload.Random_overwrite.step workload ops)
+                    done;
+                    redraw ()))))
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Run an aged random-overwrite workload and render a live one-screen health view \
+          (CP phase spans, picks/s, search ns/block, free-space fragmentation trend)")
+    Term.(
+      const run $ scale_arg $ cps_arg $ ops_arg $ stats_interval_arg $ seed_arg
+      $ metrics_out_arg $ trace_out_arg $ trace_capacity_arg $ timeseries_out_arg
       $ fault_spec_arg $ jobs_arg)
 
 (* Bare `waflsim --metrics-out m.json` (no subcommand) runs the scalar
    suite — the cheapest end-to-end workload that exercises every
    instrumented layer — so the telemetry flags work without picking an
-   experiment.  Without either flag the default remains the help page. *)
+   experiment.  Without any output flag the default remains the help page. *)
 let default =
-  let run s metrics_out trace_out trace_capacity jobs =
-    match (metrics_out, trace_out) with
-    | None, None -> `Help (`Pager, None)
+  let run s metrics_out trace_out trace_capacity timeseries_out jobs =
+    match (metrics_out, trace_out, timeseries_out) with
+    | None, None, None -> `Help (`Pager, None)
     | _ ->
       with_jobs jobs (fun () ->
-          with_telemetry ~metrics_out ~trace_out ~trace_capacity (fun () ->
+          with_telemetry ~metrics_out ~trace_out ~trace_capacity ~timeseries_out (fun () ->
               Scalars.print (Scalars.run ~scale:(parse_scale s) ())));
       `Ok ()
   in
   Term.(
     ret
       (const run $ scale_arg $ metrics_out_arg $ trace_out_arg $ trace_capacity_arg
-     $ jobs_arg))
+     $ timeseries_out_arg $ jobs_arg))
 
 let () =
   let info = Cmd.info "waflsim" ~doc:"WAFL free-block search reproduction experiments" in
-  exit (Cmd.eval (Cmd.group ~default info [ fig6_cmd; fig7_cmd; fig8_cmd; fig9_cmd; fig10_cmd; scalars_cmd; ablation_cmd; all_cmd; crash_matrix_cmd ]))
+  exit (Cmd.eval (Cmd.group ~default info [ fig6_cmd; fig7_cmd; fig8_cmd; fig9_cmd; fig10_cmd; scalars_cmd; ablation_cmd; all_cmd; crash_matrix_cmd; top_cmd ]))

@@ -101,6 +101,7 @@ let commit_parallel t pool freed =
 
 let commit ?pool t =
   let freed = List.rev t.queue in
+  Wafl_telemetry.Telemetry.span_enter Wafl_telemetry.Span.Bit_clear;
   let parallel =
     match Par.resolve pool with
     | Some p
@@ -117,6 +118,7 @@ let commit ?pool t =
         Metafile.free t.metafile vbn;
         Bitmap.clear t.pending vbn)
       freed);
+  Wafl_telemetry.Telemetry.span_exit Wafl_telemetry.Span.Bit_clear;
   t.queue <- [];
   t.n_pending <- 0;
   let pages_written = Metafile.flush t.metafile in

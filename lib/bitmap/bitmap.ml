@@ -147,6 +147,10 @@ let free_extents t ~start ~len =
   in
   List.rev runs
 
+let free_run_stats t ~start ~len =
+  fold_free_runs t ~start ~len ~init:(0, 0) ~f:(fun (runs, largest) ~run_start:_ ~run_len ->
+      (runs + 1, if run_len > largest then run_len else largest))
+
 (* --- word-at-a-time free-block harvest kernels (the §3.3 hot path) --- *)
 
 let iter_clear_words t ~start ~len ~f =

@@ -44,6 +44,11 @@ val fold_free_runs :
   t -> start:int -> len:int -> init:'a -> f:('a -> run_start:int -> run_len:int -> 'a) -> 'a
 (** Fold over maximal clear runs inside the range without allocating. *)
 
+val free_run_stats : t -> start:int -> len:int -> int * int
+(** [(number of maximal free runs, length of the largest)] inside the
+    range — the free-space fragmentation signal of the per-CP time
+    series.  [(0, 0)] when no bit in the range is clear. *)
+
 (** {2 Word-at-a-time free-bit harvest (the allocator hot path)}
 
     The allocator consumes every free VBN of an AA; materializing them by

@@ -82,6 +82,7 @@ let harvest_free_into t ~start ~len ~offset ~dst ~pos =
   Bitmap.harvest_clear_into t.map ~start ~len ~offset ~dst ~pos
 let used_count t ~start ~len = Bitmap.count_set_in t.map ~start ~len
 let free_extents t ~start ~len = Bitmap.free_extents t.map ~start ~len
+let free_run_stats t ~start ~len = Bitmap.free_run_stats t.map ~start ~len
 let find_first_free t ~from = Bitmap.find_first_clear t.map ~from
 
 (* Parallel delayed-free support.  [free_batch_into] clears map bits

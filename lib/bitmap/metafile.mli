@@ -73,6 +73,10 @@ val harvest_free_into : t -> start:int -> len:int -> offset:int -> dst:int array
 val free_extents : t -> start:int -> len:int -> Wafl_block.Extent.t list
 (** Maximal free runs inside a range. *)
 
+val free_run_stats : t -> start:int -> len:int -> int * int
+(** [(run count, largest run length)] over the range without
+    materializing extents ({!Bitmap.free_run_stats}).  Not I/O-counted. *)
+
 val find_first_free : t -> from:int -> int option
 
 val free_batch_into : t -> vbns:int array -> pos:int -> len:int -> touched:Bytes.t -> unit

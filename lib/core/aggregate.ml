@@ -187,6 +187,9 @@ let free_blocks t = Activemap.free_count t.activemap ~start:0 ~len:t.total_block
 let used_fraction t =
   1.0 -. (float_of_int (free_blocks t) /. float_of_int t.total_blocks)
 
+let free_run_stats t =
+  Metafile.free_run_stats (Activemap.metafile t.activemap) ~start:0 ~len:t.total_blocks
+
 let allocate t ~pvbn =
   Activemap.allocate t.activemap pvbn;
   let r = range_of_pvbn t pvbn in

@@ -61,6 +61,11 @@ val to_global : range -> int -> int
 val free_blocks : t -> int
 val used_fraction : t -> float
 
+val free_run_stats : t -> int * int
+(** [(maximal free runs, largest run length)] over the whole physical VBN
+    space — the fragmentation signal sampled into the per-CP time series
+    (paper §4's cleaner-efficiency axis). *)
+
 val allocate : t -> pvbn:int -> unit
 (** Mark a PVBN allocated; records the score decrement in its range's
     delta. *)

@@ -44,7 +44,7 @@ let fullest_cleanable (range : Aggregate.range) ~picked =
     range.Aggregate.scores;
   !best
 
-let clean_fs ?(strategy = Emptiest_first) fs ~aas_per_range =
+let clean_fs_body ?(strategy = Emptiest_first) fs ~aas_per_range =
   let aggregate = Fs.aggregate fs in
   let walloc = Fs.write_alloc fs in
   let owners = reverse_map fs in
@@ -121,3 +121,10 @@ let clean_fs ?(strategy = Emptiest_first) fs ~aas_per_range =
   Telemetry.add "cleaner.blocks_relocated" !relocated;
   Telemetry.add "cleaner.blocks_reclaimed" !reclaimed;
   { aas_cleaned = !aas_cleaned; blocks_relocated = !relocated; blocks_reclaimed = !reclaimed }
+
+(* Each cleaner pass over the aggregate is one [Cleaner] span. *)
+let clean_fs ?strategy fs ~aas_per_range =
+  Telemetry.span_enter Span.Cleaner;
+  Fun.protect
+    ~finally:(fun () -> Telemetry.span_exit Span.Cleaner)
+    (fun () -> clean_fs_body ?strategy fs ~aas_per_range)

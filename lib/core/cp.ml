@@ -91,12 +91,16 @@ let smr_streams geometry locals =
       (device, List.map (fun dbn -> (device * span) + Azcs.device_position_of_data dbn) dbns))
     devices
 
-let flush_range walloc (range : Aggregate.range) locals freed_locals =
+let flush_range_body walloc (range : Aggregate.range) locals freed_locals =
   let aggregate = Write_alloc.aggregate walloc in
   ignore aggregate;
   let flush =
     match range.Aggregate.group with
-    | Some group -> Some (Group.record_flush group ~vbns:locals)
+    | Some group ->
+      Telemetry.span_enter Span.Tetris_write;
+      let f = Group.record_flush group ~vbns:locals in
+      Telemetry.span_exit Span.Tetris_write;
+      Some f
     | None -> None
   in
   let media =
@@ -223,6 +227,15 @@ let flush_range walloc (range : Aggregate.range) locals freed_locals =
       fault = Some fs;
     }
 
+(* [Device_flush] spans may run concurrently on pool domains; each domain
+   stamps its own start slot, so the enter/exit pair is race-free.  The
+   [Fun.protect] closure is per-range-per-CP — off the hot path. *)
+let flush_range walloc range locals freed_locals =
+  Telemetry.span_enter Span.Device_flush;
+  Fun.protect
+    ~finally:(fun () -> Telemetry.span_exit Span.Device_flush)
+    (fun () -> flush_range_body walloc range locals freed_locals)
+
 (* Aggregate cache stats over the physical ranges and this CP's active
    volumes: (picks, replenishes, work, worst HBPS score error). *)
 let cache_totals ranges by_vol =
@@ -240,9 +253,25 @@ let cache_totals ranges by_vol =
   List.iter (fun (vol, _) -> tally (Flexvol.cache vol)) by_vol;
   (!picks, !repl, !work, !err)
 
+(* Schema of the per-CP time-series row sampled at the end of [run]; one
+   name per cell of the row array below, in order. *)
+let timeseries_columns =
+  [
+    "cp"; "ops"; "blocks_allocated"; "pvbns_freed"; "picks"; "replenishes";
+    "search_ns_per_block"; "cp_wall_ns"; "hbps_score_error_max"; "aa_score_d1";
+    "aa_score_d2"; "aa_score_d3"; "aa_score_d4"; "aa_score_d5"; "aa_score_d6";
+    "aa_score_d7"; "aa_score_d8"; "aa_score_d9"; "free_blocks"; "free_frac";
+    "free_runs"; "largest_free_run"; "frag"; "ring_high_water"; "device_us";
+    "fault_transients"; "fault_torn"; "fault_failed"; "fault_retries";
+  ]
+
 let run ?pool walloc staged =
   let pool = Par.resolve pool in
   Telemetry.trace_cp_begin ();
+  Telemetry.span_enter Span.Cp;
+  let cp_t0 = Telemetry.now_ns () in
+  let pick_ns0 = Telemetry.span_total_ns Span.Pick in
+  let harvest_ns0 = Telemetry.span_total_ns Span.Harvest in
   let aggregate = Write_alloc.aggregate walloc in
   let by_vol = group_by_vol staged in
   let ranges = Aggregate.ranges aggregate in
@@ -291,6 +320,7 @@ let run ?pool walloc staged =
       place writes vvbns pvbns)
     by_vol;
   (* 2. Commit delayed frees (aggregate + volumes) and flush metafiles. *)
+  Telemetry.span_enter Span.Activemap_commit;
   Wafl_fault.Crash.point "cp.agg_free_commit";
   let agg_pages, freed_pvbns = Aggregate.commit_frees ?pool aggregate in
   let vol_pages =
@@ -314,6 +344,7 @@ let run ?pool walloc staged =
           acc + Flexvol.commit_frees ?pool vol)
         0 by_vol
   in
+  Telemetry.span_exit Span.Activemap_commit;
   (* 3. Device I/O per range: this CP's allocations (and trims) grouped by
         range, in range-local coordinates. *)
   let locals_by_range = Array.make (Array.length ranges) [] in
@@ -468,4 +499,68 @@ let run ?pool walloc staged =
           report.devices
       in
       base @ per_range);
+  (* One time-series row per CP: the paper's time-resolved axes (search
+     cost per block, AA score distribution, HBPS error bound, free-space
+     fragmentation) plus allocator/fault health.  The row thunk — and in
+     particular the whole-bitmap free-run scan and the score sort — only
+     runs when telemetry is installed. *)
+  Telemetry.sample ~columns:(fun () -> timeseries_columns)
+    (fun () ->
+      let fl = float_of_int in
+      let cp_idx =
+        match Telemetry.installed () with
+        | Some tel -> Tracer.current_cp (Telemetry.tracer tel)
+        | None -> 0
+      in
+      let ring_hw =
+        match Telemetry.installed () with
+        | Some tel ->
+          Registry.value (Registry.gauge (Telemetry.registry tel) "write_alloc.ring_high_water")
+        | None -> 0.0
+      in
+      let search_ns =
+        Telemetry.span_total_ns Span.Pick - pick_ns0
+        + (Telemetry.span_total_ns Span.Harvest - harvest_ns0)
+      in
+      let free = Aggregate.free_blocks aggregate in
+      let total = Aggregate.total_blocks aggregate in
+      let free_runs, largest_run = Aggregate.free_run_stats aggregate in
+      (* fragmentation: how little of the free space the largest single
+         run covers — 0.0 = one contiguous run, -> 1.0 as it shatters *)
+      let frag = if free = 0 then 0.0 else 1.0 -. (fl largest_run /. fl free) in
+      let scores =
+        Array.concat
+          (Array.to_list (Array.map (fun (r : Aggregate.range) -> r.Aggregate.scores) ranges))
+      in
+      Array.sort compare scores;
+      let decile k =
+        let n = Array.length scores in
+        if n = 0 then 0.0 else fl scores.(k * (n - 1) / 10)
+      in
+      let ft sel = match report.fault_totals with None -> 0 | Some fs -> sel fs in
+      [|
+        fl cp_idx;
+        fl ops;
+        fl report.blocks_allocated;
+        fl report.pvbns_freed;
+        fl (picks_after - picks_before);
+        fl (replenishes_after - replenishes_before);
+        fl search_ns /. fl (max 1 report.blocks_allocated);
+        fl (Telemetry.now_ns () - cp_t0);
+        score_error_max;
+        decile 1; decile 2; decile 3; decile 4; decile 5;
+        decile 6; decile 7; decile 8; decile 9;
+        fl free;
+        fl free /. fl total;
+        fl free_runs;
+        fl largest_run;
+        frag;
+        ring_hw;
+        device_time_us;
+        fl (ft (fun fs -> fs.Wafl_fault.Fault.injected_transient));
+        fl (ft (fun fs -> fs.Wafl_fault.Fault.torn));
+        fl (ft (fun fs -> fs.Wafl_fault.Fault.failed));
+        fl (ft (fun fs -> fs.Wafl_fault.Fault.retries));
+      |]);
+  Telemetry.span_exit Span.Cp;
   report

@@ -45,6 +45,16 @@ type report = {
       (** summed fault activity across devices; [None] without a plane *)
 }
 
+val timeseries_columns : string list
+(** Schema of the per-CP row [run] appends to the installed telemetry
+    instance's time series ({!Wafl_telemetry.Timeseries}): CP index,
+    op/alloc/free counts, pick and replenish counts, free-block search
+    cost in ns per allocated block (the [cp.pick] + [cp.harvest] span
+    delta), CP wall ns, the HBPS score-error bound, AA score deciles
+    d1..d9, free-space totals and fragmentation
+    ([1 - largest_free_run / free_blocks]), the harvest-ring high-water
+    mark, modeled device time, and fault totals. *)
+
 val run : ?pool:Wafl_par.Par.t -> Write_alloc.t -> staged list -> report
 (** Execute one CP over the staged writes.  With a pool (explicit, or
     installed via [Wafl_par.Par.install]) the CP is sharded: the delayed-

@@ -46,7 +46,7 @@ let scan_indices pool n ~test ~push =
       match test i with Some f -> push f | None -> ()
     done
 
-let check ?pool fs =
+let check_body ?pool fs =
   let pool = Par.resolve pool in
   let aggregate = Fs.aggregate fs in
   let mf = Aggregate.metafile aggregate in
@@ -121,9 +121,9 @@ let check ?pool fs =
 
 type authority = Bitmap_authority | Container_authority
 
-let repair ?(authority = Bitmap_authority) ?pool fs =
+let repair_body ?(authority = Bitmap_authority) ?pool fs =
   let pool = Par.resolve pool in
-  let findings = check ?pool fs in
+  let findings = check_body ?pool fs in
   let aggregate = Fs.aggregate fs in
   let mf = Aggregate.metafile aggregate in
   let repaired = ref 0 in
@@ -191,3 +191,17 @@ let repair ?(authority = Bitmap_authority) ?pool fs =
       incr repaired)
     drifted_vols;
   (findings, !repaired)
+
+(* Consistency checking and repair are each one [Iron] span; [repair]
+   wraps its embedded check in the same span rather than nesting two. *)
+let check ?pool fs =
+  Wafl_telemetry.Telemetry.span_enter Wafl_telemetry.Span.Iron;
+  Fun.protect
+    ~finally:(fun () -> Wafl_telemetry.Telemetry.span_exit Wafl_telemetry.Span.Iron)
+    (fun () -> check_body ?pool fs)
+
+let repair ?authority ?pool fs =
+  Wafl_telemetry.Telemetry.span_enter Wafl_telemetry.Span.Iron;
+  Fun.protect
+    ~finally:(fun () -> Wafl_telemetry.Telemetry.span_exit Wafl_telemetry.Span.Iron)
+    (fun () -> repair_body ?authority ?pool fs)

@@ -152,7 +152,7 @@ let seed_range_cache aggregate (r : Aggregate.range) block =
       Some (Cache.raid_aware ~space:r.Aggregate.index ~scores:r.Aggregate.scores ());
     (0, pages)
 
-let mount ?(cost = default_cost_model) ?(background_rebuild = true) ?pool image
+let mount_body ?(cost = default_cost_model) ?(background_rebuild = true) ?pool image
     ~with_topaa =
   let pool = Wafl_par.Par.resolve pool in
   let fs = restore image in
@@ -272,3 +272,11 @@ let mount ?(cost = default_cost_model) ?(background_rebuild = true) ?pool image
         ready_us;
       } )
   end
+
+(* The whole mount — restore, NVRAM replay, cache seeding or full-scan
+   rebuild — is one [Mount_rebuild] span. *)
+let mount ?cost ?background_rebuild ?pool image ~with_topaa =
+  Telemetry.span_enter Span.Mount_rebuild;
+  Fun.protect
+    ~finally:(fun () -> Telemetry.span_exit Span.Mount_rebuild)
+    (fun () -> mount_body ?cost ?background_rebuild ?pool image ~with_topaa)

@@ -238,11 +238,14 @@ let harvest_range t range aa ~(cursor : cursor) =
 
 let rec refill_range_guarded t range cursor qbudget =
   let policy = (Aggregate.config t.aggregate).Config.aggregate_policy in
-  match
+  Telemetry.span_enter Span.Pick;
+  let picked =
     pick_aa t cursor ~policy ~space:range.Aggregate.index ~cache:range.Aggregate.cache
       ~n_aas:(Topology.aa_count range.Aggregate.topology)
       ~free_of:(fun aa -> Aggregate.aa_score_now t.aggregate range aa)
-  with
+  in
+  Telemetry.span_exit Span.Pick;
+  match picked with
   | None -> false
   | Some (aa, score) ->
     let bad =
@@ -264,7 +267,9 @@ let rec refill_range_guarded t range cursor qbudget =
       t.candidates_scanned <-
         t.candidates_scanned + Topology.aa_capacity range.Aggregate.topology aa;
       let words0 = !(t.words) in
+      Telemetry.span_enter Span.Harvest;
       let count = harvest_range t range aa ~cursor in
+      Telemetry.span_exit Span.Harvest;
       cursor.head <- 0;
       cursor.len <- count;
       cursor.ring_aa <- aa;
@@ -412,18 +417,23 @@ let allocate_pvbns t n =
 
 let rec refill_vol t vol cursor =
   let policy = (Flexvol.spec vol).Config.policy in
-  match
+  Telemetry.span_enter Span.Pick;
+  let picked =
     pick_aa t cursor ~policy ~space:(-1) ~cache:(Flexvol.cache vol)
       ~n_aas:(Topology.aa_count (Flexvol.topology vol))
       ~free_of:(fun aa -> Score.score_of_aa (Flexvol.topology vol) (Flexvol.metafile vol) aa)
-  with
+  in
+  Telemetry.span_exit Span.Pick;
+  match picked with
   | None -> false
   | Some (aa, score) ->
     note_virt_take t score;
     t.candidates_scanned <-
       t.candidates_scanned + Topology.aa_capacity (Flexvol.topology vol) aa;
     let words0 = !(t.words) in
+    Telemetry.span_enter Span.Harvest;
     let count = Flexvol.harvest_free_of_aa vol aa ~dst:cursor.ring ~words:t.words in
+    Telemetry.span_exit Span.Harvest;
     cursor.head <- 0;
     cursor.len <- count;
     cursor.ring_aa <- aa;

@@ -15,12 +15,19 @@
    that publishes the workers' non-atomic result writes to the
    caller. *)
 
+module Telemetry = Wafl_telemetry.Telemetry
+module Span = Wafl_telemetry.Span
+
 type task = {
   f : int -> unit;
   next : int Atomic.t;
   total : int;
   pending : int Atomic.t;
   failed : (int * exn) option Atomic.t;
+  busy_ns : int Atomic.t array;
+      (* per-participant busy ns (slot 0 = the caller, slot i = worker i);
+         [||] when telemetry was inactive at dispatch, so the untimed path
+         adds one array-length branch and nothing else *)
 }
 
 type t = {
@@ -48,11 +55,17 @@ let record_failure task idx exn =
   in
   loop ()
 
-let drain t task =
+let drain t ~slot task =
+  let timed = Array.length task.busy_ns > 0 in
   let rec go () =
     let i = Atomic.fetch_and_add task.next 1 in
     if i < task.total then begin
-      (try task.f i with exn -> record_failure task i exn);
+      (if timed then begin
+         let t0 = Span.now_ns () in
+         (try task.f i with exn -> record_failure task i exn);
+         ignore (Atomic.fetch_and_add task.busy_ns.(slot) (Span.now_ns () - t0))
+       end
+       else try task.f i with exn -> record_failure task i exn);
       if Atomic.fetch_and_add task.pending (-1) = 1 then begin
         (* Last chunk retired: wake a caller blocked in [await]. *)
         Mutex.lock t.m;
@@ -64,7 +77,7 @@ let drain t task =
   in
   go ()
 
-let rec worker_loop t gen =
+let rec worker_loop t ~slot gen =
   Mutex.lock t.m;
   while (not t.stop) && t.generation = gen do
     Condition.wait t.work_cv t.m
@@ -74,8 +87,8 @@ let rec worker_loop t gen =
   let task = t.task in
   Mutex.unlock t.m;
   if not stop then begin
-    (match task with Some task -> drain t task | None -> ());
-    worker_loop t gen
+    (match task with Some task -> drain t ~slot task | None -> ());
+    worker_loop t ~slot gen
   end
 
 let serial ~chunks ~f =
@@ -99,7 +112,30 @@ let await t task =
     Mutex.unlock t.m
   end
 
+(* Per-task worker attribution: sum/max of the per-slot busy times give
+   the pool's utilisation and imbalance for this dispatch.  Emitted only
+   when telemetry was active at dispatch time, from the caller's domain,
+   after [await]'s acquire edge — so the workers' busy stamps are
+   visible. *)
+let emit_worker_stats t task ~chunks ~t0 =
+  let wall = Span.now_ns () - t0 in
+  let wall = if wall > 0 then wall else 1 in
+  let total_busy = Array.fold_left (fun acc b -> acc + Atomic.get b) 0 task.busy_ns in
+  let max_busy = Array.fold_left (fun acc b -> max acc (Atomic.get b)) 0 task.busy_ns in
+  Telemetry.incr "par.tasks";
+  Telemetry.add "par.chunks" chunks;
+  Telemetry.add "par.busy_ns" (max 0 total_busy);
+  Telemetry.add "par.idle_ns" (max 0 ((t.jobs * wall) - total_busy));
+  Telemetry.set_gauge "par.workers" (float_of_int t.jobs);
+  Telemetry.set_gauge "par.busy_frac"
+    (float_of_int total_busy /. float_of_int (t.jobs * wall));
+  if total_busy > 0 then
+    (* max/mean busy across participants: 1.0 = perfectly balanced *)
+    Telemetry.set_gauge "par.imbalance"
+      (float_of_int (max_busy * t.jobs) /. float_of_int total_busy)
+
 let run_parallel t ~chunks ~f =
+  let timed = Telemetry.is_active () in
   let task =
     {
       f;
@@ -107,15 +143,18 @@ let run_parallel t ~chunks ~f =
       total = chunks;
       pending = Atomic.make chunks;
       failed = Atomic.make None;
+      busy_ns = (if timed then Array.init t.jobs (fun _ -> Atomic.make 0) else [||]);
     }
   in
+  let t0 = if timed then Span.now_ns () else 0 in
   Mutex.lock t.m;
   t.task <- Some task;
   t.generation <- t.generation + 1;
   Condition.broadcast t.work_cv;
   Mutex.unlock t.m;
-  drain t task;
+  drain t ~slot:0 task;
   await t task;
+  if timed then emit_worker_stats t task ~chunks ~t0;
   match Atomic.get task.failed with None -> () | Some (_, exn) -> raise exn
 
 let run t ~chunks ~f =
@@ -157,7 +196,8 @@ let create ~jobs =
       live = true;
     }
   in
-  t.workers <- Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t 0));
+  t.workers <-
+    Array.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker_loop t ~slot:(i + 1) 0));
   t
 
 let shutdown t =

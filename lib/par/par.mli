@@ -21,7 +21,15 @@
 
     Pools are reentrancy-safe: a [run]/[map] issued while the pool is
     already driving work (e.g. from inside a worker's chunk function)
-    falls back to an inline serial loop instead of deadlocking. *)
+    falls back to an inline serial loop instead of deadlocking.
+
+    Worker attribution: when a telemetry instance is installed at
+    dispatch time, every parallel [run]/[map] times each participant's
+    chunk execution and emits [par.tasks]/[par.chunks]/[par.busy_ns]/
+    [par.idle_ns] counters plus [par.workers]/[par.busy_frac]/
+    [par.imbalance] gauges (imbalance = max busy over mean busy; 1.0 is
+    perfectly balanced).  With telemetry uninstalled the timing is
+    skipped entirely, preserving the pool's allocation profile. *)
 
 type t
 

@@ -72,6 +72,29 @@ let metrics_json tel =
         s.Telemetry.fields;
       add " }");
   add (if Telemetry.snapshots tel = [] then "],\n" else "\n  ],\n");
+  let sp = Telemetry.spans tel in
+  add "  \"spans\": {";
+  comma_sep buf
+    (List.filter (fun k -> Span.count sp k > 0 || Span.open_now sp k > 0) Span.all)
+    (fun k ->
+      add
+        (Printf.sprintf
+           "\n    %s: { \"count\": %d, \"total_ns\": %d, \"open\": %d, \"parent\": %s }"
+           (json_string (Span.name k)) (Span.count sp k) (Span.total_ns sp k)
+           (Span.open_now sp k)
+           (match Span.parent k with
+           | None -> "null"
+           | Some p -> json_string (Span.name p))));
+  add
+    (if List.for_all (fun k -> Span.count sp k = 0 && Span.open_now sp k = 0) Span.all then
+       "},\n"
+     else "\n  },\n");
+  let ts = Telemetry.series tel in
+  add "  \"timeseries\": { \"columns\": [";
+  comma_sep buf (Timeseries.columns ts) (fun c -> add (json_string c));
+  add
+    (Printf.sprintf "], \"appended\": %d, \"retained\": %d },\n" (Timeseries.appended ts)
+       (Timeseries.length ts));
   let tr = Telemetry.tracer tel in
   add
     (Printf.sprintf "  \"trace\": { \"emitted\": %d, \"retained\": %d }\n}\n"
@@ -104,6 +127,16 @@ let metrics_csv tel =
               (Printf.sprintf "%s.ge_%d" name (Registry.bucket_lower_bound i))
               (string_of_int c))
           (Registry.nonempty_buckets h));
+  let sp = Telemetry.spans tel in
+  List.iter
+    (fun k ->
+      if Span.count sp k > 0 || Span.open_now sp k > 0 then begin
+        let n = Span.name k in
+        row "span" (n ^ ".count") (string_of_int (Span.count sp k));
+        row "span" (n ^ ".total_ns") (string_of_int (Span.total_ns sp k));
+        row "span" (n ^ ".open") (string_of_int (Span.open_now sp k))
+      end)
+    Span.all;
   Buffer.contents buf
 
 (* Wide trace rows: every event kind fills the columns it has. *)
@@ -207,4 +240,46 @@ let trace_json tel =
         (event_fields ev);
       Buffer.add_string buf " }");
   Buffer.add_string buf "\n]\n";
+  Buffer.contents buf
+
+(* Series cells must parse back to the exact recorded float: integers (the
+   common case — counts, ns) print without an exponent, anything else gets
+   17 significant digits, which round-trips every finite double. *)
+let series_cell f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let timeseries_json tel =
+  let ts = Telemetry.series tel in
+  let buf = Buffer.create 4096 in
+  let add = Buffer.add_string buf in
+  add "{\n  \"columns\": [";
+  comma_sep buf (Timeseries.columns ts) (fun c -> add (json_string c));
+  add (Printf.sprintf "],\n  \"appended\": %d,\n  \"retained\": %d,\n  \"rows\": ["
+         (Timeseries.appended ts) (Timeseries.length ts));
+  comma_sep buf (Timeseries.rows ts) (fun row ->
+      add "\n    [";
+      Array.iteri
+        (fun i v ->
+          if i > 0 then add ",";
+          add (if Float.is_finite v then series_cell v else "null"))
+        row;
+      add "]");
+  add (if Timeseries.length ts = 0 then "]\n}\n" else "\n  ]\n}\n");
+  Buffer.contents buf
+
+let timeseries_csv tel =
+  let ts = Telemetry.series tel in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (String.concat "," (List.map csv_field (Timeseries.columns ts)));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Array.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (if Float.is_finite v then series_cell v else "nan"))
+        row;
+      Buffer.add_char buf '\n')
+    (Timeseries.rows ts);
   Buffer.contents buf

@@ -10,12 +10,31 @@ val metrics_json : Telemetry.t -> string
       "histograms": { name: { "observations": int, "sum": int,
                               "buckets": [ { "ge": int, "count": int } ] } },
       "snapshots":  [ { "seq": int, "label": str, <field>: <value>, ... } ],
+      "spans":      { name: { "count": int, "total_ns": int, "open": int,
+                              "parent": str|null } },
+      "timeseries": { "columns": [str], "appended": int, "retained": int },
       "trace":      { "emitted": int, "retained": int } }
-    v} *)
+    v}
+    Only span kinds that fired appear; the time-series rows themselves are
+    exported separately by {!timeseries_json}/{!timeseries_csv}. *)
 
 val metrics_csv : Telemetry.t -> string
 (** [kind,name,value] rows; histograms flatten to one row per populated
-    bucket plus [observations]/[sum] rows. *)
+    bucket plus [observations]/[sum] rows, fired span kinds to
+    [.count]/[.total_ns]/[.open] rows. *)
+
+val timeseries_json : Telemetry.t -> string
+(** The recorded per-CP series:
+    {v
+    { "columns": [str], "appended": int, "retained": int,
+      "rows": [ [num|null, ...], ... ] }
+    v}
+    Cells print so that parsing them back yields the recorded float
+    exactly (non-finite cells become [null]). *)
+
+val timeseries_csv : Telemetry.t -> string
+(** Header row of column names, then one row per retained sample, oldest
+    first.  Cells round-trip exactly (non-finite cells print as [nan]). *)
 
 val trace_csv : Telemetry.t -> string
 (** Retained events, one row each, with a fixed header.  Columns that do

@@ -9,9 +9,10 @@
     Domain safety: counters and gauges are [Atomic]-backed — concurrent
     [incr]/[add]/[set_max] from pool domains lose no updates — and
     registration of a new name is serialised by an internal lock.
-    Histograms are {e not} atomic: every [observe] site must run in a
-    single-domain section (all current ones run in the serial part of
-    [Cp.run]). *)
+    Histograms shard per observing domain and merge the shards on read,
+    so concurrent [observe] from pool domains loses no updates either;
+    a domain's observations are guaranteed visible to a reader once a
+    synchronising edge (e.g. pool task completion) separates them. *)
 
 type t
 
@@ -47,8 +48,8 @@ val value : gauge -> float
 (* --- histograms: fixed log₂ buckets over non-negative ints ---
 
    Bucket 0 counts observations <= 0; bucket [i >= 1] counts observations
-   [v] with [2^(i-1) <= v < 2^i].  The bucket count is fixed (63), so a
-   histogram handle never reallocates. *)
+   [v] with [2^(i-1) <= v < 2^i].  The bucket count is fixed (63); the
+   read accessors below merge the per-domain shards. *)
 
 val observe : histogram -> int -> unit
 val observations : histogram -> int

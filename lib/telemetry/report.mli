@@ -1,0 +1,21 @@
+(** One-screen plain-text health view of a telemetry instance — the body
+    of [waflsim top].
+
+    {!health} is a pure renderer over the instance's span recorder, time
+    series and registry: a span table (indented by {!Span.depth}, with the
+    currently open phase flagged), the headline rates of the newest
+    time-series row (picks/s, search ns/block, free fraction,
+    fragmentation, HBPS error bound), and a sparkline of the
+    fragmentation trend across the retained rows.  It writes no ANSI
+    escapes — the caller decides whether to clear the screen between
+    refreshes — so tests can assert on its output directly. *)
+
+val sparkline : ?width:int -> float array -> string
+(** Render the series as one row of block glyphs, scaled to its own
+    min/max ([width] defaults to 60; longer series are bucketed by
+    averaging, non-finite values ignored).  Empty input yields [""]. *)
+
+val health : ?width:int -> Telemetry.t -> string
+(** The full screen, [width] columns wide (default 80, clamped to a
+    sane minimum).  Sections with nothing to show (no spans entered, no
+    rows sampled) collapse to a single placeholder line. *)

@@ -5,29 +5,41 @@ type snapshot = { seq : int; label : string; fields : (string * value) list }
 type t = {
   registry : Registry.t;
   tracer : Tracer.t;
+  spans : Span.t;
+  series : Timeseries.t;
   mutable snapshots_rev : snapshot list;
   mutable snapshot_seq : int;
+  mutable sample_hook : (unit -> unit) option;
 }
 
-let create ?trace_capacity ?(tracing = false) () =
+let create ?trace_capacity ?series_capacity ?clock ?(tracing = false) () =
   {
     registry = Registry.create ();
     tracer = Tracer.create ?capacity:trace_capacity ~enabled:tracing ();
+    spans = Span.create ?clock ();
+    series = Timeseries.create ?capacity:series_capacity ();
     snapshots_rev = [];
     snapshot_seq = 0;
+    sample_hook = None;
   }
 
 let registry t = t.registry
 let tracer t = t.tracer
+let spans t = t.spans
+let series t = t.series
 let snapshots t = List.rev t.snapshots_rev
 
 let add_snapshot t ~label fields =
   t.snapshot_seq <- t.snapshot_seq + 1;
   t.snapshots_rev <- { seq = t.snapshot_seq; label; fields } :: t.snapshots_rev
 
+let on_sample t hook = t.sample_hook <- hook
+
 let reset t =
   Registry.clear t.registry;
   Tracer.clear t.tracer;
+  Span.clear t.spans;
+  Timeseries.clear t.series;
   t.snapshots_rev <- [];
   t.snapshot_seq <- 0
 
@@ -65,6 +77,23 @@ let observe name v =
 
 let record ~label fields =
   match !state with None -> () | Some t -> add_snapshot t ~label (fields ())
+
+(* --- spans (branch-only no-ops when uninstalled) --- *)
+
+let span_enter k = match !state with None -> () | Some t -> Span.enter t.spans k
+let span_exit k = match !state with None -> () | Some t -> Span.exit t.spans k
+let now_ns () = match !state with None -> 0 | Some _ -> Span.now_ns ()
+let span_total_ns k = match !state with None -> 0 | Some t -> Span.total_ns t.spans k
+
+(* --- time series --- *)
+
+let sample ~columns row =
+  match !state with
+  | None -> ()
+  | Some t ->
+    Timeseries.set_columns t.series (columns ());
+    Timeseries.append t.series (row ());
+    (match t.sample_hook with None -> () | Some hook -> hook ())
 
 (* --- trace emitters --- *)
 

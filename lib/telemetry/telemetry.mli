@@ -1,5 +1,6 @@
 (** Telemetry subsystem front-end: one {!Registry.t} of metrics, one
-    {!Tracer.t} of structured events, and a list of labelled snapshots
+    {!Tracer.t} of structured events, one {!Span.t} phase-span recorder,
+    one {!Timeseries.t} of per-CP rows, and a list of labelled snapshots
     (one per consistency point, produced by [Cp.run]).
 
     Instrumented code does not thread a handle around; it goes through the
@@ -9,11 +10,12 @@
     emitters additionally check the tracer's enabled flag, so an installed
     instance with tracing off still allocates nothing on the pick path.
 
-    Domain safety: counter and gauge updates are atomic and trace pushes
-    are serialised, so the name-based helpers below may be called from
-    parallel scan domains (see {!Wafl_par.Par}) without losing updates.
-    Snapshots and histogram observations remain single-domain: they are
-    emitted only from the serial sections of [Cp.run].
+    Domain safety: counter, gauge and span updates are atomic, histogram
+    observations shard per domain, and trace pushes are serialised, so
+    the name-based helpers below may be called from parallel scan domains
+    (see {!Wafl_par.Par}) without losing updates.  Snapshots and time
+    series remain single-domain: they are emitted only from the serial
+    sections of [Cp.run].
 
     Typical use:
     {[
@@ -34,13 +36,19 @@ type snapshot = {
 
 type t
 
-val create : ?trace_capacity:int -> ?tracing:bool -> unit -> t
-(** [trace_capacity] defaults to 4096 events; [tracing] (the tracer's
-    enabled flag) to [false].  Metrics and snapshots are always on for an
-    installed instance; only event tracing has a separate switch. *)
+val create :
+  ?trace_capacity:int -> ?series_capacity:int -> ?clock:(unit -> int) -> ?tracing:bool -> unit -> t
+(** [trace_capacity] defaults to 4096 events, [series_capacity] to 4096
+    time-series rows (both raise [Invalid_argument] when not positive);
+    [tracing] (the tracer's enabled flag) to [false]; [clock] (the span
+    recorder's nanosecond clock, injectable for tests) to the wall clock.
+    Metrics, spans, series and snapshots are always on for an installed
+    instance; only event tracing has a separate switch. *)
 
 val registry : t -> Registry.t
 val tracer : t -> Tracer.t
+val spans : t -> Span.t
+val series : t -> Timeseries.t
 
 val snapshots : t -> snapshot list
 (** Oldest first. *)
@@ -71,6 +79,34 @@ val observe : string -> int -> unit
 val record : label:string -> (unit -> (string * value) list) -> unit
 (** Append a snapshot; the field thunk only runs when an instance is
     installed, so building the field list costs nothing otherwise. *)
+
+(* --- phase spans (branch-only no-ops when uninstalled) --- *)
+
+val span_enter : Span.kind -> unit
+val span_exit : Span.kind -> unit
+(** Open / close a phase span on the installed recorder.  Uninstalled,
+    each is a single match on the global ref — zero allocation, so span
+    instrumentation may sit on (the refill edges of) the allocation hot
+    path without violating the consume-window guarantee. *)
+
+val now_ns : unit -> int
+(** The span clock, or 0 when uninstalled — for per-CP wall-time deltas
+    without paying a clock read on uninstrumented runs. *)
+
+val span_total_ns : Span.kind -> int
+(** Accumulated ns of the kind on the installed recorder (0 when none). *)
+
+(* --- time series --- *)
+
+val sample : columns:(unit -> string list) -> (unit -> float array) -> unit
+(** Append one row to the installed instance's time series: fixes the
+    schema on first use ({!Timeseries.set_columns}), appends the row, then
+    runs the {!on_sample} hook.  Both thunks only run when an instance is
+    installed. *)
+
+val on_sample : t -> (unit -> unit) option -> unit
+(** Hook invoked after every {!sample} append — the live reporter's
+    refresh trigger. *)
 
 (* --- trace emitters (no-op unless installed AND tracing enabled) --- *)
 

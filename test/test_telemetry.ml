@@ -245,6 +245,237 @@ let test_disabled_tracing_allocates_nothing () =
       let enabled = minor_words_during emit_all in
       check_bool "enabled tracing allocates" true (enabled > 0.0))
 
+let test_uninstalled_spans_allocate_nothing () =
+  Telemetry.uninstall ();
+  let loop () =
+    for _ = 1 to 10_000 do
+      Telemetry.span_enter Span.Pick;
+      Telemetry.span_exit Span.Pick;
+      Telemetry.span_enter Span.Cp;
+      Telemetry.span_exit Span.Cp;
+      ignore (Telemetry.now_ns ())
+    done
+  in
+  loop () (* warm up *);
+  let words = minor_words_during loop in
+  check_bool
+    (Printf.sprintf "uninstalled span enter/exit allocates nothing (%.0f words)" words)
+    true (words = 0.0)
+
+(* --- spans --- *)
+
+let test_span_semantics () =
+  let now = ref 0 in
+  let s = Span.create ~clock:(fun () -> !now) () in
+  check_int "fresh count" 0 (Span.count s Span.Cp);
+  Span.enter s Span.Cp;
+  check_int "open while running" 1 (Span.open_now s Span.Cp);
+  check_int "no completion yet" 0 (Span.count s Span.Cp);
+  now := 100;
+  Span.enter s Span.Pick;
+  now := 140;
+  Span.exit s Span.Pick;
+  now := 250;
+  Span.exit s Span.Cp;
+  check_int "pick total" 40 (Span.total_ns s Span.Pick);
+  check_int "cp total" 250 (Span.total_ns s Span.Cp);
+  check_int "cp count" 1 (Span.count s Span.Cp);
+  check_int "closed" 0 (Span.open_now s Span.Cp);
+  Span.exit s Span.Harvest;
+  check_int "stray exit ignored" 0 (Span.count s Span.Harvest);
+  check_int "stray exit adds no time" 0 (Span.total_ns s Span.Harvest);
+  check_bool "cp is a root" true (Span.parent Span.Cp = None);
+  check_bool "pick nests under cp" true (Span.parent Span.Pick = Some Span.Cp);
+  check_bool "bit_clear nests under the commit" true
+    (Span.parent Span.Bit_clear = Some Span.Activemap_commit);
+  check_int "root depth" 0 (Span.depth Span.Cp);
+  check_int "bit_clear depth" 2 (Span.depth Span.Bit_clear);
+  check_bool "names are stable" true (Span.name Span.Device_flush = "cp.device_flush");
+  Span.clear s;
+  check_int "clear drops counts" 0 (Span.count s Span.Cp);
+  check_int "clear drops totals" 0 (Span.total_ns s Span.Cp)
+
+(* --- time series --- *)
+
+let test_timeseries_ring () =
+  check_bool "non-positive capacity rejected" true
+    (try
+       ignore (Timeseries.create ~capacity:0 ());
+       false
+     with Invalid_argument _ -> true);
+  let ts = Timeseries.create ~capacity:3 () in
+  check_bool "append before schema rejected" true
+    (try
+       Timeseries.append ts [| 1.0 |];
+       false
+     with Invalid_argument _ -> true);
+  Timeseries.set_columns ts [ "a"; "b" ];
+  Timeseries.set_columns ts [ "a"; "b" ] (* same schema is idempotent *);
+  check_bool "schema mismatch rejected" true
+    (try
+       Timeseries.set_columns ts [ "a"; "c" ];
+       false
+     with Invalid_argument _ -> true);
+  check_bool "width mismatch rejected" true
+    (try
+       Timeseries.append ts [| 1.0 |];
+       false
+     with Invalid_argument _ -> true);
+  for i = 1 to 4 do
+    Timeseries.append ts [| float_of_int i; float_of_int (10 * i) |]
+  done;
+  check_int "retained bounded by capacity" 3 (Timeseries.length ts);
+  check_int "lifetime count keeps growing" 4 (Timeseries.appended ts);
+  Alcotest.(check (list (list (float 1e-9))))
+    "oldest row overwritten"
+    [ [ 2.0; 20.0 ]; [ 3.0; 30.0 ]; [ 4.0; 40.0 ] ]
+    (List.map Array.to_list (Timeseries.rows ts));
+  (match Timeseries.last ts with
+  | Some row -> Alcotest.(check (float 1e-9)) "last row" 4.0 row.(0)
+  | None -> Alcotest.fail "expected a last row");
+  check_bool "column lookup" true (Timeseries.column_index ts "b" = Some 1);
+  check_bool "column miss" true (Timeseries.column_index ts "z" = None);
+  (* rows are copies: mutating a returned row cannot corrupt the ring *)
+  (Timeseries.get ts 0).(0) <- 99.0;
+  Alcotest.(check (float 1e-9)) "get returns copies" 2.0 (Timeseries.get ts 0).(0);
+  Timeseries.clear ts;
+  check_int "clear drops rows" 0 (Timeseries.length ts);
+  check_int "clear drops lifetime count" 0 (Timeseries.appended ts);
+  Alcotest.(check (list string)) "clear keeps schema" [ "a"; "b" ] (Timeseries.columns ts)
+
+(* --- sharded histograms under real domains --- *)
+
+let test_histogram_multi_domain () =
+  let r = Registry.create () in
+  let h = Registry.histogram r "par.hammer" in
+  let jobs = 4 and per_chunk = 25_000 in
+  Wafl_par.Par.with_pool ~jobs (fun pool ->
+      Wafl_par.Par.run pool ~chunks:jobs ~f:(fun c ->
+          for i = 1 to per_chunk do
+            Registry.observe h (((c * per_chunk) + i) mod 37)
+          done));
+  (* pool task completion is the synchronising edge; totals must be exact *)
+  check_int "no lost observations" (jobs * per_chunk) (Registry.observations h);
+  let expected_sum =
+    let s = ref 0 in
+    for c = 0 to jobs - 1 do
+      for i = 1 to per_chunk do
+        s := !s + (((c * per_chunk) + i) mod 37)
+      done
+    done;
+    !s
+  in
+  check_int "no lost sum" expected_sum (Registry.sum h);
+  let bucket_total =
+    List.fold_left (fun acc (_, n) -> acc + n) 0 (Registry.nonempty_buckets h)
+  in
+  check_int "buckets merge to the same total" (jobs * per_chunk) bucket_total;
+  Registry.clear r;
+  check_int "clear zeroes every shard" 0 (Registry.observations h)
+
+(* --- span + time-series export round-trips --- *)
+
+let json_get path v =
+  let open Wafl_util.Json in
+  List.fold_left
+    (fun acc key -> match acc with Some v -> member key v | None -> None)
+    (Some v) path
+
+let span_telemetry () =
+  let now = ref 0 in
+  let tel = Telemetry.create ~clock:(fun () -> !now) () in
+  Telemetry.with_installed tel (fun () ->
+      Telemetry.span_enter Span.Cp;
+      now := 10;
+      Telemetry.span_enter Span.Pick;
+      now := 25;
+      Telemetry.span_exit Span.Pick;
+      now := 100;
+      Telemetry.span_exit Span.Cp;
+      Telemetry.span_enter Span.Iron);
+  tel
+
+let test_span_json_roundtrip () =
+  let tel = span_telemetry () in
+  let v =
+    match Wafl_util.Json.parse (Export.metrics_json tel) with
+    | Ok v -> v
+    | Error msg -> Alcotest.fail ("metrics json does not parse: " ^ msg)
+  in
+  let num path =
+    match json_get path v with
+    | Some (Wafl_util.Json.Num x) -> x
+    | _ -> Alcotest.fail ("missing numeric leaf " ^ String.concat "." path)
+  in
+  Alcotest.(check (float 1e-9)) "cp count" 1.0 (num [ "spans"; "cp"; "count" ]);
+  Alcotest.(check (float 1e-9)) "cp total" 100.0 (num [ "spans"; "cp"; "total_ns" ]);
+  Alcotest.(check (float 1e-9)) "pick total" 15.0 (num [ "spans"; "cp.pick"; "total_ns" ]);
+  Alcotest.(check (float 1e-9)) "iron still open" 1.0 (num [ "spans"; "iron"; "open" ]);
+  (match json_get [ "spans"; "cp.pick"; "parent" ] v with
+  | Some (Wafl_util.Json.Str "cp") -> ()
+  | _ -> Alcotest.fail "pick parent should be \"cp\"");
+  (match json_get [ "spans"; "cp"; "parent" ] v with
+  | Some Wafl_util.Json.Null -> ()
+  | _ -> Alcotest.fail "root parent should be null");
+  check_bool "unentered kinds omitted" true (json_get [ "spans"; "cleaner" ] v = None);
+  let csv = Export.metrics_csv tel in
+  check_bool "span rows in csv" true (contains ~needle:"span,cp.pick.total_ns,15" csv)
+
+let sampled_telemetry () =
+  let tel = Telemetry.create () in
+  Telemetry.with_installed tel (fun () ->
+      Telemetry.sample ~columns:(fun () -> [ "x"; "y" ]) (fun () -> [| 1.5; 2.0 |]);
+      Telemetry.sample ~columns:(fun () -> [ "x"; "y" ]) (fun () -> [| 3.0; -0.25 |]));
+  tel
+
+let test_timeseries_json_roundtrip () =
+  let tel = sampled_telemetry () in
+  let v =
+    match Wafl_util.Json.parse (Export.timeseries_json tel) with
+    | Ok v -> v
+    | Error msg -> Alcotest.fail ("timeseries json does not parse: " ^ msg)
+  in
+  (match json_get [ "columns" ] v with
+  | Some (Wafl_util.Json.List [ Wafl_util.Json.Str "x"; Wafl_util.Json.Str "y" ]) -> ()
+  | _ -> Alcotest.fail "columns mismatch");
+  (match json_get [ "appended" ] v with
+  | Some (Wafl_util.Json.Num 2.0) -> ()
+  | _ -> Alcotest.fail "appended mismatch");
+  let rows =
+    match json_get [ "rows" ] v with
+    | Some (Wafl_util.Json.List rows) ->
+      List.map
+        (function
+          | Wafl_util.Json.List cells ->
+            List.map
+              (function Wafl_util.Json.Num x -> x | _ -> Alcotest.fail "non-numeric cell")
+              cells
+          | _ -> Alcotest.fail "non-list row")
+        rows
+    | _ -> Alcotest.fail "rows missing"
+  in
+  Alcotest.(check (list (list (float 1e-9))))
+    "rows round-trip exactly"
+    (List.map Array.to_list (Timeseries.rows (Telemetry.series tel)))
+    rows
+
+let test_timeseries_csv_roundtrip () =
+  let tel = sampled_telemetry () in
+  let csv = Export.timeseries_csv tel in
+  match String.split_on_char '\n' (String.trim csv) with
+  | header :: rows ->
+    check_string "csv header is the schema" "x,y" header;
+    let parsed =
+      List.map
+        (fun line -> List.map float_of_string (String.split_on_char ',' line))
+        rows
+    in
+    Alcotest.(check (list (list (float 1e-9))))
+      "csv rows round-trip exactly"
+      (List.map Array.to_list (Timeseries.rows (Telemetry.series tel)))
+      parsed
+  | [] -> Alcotest.fail "empty csv"
+
 let () =
   Alcotest.run "wafl_telemetry"
     [
@@ -269,9 +500,26 @@ let () =
           Alcotest.test_case "metrics csv" `Quick test_metrics_csv;
           Alcotest.test_case "trace csv+json" `Quick test_trace_exports;
         ] );
+      ( "spans",
+        [
+          Alcotest.test_case "enter/exit semantics" `Quick test_span_semantics;
+          Alcotest.test_case "json round-trip" `Quick test_span_json_roundtrip;
+        ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "ring + schema" `Quick test_timeseries_ring;
+          Alcotest.test_case "json round-trip" `Quick test_timeseries_json_roundtrip;
+          Alcotest.test_case "csv round-trip" `Quick test_timeseries_csv_roundtrip;
+        ] );
+      ( "sharded histograms",
+        [
+          Alcotest.test_case "multi-domain hammer" `Quick test_histogram_multi_domain;
+        ] );
       ( "overhead",
         [
           Alcotest.test_case "disabled tracing allocates nothing" `Quick
             test_disabled_tracing_allocates_nothing;
+          Alcotest.test_case "uninstalled spans allocate nothing" `Quick
+            test_uninstalled_spans_allocate_nothing;
         ] );
     ]

@@ -285,6 +285,37 @@ let test_sweep_shape () =
   | (_, last_lat) :: (_, prev_lat) :: _ -> check_bool "saturation tail" true (last_lat > prev_lat)
   | _ -> Alcotest.fail "short sweep"
 
+(* --- Json --- *)
+
+let test_json_parse_roundtrip () =
+  let src = {|{"a": 1, "b": [true, null, -2.5e1, "xé\n"], "c": {"d": 0.125}}|} in
+  let v = Json.parse_exn src in
+  (match Json.member "a" v with
+  | Some (Json.Num 1.0) -> ()
+  | _ -> Alcotest.fail "member a");
+  (match Json.member "b" v with
+  | Some (Json.List [ Json.Bool true; Json.Null; Json.Num -25.0; Json.Str s ]) ->
+    Alcotest.(check string) "unicode escape decoded" "x\xc3\xa9\n" s
+  | _ -> Alcotest.fail "member b");
+  (* printing then reparsing yields the same tree *)
+  check_bool "print/parse fixpoint" true (Json.parse_exn (Json.to_string v) = v)
+
+let test_json_errors () =
+  let bad s =
+    match Json.parse s with Ok _ -> false | Error _ -> true
+  in
+  check_bool "truncated object" true (bad {|{"a": 1|});
+  check_bool "trailing garbage" true (bad "1 2");
+  check_bool "bare word" true (bad "nulle");
+  check_bool "unterminated string" true (bad {|"abc|})
+
+let test_json_number_leaves () =
+  let v = Json.parse_exn {|{"a": 1, "b": {"c": 2, "s": "x"}, "d": [3, {"e": 4}]}|} in
+  Alcotest.(check (list (pair (list string) (float 1e-9))))
+    "flattened paths"
+    [ ([ "a" ], 1.0); ([ "b"; "c" ], 2.0); ([ "d"; "0" ], 3.0); ([ "d"; "1"; "e" ], 4.0) ]
+    (Json.number_leaves v)
+
 let () =
   let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_histo_total_conserved ] in
   Alcotest.run "wafl_util"
@@ -348,5 +379,11 @@ let () =
           Alcotest.test_case "unstable" `Quick test_mg1_unstable;
           Alcotest.test_case "monotonic" `Quick test_mg1_monotonic;
           Alcotest.test_case "sweep shape" `Quick test_sweep_shape;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "parse round-trip" `Quick test_json_parse_roundtrip;
+          Alcotest.test_case "errors" `Quick test_json_errors;
+          Alcotest.test_case "number leaves" `Quick test_json_number_leaves;
         ] );
     ]
