@@ -254,11 +254,22 @@ let rec baseline_pick cache attempts =
     | None -> None
     | Some (aa, score) -> if score > 0 then Some aa else baseline_pick cache (attempts - 1)
 
+(* The removed list-returning Aggregate.free_vbns_of_aa, reconstructed
+   here verbatim: one is_allocated probe and one list cell per block —
+   the very shape the harvest ring replaced. *)
+let baseline_free_vbns agg (range : Wafl_core.Aggregate.range) aa =
+  let mf = Wafl_core.Aggregate.metafile agg in
+  let acc = ref [] in
+  Wafl_aa.Topology.iter_aa_vbns range.Wafl_core.Aggregate.topology aa ~f:(fun local ->
+      let pvbn = Wafl_core.Aggregate.to_global range local in
+      if not (Wafl_bitmap.Metafile.is_allocated mf pvbn) then acc := pvbn :: !acc);
+  List.rev !acc
+
 let rec baseline_refill agg (range : Wafl_core.Aggregate.range) cur =
   match baseline_pick (Option.get range.Wafl_core.Aggregate.cache) 8 with
   | None -> false
   | Some aa ->
-    cur.queue <- Wafl_core.Aggregate.free_vbns_of_aa agg range aa;
+    cur.queue <- baseline_free_vbns agg range aa;
     cur.queue <> [] || baseline_refill agg range cur
 
 (* Mirrors the old Write_alloc.take_from_range: pops accumulate into a
@@ -413,14 +424,15 @@ let best_of_5 run scale =
 (* Ring-served consume window must allocate nothing: warm call fills the
    cursor ring (one quick-scale AA holds 4096 blocks), second call is
    served entirely from it. *)
-let alloc_zero_alloc_words () =
-  let agg = Wafl_core.Aggregate.create (alloc_config Common.Quick) in
-  let w = Wafl_core.Write_alloc.create agg ~rng:(Wafl_util.Rng.create ~seed:7) in
-  let dst = Array.make 256 0 in
-  ignore (Wafl_core.Write_alloc.allocate_pvbns_into w ~dst 256);
-  let before = Gc.minor_words () in
-  ignore (Wafl_core.Write_alloc.allocate_pvbns_into w ~dst 256);
-  Gc.minor_words () -. before
+let alloc_zero_alloc_words ?(backend = Wafl_bitmap.Pagestore.Heap) () =
+  Wafl_bitmap.Pagestore.with_default backend (fun () ->
+      let agg = Wafl_core.Aggregate.create (alloc_config Common.Quick) in
+      let w = Wafl_core.Write_alloc.create agg ~rng:(Wafl_util.Rng.create ~seed:7) in
+      let dst = Array.make 256 0 in
+      ignore (Wafl_core.Write_alloc.allocate_pvbns_into w ~dst 256);
+      let before = Gc.minor_words () in
+      ignore (Wafl_core.Write_alloc.allocate_pvbns_into w ~dst 256);
+      Gc.minor_words () -. before)
 
 let ns_per_block secs blocks = secs /. float_of_int blocks *. 1e9
 
@@ -477,27 +489,33 @@ let run_alloc ~scale () =
         alloc_scale_json name base harv)
       scales
   in
-  let zero_words = alloc_zero_alloc_words () in
-  Printf.printf "  ring-served consume window: %.0f minor heap words allocated\n" zero_words;
+  let zero_words = alloc_zero_alloc_words ~backend:Wafl_bitmap.Pagestore.Heap () in
+  let zero_words_big = alloc_zero_alloc_words ~backend:Wafl_bitmap.Pagestore.Bigarray () in
+  Printf.printf "  ring-served consume window: %.0f minor heap words (heap backend)\n"
+    zero_words;
+  Printf.printf "  ring-served consume window: %.0f minor heap words (bigarray backend)\n"
+    zero_words_big;
   let oc = open_out "BENCH_alloc.json" in
   Printf.fprintf oc
     {|{
   "benchmark": "write-allocation hot path: list-queue baseline vs harvest-ring",
   "workload": "fill one 4+1 HDD raid group to 75%% in 4096-block CPs, then free every other block and allocate them back",
   "zero_alloc_minor_words": %.0f,
+  "zero_alloc_minor_words_bigarray": %.0f,
   "scales": [
 %s
   ]
 }
 |}
-    zero_words
+    zero_words zero_words_big
     (String.concat ",\n" sections);
   close_out oc;
   print_endline "  wrote BENCH_alloc.json";
-  if zero_words <> 0.0 then begin
+  if zero_words <> 0.0 || zero_words_big <> 0.0 then begin
     Printf.eprintf
-      "FAIL: ring-served allocation window allocated %.0f minor words (expected 0)\n"
-      zero_words;
+      "FAIL: ring-served allocation window allocated minor words (heap %.0f, bigarray %.0f; \
+       expected 0)\n"
+      zero_words zero_words_big;
     exit 1
   end
 
@@ -753,6 +771,219 @@ let run_faults ~scale () =
     (((zero /. none) -. 1.0) *. 100.0)
     (((dflt /. none) -. 1.0) *. 100.0)
 
+(* --- offheap: the page-store backends at modeled billion-block scale (PR 6) ---
+
+   An aggregate of 16 object-backed (RAID-agnostic) ranges is sized at
+   2^24 and 2^27 blocks on both backends, and at 2^30 — a modeled
+   billion-block aggregate, 128 MiB of allocation bitmap — on the
+   bigarray backend, where the GC sees only the store handles.  Each case
+   builds the system, commits one small CP's worth of allocations,
+   snapshots it, and remounts the image twice: lazily (--lazy-rebuild:
+   TopAA-seeded, nothing scanned, every range stale) and eagerly (full
+   scan).  After the lazy mount one 8-block allocation shows incremental
+   materialization: only the range the allocator actually refilled pays
+   its rescore.  Asserts that
+
+   - the lazy modeled mount-ready time is independent of aggregate size
+     (largest/smallest under 2.5x — the residual growth is the TopAA
+     seed count rising until the top-500-AAs-per-range cap engages —
+     while the eager full scan grows ~64x, at least 10x the lazy ratio),
+   - the first touch materializes strictly fewer than half the ranges,
+   - at the billion-block size the live OCaml heap stays under a quarter
+     of one bitmap copy (the free-space state is off-heap),
+
+   and writes the numbers to BENCH_offheap.json. *)
+
+type offheap_case = {
+  oh_blocks : int;
+  oh_backend : string;
+  oh_build_secs : float;
+  oh_lazy_ready_us : float;
+  oh_eager_ready_us : float;
+  oh_lazy_mount_secs : float;
+  oh_touched_ranges : int;
+  oh_total_ranges : int;
+  oh_first_touch_pages : int;
+  oh_heap_mb : float;
+  oh_rss_mb : float;
+}
+
+let vm_rss_mb () =
+  let ic = open_in "/proc/self/status" in
+  let rec go () =
+    match input_line ic with
+    | line ->
+      if String.length line > 6 && String.sub line 0 6 = "VmRSS:" then begin
+        let kb = ref 0 in
+        String.iter
+          (fun c -> if c >= '0' && c <= '9' then kb := (!kb * 10) + (Char.code c - Char.code '0'))
+          line;
+        float_of_int !kb /. 1024.0
+      end
+      else go ()
+    | exception End_of_file -> 0.0
+  in
+  Fun.protect ~finally:(fun () -> close_in ic) go
+
+let offheap_aa_blocks = 32768
+
+let offheap_case ~backend ~blocks =
+  Wafl_bitmap.Pagestore.with_default backend (fun () ->
+      let n_ranges = 16 in
+      let spec =
+        {
+          Wafl_core.Config.profile = Wafl_device.Profile.default_object_store;
+          blocks = blocks / n_ranges;
+          aa_blocks = Some offheap_aa_blocks;
+        }
+      in
+      let config =
+        Wafl_core.Config.make ~raid_groups:[]
+          ~object_ranges:(List.init n_ranges (fun _ -> spec))
+          ~aggregate_policy:Wafl_core.Config.Best_aa ~seed:7 ()
+      in
+      let t0 = Unix.gettimeofday () in
+      let fs = Wafl_core.Fs.create config in
+      let build_secs = Unix.gettimeofday () -. t0 in
+      (* one small committed CP so the image is not trivially empty *)
+      let w = Wafl_core.Fs.write_alloc fs in
+      let dst = Array.make 4096 0 in
+      ignore (Wafl_core.Write_alloc.allocate_pvbns_into w ~dst 4096);
+      Wafl_core.Write_alloc.cp_finish w;
+      let image = Wafl_core.Mount.snapshot fs in
+      let t1 = Unix.gettimeofday () in
+      let mounted, lazy_t =
+        Wafl_core.Mount.mount ~lazy_rebuild:true image ~with_topaa:true
+      in
+      let lazy_mount_secs = Unix.gettimeofday () -. t1 in
+      (* first touch: a small allocation refills one cursor, so exactly
+         the ranges it drew from pay their rescore — not the aggregate *)
+      let agg = Wafl_core.Fs.aggregate mounted in
+      let mf = Wafl_core.Aggregate.metafile agg in
+      let reads_before = (Wafl_bitmap.Metafile.stats mf).Wafl_bitmap.Metafile.page_reads in
+      ignore (Wafl_core.Write_alloc.allocate_pvbns_into (Wafl_core.Fs.write_alloc mounted) ~dst 8);
+      let first_touch_pages =
+        (Wafl_bitmap.Metafile.stats mf).Wafl_bitmap.Metafile.page_reads - reads_before
+      in
+      let touched =
+        Array.fold_left
+          (fun acc r -> if Wafl_core.Aggregate.range_fresh agg r then acc + 1 else acc)
+          0 (Wafl_core.Aggregate.ranges agg)
+      in
+      let _, eager_t = Wafl_core.Mount.mount image ~with_topaa:false in
+      Gc.full_major ();
+      let heap_mb = float_of_int ((Gc.quick_stat ()).Gc.heap_words * 8) /. 1048576.0 in
+      {
+        oh_blocks = blocks;
+        oh_backend = Wafl_bitmap.Pagestore.backend_name backend;
+        oh_build_secs = build_secs;
+        oh_lazy_ready_us = lazy_t.Wafl_core.Mount.ready_us;
+        oh_eager_ready_us = eager_t.Wafl_core.Mount.ready_us;
+        oh_lazy_mount_secs = lazy_mount_secs;
+        oh_touched_ranges = touched;
+        oh_total_ranges = 16;
+        oh_first_touch_pages = first_touch_pages;
+        oh_heap_mb = heap_mb;
+        oh_rss_mb = vm_rss_mb ();
+      })
+
+let offheap_case_json c =
+  Printf.sprintf
+    {|    {
+      "blocks": %d,
+      "backend": "%s",
+      "build_secs": %.3f,
+      "lazy_ready_us": %.1f,
+      "eager_ready_us": %.1f,
+      "lazy_mount_wall_secs": %.4f,
+      "first_touch": { "ranges": %d, "of_ranges": %d, "pages": %d },
+      "heap_mb": %.1f,
+      "rss_mb": %.1f
+    }|}
+    c.oh_blocks c.oh_backend c.oh_build_secs c.oh_lazy_ready_us c.oh_eager_ready_us
+    c.oh_lazy_mount_secs c.oh_touched_ranges c.oh_total_ranges c.oh_first_touch_pages
+    c.oh_heap_mb c.oh_rss_mb
+
+let run_offheap () =
+  Common.banner "Off-heap page store: modeled billion-block aggregate, lazy vs eager mount";
+  let cases =
+    [
+      (Wafl_bitmap.Pagestore.Heap, 1 lsl 24);
+      (Wafl_bitmap.Pagestore.Heap, 1 lsl 27);
+      (Wafl_bitmap.Pagestore.Bigarray, 1 lsl 24);
+      (Wafl_bitmap.Pagestore.Bigarray, 1 lsl 27);
+      (Wafl_bitmap.Pagestore.Bigarray, 1 lsl 30);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (backend, blocks) ->
+        let c = offheap_case ~backend ~blocks in
+        Printf.printf
+          "  [%8s] 2^%2.0f blocks: lazy ready %8.0f us, eager %12.0f us, first touch \
+           %d/%d ranges (%d pages), heap %6.1f MB, rss %7.1f MB\n%!"
+          c.oh_backend
+          (Float.log2 (float_of_int blocks))
+          c.oh_lazy_ready_us c.oh_eager_ready_us c.oh_touched_ranges c.oh_total_ranges
+          c.oh_first_touch_pages c.oh_heap_mb c.oh_rss_mb;
+        c)
+      cases
+  in
+  let big r = r.oh_backend = "bigarray" in
+  let bigs = List.filter big rows in
+  let smallest = List.hd bigs in
+  let largest = List.nth bigs (List.length bigs - 1) in
+  let lazy_ratio = largest.oh_lazy_ready_us /. smallest.oh_lazy_ready_us in
+  let eager_ratio = largest.oh_eager_ready_us /. smallest.oh_eager_ready_us in
+  Printf.printf
+    "  lazy ready largest/smallest: %.2fx (eager: %.1fx) over a %dx size spread\n"
+    lazy_ratio eager_ratio (largest.oh_blocks / smallest.oh_blocks);
+  let oc = open_out "BENCH_offheap.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "off-heap page store: lazy incremental mount vs eager full scan",
+  "workload": "16 object-backed ranges, one committed CP, snapshot, remount lazy + eager, one 8-block first touch",
+  "lazy_ready_ratio_largest_vs_smallest": %.3f,
+  "eager_ready_ratio_largest_vs_smallest": %.1f,
+  "cases": [
+%s
+  ]
+}
+|}
+    lazy_ratio eager_ratio
+    (String.concat ",\n" (List.map offheap_case_json rows));
+  close_out oc;
+  print_endline "  wrote BENCH_offheap.json";
+  let fail = ref false in
+  if lazy_ratio > 2.5 then begin
+    Printf.eprintf "FAIL: lazy mount-ready time grew %.2fx with aggregate size (expected ~1x)\n"
+      lazy_ratio;
+    fail := true
+  end;
+  if eager_ratio < 8.0 || eager_ratio < 10.0 *. lazy_ratio then begin
+    Printf.eprintf
+      "FAIL: eager full-scan ready grew only %.1fx over a %dx size spread (lazy %.2fx)\n"
+      eager_ratio (largest.oh_blocks / smallest.oh_blocks) lazy_ratio;
+    fail := true
+  end;
+  List.iter
+    (fun c ->
+      if 2 * c.oh_touched_ranges >= c.oh_total_ranges then begin
+        Printf.eprintf
+          "FAIL: first touch materialized %d/%d ranges (expected a strict minority)\n"
+          c.oh_touched_ranges c.oh_total_ranges;
+        fail := true
+      end)
+    rows;
+  let bitmap_mb = float_of_int (largest.oh_blocks / 8) /. 1048576.0 in
+  if largest.oh_heap_mb > bitmap_mb /. 4.0 then begin
+    Printf.eprintf
+      "FAIL: billion-block bigarray case kept %.1f MB on the OCaml heap (budget %.1f MB)\n"
+      largest.oh_heap_mb (bitmap_mb /. 4.0);
+    fail := true
+  end;
+  if !fail then exit 1
+
 (* --- regress: diff two metric/time-series JSON snapshots ---
 
    bench/main.exe regress BASELINE.json NEW.json [--threshold FACTOR]
@@ -846,8 +1077,8 @@ let main_bench () =
   let has name = List.mem name args in
   let specific =
     [
-      "micro"; "telemetry"; "alloc"; "faults"; "par"; "fig6"; "fig7"; "fig8"; "fig9";
-      "fig10"; "scalars"; "ablation";
+      "micro"; "telemetry"; "alloc"; "faults"; "par"; "offheap"; "fig6"; "fig7"; "fig8";
+      "fig9"; "fig10"; "scalars"; "ablation";
     ]
   in
   let run_all = not (List.exists (fun a -> List.mem a specific) args) in
@@ -862,7 +1093,8 @@ let main_bench () =
   if run_all || has "telemetry" then run_telemetry_overhead ();
   if run_all || has "alloc" then run_alloc ~scale ();
   if run_all || has "faults" then run_faults ~scale ();
-  if run_all || has "par" then run_par ~scale ()
+  if run_all || has "par" then run_par ~scale ();
+  if run_all || has "offheap" then run_offheap ()
 
 let () =
   match Array.to_list Sys.argv with

@@ -80,6 +80,22 @@ let with_jobs jobs f =
     Fun.protect ~finally:Wafl_par.Par.uninstall f
   end
 
+let backend_arg =
+  let doc =
+    "Page-store backend for every allocation bitmap, activemap and TopAA block: \
+     $(b,heap) (OCaml bytes, the default) or $(b,bigarray) (off-heap words the GC \
+     never scans, the layout an mmap-backed store would use).  The choice is \
+     process-wide; allocation behaviour is byte-identical across backends."
+  in
+  Arg.(value & opt string "heap" & info [ "backend" ] ~docv:"BACKEND" ~doc)
+
+let with_backend name f =
+  match Wafl_bitmap.Pagestore.backend_of_string name with
+  | Some b -> Wafl_bitmap.Pagestore.with_default b f
+  | None ->
+    Printf.eprintf "waflsim: unknown --backend %S (expected heap|bigarray)\n" name;
+    exit 2
+
 let no_iron_gate_arg =
   let doc =
     "Skip the post-run consistency gate (by default every system the run built is checked \
@@ -195,18 +211,19 @@ let with_telemetry ~metrics_out ~trace_out ~trace_capacity ~timeseries_out f =
 
 let experiment_cmd name ~doc run_print =
   let run s metrics_out trace_out trace_capacity timeseries_out fault_spec no_iron_gate
-      jobs =
+      jobs backend =
+    with_backend backend (fun () ->
     with_jobs jobs (fun () ->
         with_fault_spec (parse_fault_spec fault_spec) (fun () ->
             if not no_iron_gate then Wafl_core.Fs.enable_registry ();
             with_telemetry ~metrics_out ~trace_out ~trace_capacity ~timeseries_out
               (fun () -> run_print (parse_scale s));
-            if not no_iron_gate then run_iron_gate ()))
+            if not no_iron_gate then run_iron_gate ())))
   in
   Cmd.v (Cmd.info name ~doc)
     Term.(
       const run $ scale_arg $ metrics_out_arg $ trace_out_arg $ trace_capacity_arg
-      $ timeseries_out_arg $ fault_spec_arg $ no_iron_gate_arg $ jobs_arg)
+      $ timeseries_out_arg $ fault_spec_arg $ no_iron_gate_arg $ jobs_arg $ backend_arg)
 
 let fig6_cmd =
   experiment_cmd "fig6" ~doc:"AA-cache latency/throughput experiment (Figure 6)"
@@ -274,14 +291,25 @@ let crash_matrix_cmd =
              full rebuild) — verifies recovery in the immediate-post-failover state the \
              paper measures.")
   in
-  let run seed cps ops no_cleaner foreground_rebuild fault_spec jobs metrics_out trace_out
-      trace_capacity timeseries_out =
+  let lazy_rebuild_arg =
+    Arg.(
+      value & flag
+      & info [ "lazy-rebuild" ]
+          ~doc:
+            "Remount each crashed image incrementally: every range and volume comes up \
+             stale-but-seeded and materializes its exact cache on first touch (the \
+             repair's Iron scan, or the replay CP's allocations).  Verifies that lazy \
+             mounts recover exactly like eager ones.")
+  in
+  let run seed cps ops no_cleaner foreground_rebuild lazy_rebuild fault_spec jobs backend
+      metrics_out trace_out trace_capacity timeseries_out =
+    with_backend backend (fun () ->
     with_jobs jobs (fun () ->
     with_fault_spec (parse_fault_spec fault_spec) (fun () ->
     with_telemetry ~metrics_out ~trace_out ~trace_capacity ~timeseries_out (fun () ->
         let r =
           Wafl_core.Crash_matrix.run ~with_cleaner:(not no_cleaner)
-            ~background_rebuild:(not foreground_rebuild) ~seed ~warmup_cps:cps
+            ~background_rebuild:(not foreground_rebuild) ~lazy_rebuild ~seed ~warmup_cps:cps
             ~ops_per_cp:ops ()
         in
         Printf.printf "crash matrix: %d crash points enumerated (%d workload runs)\n"
@@ -302,7 +330,7 @@ let crash_matrix_cmd =
             (fun v -> Format.printf "VIOLATION: %a@." Wafl_core.Crash_matrix.pp_violation v)
             vs;
           Printf.eprintf "waflsim: crash matrix found %d violation(s)\n" (List.length vs);
-          exit 1)))
+          exit 1))))
   in
   Cmd.v
     (Cmd.info "crash-matrix"
@@ -312,8 +340,8 @@ let crash_matrix_cmd =
           clean Iron check)")
     Term.(
       const run $ seed_arg $ cps_arg $ ops_arg $ no_cleaner_arg $ foreground_rebuild_arg
-      $ fault_spec_arg $ jobs_arg $ metrics_out_arg $ trace_out_arg $ trace_capacity_arg
-      $ timeseries_out_arg)
+      $ lazy_rebuild_arg $ fault_spec_arg $ jobs_arg $ backend_arg $ metrics_out_arg
+      $ trace_out_arg $ trace_capacity_arg $ timeseries_out_arg)
 
 (* `waflsim top`: drive an aged random-overwrite system and redraw a
    one-screen health view (current CP phase, picks/s, search ns/block,
@@ -343,8 +371,9 @@ let top_cmd =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Workload seed.")
   in
   let run s cps ops interval seed metrics_out trace_out trace_capacity timeseries_out
-      fault_spec jobs =
+      fault_spec jobs backend =
     let scale = parse_scale s in
+    with_backend backend (fun () ->
     with_jobs jobs (fun () ->
         with_fault_spec (parse_fault_spec fault_spec) (fun () ->
             Option.iter check_writable metrics_out;
@@ -398,7 +427,7 @@ let top_cmd =
                     for _ = 1 to cps do
                       ignore (Wafl_workload.Random_overwrite.step workload ops)
                     done;
-                    redraw ()))))
+                    redraw ())))))
   in
   Cmd.v
     (Cmd.info "top"
@@ -408,26 +437,27 @@ let top_cmd =
     Term.(
       const run $ scale_arg $ cps_arg $ ops_arg $ stats_interval_arg $ seed_arg
       $ metrics_out_arg $ trace_out_arg $ trace_capacity_arg $ timeseries_out_arg
-      $ fault_spec_arg $ jobs_arg)
+      $ fault_spec_arg $ jobs_arg $ backend_arg)
 
 (* Bare `waflsim --metrics-out m.json` (no subcommand) runs the scalar
    suite — the cheapest end-to-end workload that exercises every
    instrumented layer — so the telemetry flags work without picking an
    experiment.  Without any output flag the default remains the help page. *)
 let default =
-  let run s metrics_out trace_out trace_capacity timeseries_out jobs =
+  let run s metrics_out trace_out trace_capacity timeseries_out jobs backend =
     match (metrics_out, trace_out, timeseries_out) with
     | None, None, None -> `Help (`Pager, None)
     | _ ->
-      with_jobs jobs (fun () ->
-          with_telemetry ~metrics_out ~trace_out ~trace_capacity ~timeseries_out (fun () ->
-              Scalars.print (Scalars.run ~scale:(parse_scale s) ())));
+      with_backend backend (fun () ->
+          with_jobs jobs (fun () ->
+              with_telemetry ~metrics_out ~trace_out ~trace_capacity ~timeseries_out
+                (fun () -> Scalars.print (Scalars.run ~scale:(parse_scale s) ()))));
       `Ok ()
   in
   Term.(
     ret
       (const run $ scale_arg $ metrics_out_arg $ trace_out_arg $ trace_capacity_arg
-     $ timeseries_out_arg $ jobs_arg))
+     $ timeseries_out_arg $ jobs_arg $ backend_arg))
 
 let () =
   let info = Cmd.info "waflsim" ~doc:"WAFL free-block search reproduction experiments" in

@@ -51,16 +51,17 @@ let () =
   Printf.printf "TopAA speedup: %.0fx\n" (slow.Mount.ready_us /. fast.Mount.ready_us);
 
   (* Both paths resume identical allocation behaviour. *)
-  let a = Write_alloc.allocate_pvbns (Fs.write_alloc fs_fast) 64 in
-  let b = Write_alloc.allocate_pvbns (Fs.write_alloc fs_slow) 64 in
-  Printf.printf "first 64 allocations after mount agree: %b\n" (a = b);
+  let a = Array.make 64 0 and b = Array.make 64 0 in
+  let got_a = Write_alloc.allocate_pvbns_into (Fs.write_alloc fs_fast) ~dst:a 64 in
+  let got_b = Write_alloc.allocate_pvbns_into (Fs.write_alloc fs_slow) ~dst:b 64 in
+  Printf.printf "first 64 allocations after mount agree: %b\n" (got_a = got_b && a = b);
 
   (* Corruption: a damaged TopAA block is detected by its checksum; the
      mount falls back to the scan path for that cache (in the real system,
      WAFL Iron would repair it). *)
   let heap = Wafl_aacache.Max_heap.of_scores [| 3; 1; 4 |] in
   let block = Wafl_aacache.Topaa.save_raid_aware heap in
-  Bytes.set block 42 '\xff';
+  Wafl_bitmap.Pagestore.set_byte block 42 0xff;
   (match Wafl_aacache.Topaa.load_raid_aware block with
   | Error e -> Format.printf "corrupted TopAA block rejected: %a@." Wafl_aacache.Topaa.pp_error e
   | Ok _ -> print_endline "BUG: corruption not detected")

@@ -1,4 +1,5 @@
 open Wafl_util
+module Pagestore = Wafl_bitmap.Pagestore
 
 type error = Bad_magic | Bad_version | Bad_checksum | Bad_layout
 
@@ -27,19 +28,26 @@ let new_block magic count =
   Bytes.set_uint16_le b 6 count;
   b
 
+(* Blocks are staged in [Bytes] while being (de)serialized, but live as
+   {!Pagestore} pages — the same backend as the bitmaps they seed, so a
+   bigarray-backed system keeps its TopAA state off-heap too. *)
 let seal b =
   let crc = Checksum.crc32 b ~pos:0 ~len:(block_size - crc_bytes) in
   Bytes.set_int32_le b (block_size - crc_bytes) crc;
-  b
+  Pagestore.of_bytes b
 
-let open_block magic b =
-  if Bytes.length b <> block_size then Error Bad_layout
-  else if Bytes.get_int32_le b 0 <> magic then Error Bad_magic
+let open_block magic page =
+  if Pagestore.length_bytes page <> block_size then Error Bad_layout
+  else begin
+  let b = Pagestore.to_bytes page in
+  if Bytes.get_int32_le b 0 <> magic then Error Bad_magic
   else if Bytes.get_uint16_le b 4 <> version then Error Bad_version
   else begin
     let stored = Bytes.get_int32_le b (block_size - crc_bytes) in
     let computed = Checksum.crc32 b ~pos:0 ~len:(block_size - crc_bytes) in
-    if stored <> computed then Error Bad_checksum else Ok (Bytes.get_uint16_le b 6)
+    if stored <> computed then Error Bad_checksum
+    else Ok (Bytes.get_uint16_le b 6, b)
+  end
   end
 
 let raid_aware_capacity = (block_size - header_bytes - crc_bytes) / 8
@@ -55,10 +63,10 @@ let save_raid_aware heap =
     entries;
   seal b
 
-let load_raid_aware b =
-  match open_block magic_raid_aware b with
+let load_raid_aware page =
+  match open_block magic_raid_aware page with
   | Error _ as e -> e
-  | Ok count ->
+  | Ok (count, b) ->
     if count > raid_aware_capacity then Error Bad_layout
     else begin
       let entries =
@@ -106,10 +114,10 @@ let save_hbps hbps =
     listed;
   (seal histogram, seal list_page)
 
-let load_hbps (histogram, list_page) =
-  match open_block magic_histogram histogram with
+let load_hbps (histogram_page, list_page) =
+  match open_block magic_histogram histogram_page with
   | Error _ as e -> e
-  | Ok bins -> (
+  | Ok (bins, histogram) -> (
     if header_bytes + 8 + (bins * 6) > block_size - crc_bytes then Error Bad_layout
     else begin
       let bin_width = Int32.to_int (Bytes.get_int32_le histogram header_bytes) in
@@ -123,7 +131,7 @@ let load_hbps (histogram, list_page) =
       in
       match open_block magic_list list_page with
       | Error _ as e -> e
-      | Ok count ->
+      | Ok (count, list_page) ->
         if
           count <> Array.fold_left ( + ) 0 seg_counts
           || header_bytes + (count * 4) > block_size - crc_bytes

@@ -10,7 +10,11 @@
 
     Blocks are protected by a CRC and a versioned magic; corruption is
     reported as an error (the real system would fall back to the full scan,
-    or to WAFL Iron for repair). *)
+    or to WAFL Iron for repair).
+
+    Blocks live as {!Wafl_bitmap.Pagestore} pages, so they share the
+    bitmaps' backend: a bigarray-backed system keeps its whole persisted
+    free-space state off the OCaml heap. *)
 
 type error = Bad_magic | Bad_version | Bad_checksum | Bad_layout
 
@@ -25,10 +29,10 @@ val raid_aware_capacity : int
 (** Entries that fit one block alongside header and CRC (510; the paper
     quotes 512 with no header overhead). *)
 
-val save_raid_aware : Max_heap.t -> Bytes.t
+val save_raid_aware : Max_heap.t -> Wafl_bitmap.Pagestore.t
 (** Serialize the heap's best entries into one 4KiB block. *)
 
-val load_raid_aware : Bytes.t -> ((int * int) list, error) result
+val load_raid_aware : Wafl_bitmap.Pagestore.t -> ((int * int) list, error) result
 (** Decode the (aa, score) seed list, best first. *)
 
 (** {2 RAID-agnostic: the two HBPS pages} *)
@@ -40,10 +44,11 @@ type hbps_seed = {
   entries : (int * int) list;  (** list page: (aa, bin) in stored order *)
 }
 
-val save_hbps : Hbps.t -> Bytes.t * Bytes.t
+val save_hbps : Hbps.t -> Wafl_bitmap.Pagestore.t * Wafl_bitmap.Pagestore.t
 (** (histogram page, list page), each exactly one 4KiB block. *)
 
-val load_hbps : Bytes.t * Bytes.t -> (hbps_seed, error) result
+val load_hbps :
+  Wafl_bitmap.Pagestore.t * Wafl_bitmap.Pagestore.t -> (hbps_seed, error) result
 
 val seed_scores : hbps_seed -> (int * int) list
 (** Approximate (aa, score) pairs for the listed AAs, scoring each at its

@@ -1,6 +1,6 @@
 open Wafl_util
 
-type t = { bits : int; data : Bytes.t }
+type t = { bits : int; data : Pagestore.t }
 
 let create ~bits =
   assert (bits >= 0);
@@ -8,27 +8,28 @@ let create ~bits =
      loops never straddle the end; the tail bits stay clear forever because
      every mutator is bounds-checked against [bits]. *)
   let words = Bitops.ceil_div (max bits 1) 64 in
-  { bits; data = Bytes.make (words * 8) '\000' }
+  { bits; data = Pagestore.create words }
 
 let length t = t.bits
+
+let backend t = Pagestore.backend t.data
 
 let check t i = if i < 0 || i >= t.bits then invalid_arg "Bitmap: index out of bounds"
 
 let[@inline] get t i =
   check t i;
-  Char.code (Bytes.unsafe_get t.data (i lsr 3)) land (1 lsl (i land 7)) <> 0
+  Pagestore.byte t.data (i lsr 3) land (1 lsl (i land 7)) <> 0
 
 let[@inline] set t i =
   check t i;
   let byte = i lsr 3 in
-  let v = Char.code (Bytes.unsafe_get t.data byte) lor (1 lsl (i land 7)) in
-  Bytes.unsafe_set t.data byte (Char.unsafe_chr v)
+  Pagestore.set_byte t.data byte (Pagestore.byte t.data byte lor (1 lsl (i land 7)))
 
 let clear t i =
   check t i;
   let byte = i lsr 3 in
-  let v = Char.code (Bytes.unsafe_get t.data byte) land lnot (1 lsl (i land 7)) land 0xff in
-  Bytes.unsafe_set t.data byte (Char.unsafe_chr v)
+  Pagestore.set_byte t.data byte
+    (Pagestore.byte t.data byte land lnot (1 lsl (i land 7)) land 0xff)
 
 let check_range t ~start ~len =
   if start < 0 || len < 0 || start + len > t.bits then
@@ -36,9 +37,9 @@ let check_range t ~start ~len =
 
 (* OR (value) or AND-NOT (not value) an 8-bit mask into one backing byte. *)
 let apply_byte_mask t byte mask ~value =
-  let cur = Char.code (Bytes.unsafe_get t.data byte) in
+  let cur = Pagestore.byte t.data byte in
   let v = if value then cur lor mask else cur land lnot mask land 0xff in
-  Bytes.unsafe_set t.data byte (Char.unsafe_chr v)
+  Pagestore.set_byte t.data byte v
 
 let fill_range t ~start ~len ~value =
   check_range t ~start ~len;
@@ -52,7 +53,7 @@ let fill_range t ~start ~len ~value =
     else begin
       apply_byte_mask t b0 head_mask ~value;
       if b1 > b0 + 1 then
-        Bytes.fill t.data (b0 + 1) (b1 - b0 - 1) (if value then '\255' else '\000');
+        Pagestore.fill t.data ~pos:(b0 + 1) ~len:(b1 - b0 - 1) (if value then 0xff else 0);
       apply_byte_mask t b1 tail_mask ~value
     end
   end
@@ -60,7 +61,7 @@ let fill_range t ~start ~len ~value =
 let set_range t ~start ~len = fill_range t ~start ~len ~value:true
 let clear_range t ~start ~len = fill_range t ~start ~len ~value:false
 
-let word t w = Bytes.get_int64_le t.data (w * 8)
+let word t w = Pagestore.word t.data w
 
 (* All-ones below bit [i+1]: mask selecting word bits [0, i]. *)
 let low_mask64 i = Int64.shift_right_logical (-1L) (63 - i)
@@ -96,7 +97,7 @@ let find_first t ~from ~target =
   if from >= t.bits then None
   else begin
     let xor_mask = if target then 0L else -1L in
-    let nwords = Bytes.length t.data / 8 in
+    let nwords = Pagestore.words t.data in
     let rec scan w cand =
       if cand <> 0L then begin
         (* Tail bits past [bits] are stored clear, so an inverted scan can
@@ -184,13 +185,13 @@ let fold_clear_in t ~start ~len ~init ~f =
 let clear_mask32 t pos =
   if pos < 0 || pos >= t.bits then invalid_arg "Bitmap: index out of bounds";
   let data = t.data in
-  let n = Bytes.length data in
+  let n = Pagestore.length_bytes data in
   let byte = pos lsr 3 in
-  let b0 = Char.code (Bytes.unsafe_get data byte) in
-  let b1 = if byte + 1 < n then Char.code (Bytes.unsafe_get data (byte + 1)) else 0 in
-  let b2 = if byte + 2 < n then Char.code (Bytes.unsafe_get data (byte + 2)) else 0 in
-  let b3 = if byte + 3 < n then Char.code (Bytes.unsafe_get data (byte + 3)) else 0 in
-  let b4 = if byte + 4 < n then Char.code (Bytes.unsafe_get data (byte + 4)) else 0 in
+  let b0 = Pagestore.byte data byte in
+  let b1 = if byte + 1 < n then Pagestore.byte data (byte + 1) else 0 in
+  let b2 = if byte + 2 < n then Pagestore.byte data (byte + 2) else 0 in
+  let b3 = if byte + 3 < n then Pagestore.byte data (byte + 3) else 0 in
+  let b4 = if byte + 4 < n then Pagestore.byte data (byte + 4) else 0 in
   let raw = b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24) lor (b4 lsl 32) in
   let free = lnot (raw lsr (pos land 7)) land 0xFFFFFFFF in
   let remaining = t.bits - pos in
@@ -217,10 +218,10 @@ let harvest_clear_into t ~start ~len ~offset ~dst ~pos =
   in
   chunks start pos
 
-let copy t = { bits = t.bits; data = Bytes.copy t.data }
+let copy t = { bits = t.bits; data = Pagestore.copy t.data }
 
-let equal a b = a.bits = b.bits && Bytes.equal a.data b.data
+let equal a b = a.bits = b.bits && Pagestore.equal a.data b.data
 
 let blit ~src ~dst =
   if src.bits <> dst.bits then invalid_arg "Bitmap.blit: length mismatch";
-  Bytes.blit src.data 0 dst.data 0 (Bytes.length src.data)
+  Pagestore.blit ~src:src.data ~dst:dst.data

@@ -1,14 +1,18 @@
 (** Flat bitmaps over a block-number space.
 
     The i-th bit tracks the state of the i-th block (§2.5): set = allocated,
-    clear = free.  Backed by [Bytes] and processed 64 bits at a time for the
-    bulk operations (population counts and free-run searches) that the AA
-    score computation and the mount-time cache rebuild perform. *)
+    clear = free.  Backed by a {!Pagestore} (heap bytes or an off-heap
+    bigarray — same word layout either way) and processed 64 bits at a time
+    for the bulk operations (population counts and free-run searches) that
+    the AA score computation and the mount-time cache rebuild perform. *)
 
 type t
 
 val create : bits:int -> t
-(** All bits clear (all blocks free).  [bits >= 0]. *)
+(** All bits clear (all blocks free).  [bits >= 0].  The backing store uses
+    the process-wide {!Pagestore.default} backend. *)
+
+val backend : t -> Pagestore.backend
 
 val length : t -> int
 (** Number of bits. *)

@@ -35,9 +35,16 @@ let blocks t = Bitmap.length t.map
 let pages t = t.n_pages
 let page_bits t = t.page_bits
 
+(* Page of an in-bounds VBN.  Every helper that maps VBNs to pages funnels
+   through here so the power-of-two shift (the common case: page sizes are
+   powers of two) replaces the division everywhere, bounds checks
+   included. *)
+let[@inline] page_index t vbn =
+  if t.page_shift >= 0 then vbn lsr t.page_shift else vbn / t.page_bits
+
 let page_of_block t vbn =
   if vbn < 0 || vbn >= blocks t then invalid_arg "Metafile: VBN out of bounds";
-  if t.page_shift >= 0 then vbn lsr t.page_shift else vbn / t.page_bits
+  page_index t vbn
 
 let mark_dirty t page =
   if not (Bitmap.get t.dirty page) then begin
@@ -58,7 +65,7 @@ let allocate t vbn =
    [Bitmap.set] still bounds-checks the index. *)
 let[@inline] allocate_harvested t vbn =
   Bitmap.set t.map vbn;
-  mark_dirty t (if t.page_shift >= 0 then vbn lsr t.page_shift else vbn / t.page_bits)
+  mark_dirty t (page_index t vbn)
 
 let free t vbn =
   if not (Bitmap.get t.map vbn) then invalid_arg "Metafile.free: VBN already free";
@@ -70,7 +77,7 @@ let allocate_range t ~start ~len =
     invalid_arg "Metafile.allocate_range: range not fully free";
   Bitmap.set_range t.map ~start ~len;
   if len > 0 then
-    for page = start / t.page_bits to (start + len - 1) / t.page_bits do
+    for page = page_index t start to page_index t (start + len - 1) do
       mark_dirty t page
     done
 
@@ -100,8 +107,7 @@ let free_batch_into t ~vbns ~pos ~len ~touched =
     let vbn = vbns.(i) in
     if not (Bitmap.get t.map vbn) then invalid_arg "Metafile.free: VBN already free";
     Bitmap.clear t.map vbn;
-    let page = if t.page_shift >= 0 then vbn lsr t.page_shift else vbn / t.page_bits in
-    Bytes.unsafe_set touched page '\001'
+    Bytes.unsafe_set touched (page_index t vbn) '\001'
   done
 
 let mark_touched_dirty t ~touched =
@@ -122,9 +128,11 @@ let flush t =
   written
 
 let scan_read t ~start ~len =
-  if len <= 0 then 0
+  if start < 0 || len < 0 || start + len > blocks t then
+    invalid_arg "Metafile.scan_read: range out of bounds";
+  if len = 0 then 0
   else begin
-    let first = start / t.page_bits and last = (start + len - 1) / t.page_bits in
+    let first = page_index t start and last = page_index t (start + len - 1) in
     let n = last - first + 1 in
     t.page_reads <- t.page_reads + n;
     n

@@ -103,7 +103,8 @@ val flush : t -> int
 val scan_read : t -> start:int -> len:int -> int
 (** Model reading every metafile page overlapping the range (as the
     mount-time full cache rebuild does, §3.4); returns and accounts the
-    number of page reads. *)
+    number of page reads.  Raises [Invalid_argument] when the range runs
+    past the tracked VBN space. *)
 
 val stats : t -> io_stats
 

@@ -1,0 +1,129 @@
+type backend = Heap | Bigarray
+
+let backend_name = function Heap -> "heap" | Bigarray -> "bigarray"
+
+let backend_of_string = function
+  | "heap" -> Some Heap
+  | "bigarray" -> Some Bigarray
+  | _ -> None
+
+let default_backend = ref Heap
+let set_default b = default_backend := b
+let default () = !default_backend
+
+let with_default b f =
+  let saved = !default_backend in
+  default_backend := b;
+  Fun.protect ~finally:(fun () -> default_backend := saved) f
+
+type ba = (int, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(* Byte-kind view of the little-endian int64-word layout: byte loads and
+   stores are immediate ints on both arms (an int64-kind Bigarray would box
+   every element read), while the word accessor below assembles the same
+   64-bit words the layout defines. *)
+type t =
+  | Bytes_store of Bytes.t
+  | Big_store of ba
+
+let create ?backend words =
+  if words < 0 then invalid_arg "Pagestore.create: negative size";
+  match Option.value backend ~default:!default_backend with
+  | Heap -> Bytes_store (Bytes.make (words * 8) '\000')
+  | Bigarray ->
+    let a = Bigarray.Array1.create Bigarray.int8_unsigned Bigarray.c_layout (words * 8) in
+    Bigarray.Array1.fill a 0;
+    Big_store a
+
+let backend = function Bytes_store _ -> Heap | Big_store _ -> Bigarray
+
+let length_bytes = function
+  | Bytes_store b -> Bytes.length b
+  | Big_store a -> Bigarray.Array1.dim a
+
+let words t = length_bytes t / 8
+
+let[@inline] byte t i =
+  match t with
+  | Bytes_store b -> Char.code (Bytes.unsafe_get b i)
+  | Big_store a -> Bigarray.Array1.unsafe_get a i
+
+let[@inline] set_byte t i v =
+  match t with
+  | Bytes_store b -> Bytes.unsafe_set b i (Char.unsafe_chr (v land 0xff))
+  | Big_store a -> Bigarray.Array1.unsafe_set a i (v land 0xff)
+
+let word t w =
+  match t with
+  | Bytes_store b -> Bytes.get_int64_le b (w * 8)
+  | Big_store a ->
+    let o = w * 8 in
+    let lo =
+      Bigarray.Array1.unsafe_get a o
+      lor (Bigarray.Array1.unsafe_get a (o + 1) lsl 8)
+      lor (Bigarray.Array1.unsafe_get a (o + 2) lsl 16)
+      lor (Bigarray.Array1.unsafe_get a (o + 3) lsl 24)
+    and hi =
+      Bigarray.Array1.unsafe_get a (o + 4)
+      lor (Bigarray.Array1.unsafe_get a (o + 5) lsl 8)
+      lor (Bigarray.Array1.unsafe_get a (o + 6) lsl 16)
+      lor (Bigarray.Array1.unsafe_get a (o + 7) lsl 24)
+    in
+    Int64.logor (Int64.shift_left (Int64.of_int hi) 32) (Int64.of_int lo)
+
+let fill t ~pos ~len v =
+  if pos < 0 || len < 0 || pos + len > length_bytes t then
+    invalid_arg "Pagestore.fill: range out of bounds";
+  match t with
+  | Bytes_store b -> Bytes.fill b pos len (Char.chr (v land 0xff))
+  | Big_store a ->
+    if len > 0 then Bigarray.Array1.fill (Bigarray.Array1.sub a pos len) (v land 0xff)
+
+let blit ~src ~dst =
+  let n = length_bytes src in
+  if n <> length_bytes dst then invalid_arg "Pagestore.blit: size mismatch";
+  match (src, dst) with
+  | Bytes_store s, Bytes_store d -> Bytes.blit s 0 d 0 n
+  | Big_store s, Big_store d -> Bigarray.Array1.blit s d
+  | _ ->
+    for i = 0 to n - 1 do
+      set_byte dst i (byte src i)
+    done
+
+let copy t =
+  let c = create ~backend:(backend t) (words t) in
+  blit ~src:t ~dst:c;
+  c
+
+let equal a b =
+  length_bytes a = length_bytes b
+  &&
+  match (a, b) with
+  | Bytes_store x, Bytes_store y -> Bytes.equal x y
+  | _ ->
+    let n = length_bytes a in
+    let rec go i = i >= n || (byte a i = byte b i && go (i + 1)) in
+    go 0
+
+let of_bytes ?backend b =
+  let n = Bytes.length b in
+  if n mod 8 <> 0 then invalid_arg "Pagestore.of_bytes: not whole words";
+  let t = create ?backend (n / 8) in
+  (match t with
+  | Bytes_store d -> Bytes.blit b 0 d 0 n
+  | Big_store _ ->
+    for i = 0 to n - 1 do
+      set_byte t i (Char.code (Bytes.unsafe_get b i))
+    done);
+  t
+
+let to_bytes t =
+  let n = length_bytes t in
+  match t with
+  | Bytes_store b -> Bytes.sub b 0 n
+  | Big_store _ ->
+    let b = Bytes.create n in
+    for i = 0 to n - 1 do
+      Bytes.unsafe_set b i (Char.unsafe_chr (byte t i))
+    done;
+    b

@@ -1,0 +1,76 @@
+(** Closed backend API for the flat word stores under every bitmap-shaped
+    structure (allocation bitmaps, activemap pending sets, metafile dirty
+    maps, TopAA pages).
+
+    The store is a run of little-endian 64-bit words.  Two backends share
+    the layout byte for byte:
+
+    - [Heap]: an OCaml [Bytes.t].  Cheap for small test fixtures, but the
+      GC scans and copies it, capping aggregate size.
+    - [Bigarray]: an off-heap [Bigarray.Array1] (byte-kind view of the
+      int64-word layout, C layout, mmap-ready).  The GC sees only the
+      handle, so a modeled billion-block aggregate costs the runtime
+      nothing — the paper's multi-TiB deployments (§3.4) need free-space
+      state that is not heap-resident.
+
+    Byte reads/writes return immediate native ints on both backends, so
+    the zero-allocation harvest kernels ({!Bitmap.clear_mask32} and
+    friends) stay allocation-free regardless of backend. *)
+
+type backend = Heap | Bigarray
+
+val backend_name : backend -> string
+(** ["heap"] / ["bigarray"]. *)
+
+val backend_of_string : string -> backend option
+
+val set_default : backend -> unit
+(** Process-wide default used when [create] is not given an explicit
+    backend — how [--backend bigarray] switches a whole simulated system
+    without threading a parameter through every constructor. *)
+
+val default : unit -> backend
+
+val with_default : backend -> (unit -> 'a) -> 'a
+(** Run a thunk with the default swapped, restoring it on exit (including
+    exceptional exit). *)
+
+type t
+
+val create : ?backend:backend -> int -> t
+(** [create words] is a zero-filled store of [words] 64-bit words
+    ([words >= 0]).  [backend] defaults to {!default}[ ()]. *)
+
+val of_bytes : ?backend:backend -> Bytes.t -> t
+(** Copy a byte image into a fresh store.  The image length must be a
+    multiple of 8 (whole words) — raises [Invalid_argument] otherwise. *)
+
+val to_bytes : t -> Bytes.t
+(** Copy the store out as a heap byte image (serialization/CRC staging). *)
+
+val backend : t -> backend
+val words : t -> int
+val length_bytes : t -> int
+
+val byte : t -> int -> int
+(** The i-th byte as an immediate int.  Unchecked: callers bounds-check
+    against {!length_bytes} (the {!Bitmap} kernels already do). *)
+
+val set_byte : t -> int -> int -> unit
+(** Store the low 8 bits of the value at byte [i].  Unchecked, as {!byte}. *)
+
+val word : t -> int -> int64
+(** The w-th little-endian 64-bit word.  Unchecked against {!words}. *)
+
+val fill : t -> pos:int -> len:int -> int -> unit
+(** Fill a byte range with the low 8 bits of the value; bounds-checked. *)
+
+val copy : t -> t
+(** Same backend, same contents. *)
+
+val equal : t -> t -> bool
+(** Content equality; compares across backends. *)
+
+val blit : src:t -> dst:t -> unit
+(** Copy full contents; sizes must match.  Works across backends — how a
+    heap crash image restores into a bigarray-backed system. *)

@@ -25,6 +25,7 @@ type range = {
   delta : Score.delta;
   media : Config.media option;
   mutable fault : Wafl_fault.Fault.device option;
+  mutable cache_epoch : int;
 }
 
 type t = {
@@ -32,6 +33,7 @@ type t = {
   ranges : range array;
   activemap : Activemap.t;
   total_blocks : int;
+  mutable rebuild_epoch : int;
 }
 
 let make_raid_range index base (spec : Config.raid_group_spec) =
@@ -72,6 +74,7 @@ let make_raid_range index base (spec : Config.raid_group_spec) =
     delta = Score.create_delta topology;
     media = Some spec.Config.media;
     fault = None;
+    cache_epoch = 0;
   }
 
 let make_object_range index base (spec : Config.object_range_spec) =
@@ -93,6 +96,7 @@ let make_object_range index base (spec : Config.object_range_spec) =
     delta = Score.create_delta topology;
     media = None;
     fault = None;
+    cache_epoch = 0;
   }
 
 let build_cache range =
@@ -147,7 +151,15 @@ let create config =
     config.Config.object_ranges;
   let ranges = Array.of_list (List.rev !ranges) in
   if Array.length ranges = 0 then invalid_arg "Aggregate.create: no storage configured";
-  let t = { config; ranges; activemap = Activemap.create ~blocks:!base (); total_blocks = !base } in
+  let t =
+    {
+      config;
+      ranges;
+      activemap = Activemap.create ~blocks:!base ();
+      total_blocks = !base;
+      rebuild_epoch = 0;
+    }
+  in
   if config.Config.aggregate_policy = Config.Best_aa then
     Array.iter (fun r -> r.cache <- Some (build_cache r)) ranges;
   (match Wafl_fault.Fault.installed_default () with
@@ -259,25 +271,31 @@ let rescore_range pool t r =
       r.scores.(aa) <- aa_score_now t r aa
     done
 
-let rebuild_caches ?pool t =
-  Telemetry.incr "aggregate.cache_rebuilds";
-  let pool = Par.resolve pool in
-  Array.iter
-    (fun r ->
-      Score.clear r.delta;
-      rescore_range pool t r;
-      r.cache <- Some (build_cache r))
-    t.ranges
+(* --- cache validity epochs (incremental mount rebuild) ---
+
+   A range's cache is valid when its [cache_epoch] matches the aggregate's
+   [rebuild_epoch].  Lazy mounts bump the aggregate epoch, leaving every
+   range stale-but-seeded; [Rebuild.touch_range] materializes a stale
+   range's exact scores and cache on first touch (pick, harvest, Iron
+   scan, cleaner pass) and re-stamps it.  A freshly created aggregate is
+   fresh everywhere (both epochs are 0). *)
+
+let invalidate_caches t = t.rebuild_epoch <- t.rebuild_epoch + 1
+let rebuild_epoch t = t.rebuild_epoch
+let[@inline] range_fresh t r = r.cache_epoch = t.rebuild_epoch
+let mark_range_fresh t r = r.cache_epoch <- t.rebuild_epoch
+
+(* Per-range exact rebuild: the building block the unified [Rebuild]
+   entry point orchestrates (callers go through [Rebuild.request] /
+   [Rebuild.touch_range], never here directly). *)
+let rebuild_range ?pool t r =
+  Telemetry.incr "aggregate.range_rebuilds";
+  Score.clear r.delta;
+  rescore_range (Par.resolve pool) t r;
+  r.cache <- Some (build_cache r);
+  mark_range_fresh t r
 
 let disable_caches t = Array.iter (fun r -> r.cache <- None) t.ranges
-
-let free_vbns_of_aa t range aa =
-  let mf = metafile t in
-  let acc = ref [] in
-  Topology.iter_aa_vbns range.topology aa ~f:(fun local ->
-      let pvbn = to_global range local in
-      if not (Metafile.is_allocated mf pvbn) then acc := pvbn :: !acc);
-  List.rev !acc
 
 (* Batch-harvest an AA's free PVBNs into [dst] in allocation order, reading
    the bitmap a word at a time instead of probing per block.  RAID-agnostic

@@ -27,6 +27,9 @@ type range = {
   media : Config.media option;        (** None for object ranges *)
   mutable fault : Wafl_fault.Fault.device option;
       (** fault-plane handle for this range's device; None = no faults *)
+  mutable cache_epoch : int;
+      (** validity stamp: the cache/scores are exact iff this equals the
+          aggregate's rebuild epoch (see {!range_fresh}) *)
 }
 
 type t
@@ -90,30 +93,45 @@ val cp_update_caches : t -> unit
 (** Apply each range's batched score delta to its score array and rebalance
     its cache — the CP-boundary step of §3.3. *)
 
-val rebuild_caches : ?pool:Wafl_par.Par.t -> t -> unit
-(** Recompute every range's scores from the bitmap and rebuild its cache —
-    the expensive full scan that mounting without TopAA requires (§3.4).
-    Also used to (re-)enable caches after policy changes.  With a pool
-    (explicit, or installed process-wide) the per-AA rescoring is
-    spread over its domains; every score slot is written exactly once
-    with a pure function of the bitmap, so the score arrays — and the
-    caches built from them — are bit-identical to a serial rebuild at
-    any domain count. *)
+(** {2 Cache validity epochs (incremental mount rebuild)}
+
+    A range's scores and cache are {e exact} iff its [cache_epoch] equals
+    the aggregate's rebuild epoch.  A lazy mount ({!Mount.mount}
+    [~lazy_rebuild:true]) bumps the epoch, leaving every range stale but
+    seeded; {!Rebuild.touch_range} re-materializes a stale range on first
+    touch.  All rebuild orchestration goes through {!Rebuild.request} —
+    the per-range primitive below is its building block. *)
+
+val invalidate_caches : t -> unit
+(** Bump the rebuild epoch: every range becomes stale (its seeded cache
+    stays installed and usable until first touch). *)
+
+val rebuild_epoch : t -> int
+
+val range_fresh : t -> range -> bool
+
+val mark_range_fresh : t -> range -> unit
+
+val rebuild_range : ?pool:Wafl_par.Par.t -> t -> range -> unit
+(** Recompute one range's scores from the bitmap, rebuild its cache and
+    stamp it fresh.  With a pool (explicit, or installed process-wide)
+    the per-AA rescoring is spread over its domains; every score slot is
+    written exactly once with a pure function of the bitmap, so the score
+    array — and the cache built from it — is bit-identical to a serial
+    rebuild at any domain count.  Building block of {!Rebuild.request};
+    callers use that API. *)
 
 val disable_caches : t -> unit
 
-val free_vbns_of_aa : t -> range -> int -> int list
-(** Aggregate PVBNs free in the given range-local AA right now, in
-    allocation order (stripe-major for RAID ranges, ascending otherwise).
-    Materializes a list by probing the bitmap per block; the allocator's
-    hot path uses {!harvest_free_of_aa} instead. *)
-
 val harvest_free_of_aa : t -> range -> int -> dst:int array -> words:int ref -> int
-(** Batch variant of {!free_vbns_of_aa}: fill [dst] (which must hold at
-    least the AA's capacity) with the AA's free PVBNs in the same
-    allocation order, word-at-a-time, and return how many were written.
-    Adds the number of 32-bit bitmap words read to [words].  The per-block
-    loop performs no heap allocation — the §3.3 harvest-cursor kernel. *)
+(** Fill [dst] (which must hold at least the AA's capacity) with the AA's
+    free PVBNs in allocation order (stripe-major for RAID ranges,
+    ascending otherwise), word-at-a-time, and return how many were
+    written.  Adds the number of 32-bit bitmap words read to [words].
+    The per-block loop performs no heap allocation — the §3.3
+    harvest-cursor kernel.  (The PR-2 list-returning variant
+    [free_vbns_of_aa] is gone; this caller-array form is the only
+    harvest API.) *)
 
 val harvest_free_of_aa_sharded :
   Wafl_par.Par.t ->

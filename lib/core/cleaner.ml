@@ -52,9 +52,12 @@ let clean_fs_body ?(strategy = Emptiest_first) fs ~aas_per_range =
   let aas_cleaned = ref 0 in
   let relocated = ref 0 in
   let reclaimed = ref 0 in
+  let one = Array.make 1 0 in
   Array.iter
     (fun (r : Aggregate.range) ->
       Wafl_fault.Crash.point "cleaner.range_pass";
+      (* cleaner pass counts as a first touch on a lazily mounted range *)
+      Rebuild.touch_range aggregate r;
       match r.Aggregate.cache with
       | None -> ()
       | Some cache ->
@@ -82,8 +85,9 @@ let clean_fs_body ?(strategy = Emptiest_first) fs ~aas_per_range =
                     let rec allocate_outside attempts =
                       if attempts = 0 then None
                       else begin
-                        match Write_alloc.allocate_pvbns walloc 1 with
-                        | [ candidate ] ->
+                        match Write_alloc.allocate_pvbns_into walloc ~dst:one 1 with
+                        | 1 ->
+                          let candidate = one.(0) in
                           let cr = Aggregate.range_of_pvbn aggregate candidate in
                           if
                             cr.Aggregate.index = r.Aggregate.index

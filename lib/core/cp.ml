@@ -287,12 +287,15 @@ let run ?pool walloc staged =
     (fun (vol, writes) ->
       Wafl_fault.Crash.point "cp.place_vol";
       let n = List.length writes in
-      let vvbns = Write_alloc.allocate_vvbns walloc vol n in
-      let pvbns = Write_alloc.allocate_pvbns walloc (List.length vvbns) in
+      let vvbns = Array.make (max 1 n) 0 in
+      let got_v = Write_alloc.allocate_vvbns_into walloc vol ~dst:vvbns n in
+      let pvbns = Array.make (max 1 got_v) 0 in
+      let got_p = Write_alloc.allocate_pvbns_into walloc ~dst:pvbns got_v in
       (* pair as many writes as we could place both numbers for *)
-      let rec place writes vvbns pvbns =
-        match (writes, vvbns, pvbns) with
-        | w :: ws, vv :: vvs, pv :: pvs ->
+      let rec place writes k =
+        match writes with
+        | w :: ws when k < got_p ->
+          let vv = vvbns.(k) and pv = pvbns.(k) in
           (match Flexvol.write_file vol ~file:w.file ~offset:w.offset ~vvbn:vv with
           | Some old_vvbn ->
             (* COW: the replaced block dies at this CP — unless a snapshot
@@ -311,13 +314,15 @@ let run ?pool walloc staged =
           Flexvol.attach_reserved vol ~vvbn:vv ~pvbn:pv;
           allocated_pvbns := pv :: !allocated_pvbns;
           incr placed;
-          place ws vvs pvs
-        | _, leftover_vvbns, _ ->
+          place ws (k + 1)
+        | _ ->
           (* reserved virtual blocks with no physical home (aggregate out of
              space): hand them back *)
-          List.iter (fun vv -> Flexvol.release_reserved vol ~vvbn:vv) leftover_vvbns
+          for j = k to got_v - 1 do
+            Flexvol.release_reserved vol ~vvbn:vvbns.(j)
+          done
       in
-      place writes vvbns pvbns)
+      place writes 0)
     by_vol;
   (* 2. Commit delayed frees (aggregate + volumes) and flush metafiles. *)
   Telemetry.span_enter Span.Activemap_commit;

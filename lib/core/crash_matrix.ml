@@ -94,8 +94,8 @@ let check_mounted fs ~acked ~check_acked ~point ~index ~stage acc =
   end;
   !acc
 
-let run ?config ?(with_cleaner = true) ?(background_rebuild = true) ~seed ~warmup_cps
-    ~ops_per_cp () =
+let run ?config ?(with_cleaner = true) ?(background_rebuild = true) ?(lazy_rebuild = false)
+    ~seed ~warmup_cps ~ops_per_cp () =
   let config = match config with Some c -> c | None -> default_config ~seed in
   (* Pass 1: enumerate the dynamic crash-point sequence the workload
      actually reaches — programmatic, never a hand-maintained list. *)
@@ -128,7 +128,9 @@ let run ?config ?(with_cleaner = true) ?(background_rebuild = true) ~seed ~warmu
           :: !violations
       else begin
         let image = Mount.snapshot fs in
-        let mounted, _timing = Mount.mount ~background_rebuild image ~with_topaa:true in
+        let mounted, _timing =
+          Mount.mount ~background_rebuild ~lazy_rebuild image ~with_topaa:true
+        in
         let _findings, _repaired = Iron.repair ~authority:Iron.Container_authority mounted in
         violations :=
           check_mounted mounted ~acked ~check_acked:false ~point ~index ~stage:"post-repair"

@@ -33,6 +33,7 @@ val run :
   ?config:Config.t ->
   ?with_cleaner:bool ->
   ?background_rebuild:bool ->
+  ?lazy_rebuild:bool ->
   seed:int ->
   warmup_cps:int ->
   ops_per_cp:int ->
@@ -43,6 +44,9 @@ val run :
     [background_rebuild] (default true) is forwarded to {!Mount.mount} for
     every post-crash remount; pass [false] to verify recovery on the
     seeded TopAA caches alone — the immediate-post-failover state.
+    [lazy_rebuild] (default false) is likewise forwarded: the remounts
+    come up stale-but-seeded and the repair's Iron scan is the first
+    touch that materializes exact caches range by range.
     If a process-wide fault spec is installed, every run (including the
     remounts) executes under it.  If a domain pool is installed
     ({!Wafl_par.Par.install}), the remounts, repairs and replay CPs all

@@ -14,6 +14,8 @@ type t = {
   snapshots : (int, (int, unit) Hashtbl.t) Hashtbl.t;  (* id -> pinned vvbns *)
   zombies : (int, unit) Hashtbl.t;  (* vvbns kept only for snapshots *)
   mutable next_snapshot : int;
+  mutable rebuild_epoch : int;
+  mutable cache_epoch : int;  (* cache/scores exact iff = rebuild_epoch *)
 }
 
 let create (spec : Config.vol_spec) =
@@ -40,6 +42,8 @@ let create (spec : Config.vol_spec) =
       snapshots = Hashtbl.create 4;
       zombies = Hashtbl.create 256;
       next_snapshot = 1;
+      rebuild_epoch = 0;
+      cache_epoch = 0;
     }
   in
   if spec.Config.policy = Config.Best_aa then begin
@@ -117,6 +121,13 @@ let cp_update_cache t =
   let updates = Score.apply t.delta t.scores in
   match t.cache with Some cache -> Cache.cp_update cache updates | None -> ()
 
+(* --- cache validity epoch (incremental mount rebuild) ---
+   Mirrors [Aggregate]'s per-range epochs; a lazy mount invalidates, and
+   [Rebuild.touch_vol] re-materializes on first touch. *)
+let invalidate_cache t = t.rebuild_epoch <- t.rebuild_epoch + 1
+let[@inline] cache_fresh t = t.cache_epoch = t.rebuild_epoch
+
+(* Exact rescore + fresh HBPS; building block of [Rebuild.request]. *)
 let rebuild_cache ?pool t =
   Score.clear t.delta;
   let mf = metafile t in
@@ -144,14 +155,8 @@ let rebuild_cache ?pool t =
   (match Cache.backend cache with
   | Cache.Raid_agnostic h -> Hbps.replenish h
   | Cache.Raid_aware _ -> ());
-  t.cache <- Some cache
-
-let free_vvbns_of_aa t aa =
-  let mf = metafile t in
-  let acc = ref [] in
-  Topology.iter_aa_vbns t.topology aa ~f:(fun vvbn ->
-      if not (Metafile.is_allocated mf vvbn) then acc := vvbn :: !acc);
-  List.rev !acc
+  t.cache <- Some cache;
+  t.cache_epoch <- t.rebuild_epoch
 
 let harvest_free_of_aa t aa ~dst ~words =
   match t.topology with

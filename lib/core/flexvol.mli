@@ -66,20 +66,26 @@ val commit_frees : ?pool:Wafl_par.Par.t -> t -> int
 
 val cp_update_cache : t -> unit
 
+val invalidate_cache : t -> unit
+(** Bump the volume's rebuild epoch: the cache/scores become stale (the
+    seeded cache stays usable until {!Rebuild.touch_vol} re-materializes
+    it). *)
+
+val cache_fresh : t -> bool
+
 val rebuild_cache : ?pool:Wafl_par.Par.t -> t -> unit
-(** Full-scan score recomputation + fresh HBPS (mount without TopAA).
+(** Full-scan score recomputation + fresh HBPS; stamps the cache fresh.
     With a pool the per-AA rescoring is spread over its domains; the
     scores — and the HBPS built from them — are bit-identical to a
-    serial rebuild at any domain count. *)
-
-val free_vvbns_of_aa : t -> int -> int list
-(** Currently-free VVBNs of an AA, ascending. *)
+    serial rebuild at any domain count.  Building block of
+    {!Rebuild.request}; callers use that API. *)
 
 val harvest_free_of_aa : t -> int -> dst:int array -> words:int ref -> int
-(** Batch variant of {!free_vvbns_of_aa}: fill [dst] (sized to at least
-    the AA capacity) with the AA's free VVBNs, ascending, word-at-a-time;
-    returns the count and adds bitmap words read to [words].  Allocation-
-    free per block. *)
+(** Fill [dst] (sized to at least the AA capacity) with the AA's
+    currently-free VVBNs, ascending, word-at-a-time; returns the count
+    and adds bitmap words read to [words].  Allocation-free per block.
+    (The PR-2 list-returning variant [free_vvbns_of_aa] is gone; this
+    caller-array form is the only harvest API.) *)
 
 (** {2 Snapshots}
 

@@ -52,6 +52,12 @@ let check_body ?pool fs =
   let mf = Aggregate.metafile aggregate in
   let findings = ref [] in
   let push f = findings := f :: !findings in
+  (* After a lazy mount, untouched ranges carry seeded (approximate)
+     scores by design; materialize them before the drift scan so Iron
+     compares real caches against the bitmap instead of flagging the
+     seeds. *)
+  Array.iter (fun r -> Rebuild.touch_range aggregate r) (Aggregate.ranges aggregate);
+  Array.iter Rebuild.touch_vol (Fs.vols fs);
   (* 1. cached AA scores vs bitmap truth (pending deltas excluded: run this
         between CPs) *)
   Array.iter
@@ -182,12 +188,12 @@ let repair_body ?(authority = Bitmap_authority) ?pool fs =
     findings;
   if Hashtbl.length drifted_ranges > 0 || !container_fixes > 0 then begin
     (* recompute every range's scores and rebuild the caches from truth *)
-    Aggregate.rebuild_caches ?pool aggregate;
+    Rebuild.request ?pool aggregate Rebuild.Full;
     repaired := !repaired + Hashtbl.length drifted_ranges
   end;
   Hashtbl.iter
     (fun vol () ->
-      Flexvol.rebuild_cache ?pool (Fs.vol fs vol);
+      Rebuild.request_vol ?pool (Fs.vol fs vol);
       incr repaired)
     drifted_vols;
   (findings, !repaired)

@@ -3,12 +3,21 @@ open Wafl_aa
 open Wafl_aacache
 open Wafl_telemetry
 
+(* Per-range persisted cache state.  RAID-aware ranges save one max-heap
+   block; object (RAID-agnostic) ranges save the two embedded HBPS pages
+   and reload them as HBPS — the variant keeps save and load paired per
+   range kind, where the old single-[Bytes.t] slot silently stored an
+   HBPS histogram that the heap loader then rejected into a full scan. *)
+type range_topaa =
+  | Topaa_heap of Pagestore.t
+  | Topaa_hbps of Pagestore.t * Pagestore.t
+
 type image = {
   config : Config.t;
   agg_bits : Bitmap.t;
   vol_bits : (string * Bitmap.t) array;
-  range_topaa : Bytes.t array;            (* one block per physical range *)
-  vol_topaa : (Bytes.t * Bytes.t) array;  (* HBPS pages per volume *)
+  range_topaa : range_topaa array;        (* one entry per physical range *)
+  vol_topaa : (Pagestore.t * Pagestore.t) array;  (* HBPS pages per volume *)
   nvram : (string * int * int) list;      (* logged ops since the last CP *)
   namespace : (string * ((int * int) list * (int * int * int) list)) array;
       (* per volume: container (vvbn, pvbn) mappings and (file, offset,
@@ -41,15 +50,14 @@ let snapshot fs =
         match r.Aggregate.cache with
         | Some cache -> (
           match Cache.backend cache with
-          | Cache.Raid_aware heap -> Topaa.save_raid_aware heap
+          | Cache.Raid_aware heap -> Topaa_heap (Topaa.save_raid_aware heap)
           | Cache.Raid_agnostic hbps ->
-            (* object ranges persist HBPS pages; store the histogram page
-               here and regenerate on load *)
-            fst (Topaa.save_hbps hbps))
+            let histogram, list_page = Topaa.save_hbps hbps in
+            Topaa_hbps (histogram, list_page))
         | None ->
           (* cache disabled: persist a heap built on the spot, as the real
              system would from its current scores *)
-          Topaa.save_raid_aware (Max_heap.of_scores r.Aggregate.scores))
+          Topaa_heap (Topaa.save_raid_aware (Max_heap.of_scores r.Aggregate.scores)))
       (Aggregate.ranges aggregate)
   in
   let vol_topaa =
@@ -79,14 +87,18 @@ let snapshot fs =
       Array.map (fun v -> (Flexvol.name v, Flexvol.export_namespace v)) (Fs.vols fs);
   }
 
-let corrupt_block b =
-  let i = Bytes.length b / 2 in
-  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x5a))
+let corrupt_block p =
+  let i = Pagestore.length_bytes p / 2 in
+  Pagestore.set_byte p i (Pagestore.byte p i lxor 0x5a)
 
 let corrupt_range_topaa image i =
   if i < 0 || i >= Array.length image.range_topaa then
     invalid_arg "Mount.corrupt_range_topaa: range index out of range";
-  corrupt_block image.range_topaa.(i)
+  match image.range_topaa.(i) with
+  | Topaa_heap page -> corrupt_block page
+  | Topaa_hbps (histogram, list_page) ->
+    corrupt_block histogram;
+    corrupt_block list_page
 
 let corrupt_vol_topaa image i =
   if i < 0 || i >= Array.length image.vol_topaa then
@@ -132,28 +144,50 @@ let restore image =
    the bitmaps (the real system would engage WAFL Iron).  Returns
    (seeds inserted, fallback metafile pages scanned). *)
 let seed_range_cache aggregate (r : Aggregate.range) block =
-  match Topaa.load_raid_aware block with
-  | Ok seeds ->
-    let heap = Max_heap.create ~n_aas:(Topology.aa_count r.Aggregate.topology) in
-    List.iter
-      (fun (aa, score) -> if not (Max_heap.mem heap aa) then Max_heap.insert heap ~aa ~score)
-      seeds;
-    r.Aggregate.cache <- Some (Cache.make ~space:r.Aggregate.index (Cache.Raid_aware heap));
-    (List.length seeds, 0)
-  | Error _ ->
+  (* Checksum failure engages the bitmap-truth rescore for just this
+     range (the real system would hand it to WAFL Iron); the targeted
+     rebuild also re-stamps the range fresh, so a lazy mount does not
+     rescan it again on first touch. *)
+  let fallback () =
     let pages =
       Metafile.scan_read (Aggregate.metafile aggregate) ~start:r.Aggregate.base
         ~len:r.Aggregate.blocks
     in
-    for aa = 0 to Topology.aa_count r.Aggregate.topology - 1 do
-      r.Aggregate.scores.(aa) <- Aggregate.aa_score_now aggregate r aa
-    done;
-    r.Aggregate.cache <-
-      Some (Cache.raid_aware ~space:r.Aggregate.index ~scores:r.Aggregate.scores ());
+    Rebuild.request aggregate (Rebuild.Ranges [ r ]);
     (0, pages)
+  in
+  match block with
+  | Topaa_heap page -> (
+    match Topaa.load_raid_aware page with
+    | Ok seeds ->
+      let heap = Max_heap.create ~n_aas:(Topology.aa_count r.Aggregate.topology) in
+      List.iter
+        (fun (aa, score) -> if not (Max_heap.mem heap aa) then Max_heap.insert heap ~aa ~score)
+        seeds;
+      r.Aggregate.cache <- Some (Cache.make ~space:r.Aggregate.index (Cache.Raid_aware heap));
+      (List.length seeds, 0)
+    | Error _ -> fallback ())
+  | Topaa_hbps (histogram, list_page) -> (
+    match Topaa.load_hbps (histogram, list_page) with
+    | Ok seed ->
+      let approx = Array.make (Topology.aa_count r.Aggregate.topology) 0 in
+      List.iter
+        (fun (aa, s) -> if aa < Array.length approx then approx.(aa) <- s)
+        (Topaa.seed_scores seed);
+      let cache =
+        Cache.raid_agnostic ~space:r.Aggregate.index
+          ~max_score:(Topology.full_aa_capacity r.Aggregate.topology)
+          ~scores:approx ()
+      in
+      (match Cache.backend cache with
+      | Cache.Raid_agnostic h -> Hbps.replenish h
+      | Cache.Raid_aware _ -> ());
+      r.Aggregate.cache <- Some cache;
+      (List.length seed.Topaa.entries, 0)
+    | Error _ -> fallback ())
 
-let mount_body ?(cost = default_cost_model) ?(background_rebuild = true) ?pool image
-    ~with_topaa =
+let mount_body ?(cost = default_cost_model) ?(background_rebuild = true)
+    ?(lazy_rebuild = false) ?pool image ~with_topaa =
   let pool = Wafl_par.Par.resolve pool in
   let fs = restore image in
   (* replay the NVRAM log: the logged client operations are re-staged so
@@ -166,6 +200,16 @@ let mount_body ?(cost = default_cost_model) ?(background_rebuild = true) ?pool i
   let ops_replayed = List.length image.nvram in
   let aggregate = Fs.aggregate fs in
   let ranges = Aggregate.ranges aggregate in
+  (* A lazy mount stamps every range and volume stale before seeding:
+     whatever the TopAA pass installs below stays an approximation until
+     that range's first touch (pick, harvest, Iron scan, cleaner pass)
+     pays its exact rescore.  Fault fallbacks rebuild from the bitmap
+     right here and re-stamp themselves fresh under the new epoch. *)
+  if lazy_rebuild then begin
+    Telemetry.incr "mount.lazy_mounts";
+    Aggregate.invalidate_caches aggregate;
+    Array.iter Flexvol.invalidate_cache (Fs.vols fs)
+  end;
   if with_topaa then begin
     (* Constant work: read one block per range cache + two per volume. *)
     let blocks_read = Array.length ranges + (2 * Array.length image.vol_topaa) in
@@ -200,7 +244,7 @@ let mount_body ?(cost = default_cost_model) ?(background_rebuild = true) ?pool i
           fallback_pages :=
             !fallback_pages
             + Metafile.scan_read (Flexvol.metafile vol) ~start:0 ~len:(Flexvol.blocks vol);
-          Flexvol.rebuild_cache vol)
+          Rebuild.request_vol vol)
       (Fs.vols fs);
     let ready_us =
       (float_of_int blocks_read *. cost.page_read_us)
@@ -208,10 +252,8 @@ let mount_body ?(cost = default_cost_model) ?(background_rebuild = true) ?pool i
       +. (float_of_int !fallback_pages *. (cost.page_read_us +. cost.page_scan_cpu_us))
       +. replay_us
     in
-    if background_rebuild then begin
-      Aggregate.rebuild_caches ?pool aggregate;
-      Array.iter (Flexvol.rebuild_cache ?pool) (Fs.vols fs)
-    end;
+    if background_rebuild && not lazy_rebuild then
+      Rebuild.request ?pool ~vols:(Fs.vols fs) aggregate Rebuild.Full;
     Telemetry.incr "mount.topaa_mounts";
     Telemetry.add "mount.topaa_blocks_read" blocks_read;
     Telemetry.add "mount.topaa_seeds" !seeds;
@@ -223,6 +265,21 @@ let mount_body ?(cost = default_cost_model) ?(background_rebuild = true) ?pool i
         aas_scored = 0;
         ops_replayed;
         ready_us;
+      } )
+  end
+  else if lazy_rebuild then begin
+    (* No TopAA and no scan either: the system comes up with no caches at
+       all and every range/volume pays its exact rescore on first touch —
+       mount-ready time is the NVRAM replay alone, independent of
+       aggregate size. *)
+    Telemetry.incr "mount.deferred_scan_mounts";
+    ( fs,
+      {
+        topaa_blocks_read = 0;
+        metafile_pages_scanned = 0;
+        aas_scored = 0;
+        ops_replayed;
+        ready_us = replay_us;
       } )
   end
   else begin
@@ -238,8 +295,7 @@ let mount_body ?(cost = default_cost_model) ?(background_rebuild = true) ?pool i
           acc + Metafile.scan_read (Flexvol.metafile vol) ~start:0 ~len:(Flexvol.blocks vol))
         0 (Fs.vols fs)
     in
-    Aggregate.rebuild_caches ?pool aggregate;
-    Array.iter (Flexvol.rebuild_cache ?pool) (Fs.vols fs);
+    Rebuild.request ?pool ~vols:(Fs.vols fs) aggregate Rebuild.Full;
     let aas =
       Array.fold_left
         (fun acc (r : Aggregate.range) -> acc + Topology.aa_count r.Aggregate.topology)
@@ -275,8 +331,8 @@ let mount_body ?(cost = default_cost_model) ?(background_rebuild = true) ?pool i
 
 (* The whole mount — restore, NVRAM replay, cache seeding or full-scan
    rebuild — is one [Mount_rebuild] span. *)
-let mount ?cost ?background_rebuild ?pool image ~with_topaa =
+let mount ?cost ?background_rebuild ?lazy_rebuild ?pool image ~with_topaa =
   Telemetry.span_enter Span.Mount_rebuild;
   Fun.protect
     ~finally:(fun () -> Telemetry.span_exit Span.Mount_rebuild)
-    (fun () -> mount_body ?cost ?background_rebuild ?pool image ~with_topaa)
+    (fun () -> mount_body ?cost ?background_rebuild ?lazy_rebuild ?pool image ~with_topaa)

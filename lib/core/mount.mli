@@ -54,6 +54,7 @@ val tear_agg_bitmap_page : image -> page:int -> unit
 val mount :
   ?cost:cost_model ->
   ?background_rebuild:bool ->
+  ?lazy_rebuild:bool ->
   ?pool:Wafl_par.Par.t ->
   image ->
   with_topaa:bool ->
@@ -75,12 +76,29 @@ val mount :
       seeded-cache behaviour, or to keep mount itself cheap in tests.
 
     [background_rebuild] only affects [with_topaa:true] mounts; the
-    full-scan path always rebuilds exactly.  Every mount increments
-    exactly one of the [mount.topaa_mounts] / [mount.full_scan_mounts]
-    telemetry counters, so which path a workload took is observable;
-    TopAA mounts also emit [mount.topaa_blocks_read], [mount.topaa_seeds]
-    and [mount.fallback_pages_scanned], full-scan mounts
-    [mount.scan_pages] and [mount.aas_scored].
+    full-scan path always rebuilds exactly.
+
+    [lazy_rebuild] (default [false]) makes the mount {e incremental}:
+    every range and volume is stamped stale up front, and each one
+    materializes its exact scores and cache on first touch — the
+    allocator's AA pick or harvest, the Iron scan, or a cleaner pass —
+    paying the metafile page reads for just that range, right then
+    (counted by the [rebuild.lazy_ranges] / [rebuild.lazy_vols]
+    telemetry).  With [with_topaa:true] the constant-cost seeding still
+    runs (so picks before the first touch follow the persisted top AAs)
+    but the eager background rebuild is skipped; with [with_topaa:false]
+    nothing is scanned at all and [ready_us] is the NVRAM replay alone —
+    independent of aggregate size.  Once every range has been touched,
+    the system's state is bit-identical to an eager mount's at any
+    domain count, because both funnel through {!Rebuild.request}.
+
+    Every mount increments exactly one of the [mount.topaa_mounts] /
+    [mount.full_scan_mounts] / [mount.deferred_scan_mounts] telemetry
+    counters, so which path a workload took is observable (lazy mounts
+    additionally increment [mount.lazy_mounts]); TopAA mounts also emit
+    [mount.topaa_blocks_read], [mount.topaa_seeds] and
+    [mount.fallback_pages_scanned], full-scan mounts [mount.scan_pages]
+    and [mount.aas_scored].
 
     [pool] (defaulting to the installed one) parallelises the full-scan
     rescoring — and the background rebuild — across its domains with

@@ -36,7 +36,6 @@ type t = {
   mutable harvested : int;                (* cumulative VBNs harvested into rings *)
   elig : int array;                       (* scratch: eligible range indices *)
   weight : int array;                     (* scratch: weight per eligible entry *)
-  mutable scratch : int array;            (* scratch for the list-returning wrappers *)
   mutable shards : int array array;       (* per-domain harvest rings (lazy) *)
   mutable phys_taken : int;
   mutable phys_score_sum : int;
@@ -73,7 +72,6 @@ let create aggregate ~rng =
     harvested = 0;
     elig = Array.make (Array.length ranges) 0;
     weight = Array.make (Array.length ranges) 0;
-    scratch = [||];
     shards = [||];
     phys_taken = 0;
     phys_score_sum = 0;
@@ -237,6 +235,9 @@ let harvest_range t range aa ~(cursor : cursor) =
   | _ -> Aggregate.harvest_free_of_aa t.aggregate range aa ~dst:cursor.ring ~words:t.words
 
 let rec refill_range_guarded t range cursor qbudget =
+  (* Lazy-mount first touch: a stale range materializes its exact scores
+     and cache here, before the pick trusts either. *)
+  Rebuild.touch_range t.aggregate range;
   let policy = (Aggregate.config t.aggregate).Config.aggregate_policy in
   Telemetry.span_enter Span.Pick;
   let picked =
@@ -402,20 +403,8 @@ let allocate_pvbns_into t ~dst n =
     mop_up t ranges dst n m after_shares
   end
 
-let ensure_scratch t n = if Array.length t.scratch < n then t.scratch <- Array.make n 0
-
-let list_of_scratch t got =
-  let rec build i acc = if i < 0 then acc else build (i - 1) (t.scratch.(i) :: acc) in
-  build (got - 1) []
-
-let allocate_pvbns t n =
-  if n <= 0 then []
-  else begin
-    ensure_scratch t n;
-    list_of_scratch t (allocate_pvbns_into t ~dst:t.scratch n)
-  end
-
 let rec refill_vol t vol cursor =
+  Rebuild.touch_vol vol;
   let policy = (Flexvol.spec vol).Config.policy in
   Telemetry.span_enter Span.Pick;
   let picked =
@@ -460,13 +449,6 @@ let allocate_vvbns_into t vol ~dst n =
     let cursor = vol_cursor t vol in
     revalidate t cursor (Flexvol.metafile vol);
     vvbn_loop t vol cursor dst n 0
-  end
-
-let allocate_vvbns t vol n =
-  if n <= 0 then []
-  else begin
-    ensure_scratch t n;
-    list_of_scratch t (allocate_vvbns_into t vol ~dst:t.scratch n)
   end
 
 (* CP boundary: apply score deltas and make sure every taken AA is re-filed

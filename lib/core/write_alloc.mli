@@ -18,24 +18,24 @@ val create : Aggregate.t -> rng:Wafl_util.Rng.t -> t
 
 val aggregate : t -> Aggregate.t
 
-val allocate_pvbns : t -> int -> int list
-(** Allocate up to [n] physical blocks, spread over eligible ranges
-    proportionally to their best-AA scores.  Returns fewer than [n] only
-    when the aggregate runs out of allocatable space. *)
-
 val allocate_pvbns_into : t -> dst:int array -> int -> int
-(** Zero-allocation variant of {!allocate_pvbns}: write up to [n] PVBNs
-    into [dst.(0 .. n-1)] and return the count.  While the current AA's
+(** Allocate up to [n] physical blocks, spread over eligible ranges
+    proportionally to their best-AA scores, writing them into
+    [dst.(0 .. n-1)]; returns the count (fewer than [n] only when the
+    aggregate runs out of allocatable space).  While the current AA's
     harvest ring lasts, the per-block loop allocates no heap words; AA
-    refills amortize their small setup cost over a whole AA of blocks. *)
+    refills amortize their small setup cost over a whole AA of blocks.
+    (The PR-2 list-returning wrapper [allocate_pvbns] is gone; this
+    caller-array form is the only allocation API.)
 
-val allocate_vvbns : t -> Flexvol.t -> int -> int list
-(** Allocate up to [n] virtual blocks in a volume, from its current AA
-    onward. *)
+    On a lazily mounted system, the first pick from a stale range
+    materializes its exact scores and cache ({!Rebuild.touch_range})
+    before any score is trusted. *)
 
 val allocate_vvbns_into : t -> Flexvol.t -> dst:int array -> int -> int
-(** Zero-allocation variant of {!allocate_vvbns}, mirroring
-    {!allocate_pvbns_into}. *)
+(** Allocate up to [n] virtual blocks in a volume, from its current AA
+    onward, mirroring {!allocate_pvbns_into} (and like it, the only
+    form — [allocate_vvbns] is gone). *)
 
 val cp_finish : t -> unit
 (** CP boundary: apply every range's and volume's batched score delta,

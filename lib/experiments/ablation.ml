@@ -150,7 +150,7 @@ let threshold_point scale threshold =
     end
   done;
   Write_alloc.cp_finish (Fs.write_alloc fs);
-  Aggregate.rebuild_caches aggregate;
+  Rebuild.request aggregate Rebuild.Full;
   (* measure write efficiency *)
   let duration_us = ref 0.0 in
   let blocks = ref 0 in

@@ -57,7 +57,7 @@ let run ?(scale = Common.Quick) () =
   age_range fs ranges.(0) ~fraction:0.5 ~rng;
   age_range fs ranges.(1) ~fraction:0.5 ~rng;
   Write_alloc.cp_finish (Fs.write_alloc fs);
-  Aggregate.rebuild_caches aggregate;
+  Rebuild.request aggregate Rebuild.Full;
   (* a modest database working set, then the OLTP mix *)
   let working_set = agg_blocks / 10 in
   let fill_batch = 4096 in

@@ -1,6 +1,7 @@
 (* Tests for Wafl_aacache: max_heap, hbps, topaa, cache. *)
 
 open Wafl_aacache
+module Pagestore = Wafl_bitmap.Pagestore
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -277,7 +278,7 @@ let prop_hbps_complete_after_replenish =
 let test_topaa_raid_aware_roundtrip () =
   let heap = Max_heap.of_scores (Array.init 2000 (fun i -> (i * 37) mod 4096)) in
   let block = Topaa.save_raid_aware heap in
-  check_int "block size" 4096 (Bytes.length block);
+  check_int "block size" 4096 (Pagestore.length_bytes block);
   match Topaa.load_raid_aware block with
   | Ok entries ->
     check_int "capacity entries" Topaa.raid_aware_capacity (List.length entries);
@@ -296,13 +297,13 @@ let test_topaa_raid_aware_small_heap () =
 let test_topaa_corruption_detected () =
   let heap = Max_heap.of_scores [| 5; 10; 3 |] in
   let block = Topaa.save_raid_aware heap in
-  Bytes.set block 100 (Char.chr (Char.code (Bytes.get block 100) lxor 0xff));
+  Pagestore.set_byte block 100 (Pagestore.byte block 100 lxor 0xff);
   (match Topaa.load_raid_aware block with
   | Error Topaa.Bad_checksum -> ()
   | Error e -> Alcotest.failf "wrong error: %a" Topaa.pp_error e
   | Ok _ -> Alcotest.fail "corruption not detected");
   (* wrong magic *)
-  let block2 = Bytes.make 4096 '\000' in
+  let block2 = Pagestore.of_bytes (Bytes.make 4096 '\000') in
   match Topaa.load_raid_aware block2 with
   | Error Topaa.Bad_magic -> ()
   | _ -> Alcotest.fail "magic not checked"
@@ -312,8 +313,8 @@ let test_topaa_hbps_roundtrip () =
   let h = Hbps.create ~capacity:100 ~max_score:32_768 ~scores () in
   Hbps.replenish h;
   let histogram, list_page = Topaa.save_hbps h in
-  check_int "histogram page" 4096 (Bytes.length histogram);
-  check_int "list page" 4096 (Bytes.length list_page);
+  check_int "histogram page" 4096 (Pagestore.length_bytes histogram);
+  check_int "list page" 4096 (Pagestore.length_bytes list_page);
   match Topaa.load_hbps (histogram, list_page) with
   | Ok seed ->
     check_int "bin width" 1024 seed.Topaa.bin_width;
@@ -338,7 +339,7 @@ let test_topaa_hbps_corruption () =
   let h = Hbps.create ~capacity:10 ~max_score:32_768 ~scores () in
   Hbps.replenish h;
   let histogram, list_page = Topaa.save_hbps h in
-  Bytes.set list_page 20 'x';
+  Pagestore.set_byte list_page 20 (Char.code 'x');
   match Topaa.load_hbps (histogram, list_page) with
   | Error Topaa.Bad_checksum -> ()
   | _ -> Alcotest.fail "list page corruption not detected"

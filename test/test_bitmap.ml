@@ -120,7 +120,16 @@ let prop_bitmap_free_extents_cover =
       done;
       !ok)
 
-(* --- word-at-a-time kernels vs naive per-bit references --- *)
+(* --- word-at-a-time kernels vs naive per-bit references ---
+
+   Every kernel property runs once per {!Pagestore} backend: the heap
+   bytes and the off-heap bigarray share the word layout, so the same
+   naive per-bit reference must hold on both. *)
+
+let on_backends f =
+  List.for_all
+    (fun backend -> Pagestore.with_default backend f)
+    [ Pagestore.Heap; Pagestore.Bigarray ]
 
 (* Random bitmap of [bits] bits with a ragged window [start, start+len). *)
 let ragged_window_gen bits =
@@ -141,59 +150,126 @@ let prop_fold_clear_matches_naive =
   QCheck.Test.make ~name:"fold_clear_in matches naive clear-bit scan" ~count:200
     (ragged_window_gen 500)
     (fun (sets, start, len) ->
-      let start, len = clamp_window 500 start len in
-      let b = make_bitmap 500 sets in
-      let naive = ref [] in
-      for i = start + len - 1 downto start do
-        if not (Bitmap.get b i) then naive := i :: !naive
-      done;
-      let folded = List.rev (Bitmap.fold_clear_in b ~start ~len ~init:[] ~f:(fun acc i -> i :: acc)) in
-      folded = !naive)
+      on_backends (fun () ->
+          let start, len = clamp_window 500 start len in
+          let b = make_bitmap 500 sets in
+          let naive = ref [] in
+          for i = start + len - 1 downto start do
+            if not (Bitmap.get b i) then naive := i :: !naive
+          done;
+          let folded =
+            List.rev (Bitmap.fold_clear_in b ~start ~len ~init:[] ~f:(fun acc i -> i :: acc))
+          in
+          folded = !naive))
 
 let prop_harvest_matches_fold =
   QCheck.Test.make ~name:"harvest_clear_into matches fold_clear_in" ~count:200
     (ragged_window_gen 500)
     (fun (sets, start, len) ->
-      let start, len = clamp_window 500 start len in
-      let b = make_bitmap 500 sets in
-      let dst = Array.make 500 (-1) in
-      let n = Bitmap.harvest_clear_into b ~start ~len ~offset:1000 ~dst ~pos:0 in
-      let harvested = Array.to_list (Array.sub dst 0 n) in
-      let expected =
-        List.rev (Bitmap.fold_clear_in b ~start ~len ~init:[] ~f:(fun acc i -> (i + 1000) :: acc))
-      in
-      harvested = expected)
+      on_backends (fun () ->
+          let start, len = clamp_window 500 start len in
+          let b = make_bitmap 500 sets in
+          let dst = Array.make 500 (-1) in
+          let n = Bitmap.harvest_clear_into b ~start ~len ~offset:1000 ~dst ~pos:0 in
+          let harvested = Array.to_list (Array.sub dst 0 n) in
+          let expected =
+            List.rev
+              (Bitmap.fold_clear_in b ~start ~len ~init:[] ~f:(fun acc i -> (i + 1000) :: acc))
+          in
+          harvested = expected))
 
 let prop_find_first_matches_naive =
   QCheck.Test.make ~name:"find_first_clear/set match naive scans" ~count:200
     QCheck.(pair (list (int_bound 299)) (int_bound 299))
     (fun (sets, from) ->
-      let b = make_bitmap 300 sets in
-      let naive target =
-        let rec go i =
-          if i >= 300 then None else if Bitmap.get b i = target then Some i else go (i + 1)
-        in
-        go from
-      in
-      Bitmap.find_first_clear b ~from = naive false && Bitmap.find_first_set b ~from = naive true)
+      on_backends (fun () ->
+          let b = make_bitmap 300 sets in
+          let naive target =
+            let rec go i =
+              if i >= 300 then None else if Bitmap.get b i = target then Some i else go (i + 1)
+            in
+            go from
+          in
+          Bitmap.find_first_clear b ~from = naive false
+          && Bitmap.find_first_set b ~from = naive true))
 
 let prop_fill_range_matches_naive =
   QCheck.Test.make ~name:"set_range/clear_range match per-bit loops" ~count:200
     (ragged_window_gen 500)
     (fun (sets, start, len) ->
+      on_backends (fun () ->
+          let start, len = clamp_window 500 start len in
+          let fast = make_bitmap 500 sets in
+          let slow = make_bitmap 500 sets in
+          Bitmap.set_range fast ~start ~len;
+          for i = start to start + len - 1 do
+            Bitmap.set slow i
+          done;
+          let set_ok = Bitmap.equal fast slow in
+          Bitmap.clear_range fast ~start ~len;
+          for i = start to start + len - 1 do
+            Bitmap.clear slow i
+          done;
+          set_ok && Bitmap.equal fast slow))
+
+let prop_count_kernels_match_naive =
+  QCheck.Test.make ~name:"count_set_in/count_clear_in/free_run_stats match naive" ~count:200
+    (ragged_window_gen 500)
+    (fun (sets, start, len) ->
+      on_backends (fun () ->
+          let start, len = clamp_window 500 start len in
+          let b = make_bitmap 500 sets in
+          let set = ref 0 and runs = ref 0 and largest = ref 0 and cur = ref 0 in
+          for i = start to start + len - 1 do
+            if Bitmap.get b i then begin
+              incr set;
+              cur := 0
+            end
+            else begin
+              if !cur = 0 then incr runs;
+              incr cur;
+              if !cur > !largest then largest := !cur
+            end
+          done;
+          Bitmap.count_set_in b ~start ~len = !set
+          && Bitmap.count_clear_in b ~start ~len = len - !set
+          && Bitmap.free_run_stats b ~start ~len = (!runs, !largest)))
+
+let prop_clear_mask32_matches_naive =
+  QCheck.Test.make ~name:"clear_mask32 matches naive 32-bit window" ~count:200
+    QCheck.(pair (list (int_bound 299)) (int_bound 299))
+    (fun (sets, pos) ->
+      on_backends (fun () ->
+          let b = make_bitmap 300 sets in
+          let naive = ref 0 in
+          for i = 31 downto 0 do
+            naive := !naive lsl 1;
+            if pos + i < 300 && not (Bitmap.get b (pos + i)) then naive := !naive lor 1
+          done;
+          Bitmap.clear_mask32 b pos = !naive))
+
+(* The two backends are bit-for-bit interchangeable: the same operation
+   sequence yields equal state (checked across backends through
+   [Pagestore.equal]) and every read-side kernel agrees. *)
+let prop_backends_bit_identical =
+  QCheck.Test.make ~name:"heap and bigarray backends produce identical state" ~count:200
+    (ragged_window_gen 500)
+    (fun (sets, start, len) ->
       let start, len = clamp_window 500 start len in
-      let fast = make_bitmap 500 sets in
-      let slow = make_bitmap 500 sets in
-      Bitmap.set_range fast ~start ~len;
-      for i = start to start + len - 1 do
-        Bitmap.set slow i
-      done;
-      let set_ok = Bitmap.equal fast slow in
-      Bitmap.clear_range fast ~start ~len;
-      for i = start to start + len - 1 do
-        Bitmap.clear slow i
-      done;
-      set_ok && Bitmap.equal fast slow)
+      let build backend =
+        Pagestore.with_default backend (fun () ->
+            let b = make_bitmap 500 sets in
+            Bitmap.set_range b ~start ~len;
+            if len > 2 then Bitmap.clear_range b ~start:(start + 1) ~len:(len - 2);
+            b)
+      in
+      let h = build Pagestore.Heap and g = build Pagestore.Bigarray in
+      Bitmap.backend h = Pagestore.Heap
+      && Bitmap.backend g = Pagestore.Bigarray
+      && Bitmap.equal h g
+      && Bitmap.count_set h = Bitmap.count_set g
+      && Bitmap.find_first_clear h ~from:0 = Bitmap.find_first_clear g ~from:0
+      && Bitmap.free_extents h ~start:0 ~len:500 = Bitmap.free_extents g ~start:0 ~len:500)
 
 let test_clear_mask32 () =
   let b = Bitmap.create ~bits:100 in
@@ -295,6 +371,40 @@ let test_metafile_allocate_range () =
     (Invalid_argument "Metafile.allocate_range: range not fully free") (fun () ->
       Metafile.allocate_range m ~start:140 ~len:20)
 
+let test_metafile_scan_read_bounds () =
+  let m = Metafile.create ~blocks:100_000 () in
+  Alcotest.check_raises "scan past end" (Invalid_argument "Metafile.scan_read: range out of bounds")
+    (fun () -> ignore (Metafile.scan_read m ~start:99_000 ~len:2000));
+  Alcotest.check_raises "negative start" (Invalid_argument "Metafile.scan_read: range out of bounds")
+    (fun () -> ignore (Metafile.scan_read m ~start:(-1) ~len:10));
+  Alcotest.check_raises "negative len" (Invalid_argument "Metafile.scan_read: range out of bounds")
+    (fun () -> ignore (Metafile.scan_read m ~start:0 ~len:(-1)));
+  (* empty and exactly-at-the-end ranges are legal *)
+  check_int "empty scan" 0 (Metafile.scan_read m ~start:50_000 ~len:0);
+  check_int "scan ending at the boundary" 1 (Metafile.scan_read m ~start:99_999 ~len:1);
+  check_int "only the boundary scan accounted" 1 (Metafile.stats m).Metafile.page_reads
+
+let test_metafile_page_of_block_bounds () =
+  let m = Metafile.create ~blocks:100_000 () in
+  Alcotest.check_raises "page of oob VBN" (Invalid_argument "Metafile: VBN out of bounds")
+    (fun () -> ignore (Metafile.page_of_block m 100_000));
+  Alcotest.check_raises "page of negative VBN" (Invalid_argument "Metafile: VBN out of bounds")
+    (fun () -> ignore (Metafile.page_of_block m (-1)))
+
+(* The power-of-two page shift and the division fallback must agree: a
+   metafile with a non-power-of-two page size pages identically to the
+   naive [vbn / page_bits] map. *)
+let test_metafile_non_pow2_pages () =
+  let m = Metafile.create ~page_bits:1000 ~blocks:10_500 () in
+  check_int "pages" 11 (Metafile.pages m);
+  check_int "page of 999" 0 (Metafile.page_of_block m 999);
+  check_int "page of 1000" 1 (Metafile.page_of_block m 1000);
+  check_int "page of 10499" 10 (Metafile.page_of_block m 10_499);
+  check_int "straddling scan" 2 (Metafile.scan_read m ~start:990 ~len:20);
+  Metafile.allocate m 999;
+  Metafile.allocate m 1000;
+  check_int "two dirty pages across the boundary" 2 (Metafile.dirty_pages m)
+
 let test_metafile_snapshot_load () =
   let m = Metafile.create ~blocks:5000 () in
   Metafile.allocate m 42;
@@ -384,7 +494,9 @@ let () =
   let kernel_qsuite =
     List.map QCheck_alcotest.to_alcotest
       [ prop_fold_clear_matches_naive; prop_harvest_matches_fold;
-        prop_find_first_matches_naive; prop_fill_range_matches_naive ]
+        prop_find_first_matches_naive; prop_fill_range_matches_naive;
+        prop_count_kernels_match_naive; prop_clear_mask32_matches_naive;
+        prop_backends_bit_identical ]
   in
   Alcotest.run "wafl_bitmap"
     [
@@ -411,6 +523,9 @@ let () =
           Alcotest.test_case "dirty tracking" `Quick test_metafile_dirty_tracking;
           Alcotest.test_case "colocation economy" `Quick test_metafile_colocation_economy;
           Alcotest.test_case "scan read" `Quick test_metafile_scan_read;
+          Alcotest.test_case "scan read bounds" `Quick test_metafile_scan_read_bounds;
+          Alcotest.test_case "page_of_block bounds" `Quick test_metafile_page_of_block_bounds;
+          Alcotest.test_case "non-power-of-two pages" `Quick test_metafile_non_pow2_pages;
           Alcotest.test_case "allocate range" `Quick test_metafile_allocate_range;
           Alcotest.test_case "snapshot/load" `Quick test_metafile_snapshot_load;
         ] );

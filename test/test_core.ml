@@ -7,6 +7,37 @@ open Wafl_bitmap
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
+(* List-returning shims over the _into allocation API: the library only
+   exposes the zero-allocation array forms, but a list is easier to poke
+   at in assertions. *)
+let allocate_pvbns w n =
+  let dst = Array.make (max 1 n) 0 in
+  let got = Write_alloc.allocate_pvbns_into w ~dst n in
+  Array.to_list (Array.sub dst 0 got)
+
+let allocate_vvbns w vol n =
+  let dst = Array.make (max 1 n) 0 in
+  let got = Write_alloc.allocate_vvbns_into w vol ~dst n in
+  Array.to_list (Array.sub dst 0 got)
+
+(* Naive per-bit list gathers — the references the harvest kernels are
+   checked against (they used to live in the library as the list-based
+   allocation path). *)
+let free_vbns_of_aa agg (r : Aggregate.range) aa =
+  let mf = Aggregate.metafile agg in
+  let acc = ref [] in
+  Wafl_aa.Topology.iter_aa_vbns r.Aggregate.topology aa ~f:(fun local ->
+      let pvbn = Aggregate.to_global r local in
+      if not (Metafile.is_allocated mf pvbn) then acc := pvbn :: !acc);
+  List.rev !acc
+
+let free_vvbns_of_aa vol aa =
+  let mf = Flexvol.metafile vol in
+  let acc = ref [] in
+  Wafl_aa.Topology.iter_aa_vbns (Flexvol.topology vol) aa ~f:(fun vvbn ->
+      if not (Metafile.is_allocated mf vvbn) then acc := vvbn :: !acc);
+  List.rev !acc
+
 (* A small test system: 2 HDD RAID groups (4+1, 8192 blocks/device),
    AA = 512 stripes, one FlexVol. *)
 let small_config ?(aggregate_policy = Config.Best_aa) ?(vol_policy = Config.Best_aa)
@@ -94,7 +125,7 @@ let test_flexvol_remap () =
 let test_walloc_allocates_n () =
   let fs = Fs.create (small_config ()) in
   let w = Fs.write_alloc fs in
-  let blocks = Write_alloc.allocate_pvbns w 1000 in
+  let blocks = allocate_pvbns w 1000 in
   check_int "got 1000" 1000 (List.length blocks);
   check_int "no duplicates" 1000 (List.length (List.sort_uniq Int.compare blocks));
   (* all marked allocated *)
@@ -104,7 +135,7 @@ let test_walloc_allocates_n () =
 let test_walloc_spreads_over_ranges () =
   let fs = Fs.create (small_config ()) in
   let w = Fs.write_alloc fs in
-  let blocks = Write_alloc.allocate_pvbns w 2000 in
+  let blocks = allocate_pvbns w 2000 in
   let agg = Fs.aggregate fs in
   let in_r0 = List.filter (fun p -> (Aggregate.range_of_pvbn agg p).Aggregate.index = 0) blocks in
   let in_r1 = List.filter (fun p -> (Aggregate.range_of_pvbn agg p).Aggregate.index = 1) blocks in
@@ -125,7 +156,7 @@ let test_walloc_best_aa_consumes_emptiest () =
   (* Allocate a small burst: chosen AAs should be full-score ones, i.e.
      the traced mean score of taken AAs stays at capacity. *)
   let before = Write_alloc.aas_taken w in
-  let _ = Write_alloc.allocate_pvbns w 100 in
+  let _ = allocate_pvbns w 100 in
   let taken = Write_alloc.aas_taken w - before in
   check_bool "AAs were taken" true (taken > 0);
   let mean_score =
@@ -137,7 +168,7 @@ let test_walloc_vvbns_sequential_colocated () =
   let fs = Fs.create (small_config ()) in
   let w = Fs.write_alloc fs in
   let vol = Fs.vol fs "vol0" in
-  let vvbns = Write_alloc.allocate_vvbns w vol 100 in
+  let vvbns = allocate_vvbns w vol 100 in
   check_int "got 100" 100 (List.length vvbns);
   (* empty volume + best-AA policy: strictly sequential from AA start *)
   let expected_start = List.hd vvbns in
@@ -148,20 +179,20 @@ let test_walloc_exhaustion () =
   let fs = Fs.create (small_config ~vol_blocks:5000 ()) in
   let w = Fs.write_alloc fs in
   let vol = Fs.vol fs "vol0" in
-  let vvbns = Write_alloc.allocate_vvbns w vol 6000 in
+  let vvbns = allocate_vvbns w vol 6000 in
   check_int "clamped to volume size" 5000 (List.length vvbns)
 
 let test_walloc_random_policy_works () =
   let fs = Fs.create (small_config ~aggregate_policy:Config.Random_aa ~vol_policy:Config.Random_aa ()) in
   let w = Fs.write_alloc fs in
-  let blocks = Write_alloc.allocate_pvbns w 500 in
+  let blocks = allocate_pvbns w 500 in
   check_int "random policy allocates" 500 (List.length blocks);
   check_int "distinct" 500 (List.length (List.sort_uniq Int.compare blocks))
 
 let test_walloc_first_fit_policy () =
   let fs = Fs.create (small_config ~aggregate_policy:Config.First_fit ()) in
   let w = Fs.write_alloc fs in
-  let blocks = Write_alloc.allocate_pvbns w 100 in
+  let blocks = allocate_pvbns w 100 in
   check_int "first fit allocates" 100 (List.length blocks)
 
 (* --- harvest kernels vs the list-based gather --- *)
@@ -182,7 +213,7 @@ let test_harvest_matches_list_raid_aware () =
     let n = Aggregate.harvest_free_of_aa agg r0 aa ~dst ~words in
     Alcotest.(check (list int))
       (Printf.sprintf "AA %d: harvest = list gather (stripe-major)" aa)
-      (Aggregate.free_vbns_of_aa agg r0 aa)
+      (free_vbns_of_aa agg r0 aa)
       (Array.to_list (Array.sub dst 0 n))
   done;
   check_bool "words were counted" true (!words > 0)
@@ -202,7 +233,7 @@ let test_harvest_matches_list_vol () =
     let n = Flexvol.harvest_free_of_aa vol aa ~dst ~words in
     Alcotest.(check (list int))
       (Printf.sprintf "AA %d: harvest = list gather (ascending)" aa)
-      (Flexvol.free_vvbns_of_aa vol aa)
+      (free_vvbns_of_aa vol aa)
       (Array.to_list (Array.sub dst 0 n))
   done
 
@@ -210,17 +241,17 @@ let test_harvest_ring_no_double_handout () =
   let fs = Fs.create (small_config ()) in
   let agg = Fs.aggregate fs in
   let w = Fs.write_alloc fs in
-  let first = Write_alloc.allocate_pvbns w 200 in
+  let first = allocate_pvbns w 200 in
   let p = List.hd first in
   Aggregate.queue_free agg ~pvbn:p;
   (* mid-CP: the queued-free block stays unusable (its bitmap bit is still
      set), even though its AA may be re-harvested *)
-  let mid = Write_alloc.allocate_pvbns w 5000 in
+  let mid = allocate_pvbns w 5000 in
   check_bool "queued free not re-handed mid-CP" true (not (List.mem p mid));
   ignore (Aggregate.commit_frees agg);
   Write_alloc.cp_finish w;
   (* next CP: drain the aggregate; the freed block comes back exactly once *)
-  let rest = Write_alloc.allocate_pvbns w (Aggregate.free_blocks agg) in
+  let rest = allocate_pvbns w (Aggregate.free_blocks agg) in
   check_int "freed block re-handed exactly once" 1
     (List.length (List.filter (fun q -> q = p) rest));
   let seen = Hashtbl.create 4096 in
@@ -423,8 +454,8 @@ let test_mount_paths_agree_behaviorally () =
     (Aggregate.free_blocks (Fs.aggregate fs_a))
     (Aggregate.free_blocks (Fs.aggregate fs_b));
   (* after background rebuild both allocate the same sequence *)
-  let a = Write_alloc.allocate_pvbns (Fs.write_alloc fs_a) 200 in
-  let b = Write_alloc.allocate_pvbns (Fs.write_alloc fs_b) 200 in
+  let a = allocate_pvbns (Fs.write_alloc fs_a) 200 in
+  let b = allocate_pvbns (Fs.write_alloc fs_b) 200 in
   Alcotest.(check (list int)) "identical allocations" a b
 
 let test_mount_timing_scales () =
@@ -440,6 +471,106 @@ let test_mount_timing_scales () =
   check_bool "scan scales with size" true (big_scan > small_scan *. 2.0);
   let small_seed = ready 65536 true and big_seed = ready 524288 true in
   check_bool "topaa flat" true (big_seed < small_seed *. 1.5)
+
+(* --- lazy rebuild --- *)
+
+let test_lazy_mount_matches_eager () =
+  let image = Mount.snapshot (aged_fs ()) in
+  let fs_eager, _ = Mount.mount image ~with_topaa:true in
+  let fs_lazy, _ = Mount.mount ~lazy_rebuild:true image ~with_topaa:true in
+  check_int "same free space"
+    (Aggregate.free_blocks (Fs.aggregate fs_eager))
+    (Aggregate.free_blocks (Fs.aggregate fs_lazy));
+  (* lazy mounts leave every range stale: the seeded TopAA scores stand
+     in until first touch *)
+  let agg = Fs.aggregate fs_lazy in
+  check_bool "ranges stale after lazy mount" true
+    (Array.for_all (fun r -> not (Aggregate.range_fresh agg r)) (Aggregate.ranges agg));
+  check_bool "vols stale after lazy mount" true
+    (Array.for_all (fun v -> not (Flexvol.cache_fresh v)) (Fs.vols fs_lazy));
+  (* allocations materialize the touched ranges and then track the eager
+     mount exactly *)
+  let a = allocate_pvbns (Fs.write_alloc fs_eager) 200 in
+  let b = allocate_pvbns (Fs.write_alloc fs_lazy) 200 in
+  Alcotest.(check (list int)) "identical pvbn allocations" a b;
+  check_bool "a touched range materialized" true
+    (Array.exists (fun r -> Aggregate.range_fresh agg r) (Aggregate.ranges agg));
+  let va = allocate_vvbns (Fs.write_alloc fs_eager) (Fs.vol fs_eager "vol0") 200 in
+  let vb = allocate_vvbns (Fs.write_alloc fs_lazy) (Fs.vol fs_lazy "vol0") 200 in
+  Alcotest.(check (list int)) "identical vvbn allocations" va vb;
+  check_bool "vol materialized" true (Flexvol.cache_fresh (Fs.vol fs_lazy "vol0"))
+
+let test_lazy_deferred_scan_mount () =
+  let image = Mount.snapshot (aged_fs ()) in
+  let fs_eager, timing_eager = Mount.mount image ~with_topaa:false in
+  let fs_lazy, timing_lazy = Mount.mount ~lazy_rebuild:true image ~with_topaa:false in
+  check_int "no pages scanned at mount" 0 timing_lazy.Mount.metafile_pages_scanned;
+  check_bool "ready long before the full scan would finish" true
+    (timing_lazy.Mount.ready_us < timing_eager.Mount.ready_us /. 4.0);
+  let a = allocate_pvbns (Fs.write_alloc fs_eager) 200 in
+  let b = allocate_pvbns (Fs.write_alloc fs_lazy) 200 in
+  Alcotest.(check (list int)) "identical allocations" a b
+
+let test_iron_clean_on_lazy_mount () =
+  let image = Mount.snapshot (aged_fs ()) in
+  let fs, _ = Mount.mount ~lazy_rebuild:true image ~with_topaa:true in
+  (* Iron materializes every stale range/vol before the drift scan, so
+     the approximate seeds must not surface as findings *)
+  check_int "no findings on a lazy mount" 0 (List.length (Iron.check fs));
+  (* and a CP straight off the lazy mount stays consistent *)
+  let vol = Fs.vol fs "vol0" in
+  for offset = 0 to 99 do
+    Fs.stage_write fs ~vol ~file:2 ~offset
+  done;
+  let report = Fs.run_cp fs in
+  check_int "all staged writes placed" 100 report.Cp.blocks_allocated;
+  check_int "still clean after the CP" 0 (List.length (Iron.check fs))
+
+(* --- backend interchangeability --- *)
+
+(* The same workload, CP for CP, leaves byte-identical free-space state
+   whether the stores live on the OCaml heap or off-heap. *)
+let test_backends_identical_after_cps () =
+  let fs_h = Pagestore.with_default Pagestore.Heap aged_fs in
+  let fs_b = Pagestore.with_default Pagestore.Bigarray aged_fs in
+  check_bool "aggregate bitmap byte-identical" true
+    (Bitmap.equal
+       (Metafile.snapshot (Aggregate.metafile (Fs.aggregate fs_h)))
+       (Metafile.snapshot (Aggregate.metafile (Fs.aggregate fs_b))));
+  Array.iteri
+    (fun i v ->
+      check_bool
+        (Printf.sprintf "vol %d bitmap byte-identical" i)
+        true
+        (Bitmap.equal (Metafile.snapshot (Flexvol.metafile v))
+           (Metafile.snapshot (Flexvol.metafile (Fs.vols fs_b).(i)))))
+    (Fs.vols fs_h);
+  check_int "same free space"
+    (Aggregate.free_blocks (Fs.aggregate fs_h))
+    (Aggregate.free_blocks (Fs.aggregate fs_b));
+  (* and the next allocations agree block for block *)
+  Alcotest.(check (list int))
+    "next allocations identical"
+    (allocate_pvbns (Fs.write_alloc fs_h) 500)
+    (allocate_pvbns (Fs.write_alloc fs_b) 500)
+
+(* A snapshot image taken from a heap-backed system restores into a
+   bigarray-backed one (and vice versa) with identical behavior — the
+   crash-image restore path of a backend migration. *)
+let test_cross_backend_mount () =
+  let image = Pagestore.with_default Pagestore.Heap (fun () -> Mount.snapshot (aged_fs ())) in
+  let fs_h, _ = Pagestore.with_default Pagestore.Heap (fun () -> Mount.mount image ~with_topaa:true) in
+  let fs_b, _ =
+    Pagestore.with_default Pagestore.Bigarray (fun () -> Mount.mount image ~with_topaa:true)
+  in
+  check_int "same free space"
+    (Aggregate.free_blocks (Fs.aggregate fs_h))
+    (Aggregate.free_blocks (Fs.aggregate fs_b));
+  check_int "clean after the cross-backend restore" 0 (List.length (Iron.check fs_b));
+  Alcotest.(check (list int))
+    "identical allocations after restore"
+    (allocate_pvbns (Fs.write_alloc fs_h) 200)
+    (allocate_pvbns (Fs.write_alloc fs_b) 200)
 
 (* --- Snapshots --- *)
 
@@ -563,7 +694,7 @@ let test_mount_corrupt_topaa_falls_back () =
   (* the corrupt blocks force a bitmap scan for those caches *)
   check_bool "fallback pages scanned" true (timing.Mount.metafile_pages_scanned > 0);
   (* the system is still fully operational *)
-  let blocks = Write_alloc.allocate_pvbns (Fs.write_alloc fs2) 100 in
+  let blocks = allocate_pvbns (Fs.write_alloc fs2) 100 in
   check_int "allocates after fallback" 100 (List.length blocks)
 
 let test_mount_corrupt_costlier_than_clean () =
@@ -764,10 +895,10 @@ let test_rg_threshold_skips_fragmented_group () =
     end
   done;
   Write_alloc.cp_finish w;
-  Aggregate.rebuild_caches agg;
+  Rebuild.request agg Rebuild.Full;
   let best0 = Wafl_aacache.Cache.peek_best_score (Option.get r0.Aggregate.cache) in
   check_bool "rig: best AA of RG0 below threshold" true (Option.get best0 < 1500);
-  let blocks = Write_alloc.allocate_pvbns w 1000 in
+  let blocks = allocate_pvbns w 1000 in
   let in_r0 =
     List.filter (fun p -> (Aggregate.range_of_pvbn agg p).Aggregate.index = 0) blocks
   in
@@ -1063,6 +1194,14 @@ let () =
           Alcotest.test_case "scan without topaa" `Quick test_mount_without_topaa_scans;
           Alcotest.test_case "paths agree" `Quick test_mount_paths_agree_behaviorally;
           Alcotest.test_case "timing scales" `Quick test_mount_timing_scales;
+          Alcotest.test_case "lazy matches eager" `Quick test_lazy_mount_matches_eager;
+          Alcotest.test_case "lazy deferred scan" `Quick test_lazy_deferred_scan_mount;
+          Alcotest.test_case "iron clean on lazy mount" `Quick test_iron_clean_on_lazy_mount;
+        ] );
+      ( "backends",
+        [
+          Alcotest.test_case "identical after CPs" `Quick test_backends_identical_after_cps;
+          Alcotest.test_case "cross-backend mount" `Quick test_cross_backend_mount;
         ] );
       ( "cleaner",
         [

@@ -223,14 +223,12 @@ let test_mount_full_scan_determinism () =
 
 let test_rebuild_caches_determinism () =
   let fs = aged_fs () in
-  Aggregate.rebuild_caches (Fs.aggregate fs);
-  Array.iter (fun v -> Flexvol.rebuild_cache v) (Fs.vols fs);
+  Rebuild.request ~vols:(Fs.vols fs) (Fs.aggregate fs) Rebuild.Full;
   let want = cache_state fs in
   List.iter
     (fun jobs ->
       Par.with_pool ~jobs (fun p ->
-          Aggregate.rebuild_caches ~pool:p (Fs.aggregate fs);
-          Array.iter (fun v -> Flexvol.rebuild_cache ~pool:p v) (Fs.vols fs);
+          Rebuild.request ~pool:p ~vols:(Fs.vols fs) (Fs.aggregate fs) Rebuild.Full;
           check_bool
             (Printf.sprintf "jobs=%d rebuild identical" jobs)
             true
@@ -335,6 +333,48 @@ let test_parallel_cp_identical () =
       check_bool "cache state identical" true (cache_state fs_par = want);
       check_bitmaps_equal "parallel CP" fs_par fs_serial)
 
+(* The backend axis composed with the domain axis: the same pooled
+   workload leaves byte-identical state on heap and bigarray stores at
+   every job count (the serial heap run is the single reference). *)
+let test_backends_identical_across_jobs () =
+  let build backend pool =
+    Pagestore.with_default backend (fun () ->
+        let fs = Fs.create aged_config in
+        let vol = (Fs.vols fs).(0) in
+        for cp = 0 to 2 do
+          for i = 0 to 1023 do
+            Fs.stage_write fs ~vol ~file:(cp mod 2) ~offset:i
+          done;
+          ignore (Fs.run_cp ?pool fs)
+        done;
+        fs)
+  in
+  let want_fs = build Pagestore.Heap None in
+  let want = cache_state want_fs in
+  List.iter
+    (fun jobs ->
+      Par.with_pool ~jobs (fun p ->
+          List.iter
+            (fun backend ->
+              let label =
+                Printf.sprintf "jobs=%d backend=%s" jobs (Pagestore.backend_name backend)
+              in
+              let fs = build backend (Some p) in
+              check_bool (label ^ ": cache state identical") true (cache_state fs = want);
+              check_bitmaps_equal label fs want_fs)
+            [ Pagestore.Heap; Pagestore.Bigarray ]))
+    [ 1; 2; 4; 8 ]
+
+let test_crash_matrix_bigarray_lazy () =
+  let heap = Crash_matrix.run ~seed:5 ~warmup_cps:1 ~ops_per_cp:60 () in
+  check_bool "heap matrix clean" true (heap.Crash_matrix.violations = []);
+  Pagestore.with_default Pagestore.Bigarray (fun () ->
+      let big = Crash_matrix.run ~lazy_rebuild:true ~seed:5 ~warmup_cps:1 ~ops_per_cp:60 () in
+      check_bool "same crash-point sequence off-heap" true
+        (big.Crash_matrix.points = heap.Crash_matrix.points);
+      check_bool "bigarray + lazy-remount matrix clean" true
+        (big.Crash_matrix.violations = []))
+
 let test_crash_matrix_with_pool () =
   let serial = Crash_matrix.run ~seed:5 ~warmup_cps:1 ~ops_per_cp:60 () in
   check_bool "serial matrix clean" true (serial.Crash_matrix.violations = []);
@@ -369,6 +409,9 @@ let () =
           Alcotest.test_case "activemap commit" `Quick test_activemap_parallel_commit;
           Alcotest.test_case "sharded harvest" `Quick test_sharded_harvest_identical;
           Alcotest.test_case "whole CP" `Quick test_parallel_cp_identical;
+          Alcotest.test_case "backends across job counts" `Quick
+            test_backends_identical_across_jobs;
+          Alcotest.test_case "crash matrix bigarray + lazy" `Slow test_crash_matrix_bigarray_lazy;
           Alcotest.test_case "crash matrix under a pool" `Slow test_crash_matrix_with_pool;
         ] );
     ]
