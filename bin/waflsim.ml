@@ -83,18 +83,54 @@ let with_jobs jobs f =
 let backend_arg =
   let doc =
     "Page-store backend for every allocation bitmap, activemap and TopAA block: \
-     $(b,heap) (OCaml bytes, the default) or $(b,bigarray) (off-heap words the GC \
-     never scans, the layout an mmap-backed store would use).  The choice is \
-     process-wide; allocation behaviour is byte-identical across backends."
+     $(b,heap) (OCaml bytes, the default), $(b,bigarray) (off-heap words the GC \
+     never scans) or $(b,mmap:PATH) (bigarray words file-mapped under directory \
+     PATH, created if missing — a rerun over the same directory remounts the \
+     persisted free-space state).  The choice is process-wide; allocation \
+     behaviour is byte-identical across backends."
   in
   Arg.(value & opt string "heap" & info [ "backend" ] ~docv:"BACKEND" ~doc)
 
 let with_backend name f =
-  match Wafl_bitmap.Pagestore.backend_of_string name with
-  | Some b -> Wafl_bitmap.Pagestore.with_default b f
-  | None ->
-    Printf.eprintf "waflsim: unknown --backend %S (expected heap|bigarray)\n" name;
+  if String.length name > 5 && String.sub name 0 5 = "mmap:" then begin
+    let dir = String.sub name 5 (String.length name - 5) in
+    if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+    if not (Sys.is_directory dir) then begin
+      Printf.eprintf "waflsim: --backend mmap:%s is not a directory\n" dir;
+      exit 2
+    end;
+    Wafl_bitmap.Pagestore.with_default Wafl_bitmap.Pagestore.Bigarray (fun () ->
+        Wafl_bitmap.Pagestore.with_mmap_dir dir f)
+  end
+  else
+    match Wafl_bitmap.Pagestore.backend_of_string name with
+    | Some b -> Wafl_bitmap.Pagestore.with_default b f
+    | None ->
+      Printf.eprintf "waflsim: unknown --backend %S (expected heap|bigarray|mmap:PATH)\n"
+        name;
+      exit 2
+
+let alloc_domains_arg =
+  let doc =
+    "Drive write allocation with $(docv) concurrent domains: each domain pops \
+     physical blocks from its own lock-free harvest ring, claims AAs atomically \
+     through the shared cache pick path, and steals byte-aligned ring suffixes \
+     from other domains when it runs dry.  The committed free-space state is \
+     identical to a serial run at any $(docv); the default of 1 keeps allocation \
+     serial."
+  in
+  Arg.(value & opt int 1 & info [ "alloc-domains" ] ~docv:"N" ~doc)
+
+let with_alloc_domains n f =
+  if n < 1 then begin
+    Printf.eprintf "waflsim: --alloc-domains must be at least 1 (got %d)\n" n;
     exit 2
+  end
+  else if n = 1 then f ()
+  else begin
+    Wafl_core.Write_alloc.install_alloc_pool ~jobs:n;
+    Fun.protect ~finally:Wafl_core.Write_alloc.uninstall_alloc_pool f
+  end
 
 let no_iron_gate_arg =
   let doc =
@@ -211,19 +247,21 @@ let with_telemetry ~metrics_out ~trace_out ~trace_capacity ~timeseries_out f =
 
 let experiment_cmd name ~doc run_print =
   let run s metrics_out trace_out trace_capacity timeseries_out fault_spec no_iron_gate
-      jobs backend =
+      jobs backend alloc_domains =
     with_backend backend (fun () ->
     with_jobs jobs (fun () ->
+    with_alloc_domains alloc_domains (fun () ->
         with_fault_spec (parse_fault_spec fault_spec) (fun () ->
             if not no_iron_gate then Wafl_core.Fs.enable_registry ();
             with_telemetry ~metrics_out ~trace_out ~trace_capacity ~timeseries_out
               (fun () -> run_print (parse_scale s));
-            if not no_iron_gate then run_iron_gate ())))
+            if not no_iron_gate then run_iron_gate ()))))
   in
   Cmd.v (Cmd.info name ~doc)
     Term.(
       const run $ scale_arg $ metrics_out_arg $ trace_out_arg $ trace_capacity_arg
-      $ timeseries_out_arg $ fault_spec_arg $ no_iron_gate_arg $ jobs_arg $ backend_arg)
+      $ timeseries_out_arg $ fault_spec_arg $ no_iron_gate_arg $ jobs_arg $ backend_arg
+      $ alloc_domains_arg)
 
 let fig6_cmd =
   experiment_cmd "fig6" ~doc:"AA-cache latency/throughput experiment (Figure 6)"
@@ -302,9 +340,10 @@ let crash_matrix_cmd =
              mounts recover exactly like eager ones.")
   in
   let run seed cps ops no_cleaner foreground_rebuild lazy_rebuild fault_spec jobs backend
-      metrics_out trace_out trace_capacity timeseries_out =
+      alloc_domains metrics_out trace_out trace_capacity timeseries_out =
     with_backend backend (fun () ->
     with_jobs jobs (fun () ->
+    with_alloc_domains alloc_domains (fun () ->
     with_fault_spec (parse_fault_spec fault_spec) (fun () ->
     with_telemetry ~metrics_out ~trace_out ~trace_capacity ~timeseries_out (fun () ->
         let r =
@@ -330,7 +369,7 @@ let crash_matrix_cmd =
             (fun v -> Format.printf "VIOLATION: %a@." Wafl_core.Crash_matrix.pp_violation v)
             vs;
           Printf.eprintf "waflsim: crash matrix found %d violation(s)\n" (List.length vs);
-          exit 1))))
+          exit 1)))))
   in
   Cmd.v
     (Cmd.info "crash-matrix"
@@ -340,8 +379,8 @@ let crash_matrix_cmd =
           clean Iron check)")
     Term.(
       const run $ seed_arg $ cps_arg $ ops_arg $ no_cleaner_arg $ foreground_rebuild_arg
-      $ lazy_rebuild_arg $ fault_spec_arg $ jobs_arg $ backend_arg $ metrics_out_arg
-      $ trace_out_arg $ trace_capacity_arg $ timeseries_out_arg)
+      $ lazy_rebuild_arg $ fault_spec_arg $ jobs_arg $ backend_arg $ alloc_domains_arg
+      $ metrics_out_arg $ trace_out_arg $ trace_capacity_arg $ timeseries_out_arg)
 
 (* `waflsim top`: drive an aged random-overwrite system and redraw a
    one-screen health view (current CP phase, picks/s, search ns/block,
@@ -371,10 +410,11 @@ let top_cmd =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Workload seed.")
   in
   let run s cps ops interval seed metrics_out trace_out trace_capacity timeseries_out
-      fault_spec jobs backend =
+      fault_spec jobs backend alloc_domains =
     let scale = parse_scale s in
     with_backend backend (fun () ->
     with_jobs jobs (fun () ->
+    with_alloc_domains alloc_domains (fun () ->
         with_fault_spec (parse_fault_spec fault_spec) (fun () ->
             Option.iter check_writable metrics_out;
             Option.iter check_writable trace_out;
@@ -427,7 +467,7 @@ let top_cmd =
                     for _ = 1 to cps do
                       ignore (Wafl_workload.Random_overwrite.step workload ops)
                     done;
-                    redraw ())))))
+                    redraw ()))))))
   in
   Cmd.v
     (Cmd.info "top"
@@ -437,27 +477,29 @@ let top_cmd =
     Term.(
       const run $ scale_arg $ cps_arg $ ops_arg $ stats_interval_arg $ seed_arg
       $ metrics_out_arg $ trace_out_arg $ trace_capacity_arg $ timeseries_out_arg
-      $ fault_spec_arg $ jobs_arg $ backend_arg)
+      $ fault_spec_arg $ jobs_arg $ backend_arg $ alloc_domains_arg)
 
 (* Bare `waflsim --metrics-out m.json` (no subcommand) runs the scalar
    suite — the cheapest end-to-end workload that exercises every
    instrumented layer — so the telemetry flags work without picking an
    experiment.  Without any output flag the default remains the help page. *)
 let default =
-  let run s metrics_out trace_out trace_capacity timeseries_out jobs backend =
+  let run s metrics_out trace_out trace_capacity timeseries_out jobs backend alloc_domains
+      =
     match (metrics_out, trace_out, timeseries_out) with
     | None, None, None -> `Help (`Pager, None)
     | _ ->
       with_backend backend (fun () ->
           with_jobs jobs (fun () ->
-              with_telemetry ~metrics_out ~trace_out ~trace_capacity ~timeseries_out
-                (fun () -> Scalars.print (Scalars.run ~scale:(parse_scale s) ()))));
+              with_alloc_domains alloc_domains (fun () ->
+                  with_telemetry ~metrics_out ~trace_out ~trace_capacity ~timeseries_out
+                    (fun () -> Scalars.print (Scalars.run ~scale:(parse_scale s) ())))));
       `Ok ()
   in
   Term.(
     ret
       (const run $ scale_arg $ metrics_out_arg $ trace_out_arg $ trace_capacity_arg
-     $ timeseries_out_arg $ jobs_arg $ backend_arg))
+     $ timeseries_out_arg $ jobs_arg $ backend_arg $ alloc_domains_arg))
 
 let () =
   let info = Cmd.info "waflsim" ~doc:"WAFL free-block search reproduction experiments" in

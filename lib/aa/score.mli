@@ -39,6 +39,13 @@ val mem : delta -> aa:int -> bool
 val fold : delta -> init:'a -> f:('a -> aa:int -> change:int -> 'a) -> 'a
 (** Visit every AA with a non-zero net change. *)
 
+val merge_into : src:delta -> dst:delta -> unit
+(** Fold [src]'s pending changes into [dst] and clear [src].  The deltas
+    must cover AA spaces of the same size.  Used to merge per-domain
+    accumulators produced by the parallel allocation front-end into the
+    range's CP delta — the merged result equals having bumped [dst]
+    directly. *)
+
 val apply : delta -> int array -> (int * int) list
 (** Apply to a score array in place; returns [(aa, new_score)] for each
     changed AA (input to the cache rebalance) and clears the accumulator. *)

@@ -80,6 +80,29 @@ let take_best t =
     | None -> ());
     best
 
+(* Claim-aware take: same accounting as {!take_best}, dispatching to the
+   backend's filtered extraction so AAs owned by another writer are
+   skipped without losing score order. *)
+let take_best_filtered t ~keep =
+  t.picks <- t.picks + 1;
+  match t.backend with
+  | Raid_aware h ->
+    t.work <- t.work + heap_op_work h;
+    let best = Max_heap.extract_best_filtered h ~keep in
+    (match best with
+    | Some (aa, score) -> Telemetry.trace_aa_pick ~space:t.space ~aa ~score
+    | None -> ());
+    best
+  | Raid_agnostic h ->
+    t.work <- t.work + hbps_op_work;
+    let best = Hbps.take_best_filtered h ~keep in
+    (match best with
+    | Some (aa, score) ->
+      note_hbps_pick_error t h score;
+      Telemetry.trace_aa_pick ~space:t.space ~aa ~score
+    | None -> ());
+    best
+
 let peek_best_score t =
   match t.backend with
   | Raid_aware h -> Max_heap.best_score h

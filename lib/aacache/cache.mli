@@ -53,6 +53,13 @@ val take_best : t -> (int * int) option
 (** Best (or near-best, for HBPS) AA, removed from the cache until its
     CP-boundary score update re-files it. *)
 
+val take_best_filtered : t -> keep:(int -> bool) -> (int * int) option
+(** {!take_best} restricted to AAs satisfying [keep] — the claim-aware
+    pick of the concurrent allocation front-end: AAs owned by another
+    writer are skipped without losing score order (heap entries rejected
+    on the way are reinserted; HBPS scans the list page in stored
+    order).  Accounting matches {!take_best}. *)
+
 val peek_best_score : t -> int option
 (** Best available score without consuming (used for the RAID-group
     fragmentation throttle, §3.3.1). *)

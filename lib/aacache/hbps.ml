@@ -151,6 +151,25 @@ let take_best t =
     remove_at t t.pos.(aa) (bin_of t s);
     Some (aa, s)
 
+(* Claim-aware take: the first listed entry satisfying [keep].  Entries
+   are grouped by bin, highest bin first, so the scan finds an AA from
+   the best bin that still has an unclaimed member — the same one-bin
+   error bound as {!take_best} — without disturbing any other entry. *)
+let take_best_filtered t ~keep =
+  let rec find i =
+    if i >= t.count then None
+    else begin
+      let aa = t.entries.(i) in
+      if keep aa then begin
+        let s = t.score_of.(aa) in
+        remove_at t i (bin_of t s);
+        Some (aa, s)
+      end
+      else find (i + 1)
+    end
+  in
+  find 0
+
 let update t ~aa ~score:new_score =
   if new_score < 0 || new_score > t.max_score then invalid_arg "Hbps.update: score out of range";
   let old_score = t.score_of.(aa) in

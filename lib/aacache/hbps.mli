@@ -62,6 +62,13 @@ val take_best : t -> (int * int) option
     call yields a different AA.  The histogram is untouched — the AA's real
     score changes only when the CP's batched update arrives. *)
 
+val take_best_filtered : t -> keep:(int -> bool) -> (int * int) option
+(** {!take_best} restricted to AAs satisfying [keep] — the claim-aware
+    pick of the concurrent allocation front-end.  Scans the list page in
+    stored order (highest bin first), removes and returns the first kept
+    entry; all other entries are untouched.  The one-bin-width error
+    bound of {!take_best} still holds relative to the kept AAs. *)
+
 val update : t -> aa:int -> score:int -> unit
 (** Set an AA's score (CP-boundary batched path).  Adjusts the histogram;
     moves the AA between bins in the list, inserts it when it newly

@@ -98,6 +98,23 @@ let extract_best t =
     ignore (remove_at t 0);
     Some (aa, score)
 
+(* Claim-aware take: extract the best entry satisfying [keep], restoring
+   every rejected entry afterwards.  Rejections are rare (an AA is
+   rejected only while another writer owns it), extraction order is
+   deterministic (score, then lower AA id), and reinserting the rejected
+   entries reproduces the exact original heap contents — so concurrent
+   claimants see the same score order the serial path would. *)
+let extract_best_filtered t ~keep =
+  let rec go rejected =
+    match extract_best t with
+    | None -> (None, rejected)
+    | Some (aa, score) as best ->
+      if keep aa then (best, rejected) else go ((aa, score) :: rejected)
+  in
+  let best, rejected = go [] in
+  List.iter (fun (aa, score) -> insert t ~aa ~score) rejected;
+  best
+
 let remove t ~aa =
   let i = t.pos.(aa) in
   if i < 0 then invalid_arg "Max_heap.remove: AA not present";

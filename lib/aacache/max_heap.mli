@@ -34,6 +34,13 @@ val top_score : t -> int
 val extract_best : t -> (int * int) option
 (** Remove and return the best entry. *)
 
+val extract_best_filtered : t -> keep:(int -> bool) -> (int * int) option
+(** Remove and return the best entry whose AA satisfies [keep] — the
+    claim-aware pick of the concurrent allocation front-end (skip AAs
+    another writer owns without losing score order).  Entries rejected
+    on the way are reinserted, so the heap afterwards holds exactly the
+    original entries minus the returned one. *)
+
 val remove : t -> aa:int -> int
 (** Remove a specific AA, returning its score.  It must be present. *)
 

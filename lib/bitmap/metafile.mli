@@ -45,6 +45,13 @@ val allocate_harvested : t -> int -> unit
     blocks), so the already-allocated check is skipped.  Still
     bounds-checked and still dirties the page. *)
 
+val allocate_harvested_touched : t -> int -> touched:Bytes.t -> unit
+(** {!allocate_harvested} that records the dirtied page as a nonzero
+    byte in [touched] (length {!pages}) instead of updating the shared
+    dirty state — the allocation-side mirror of {!free_batch_into}.
+    Lets concurrent domains allocate into disjoint bitmap bytes without
+    racing on the dirty bitmap; merge with {!mark_touched_dirty}. *)
+
 val free : t -> int -> unit
 (** Mark a VBN free; it must currently be allocated.  Dirties its page. *)
 

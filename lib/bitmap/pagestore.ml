@@ -26,14 +26,69 @@ type t =
   | Bytes_store of Bytes.t
   | Big_store of ba
 
+(* File-backed stores: when a map directory is installed, every
+   anonymously created store (no explicit [?backend]) becomes a shared
+   mapping of the next file in the directory's deterministic ps<seq>
+   sequence.  A structure-for-structure identical system (same config,
+   same creation order) maps the same files, which is what lets a remount
+   pick up exactly the bytes a previous process persisted.  Snapshots and
+   other explicit-backend copies stay anonymous. *)
+let mmap_dir : string option ref = ref None
+let mmap_seq = ref 0
+
+let set_mmap_dir dir =
+  mmap_dir := dir;
+  mmap_seq := 0
+
+let with_mmap_dir dir f =
+  let saved_dir = !mmap_dir and saved_seq = !mmap_seq in
+  mmap_dir := Some dir;
+  mmap_seq := 0;
+  Fun.protect
+    ~finally:(fun () ->
+      mmap_dir := saved_dir;
+      mmap_seq := saved_seq)
+    f
+
+let map_file ~path words =
+  if words < 0 then invalid_arg "Pagestore.map_file: negative size";
+  let bytes = words * 8 in
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      (* Size to fit, but only when the file doesn't already fit: a
+         right-sized existing file keeps its persisted contents — that is
+         the remount path.  A size mismatch truncates to zero FIRST, so
+         the mapping is wholly OS-zeroed (growing in place would leak the
+         stale prefix into what [create] promises is a zero-filled
+         store). *)
+      if (Unix.fstat fd).Unix.st_size <> bytes then begin
+        Unix.ftruncate fd 0;
+        Unix.ftruncate fd bytes
+      end;
+      let a =
+        Bigarray.array1_of_genarray
+          (Unix.map_file fd Bigarray.int8_unsigned Bigarray.c_layout true [| bytes |])
+      in
+      Big_store a)
+
 let create ?backend words =
   if words < 0 then invalid_arg "Pagestore.create: negative size";
-  match Option.value backend ~default:!default_backend with
-  | Heap -> Bytes_store (Bytes.make (words * 8) '\000')
-  | Bigarray ->
-    let a = Bigarray.Array1.create Bigarray.int8_unsigned Bigarray.c_layout (words * 8) in
-    Bigarray.Array1.fill a 0;
-    Big_store a
+  match (backend, !mmap_dir) with
+  | None, Some dir when words > 0 ->
+    let seq = !mmap_seq in
+    incr mmap_seq;
+    map_file ~path:(Filename.concat dir ("ps" ^ string_of_int seq ^ ".bin")) words
+  | _ -> (
+    match Option.value backend ~default:!default_backend with
+    | Heap -> Bytes_store (Bytes.make (words * 8) '\000')
+    | Bigarray ->
+      let a =
+        Bigarray.Array1.create Bigarray.int8_unsigned Bigarray.c_layout (words * 8)
+      in
+      Bigarray.Array1.fill a 0;
+      Big_store a)
 
 let backend = function Bytes_store _ -> Heap | Big_store _ -> Bigarray
 

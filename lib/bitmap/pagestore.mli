@@ -35,11 +35,33 @@ val with_default : backend -> (unit -> 'a) -> 'a
 (** Run a thunk with the default swapped, restoring it on exit (including
     exceptional exit). *)
 
+val set_mmap_dir : string option -> unit
+(** Install (or clear, with [None]) a map directory: every subsequent
+    anonymous {!create} (no explicit [?backend]) becomes a shared file
+    mapping of [<dir>/ps<seq>.bin], where [seq] counts creations since the
+    directory was installed.  A process that rebuilds the same structures
+    in the same order therefore maps the same files — the
+    [--backend mmap:<path>] remount path.  Explicit-backend creations
+    (snapshots, copies) stay anonymous. *)
+
+val with_mmap_dir : string -> (unit -> 'a) -> 'a
+(** Run a thunk with the map directory installed and the sequence counter
+    at 0, restoring both on exit (including exceptional exit). *)
+
 type t
 
 val create : ?backend:backend -> int -> t
 (** [create words] is a zero-filled store of [words] 64-bit words
-    ([words >= 0]).  [backend] defaults to {!default}[ ()]. *)
+    ([words >= 0]).  [backend] defaults to {!default}[ ()] — unless a map
+    directory is installed ({!set_mmap_dir}) and no explicit [backend] is
+    given, in which case the store maps the next file in the directory's
+    sequence (and a right-sized existing file keeps its contents). *)
+
+val map_file : path:string -> int -> t
+(** [map_file ~path words] maps (creating if missing) [path] as a shared
+    [Bigarray]-backed store of [words] 64-bit words.  The file is resized
+    (and thereby OS-zeroed) only when its size does not already match, so
+    a right-sized existing file keeps its persisted contents. *)
 
 val of_bytes : ?backend:backend -> Bytes.t -> t
 (** Copy a byte image into a fresh store.  The image length must be a

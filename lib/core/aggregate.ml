@@ -26,7 +26,28 @@ type range = {
   media : Config.media option;
   mutable fault : Wafl_fault.Fault.device option;
   mutable cache_epoch : int;
+  owners : int Atomic.t array;
 }
+
+(* --- atomic AA claims (multi-writer allocation front-end) ---
+
+   One slot per AA holding the claiming cursor/domain id, or -1 when
+   unclaimed.  A claim is a single CAS on an immediate int — no
+   allocation, no lock — and between CPs an AA is owned by at most one
+   writer, which is what keeps the word-at-a-time harvest kernels
+   single-writer.  All claims are released serially at the CP boundary. *)
+
+let no_owner = -1
+
+let make_owners topology =
+  Array.init (Topology.aa_count topology) (fun _ -> Atomic.make no_owner)
+
+let[@inline] aa_claimed range ~aa = Atomic.get range.owners.(aa) <> no_owner
+
+let[@inline] claim_aa range ~aa ~owner =
+  Atomic.compare_and_set range.owners.(aa) no_owner owner
+
+let[@inline] release_aa range ~aa = Atomic.set range.owners.(aa) no_owner
 
 type t = {
   config : Config.t;
@@ -75,6 +96,7 @@ let make_raid_range index base (spec : Config.raid_group_spec) =
     media = Some spec.Config.media;
     fault = None;
     cache_epoch = 0;
+    owners = make_owners topology;
   }
 
 let make_object_range index base (spec : Config.object_range_spec) =
@@ -97,6 +119,7 @@ let make_object_range index base (spec : Config.object_range_spec) =
     media = None;
     fault = None;
     cache_epoch = 0;
+    owners = make_owners topology;
   }
 
 let build_cache range =

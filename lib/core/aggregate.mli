@@ -30,6 +30,9 @@ type range = {
   mutable cache_epoch : int;
       (** validity stamp: the cache/scores are exact iff this equals the
           aggregate's rebuild epoch (see {!range_fresh}) *)
+  owners : int Atomic.t array;
+      (** per-AA claim slot: the claiming cursor/domain id, or -1 when
+          unclaimed (see {!claim_aa}) *)
 }
 
 type t
@@ -152,3 +155,25 @@ val harvest_free_of_aa_sharded :
 
 val aa_score_now : t -> range -> int -> int
 (** Recompute an AA's score from the bitmap (bypasses the cached array). *)
+
+(** {2 Atomic AA claims (multi-writer allocation front-end)}
+
+    An AA picked by any writer — the serial cursor or a parallel
+    allocation shard — is {e claimed} with one compare-and-set on its
+    owner slot, and stays owned by that writer until the CP boundary
+    releases every claim.  One-owner-per-AA is the invariant that keeps
+    the harvest kernels single-writer (two domains never consume, and so
+    never allocate bits inside, the same AA concurrently). *)
+
+val no_owner : int
+(** The empty owner slot value (-1). *)
+
+val aa_claimed : range -> aa:int -> bool
+
+val claim_aa : range -> aa:int -> owner:int -> bool
+(** Atomically claim the AA for [owner] (a small non-negative writer id);
+    returns false when another writer already owns it.  Allocation-free
+    (the slot holds an immediate int). *)
+
+val release_aa : range -> aa:int -> unit
+(** Release a claim (CP boundary; the caller serializes releases). *)

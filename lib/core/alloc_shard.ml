@@ -1,0 +1,181 @@
+(* Per-domain allocation shard: a single-owner harvest ring with lock-free
+   work stealing, plus the per-domain accumulators (score delta, touched
+   metafile pages, free queue, counters) the serial merge folds back at
+   the end of a parallel allocation window.
+
+   Ring protocol.  The live region [lo, hi) of [ring] is packed with a
+   version counter into one atomic int: ver|lo|hi, 21 bits each.  The
+   owner pops from the front with a CAS that advances [lo]; a thief takes
+   a suffix [split, hi) by CAS-ing [hi] down to [split].  The owner is
+   the only writer of [ver] and [lo]; thieves only lower [hi].  A refill
+   (only ever issued by the owner, and only on an empty ring) rewrites
+   the entries and the [ring_range]/[ring_aa] plain fields, then
+   publishes (ver+1, 0, count) with a release store — any thief that read
+   the old version has its CAS fail and discards whatever it copied, so
+   reading entries or the plain fields concurrently with a rewrite is a
+   benign race (the copy is validated by the version before use).  The
+   21-bit version makes ABA across 2^21 refills of one shard impossible
+   within a window (windows publish far fewer).
+
+   Steal splits land on bitmap-byte boundaries.  Ring entries are one
+   AA's free VBNs in emission order, and both harvest layouts emit with a
+   monotone "byte group": contiguous AAs ascend in [pvbn lsr 3], while
+   RAID-aware AAs emit stripe-major across devices, so the group is the
+   stripe-byte [((pvbn - base) mod device_blocks) lsr 3] — the same
+   stripe group on different devices maps to different (byte-aligned)
+   bitmap bytes, but one device's byte recurs whenever its stripe group
+   recurs.  Each publish records the group parameters ([key_base],
+   [key_mod]); a steal advances the split until the group changes, so the
+   stolen suffix's groups are strictly above every group the victim has
+   popped or can still pop — no bitmap byte is ever read-modify-written
+   by two domains. *)
+
+type t = {
+  id : int;                   (* shard index; claim owner id is [id + 1] *)
+  ring : int array;
+  state : int Atomic.t;       (* packed ver|lo|hi *)
+  mutable ring_range : int;   (* range index of the live entries *)
+  mutable ring_aa : int;      (* AA of the live entries *)
+  mutable key_base : int;     (* byte-group origin of the live entries *)
+  mutable key_mod : int;      (* byte-group period (0 = contiguous layout) *)
+  deltas : Wafl_aa.Score.delta array;  (* per physical range *)
+  touched : Bytes.t;          (* aggregate-metafile pages this shard dirtied *)
+  words : int ref;            (* bitmap words read by this shard's harvests *)
+  mutable free_q : int array; (* queued concurrent frees *)
+  mutable n_free : int;
+  mutable allocated : int;    (* window counters, reset at window start *)
+  mutable harvested : int;
+  mutable taken : int;
+  mutable score_sum : int;
+  mutable steals : int;
+  mutable high_water : int;
+  mutable consume_minor : int;  (* minor-heap words inside pop-consume loops *)
+}
+
+let bits = 21
+let mask = (1 lsl bits) - 1
+let[@inline] pack ~ver ~lo ~hi = (ver lsl (2 * bits)) lor (lo lsl bits) lor hi
+let[@inline] ver_of s = (s lsr (2 * bits)) land mask
+let[@inline] lo_of s = (s lsr bits) land mask
+let[@inline] hi_of s = s land mask
+
+let create ~id ~capacity ~deltas ~touched_pages =
+  if capacity > mask then invalid_arg "Alloc_shard.create: capacity over 2^21";
+  {
+    id;
+    ring = Array.make (max 1 capacity) 0;
+    state = Atomic.make (pack ~ver:0 ~lo:0 ~hi:0);
+    ring_range = 0;
+    ring_aa = 0;
+    key_base = 0;
+    key_mod = 0;
+    deltas;
+    touched = Bytes.make touched_pages '\000';
+    words = ref 0;
+    free_q = Array.make 256 0;
+    n_free = 0;
+    allocated = 0;
+    harvested = 0;
+    taken = 0;
+    score_sum = 0;
+    steals = 0;
+    high_water = 0;
+    consume_minor = 0;
+  }
+
+(* Entries currently poppable.  Racy by design (steal victim selection);
+   any torn answer only misdirects a steal attempt, never corrupts. *)
+let[@inline] entries t =
+  let s = Atomic.get t.state in
+  hi_of s - lo_of s
+
+(* Owner pop: -1 when empty (option-free so the consume loop stays
+   allocation-free).  The CAS advances [lo]; failure means a thief moved
+   [hi] between the read and the CAS — retry on the fresh word. *)
+let rec pop t =
+  let s = Atomic.get t.state in
+  let lo = lo_of s in
+  if lo >= hi_of s then -1
+  else begin
+    let v = Array.unsafe_get t.ring lo in
+    if Atomic.compare_and_set t.state s (s + (1 lsl bits)) then v else pop t
+  end
+
+(* Owner publish: the caller has written [ring.(0 .. count-1)] and the
+   [ring_range]/[ring_aa] fields for an empty ring.  Bumping the version
+   invalidates any in-flight steal of the previous contents. *)
+let publish t ~range_idx ~aa ~key_base ~key_mod ~count =
+  t.ring_range <- range_idx;
+  t.ring_aa <- aa;
+  t.key_base <- key_base;
+  t.key_mod <- key_mod;
+  if count > t.high_water then t.high_water <- count;
+  let ver = (ver_of (Atomic.get t.state) + 1) land mask in
+  Atomic.set t.state (pack ~ver ~lo:0 ~hi:count)
+
+let flush t =
+  let ver = (ver_of (Atomic.get t.state) + 1) land mask in
+  Atomic.set t.state (pack ~ver ~lo:0 ~hi:0)
+
+(* Steal up to half of [victim]'s live entries into [thief]'s (empty)
+   ring.  The suffix is copied BEFORE the CAS; a failed CAS (the victim
+   popped past the split, refilled, or another thief got there first)
+   discards the copy.  The split is advanced until the entries' byte
+   group changes, so victim and thief never read-modify-write the same
+   bitmap byte (see the header); if no such split exists the steal is
+   abandoned.  The key parameters are read racily alongside the entries —
+   a concurrent refill changes them, but also bumps the version, which
+   fails the CAS and discards everything read. *)
+let try_steal ~victim ~thief =
+  let s = Atomic.get victim.state in
+  let lo = lo_of s and hi = hi_of s in
+  if hi - lo < 2 then false
+  else begin
+    let key_base = victim.key_base and key_mod = victim.key_mod in
+    let group v =
+      let v = v - key_base in
+      (if key_mod > 0 then v mod key_mod else v) lsr 3
+    in
+    let split = ref (hi - ((hi - lo) / 2)) in
+    while
+      !split < hi
+      && group (Array.unsafe_get victim.ring (!split - 1))
+         = group (Array.unsafe_get victim.ring !split)
+    do
+      incr split
+    done;
+    let split = !split in
+    if split >= hi then false
+    else begin
+      let cnt = hi - split in
+      let range_idx = victim.ring_range and aa = victim.ring_aa in
+      Array.blit victim.ring split thief.ring 0 cnt;
+      if Atomic.compare_and_set victim.state s (pack ~ver:(ver_of s) ~lo ~hi:split)
+      then begin
+        publish thief ~range_idx ~aa ~key_base ~key_mod ~count:cnt;
+        thief.steals <- thief.steals + 1;
+        true
+      end
+      else false
+    end
+  end
+
+(* Constant-time (amortised) concurrent free: appended to the shard's
+   private queue, drained serially in shard order before the CP commit. *)
+let queue_free t pvbn =
+  if t.n_free = Array.length t.free_q then begin
+    let bigger = Array.make (2 * Array.length t.free_q) 0 in
+    Array.blit t.free_q 0 bigger 0 t.n_free;
+    t.free_q <- bigger
+  end;
+  t.free_q.(t.n_free) <- pvbn;
+  t.n_free <- t.n_free + 1
+
+let reset_window t =
+  t.allocated <- 0;
+  t.harvested <- 0;
+  t.taken <- 0;
+  t.score_sum <- 0;
+  t.steals <- 0;
+  t.high_water <- 0;
+  t.consume_minor <- 0

@@ -1,0 +1,67 @@
+(** Per-domain allocation shard for the concurrent write-allocation
+    front-end: a single-owner harvest ring with lock-free work stealing
+    (packed ver|lo|hi state word, 21 bits each), plus the per-domain
+    accumulators — score deltas, touched metafile pages, free queue,
+    window counters — that the serial merge folds back after a parallel
+    allocation window.
+
+    Ownership contract: exactly one domain (the one running the shard's
+    chunk) pops, refills and publishes; any domain may steal.  Steal
+    splits land on bitmap-byte boundaries, so the stolen suffix and the
+    victim's remainder never read-modify-write the same allocation-bitmap
+    byte. *)
+
+type t = {
+  id : int;                   (** shard index; claim owner id is [id + 1] *)
+  ring : int array;
+  state : int Atomic.t;       (** packed ver|lo|hi *)
+  mutable ring_range : int;   (** range index of the live entries *)
+  mutable ring_aa : int;      (** AA of the live entries *)
+  mutable key_base : int;     (** byte-group origin of the live entries *)
+  mutable key_mod : int;      (** byte-group period (0 = contiguous layout) *)
+  deltas : Wafl_aa.Score.delta array;  (** per physical range *)
+  touched : Bytes.t;          (** metafile pages this shard dirtied *)
+  words : int ref;            (** bitmap words read by this shard's harvests *)
+  mutable free_q : int array;
+  mutable n_free : int;
+  mutable allocated : int;
+  mutable harvested : int;
+  mutable taken : int;
+  mutable score_sum : int;
+  mutable steals : int;
+  mutable high_water : int;
+  mutable consume_minor : int;
+}
+
+val create :
+  id:int -> capacity:int -> deltas:Wafl_aa.Score.delta array -> touched_pages:int -> t
+
+val entries : t -> int
+(** Poppable entries right now; racy (steal victim selection only). *)
+
+val pop : t -> int
+(** Owner pop: the next free VBN, or [-1] when the ring is empty.  One
+    atomic load plus one CAS on the hot path; allocation-free. *)
+
+val publish :
+  t -> range_idx:int -> aa:int -> key_base:int -> key_mod:int -> count:int -> unit
+(** Owner publish of a freshly harvested (empty-ring) refill:
+    [ring.(0 .. count-1)] must already be written.  [key_base]/[key_mod]
+    define the entries' monotone byte group
+    [((vbn - key_base) mod key_mod) lsr 3] ([key_mod = 0] means plain
+    [vbn lsr 3]) — the boundary steal splits must fall on. *)
+
+val flush : t -> unit
+(** Empty the ring (version bump included), e.g. at a CP boundary. *)
+
+val try_steal : victim:t -> thief:t -> bool
+(** Move up to half of [victim]'s entries into [thief]'s empty ring,
+    splitting on a byte-group boundary; false if the victim was too dry,
+    no aligned split exists, or the CAS lost a race. *)
+
+val queue_free : t -> int -> unit
+(** Append a PVBN to the shard's private free queue (amortised O(1)). *)
+
+val reset_window : t -> unit
+(** Zero the window counters (allocated/harvested/steals/high-water/
+    minor-words) at the start of a parallel allocation window. *)

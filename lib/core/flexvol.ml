@@ -2,7 +2,13 @@ open Wafl_bitmap
 open Wafl_aa
 open Wafl_aacache
 
+(* Process-wide volume id counter: every volume gets a small dense uid at
+   creation, which the write allocator uses as an O(1) cursor-slot index
+   (fleet-scale volume counts must not pay a list walk per allocation). *)
+let next_uid = Atomic.make 0
+
 type t = {
+  uid : int;
   spec : Config.vol_spec;
   topology : Topology.t;
   activemap : Activemap.t;
@@ -26,6 +32,7 @@ let create (spec : Config.vol_spec) =
   let scores = Array.init (Topology.aa_count topology) (Topology.aa_capacity topology) in
   let t =
     {
+      uid = Atomic.fetch_and_add next_uid 1;
       spec;
       topology;
       (* one metafile page per AA — the §3.2.1 alignment — even when the
@@ -58,6 +65,7 @@ let create (spec : Config.vol_spec) =
   end;
   t
 
+let uid t = t.uid
 let name t = t.spec.Config.name
 let blocks t = Array.length t.container
 let spec t = t.spec

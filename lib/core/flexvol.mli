@@ -12,6 +12,11 @@ type t
 val create :
   Config.vol_spec -> t
 
+val uid : t -> int
+(** Process-wide dense volume id, assigned at creation.  The write
+    allocator indexes its per-volume cursor slots by it (O(1) lookup
+    instead of an assoc-list walk). *)
+
 val name : t -> string
 val blocks : t -> int
 val spec : t -> Config.vol_spec

@@ -14,16 +14,32 @@ let min_sharded_capacity = 8192
    the free VBNs of the AA currently being filled (harvested word-at-a-time,
    consumed front to back), plus the AAs taken since the last CP.  The ring
    is sized to a full AA once, at cursor creation, so the steady-state
-   pick -> harvest -> allocate loop allocates no per-block heap words. *)
+   pick -> harvest -> allocate loop allocates no per-block heap words.
+
+   Taken AAs live in a flat id array (an AA is taken at most once per CP —
+   the claim word filters re-picks), and every take claims the AA in
+   [owners]: range cursors alias the range's claim array so the parallel
+   front-end and the serial path see each other's ownership; volume cursors
+   get a private array (volumes have no concurrent writers, the claim only
+   carries the taken-at-most-once invariant). *)
 type cursor = {
   mutable ring : int array;       (* harvested free VBNs; [head, len) live *)
   mutable head : int;
   mutable len : int;
   mutable ring_aa : int;          (* the AA the live entries belong to *)
   mutable ring_epoch : int;       (* CP epoch the live entries were harvested in *)
-  taken : (int, unit) Hashtbl.t;  (* AAs checked out of the cache *)
+  mutable taken_list : int array; (* AAs checked out of the cache this CP *)
+  mutable n_taken : int;
+  owners : int Atomic.t array;    (* per-AA claim word (see Aggregate.claim_aa) *)
   quarantined : (int, unit) Hashtbl.t;  (* AAs overlapping device bad ranges *)
   mutable scan_pos : int;         (* First_fit scan position *)
+}
+
+type par_slot_stats = {
+  ps_allocated : int;
+  ps_steals : int;
+  ps_high_water : int;
+  ps_minor_words : int;
 }
 
 type t = {
@@ -31,12 +47,19 @@ type t = {
   rng : Rng.t;
   cursors : cursor array;                 (* one per physical range *)
   mutable vols : (Flexvol.t * cursor) list;
+  mutable vol_slots : cursor option array;  (* indexed by Flexvol.uid *)
   mutable epoch : int;                    (* bumped at every cp_finish *)
   words : int ref;                        (* cumulative 32-bit bitmap words read *)
   mutable harvested : int;                (* cumulative VBNs harvested into rings *)
   elig : int array;                       (* scratch: eligible range indices *)
   weight : int array;                     (* scratch: weight per eligible entry *)
-  mutable shards : int array array;       (* per-domain harvest rings (lazy) *)
+  mutable shards : int array array;       (* harvest-kernel scratch (lazy) *)
+  mutable alloc_shards : Alloc_shard.t array;  (* per-domain front-end shards *)
+  pick_mutex : Mutex.t;                   (* serialises cache picks across domains *)
+  mutable used_par : bool;                (* a parallel window ran this epoch *)
+  mutable par_capable : int;              (* -1 unknown, 0 no, 1 yes (cached) *)
+  mutable last_par : par_slot_stats array;
+  mutable claim_conflicts : int;
   mutable phys_taken : int;
   mutable phys_score_sum : int;
   mutable virt_taken : int;
@@ -44,17 +67,28 @@ type t = {
   mutable candidates_scanned : int;
 }
 
-let new_cursor ~capacity =
+let new_cursor ~capacity ~owners =
   {
     ring = Array.make (max 1 capacity) 0;
     head = 0;
     len = 0;
     ring_aa = 0;
     ring_epoch = 0;
-    taken = Hashtbl.create 16;
+    taken_list = Array.make 16 0;
+    n_taken = 0;
+    owners;
     quarantined = Hashtbl.create 8;
     scan_pos = 0;
   }
+
+let push_taken cursor aa =
+  if cursor.n_taken = Array.length cursor.taken_list then begin
+    let bigger = Array.make (2 * Array.length cursor.taken_list) 0 in
+    Array.blit cursor.taken_list 0 bigger 0 cursor.n_taken;
+    cursor.taken_list <- bigger
+  end;
+  cursor.taken_list.(cursor.n_taken) <- aa;
+  cursor.n_taken <- cursor.n_taken + 1
 
 let create aggregate ~rng =
   let ranges = Aggregate.ranges aggregate in
@@ -64,15 +98,24 @@ let create aggregate ~rng =
     cursors =
       Array.map
         (fun (r : Aggregate.range) ->
-          new_cursor ~capacity:(Topology.full_aa_capacity r.Aggregate.topology))
+          new_cursor
+            ~capacity:(Topology.full_aa_capacity r.Aggregate.topology)
+            ~owners:r.Aggregate.owners)
         ranges;
     vols = [];
+    vol_slots = Array.make 8 None;
     epoch = 0;
     words = ref 0;
     harvested = 0;
     elig = Array.make (Array.length ranges) 0;
     weight = Array.make (Array.length ranges) 0;
     shards = [||];
+    alloc_shards = [||];
+    pick_mutex = Mutex.create ();
+    used_par = false;
+    par_capable = -1;
+    last_par = [||];
+    claim_conflicts = 0;
     phys_taken = 0;
     phys_score_sum = 0;
     virt_taken = 0;
@@ -82,19 +125,35 @@ let create aggregate ~rng =
 
 let aggregate t = t.aggregate
 
-(* Closure- and option-free lookup: volume cursors sit under the
-   zero-allocation VVBN take path. *)
-let rec find_vol_cursor vols vol =
-  match vols with
-  | [] -> raise Not_found
-  | (v, c) :: rest -> if v == vol then c else find_vol_cursor rest vol
-
-let vol_cursor t vol =
-  try find_vol_cursor t.vols vol
-  with Not_found ->
-    let c = new_cursor ~capacity:(Topology.full_aa_capacity (Flexvol.topology vol)) in
-    t.vols <- (vol, c) :: t.vols;
-    c
+(* O(1), option- and closure-free on the hit path: volume cursors sit under
+   the zero-allocation VVBN take path, and the slot array is indexed by the
+   volume's process-wide dense uid. *)
+let rec vol_cursor t vol =
+  let uid = Flexvol.uid vol in
+  if uid < Array.length t.vol_slots then begin
+    match Array.unsafe_get t.vol_slots uid with
+    | Some c -> c
+    | None ->
+      let topology = Flexvol.topology vol in
+      let c =
+        new_cursor
+          ~capacity:(Topology.full_aa_capacity topology)
+          ~owners:
+            (Array.init (Topology.aa_count topology) (fun _ ->
+                 Atomic.make Aggregate.no_owner))
+      in
+      t.vol_slots.(uid) <- Some c;
+      t.vols <- (vol, c) :: t.vols;
+      c
+  end
+  else begin
+    let bigger =
+      Array.make (max (uid + 1) (2 * Array.length t.vol_slots)) None
+    in
+    Array.blit t.vol_slots 0 bigger 0 (Array.length t.vol_slots);
+    t.vol_slots <- bigger;
+    vol_cursor t vol
+  end
 
 let register_vol t vol = ignore (vol_cursor t vol)
 
@@ -102,22 +161,37 @@ let register_vol t vol = ignore (vol_cursor t vol)
    [free_of aa] recomputes the AA's current free count (used by the
    cacheless policies).  [space] labels the pick in the telemetry trace
    (range index, or -1 for a FlexVol); a cache-backed pick is traced by the
-   cache itself.  Returns (aa, score-at-take) or None. *)
-let pick_aa t cursor ~policy ~space ~cache ~n_aas ~free_of =
+   cache itself.  [owner] is the claim id a Best_aa take is registered
+   under (serial cursors claim as 0, shard c as c+1).  Returns
+   (aa, score-at-take) or None. *)
+let pick_aa t cursor ~policy ~space ~cache ~n_aas ~free_of ~owner =
   match (policy : Config.allocation_policy) with
   | Config.Best_aa -> (
     match cache with
     | None -> None
     | Some c ->
-      (* Skip over empty-scored AAs; bounded so a drained cache terminates. *)
+      (* Skip over empty-scored AAs; bounded so a drained cache terminates.
+         The claim-aware take skips AAs another cursor or domain owns, and
+         the CAS right after makes the ownership authoritative — a lost
+         race (counted, structurally impossible while picks are serialised
+         by the pick mutex) just retries. *)
+      let keep aa = Atomic.get cursor.owners.(aa) = Aggregate.no_owner in
       let rec try_take attempts =
         if attempts = 0 then None
         else begin
-          match Cache.take_best c with
+          match Cache.take_best_filtered c ~keep with
           | None -> None
           | Some (aa, score) ->
-            Hashtbl.replace cursor.taken aa ();
-            if score > 0 then Some (aa, score) else try_take (attempts - 1)
+            if Atomic.compare_and_set cursor.owners.(aa) Aggregate.no_owner owner
+            then begin
+              push_taken cursor aa;
+              if score > 0 then Some (aa, score) else try_take (attempts - 1)
+            end
+            else begin
+              t.claim_conflicts <- t.claim_conflicts + 1;
+              Telemetry.incr "write_alloc.claim_conflicts";
+              try_take (attempts - 1)
+            end
         end
       in
       try_take 8)
@@ -207,10 +281,11 @@ let aa_overlaps_fault (range : Aggregate.range) dev aa =
    simply spent — retry with the next pick.
 
    With a fault device attached, an AA overlapping a permanent bad range is
-   quarantined instead of harvested: it leaves the cursor's taken set (so
-   cp_finish never re-files it) and the pick retries.  Quarantine retries
-   are bounded so the cacheless policies (which pick by free count and
-   cannot learn) give up instead of spinning on an all-bad range. *)
+   quarantined instead of harvested: it stays claimed and taken (so a
+   re-pick this CP is impossible) but the quarantine set keeps cp_finish
+   from ever re-filing it, and the pick retries.  Quarantine retries are
+   bounded so the cacheless policies (which pick by free count and cannot
+   learn) give up instead of spinning on an all-bad range. *)
 (* Per-domain scratch rings for the sharded harvest, grown to the largest
    (jobs, capacity) seen.  Refill is off the consume window, so sizing (and
    the pool dispatch below) may allocate; the per-block loops inside the
@@ -244,6 +319,7 @@ let rec refill_range_guarded t range cursor qbudget =
     pick_aa t cursor ~policy ~space:range.Aggregate.index ~cache:range.Aggregate.cache
       ~n_aas:(Topology.aa_count range.Aggregate.topology)
       ~free_of:(fun aa -> Aggregate.aa_score_now t.aggregate range aa)
+      ~owner:0
   in
   Telemetry.span_exit Span.Pick;
   match picked with
@@ -258,7 +334,6 @@ let rec refill_range_guarded t range cursor qbudget =
       if qbudget = 0 then false
       else begin
         Hashtbl.replace cursor.quarantined aa ();
-        Hashtbl.remove cursor.taken aa;
         Telemetry.incr "fault.aa_quarantined";
         refill_range_guarded t range cursor (qbudget - 1)
       end
@@ -319,8 +394,10 @@ let best_score_of_range (range : Aggregate.range) =
       (* cacheless: use the true best score so throttling still works *)
       array_max range.Aggregate.scores 0 0)
 
-(* The fan-out stages of [allocate_pvbns_into], top-level (closure-free):
-   the whole call must allocate nothing when served from rings. *)
+(* The fan-out stages of the serial [allocate_pvbns_into], top-level
+   (closure-free): the whole call must allocate nothing when served from
+   rings.  Fill positions are absolute ([pos0] is the caller's base), so
+   the parallel front-end can reuse the serial path for its shortfall. *)
 
 let rec filter_elig t ranges min_score i m =
   if i >= Array.length ranges then m
@@ -358,50 +435,377 @@ let rec take_shares t ranges dst n m total_weight k got =
 (* Rounding remainder and any shortfall: round-robin over eligible ranges
    until satisfied or nothing more is allocatable.  Progress is the fill
    position itself — no per-round list lengths. *)
-let rec mop_round t ranges dst n m k got =
-  if k >= m || got >= n then got
+let rec mop_round t ranges dst stop m k got =
+  if k >= m || got >= stop then got
   else begin
     let i = t.elig.(k) in
-    mop_round t ranges dst n m (k + 1)
-      (take_from_range_into t ranges.(i) t.cursors.(i) ~dst ~pos:got (min 64 (n - got)))
+    mop_round t ranges dst stop m (k + 1)
+      (take_from_range_into t ranges.(i) t.cursors.(i) ~dst ~pos:got (min 64 (stop - got)))
   end
 
-let rec mop_up t ranges dst n m got =
-  if got >= n then got
+let rec mop_up t ranges dst stop m got =
+  if got >= stop then got
   else begin
-    let got' = mop_round t ranges dst n m 0 got in
-    if got' > got then mop_up t ranges dst n m got' else got'
+    let got' = mop_round t ranges dst stop m 0 got in
+    if got' > got then mop_up t ranges dst stop m got' else got'
   end
 
-let allocate_pvbns_into t ~dst n =
-  if n <= 0 then 0
-  else begin
-    let ranges = Aggregate.ranges t.aggregate in
-    let nr = Array.length ranges in
-    let threshold = (Aggregate.config t.aggregate).Config.rg_score_threshold in
-    (* Eligible ranges into the preallocated [elig] scratch. *)
-    let m =
-      match threshold with
-      | None ->
+(* Serial allocation core, filling [dst.(pos0 .. pos0+n-1)]; returns the
+   absolute fill position reached. *)
+let allocate_pvbns_serial t ~dst ~pos0 n =
+  let ranges = Aggregate.ranges t.aggregate in
+  let nr = Array.length ranges in
+  let threshold = (Aggregate.config t.aggregate).Config.rg_score_threshold in
+  (* Eligible ranges into the preallocated [elig] scratch. *)
+  let m =
+    match threshold with
+    | None ->
+      for i = 0 to nr - 1 do
+        t.elig.(i) <- i
+      done;
+      nr
+    | Some min_score ->
+      let m = filter_elig t ranges min_score 0 0 in
+      if m > 0 then m
+      else begin
+        (* never stall entirely: fall back to every range (§3.3.1) *)
         for i = 0 to nr - 1 do
           t.elig.(i) <- i
         done;
         nr
-      | Some min_score ->
-        let m = filter_elig t ranges min_score 0 0 in
-        if m > 0 then m
-        else begin
-          (* never stall entirely: fall back to every range (§3.3.1) *)
-          for i = 0 to nr - 1 do
-            t.elig.(i) <- i
-          done;
-          nr
-        end
+      end
+  in
+  let total_weight = weigh_elig t ranges m 0 0 in
+  let after_shares = take_shares t ranges dst n m total_weight 0 pos0 in
+  mop_up t ranges dst (pos0 + n) m after_shares
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent allocation front-end (the multi-writer path).            *)
+
+(* The pool driving parallel allocation windows, installed process-wide
+   (mirrors Par.install): waflsim's [--alloc-domains N].  Kept separate
+   from the scan pool so scan and allocation parallelism compose. *)
+let alloc_pool : Par.t option ref = ref None
+
+let uninstall_alloc_pool () =
+  match !alloc_pool with
+  | None -> ()
+  | Some p ->
+    alloc_pool := None;
+    Par.shutdown p
+
+let install_alloc_pool ~jobs =
+  uninstall_alloc_pool ();
+  if jobs > 1 then alloc_pool := Some (Par.create ~jobs)
+
+let alloc_pool_jobs () = match !alloc_pool with Some p -> Par.jobs p | None -> 1
+
+(* Concurrent word-at-a-time bitmap mutation is only safe when no two AAs
+   can share a bitmap byte: every extent of every AA must start and end on
+   a byte boundary in aggregate PVBN space.  Static per-aggregate property;
+   computed once and cached. *)
+let compute_par_capable t =
+  Array.for_all
+    (fun (r : Aggregate.range) ->
+      let n = Topology.aa_count r.Aggregate.topology in
+      let ok = ref true in
+      for aa = 0 to n - 1 do
+        List.iter
+          (fun e ->
+            if
+              (r.Aggregate.base + Wafl_block.Extent.start e) land 7 <> 0
+              || Wafl_block.Extent.len e land 7 <> 0
+            then ok := false)
+          (Topology.extents_of_aa r.Aggregate.topology aa)
+      done;
+      !ok)
+    (Aggregate.ranges t.aggregate)
+
+let parallel_capable t =
+  if t.par_capable < 0 then t.par_capable <- (if compute_par_capable t then 1 else 0);
+  t.par_capable = 1
+
+(* Grow the per-domain shard set; shard [c] claims AAs as owner [c + 1]
+   (0 is the serial cursors' id). *)
+let ensure_alloc_shards t jobs =
+  if Array.length t.alloc_shards < jobs then begin
+    let ranges = Aggregate.ranges t.aggregate in
+    let capacity =
+      Array.fold_left
+        (fun acc (r : Aggregate.range) ->
+          max acc (Topology.full_aa_capacity r.Aggregate.topology))
+        1 ranges
     in
-    let total_weight = weigh_elig t ranges m 0 0 in
-    let after_shares = take_shares t ranges dst n m total_weight 0 0 in
-    mop_up t ranges dst n m after_shares
+    let pages = Metafile.pages (Aggregate.metafile t.aggregate) in
+    let old = t.alloc_shards in
+    t.alloc_shards <-
+      Array.init jobs (fun c ->
+          if c < Array.length old then old.(c)
+          else
+            Alloc_shard.create ~id:c ~capacity
+              ~deltas:
+                (Array.map
+                   (fun (r : Aggregate.range) -> Score.create_delta r.Aggregate.topology)
+                   ranges)
+              ~touched_pages:pages)
   end
+
+let prepare_par t ~jobs = ensure_alloc_shards t jobs
+
+(* Concurrent free: O(1) into the calling slot's private queue.  Drained
+   serially (in shard order, so the commit order is deterministic) into
+   the aggregate's validated free queue before the CP commit. *)
+let queue_free_par t ~slot ~pvbn = Alloc_shard.queue_free t.alloc_shards.(slot) pvbn
+
+let drain_queued_frees t =
+  let total = ref 0 in
+  Array.iter
+    (fun (shard : Alloc_shard.t) ->
+      for k = 0 to shard.n_free - 1 do
+        Aggregate.queue_free t.aggregate ~pvbn:shard.free_q.(k)
+      done;
+      total := !total + shard.n_free;
+      shard.n_free <- 0)
+    t.alloc_shards;
+  !total
+
+(* Claim-aware pick for one shard, under the pick mutex: chooses the range
+   with the best available score (offline ranges score 0 and are skipped),
+   then takes + claims its best unclaimed AA as owner [shard.id + 1].  The
+   take is registered in the range cursor's taken list, so cp_finish
+   releases and re-files shard-claimed AAs exactly like serial ones.
+   Returns the range index and AA, or (-1, _) when nothing is available. *)
+let par_pick_locked t (shard : Alloc_shard.t) =
+  let ranges = Aggregate.ranges t.aggregate in
+  let rec pick_range_aa qbudget =
+    let best_i = ref (-1) and best_s = ref 0 in
+    Array.iteri
+      (fun i r ->
+        let s = best_score_of_range r in
+        if s > !best_s then begin
+          best_i := i;
+          best_s := s
+        end)
+      ranges;
+    if !best_i < 0 then (-1, 0)
+    else begin
+      let i = !best_i in
+      let range = ranges.(i) in
+      let cursor = t.cursors.(i) in
+      let picked =
+        pick_aa t cursor ~policy:Config.Best_aa ~space:range.Aggregate.index
+          ~cache:range.Aggregate.cache
+          ~n_aas:(Topology.aa_count range.Aggregate.topology)
+          ~free_of:(fun aa -> Aggregate.aa_score_now t.aggregate range aa)
+          ~owner:(shard.id + 1)
+      in
+      match picked with
+      | None -> (-1, 0)
+      | Some (aa, score) ->
+        let bad =
+          match range.Aggregate.fault with
+          | Some dev -> aa_overlaps_fault range dev aa
+          | None -> false
+        in
+        if bad then begin
+          if qbudget = 0 then (-1, 0)
+          else begin
+            Hashtbl.replace cursor.quarantined aa ();
+            Telemetry.incr "fault.aa_quarantined";
+            pick_range_aa (qbudget - 1)
+          end
+        end
+        else begin
+          note_phys_take t score;
+          shard.taken <- shard.taken + 1;
+          shard.score_sum <- shard.score_sum + score;
+          t.candidates_scanned <-
+            t.candidates_scanned + Topology.aa_capacity range.Aggregate.topology aa;
+          (i, aa)
+        end
+    end
+  in
+  pick_range_aa 64
+
+(* Refill a shard's (empty) ring: pick under the mutex, harvest outside it
+   (the harvest reads only bitmap bytes of the freshly claimed AA, which
+   no other domain can touch).  A spent AA (score went stale across a CP)
+   harvests zero and the pick retries. *)
+let rec par_refill t (shard : Alloc_shard.t) =
+  Mutex.lock t.pick_mutex;
+  let range_idx, aa =
+    match par_pick_locked t shard with
+    | exception exn ->
+      Mutex.unlock t.pick_mutex;
+      raise exn
+    | res -> res
+  in
+  Mutex.unlock t.pick_mutex;
+  if range_idx < 0 then false
+  else begin
+    let range = (Aggregate.ranges t.aggregate).(range_idx) in
+    let count =
+      Aggregate.harvest_free_of_aa t.aggregate range aa ~dst:shard.ring
+        ~words:shard.words
+    in
+    shard.harvested <- shard.harvested + count;
+    (* The ring's monotone byte group, which steals split on: plain
+       [pvbn lsr 3] for a contiguous AA, the per-device stripe byte for
+       the stripe-major RAID-aware emission (adjacent entries there are
+       on different devices, so adjacent-pvbn bytes say nothing). *)
+    let key_base, key_mod =
+      match range.Aggregate.topology with
+      | Topology.Raid_agnostic _ -> (0, 0)
+      | Topology.Raid_aware { geometry; _ } ->
+        (range.Aggregate.base, Wafl_raid.Geometry.device_blocks geometry)
+    in
+    Alloc_shard.publish shard ~range_idx ~aa ~key_base ~key_mod ~count;
+    count > 0 || par_refill t shard
+  end
+
+(* Steal from the fullest other shard; a single attempt (failure falls
+   through to a fresh pick). *)
+let try_steal_from_any t (shard : Alloc_shard.t) =
+  let shards = t.alloc_shards in
+  let best = ref (-1) and best_n = ref 1 in
+  for j = 0 to Array.length shards - 1 do
+    if j <> shard.id then begin
+      let n = Alloc_shard.entries shards.(j) in
+      if n > !best_n then begin
+        best := j;
+        best_n := n
+      end
+    end
+  done;
+  !best >= 0 && Alloc_shard.try_steal ~victim:shards.(!best) ~thief:shard
+
+(* The per-block consume loop of one shard: pop, set the bitmap bit (byte
+   disjoint from every other domain by the claim + byte-aligned-steal
+   invariants), record the touched metafile page and the score decrement
+   in the shard's private accumulators.  Zero heap words per block. *)
+let rec par_consume t (shard : Alloc_shard.t) am dst pos stop =
+  if pos >= stop then pos
+  else begin
+    let pvbn = Alloc_shard.pop shard in
+    if pvbn < 0 then pos
+    else begin
+      Activemap.allocate_harvested_touched am pvbn ~touched:shard.touched;
+      Score.note_alloc_aa
+        (Array.unsafe_get shard.deltas shard.ring_range)
+        ~aa:shard.ring_aa;
+      Array.unsafe_set dst pos pvbn;
+      par_consume t shard am dst (pos + 1) stop
+    end
+  end
+
+(* One shard's chunk: consume / steal / refill until the slice is full or
+   the aggregate is dry.  [Gc.minor_words] brackets only the pop-consume
+   segments — refills and steals run off the zero-allocation window. *)
+let rec par_chunk t (shard : Alloc_shard.t) am dst pos stop =
+  if pos >= stop then pos
+  else begin
+    let m0 = Gc.minor_words () in
+    let pos' = par_consume t shard am dst pos stop in
+    shard.consume_minor <-
+      shard.consume_minor + int_of_float (Gc.minor_words () -. m0);
+    shard.allocated <- shard.allocated + (pos' - pos);
+    if pos' >= stop then pos'
+    else if try_steal_from_any t shard then par_chunk t shard am dst pos' stop
+    else if par_refill t shard then par_chunk t shard am dst pos' stop
+    else pos'
+  end
+
+(* Fold every shard's private window state back into the shared structures,
+   serially, in shard order — the merge is the only writer, so the result
+   is independent of how the window's work interleaved. *)
+let merge_par_window t jobs =
+  let mf = Aggregate.metafile t.aggregate in
+  let ranges = Aggregate.ranges t.aggregate in
+  t.last_par <-
+    Array.init jobs (fun c ->
+        let shard = t.alloc_shards.(c) in
+        Metafile.mark_touched_dirty mf ~touched:shard.touched;
+        Bytes.fill shard.touched 0 (Bytes.length shard.touched) '\000';
+        Array.iteri
+          (fun i (r : Aggregate.range) ->
+            Score.merge_into ~src:shard.deltas.(i) ~dst:r.Aggregate.delta)
+          ranges;
+        t.words := !(t.words) + !(shard.words);
+        Telemetry.add "write_alloc.words_scanned" !(shard.words);
+        shard.words := 0;
+        t.harvested <- t.harvested + shard.harvested;
+        Telemetry.add "write_alloc.vbns_harvested" shard.harvested;
+        Telemetry.add "write_alloc.steals" shard.steals;
+        Telemetry.max_gauge
+          ("write_alloc.ring_high_water.d" ^ string_of_int c)
+          (float_of_int shard.high_water);
+        {
+          ps_allocated = shard.allocated;
+          ps_steals = shard.steals;
+          ps_high_water = shard.high_water;
+          ps_minor_words = shard.consume_minor;
+        })
+
+(* A parallel allocation window: one chunk (= one shard) per pool domain,
+   each filling its own contiguous slice of [dst]; holes from uneven
+   shortfalls are compacted afterwards and any remainder is retried on the
+   serial path (which sees shard claims and cannot double-hand-out). *)
+let allocate_pvbns_par t pool ~dst n =
+  let jobs = Par.jobs pool in
+  ensure_alloc_shards t jobs;
+  let ranges = Aggregate.ranges t.aggregate in
+  (* Serial prologue: materialize lazily mounted ranges (the pick path
+     must not rebuild from a worker), and drop serial rings left over
+     from a previous epoch — their AAs are unclaimed again, so a shard
+     could re-harvest the very blocks they still hold. *)
+  Array.iter (fun r -> Rebuild.touch_range t.aggregate r) ranges;
+  Array.iter
+    (fun c ->
+      if c.ring_epoch <> t.epoch then begin
+        c.head <- 0;
+        c.len <- 0;
+        c.ring_epoch <- t.epoch
+      end)
+    t.cursors;
+  for c = 0 to jobs - 1 do
+    Alloc_shard.reset_window t.alloc_shards.(c)
+  done;
+  t.used_par <- true;
+  let am = Aggregate.activemap t.aggregate in
+  let bounds = Par.chunk_bounds ~total:n ~align:1 ~chunks:jobs in
+  let chunks = Array.length bounds in
+  let filled = Array.make chunks 0 in
+  Par.run_with_slot pool ~chunks ~f:(fun ~slot:_ i ->
+      let start, len = bounds.(i) in
+      filled.(i) <- par_chunk t t.alloc_shards.(i) am dst start (start + len) - start);
+  merge_par_window t jobs;
+  (* Compact the per-chunk slices left-justified. *)
+  let pos = ref 0 in
+  Array.iteri
+    (fun i (start, _len) ->
+      let f = filled.(i) in
+      if start <> !pos && f > 0 then Array.blit dst start dst !pos f;
+      pos := !pos + f)
+    bounds;
+  if !pos < n then allocate_pvbns_serial t ~dst ~pos0:!pos (n - !pos) else !pos
+
+let allocate_pvbns_into t ~dst n =
+  if n <= 0 then 0
+  else begin
+    match !alloc_pool with
+    | Some p
+      when Par.jobs p > 1
+           && n >= Par.jobs p * 16
+           && (Aggregate.config t.aggregate).Config.aggregate_policy = Config.Best_aa
+           && parallel_capable t ->
+      allocate_pvbns_par t p ~dst n
+    | _ -> allocate_pvbns_serial t ~dst ~pos0:0 n
+  end
+
+let last_par_stats t = t.last_par
+let claim_conflicts t = t.claim_conflicts
+
+(* ------------------------------------------------------------------ *)
 
 let rec refill_vol t vol cursor =
   Rebuild.touch_vol vol;
@@ -411,6 +815,7 @@ let rec refill_vol t vol cursor =
     pick_aa t cursor ~policy ~space:(-1) ~cache:(Flexvol.cache vol)
       ~n_aas:(Topology.aa_count (Flexvol.topology vol))
       ~free_of:(fun aa -> Score.score_of_aa (Flexvol.topology vol) (Flexvol.metafile vol) aa)
+      ~owner:0
   in
   Telemetry.span_exit Span.Pick;
   match picked with
@@ -451,17 +856,21 @@ let allocate_vvbns_into t vol ~dst n =
     vvbn_loop t vol cursor dst n 0
   end
 
-(* CP boundary: apply score deltas and make sure every taken AA is re-filed
-   in its cache, even if its score did not change.  [Score.mem] answers
-   "will apply emit this AA?" directly from the delta's preallocated
-   accumulator, so no per-CP hash table or list concatenation is needed. *)
+(* CP boundary: release every taken AA's claim, apply score deltas and
+   make sure every taken AA is re-filed in its cache, even if its score
+   did not change.  [Score.mem] answers "will apply emit this AA?"
+   directly from the delta's preallocated accumulator, so no per-CP hash
+   table or list concatenation is needed.  The taken list holds each AA
+   at most once per CP (the claim word blocks re-picks). *)
 let cp_finish_space ~delta ~(scores : int array) ~cache cursor =
-  let extra =
-    Hashtbl.fold
-      (fun aa () acc -> if Score.mem delta ~aa then acc else (aa, scores.(aa)) :: acc)
-      cursor.taken []
-  in
-  Hashtbl.reset cursor.taken;
+  let extra = ref [] in
+  for k = 0 to cursor.n_taken - 1 do
+    let aa = cursor.taken_list.(k) in
+    Atomic.set cursor.owners.(aa) Aggregate.no_owner;
+    if not (Score.mem delta ~aa) then extra := (aa, scores.(aa)) :: !extra
+  done;
+  cursor.n_taken <- 0;
+  let extra = !extra in
   let updates = Score.apply delta scores in
   match cache with
   | Some cache ->
@@ -480,6 +889,20 @@ let cp_finish_space ~delta ~(scores : int array) ~cache cursor =
 
 let cp_finish t =
   t.epoch <- t.epoch + 1;
+  if t.used_par then begin
+    (* After a parallel window, any surviving ring — serial or shard —
+       holds blocks of AAs whose claims are released and whose scores are
+       about to be re-filed; a later pick could re-harvest those blocks.
+       Drop all rings (the blocks stay free in the bitmap, nothing is
+       lost) and start the next CP clean. *)
+    Array.iter
+      (fun c ->
+        c.head <- 0;
+        c.len <- 0)
+      t.cursors;
+    Array.iter Alloc_shard.flush t.alloc_shards;
+    t.used_par <- false
+  end;
   Array.iteri
     (fun i (range : Aggregate.range) ->
       cp_finish_space ~delta:range.Aggregate.delta ~scores:range.Aggregate.scores

@@ -10,9 +10,31 @@
 
     AAs taken from a cache are remembered so the CP boundary can re-file
     them with their updated scores (a heap entry would otherwise be lost,
-    and an untouched HBPS entry would never re-qualify). *)
+    and an untouched HBPS entry would never re-qualify).  Every Best_aa
+    take also claims the AA in an atomic per-AA owner word
+    ({!Aggregate.claim_aa}); the claim blocks re-picks within a CP and is
+    what lets multiple domains allocate concurrently (below) without two
+    writers ever touching the same AA between CPs.
+
+    {b Concurrent front-end.}  With an allocation pool installed
+    ({!install_alloc_pool}), large [allocate_pvbns_into] calls fan out
+    over per-domain shards ({!Alloc_shard}): each domain pops from its own
+    lock-free harvest ring, claims fresh AAs through the shared
+    (mutex-serialised) cache pick path, steals byte-aligned ring suffixes
+    from other shards when it runs dry, and accumulates score deltas and
+    touched metafile pages privately; a serial epilogue merges everything
+    back in shard order, so the committed state is independent of the
+    window's interleaving.  The per-block consume loop allocates zero
+    minor-heap words per domain. *)
 
 type t
+
+type par_slot_stats = {
+  ps_allocated : int;   (** blocks this shard handed out in the last window *)
+  ps_steals : int;      (** successful ring steals by this shard *)
+  ps_high_water : int;  (** largest ring fill this shard published *)
+  ps_minor_words : int; (** minor-heap words inside its pop-consume loops *)
+}
 
 val create : Aggregate.t -> rng:Wafl_util.Rng.t -> t
 
@@ -45,6 +67,45 @@ val cp_finish : t -> unit
 
 val register_vol : t -> Flexvol.t -> unit
 (** Track a volume so {!cp_finish} updates its cache too. *)
+
+(** {2 Concurrent allocation front-end} *)
+
+val install_alloc_pool : jobs:int -> unit
+(** Install the process-wide allocation pool ([--alloc-domains N]); a
+    previous pool is shut down first.  [jobs <= 1] just uninstalls. *)
+
+val uninstall_alloc_pool : unit -> unit
+val alloc_pool_jobs : unit -> int
+
+val parallel_capable : t -> bool
+(** Whether every AA extent of every range is bitmap-byte aligned — the
+    static precondition for unsynchronised multi-domain bitmap writes.
+    When false, {!allocate_pvbns_into} stays serial regardless of the
+    installed pool. *)
+
+val prepare_par : t -> jobs:int -> unit
+(** Materialize [jobs] shards up front (e.g. so {!queue_free_par} can be
+    used before any parallel allocation ran). *)
+
+val queue_free_par : t -> slot:int -> pvbn:int -> unit
+(** Constant-time concurrent free into slot's private queue; requires the
+    slot's shard to exist ({!prepare_par}).  Queued frees take effect when
+    {!drain_queued_frees} routes them into the aggregate's validated free
+    queue. *)
+
+val drain_queued_frees : t -> int
+(** Serially (in shard order) move every queued concurrent free into
+    {!Aggregate.queue_free}; returns the count.  Run before the CP commit
+    ({!Cp.run} does). *)
+
+val last_par_stats : t -> par_slot_stats array
+(** Per-shard stats of the most recent parallel window ([[||]] before the
+    first one). *)
+
+val claim_conflicts : t -> int
+(** Cumulative lost claim CAS races (structurally 0 while picks are
+    serialised by the pick mutex; also emitted as the
+    [write_alloc.claim_conflicts] counter). *)
 
 val aas_taken : t -> int
 (** Cumulative AAs taken from caches (all ranges and volumes). *)

@@ -19,7 +19,7 @@ module Telemetry = Wafl_telemetry.Telemetry
 module Span = Wafl_telemetry.Span
 
 type task = {
-  f : int -> unit;
+  f : slot:int -> int -> unit;
   next : int Atomic.t;
   total : int;
   pending : int Atomic.t;
@@ -62,10 +62,10 @@ let drain t ~slot task =
     if i < task.total then begin
       (if timed then begin
          let t0 = Span.now_ns () in
-         (try task.f i with exn -> record_failure task i exn);
+         (try task.f ~slot i with exn -> record_failure task i exn);
          ignore (Atomic.fetch_and_add task.busy_ns.(slot) (Span.now_ns () - t0))
        end
-       else try task.f i with exn -> record_failure task i exn);
+       else try task.f ~slot i with exn -> record_failure task i exn);
       if Atomic.fetch_and_add task.pending (-1) = 1 then begin
         (* Last chunk retired: wake a caller blocked in [await]. *)
         Mutex.lock t.m;
@@ -90,11 +90,6 @@ let rec worker_loop t ~slot gen =
     (match task with Some task -> drain t ~slot task | None -> ());
     worker_loop t ~slot gen
   end
-
-let serial ~chunks ~f =
-  for i = 0 to chunks - 1 do
-    f i
-  done
 
 let spin_budget = 2_000
 
@@ -157,17 +152,30 @@ let run_parallel t ~chunks ~f =
   if timed then emit_worker_stats t task ~chunks ~t0;
   match Atomic.get task.failed with None -> () | Some (_, exn) -> raise exn
 
-let run t ~chunks ~f =
+(* [run] with the executing participant's slot exposed to the chunk
+   function: slot 0 is the caller, slots 1 .. jobs-1 the workers.  Two
+   chunks with the same slot never overlap in time (a participant drains
+   one chunk at a time), so per-slot scratch state is single-writer —
+   the hook the multi-domain allocation front-end builds on.  On every
+   serial/degraded path the caller runs all chunks with slot 0. *)
+let run_with_slot t ~chunks ~f =
   if chunks <= 0 then ()
-  else if t.jobs <= 1 || (not t.live) || chunks = 1 then serial ~chunks ~f
+  else if t.jobs <= 1 || (not t.live) || chunks = 1 then
+    for i = 0 to chunks - 1 do
+      f ~slot:0 i
+    done
   else if not (Atomic.compare_and_set t.busy false true) then
     (* Nested run (e.g. issued from inside a chunk): inline serially
        rather than deadlocking on the single task slot. *)
-    serial ~chunks ~f
+    for i = 0 to chunks - 1 do
+      f ~slot:0 i
+    done
   else
     Fun.protect
       ~finally:(fun () -> Atomic.set t.busy false)
       (fun () -> run_parallel t ~chunks ~f)
+
+let run t ~chunks ~f = run_with_slot t ~chunks ~f:(fun ~slot:_ i -> f i)
 
 let map t ~chunks ~f =
   if chunks <= 0 then [||]

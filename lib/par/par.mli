@@ -56,6 +56,14 @@ val run : t -> chunks:int -> f:(int -> unit) -> unit
     chunk (matching what the serial loop would have raised first);
     remaining chunks still run to completion first. *)
 
+val run_with_slot : t -> chunks:int -> f:(slot:int -> int -> unit) -> unit
+(** [run] with the executing participant's slot index exposed: slot 0 is
+    the calling domain, slots 1 .. jobs-1 the workers.  A participant
+    drains one chunk at a time, so two chunk executions with the same
+    slot never overlap — per-slot scratch state (rings, accumulators,
+    [Gc.minor_words] windows) is single-writer by construction.  Serial
+    and degraded paths run every chunk on the caller with slot 0. *)
+
 val map : t -> chunks:int -> f:(int -> 'a) -> 'a array
 (** Like [run], but collects [| f 0; ...; f (chunks - 1) |].  Slot order
     is by chunk index, never by completion order. *)
