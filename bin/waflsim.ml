@@ -80,35 +80,100 @@ let with_jobs jobs f =
     Fun.protect ~finally:Wafl_par.Par.uninstall f
   end
 
+(* --backend is validated entirely at parse time: a bad PATH fails the
+   command line, never a half-finished run.  An absent mmap directory is
+   created here (mkdir -p); an existing one must be a writable directory. *)
+type backend_choice =
+  | Default_backend of Wafl_bitmap.Pagestore.backend
+  | Mmap_dir of string
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    Unix.mkdir dir 0o755
+  end
+
+let backend_conv =
+  let parse s =
+    if String.length s >= 5 && String.sub s 0 5 = "mmap:" then begin
+      let dir = String.sub s 5 (String.length s - 5) in
+      if dir = "" then Error (`Msg "mmap: expects a directory path (mmap:PATH)")
+      else if Sys.file_exists dir then
+        if not (Sys.is_directory dir) then
+          Error (`Msg (Printf.sprintf "mmap:%s exists and is not a directory" dir))
+        else (
+          match Unix.access dir [ Unix.W_OK ] with
+          | () -> Ok (Mmap_dir dir)
+          | exception Unix.Unix_error _ ->
+            Error (`Msg (Printf.sprintf "mmap:%s is not writable" dir)))
+      else
+        match mkdir_p dir with
+        | () -> Ok (Mmap_dir dir)
+        | exception Unix.Unix_error (e, _, _) ->
+          Error
+            (`Msg
+              (Printf.sprintf "mmap:%s: cannot create directory (%s)" dir
+                 (Unix.error_message e)))
+    end
+    else
+      match Wafl_bitmap.Pagestore.backend_of_string s with
+      | Some b -> Ok (Default_backend b)
+      | None ->
+        Error (`Msg (Printf.sprintf "unknown backend %S (expected heap|bigarray|mmap:PATH)" s))
+  in
+  let print fmt = function
+    | Default_backend b ->
+      Format.pp_print_string fmt (Wafl_bitmap.Pagestore.backend_name b)
+    | Mmap_dir dir -> Format.fprintf fmt "mmap:%s" dir
+  in
+  Arg.conv ~docv:"BACKEND" (parse, print)
+
 let backend_arg =
   let doc =
     "Page-store backend for every allocation bitmap, activemap and TopAA block: \
      $(b,heap) (OCaml bytes, the default), $(b,bigarray) (off-heap words the GC \
      never scans) or $(b,mmap:PATH) (bigarray words file-mapped under directory \
      PATH, created if missing — a rerun over the same directory remounts the \
-     persisted free-space state).  The choice is process-wide; allocation \
-     behaviour is byte-identical across backends."
+     persisted free-space state).  PATH is validated when the command line is \
+     parsed: a path that exists but is not a writable directory is rejected \
+     before anything runs.  The choice is process-wide; allocation behaviour is \
+     byte-identical across backends."
   in
-  Arg.(value & opt string "heap" & info [ "backend" ] ~docv:"BACKEND" ~doc)
+  Arg.(
+    value
+    & opt backend_conv (Default_backend Wafl_bitmap.Pagestore.Heap)
+    & info [ "backend" ] ~docv:"BACKEND" ~doc)
 
-let with_backend name f =
-  if String.length name > 5 && String.sub name 0 5 = "mmap:" then begin
-    let dir = String.sub name 5 (String.length name - 5) in
-    if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
-    if not (Sys.is_directory dir) then begin
-      Printf.eprintf "waflsim: --backend mmap:%s is not a directory\n" dir;
-      exit 2
-    end;
+let with_backend choice f =
+  match choice with
+  | Default_backend b -> Wafl_bitmap.Pagestore.with_default b f
+  | Mmap_dir dir ->
     Wafl_bitmap.Pagestore.with_default Wafl_bitmap.Pagestore.Bigarray (fun () ->
         Wafl_bitmap.Pagestore.with_mmap_dir dir f)
+
+let scrub_rate_arg =
+  let doc =
+    "Enable the background pagestore scrubber: after every CP, verify $(docv) \
+     integrity pages (round-robin across every tracked bitmap store) against \
+     their CRC sidecars and self-heal any torn or stale page found — the \
+     overlapped ranges/volumes are rescanned and the bitmap-vs-container \
+     disagreement settled by container-authority repair.  A full sweep of N \
+     tracked pages takes ceil(N/$(docv)) CPs.  Only meaningful with \
+     $(b,--backend mmap:PATH); the default of 0 disables scrubbing."
+  in
+  Arg.(value & opt int 0 & info [ "scrub-rate" ] ~docv:"N" ~doc)
+
+let with_scrub rate f =
+  if rate < 0 then begin
+    Printf.eprintf "waflsim: --scrub-rate must be >= 0 (got %d)\n" rate;
+    exit 2
   end
-  else
-    match Wafl_bitmap.Pagestore.backend_of_string name with
-    | Some b -> Wafl_bitmap.Pagestore.with_default b f
-    | None ->
-      Printf.eprintf "waflsim: unknown --backend %S (expected heap|bigarray|mmap:PATH)\n"
-        name;
-      exit 2
+  else if rate = 0 then f ()
+  else begin
+    Wafl_core.Scrub.enable ~rate ();
+    Fun.protect ~finally:Wafl_core.Scrub.disable f
+  end
 
 let alloc_domains_arg =
   let doc =
@@ -247,21 +312,22 @@ let with_telemetry ~metrics_out ~trace_out ~trace_capacity ~timeseries_out f =
 
 let experiment_cmd name ~doc run_print =
   let run s metrics_out trace_out trace_capacity timeseries_out fault_spec no_iron_gate
-      jobs backend alloc_domains =
+      jobs backend alloc_domains scrub_rate =
     with_backend backend (fun () ->
     with_jobs jobs (fun () ->
     with_alloc_domains alloc_domains (fun () ->
+    with_scrub scrub_rate (fun () ->
         with_fault_spec (parse_fault_spec fault_spec) (fun () ->
             if not no_iron_gate then Wafl_core.Fs.enable_registry ();
             with_telemetry ~metrics_out ~trace_out ~trace_capacity ~timeseries_out
               (fun () -> run_print (parse_scale s));
-            if not no_iron_gate then run_iron_gate ()))))
+            if not no_iron_gate then run_iron_gate ())))))
   in
   Cmd.v (Cmd.info name ~doc)
     Term.(
       const run $ scale_arg $ metrics_out_arg $ trace_out_arg $ trace_capacity_arg
       $ timeseries_out_arg $ fault_spec_arg $ no_iron_gate_arg $ jobs_arg $ backend_arg
-      $ alloc_domains_arg)
+      $ alloc_domains_arg $ scrub_rate_arg)
 
 let fig6_cmd =
   experiment_cmd "fig6" ~doc:"AA-cache latency/throughput experiment (Figure 6)"
@@ -339,17 +405,30 @@ let crash_matrix_cmd =
              repair's Iron scan, or the replay CP's allocations).  Verifies that lazy \
              mounts recover exactly like eager ones.")
   in
-  let run seed cps ops no_cleaner foreground_rebuild lazy_rebuild fault_spec jobs backend
-      alloc_domains metrics_out trace_out trace_capacity timeseries_out =
+  let verify_mount_arg =
+    Arg.(
+      value & flag
+      & info [ "verify-mount" ]
+          ~doc:
+            "Verify the persisted pagestore bytes against their CRC integrity sidecars at \
+             every post-crash remount: torn and stale (lost-write) pages are detected \
+             before the image restore and their ranges/volumes quarantined for rescan.  \
+             Only meaningful with $(b,--backend mmap:PATH), where each crash-matrix run \
+             gets its own wiped subdirectory and the remount reloads sidecars from disk.")
+  in
+  let run seed cps ops no_cleaner foreground_rebuild lazy_rebuild verify_mount fault_spec
+      jobs backend alloc_domains scrub_rate metrics_out trace_out trace_capacity
+      timeseries_out =
     with_backend backend (fun () ->
     with_jobs jobs (fun () ->
     with_alloc_domains alloc_domains (fun () ->
+    with_scrub scrub_rate (fun () ->
     with_fault_spec (parse_fault_spec fault_spec) (fun () ->
     with_telemetry ~metrics_out ~trace_out ~trace_capacity ~timeseries_out (fun () ->
         let r =
           Wafl_core.Crash_matrix.run ~with_cleaner:(not no_cleaner)
-            ~background_rebuild:(not foreground_rebuild) ~lazy_rebuild ~seed ~warmup_cps:cps
-            ~ops_per_cp:ops ()
+            ~background_rebuild:(not foreground_rebuild) ~lazy_rebuild
+            ~verify_mount ~seed ~warmup_cps:cps ~ops_per_cp:ops ()
         in
         Printf.printf "crash matrix: %d crash points enumerated (%d workload runs)\n"
           (List.length r.Wafl_core.Crash_matrix.points) r.Wafl_core.Crash_matrix.runs;
@@ -369,7 +448,7 @@ let crash_matrix_cmd =
             (fun v -> Format.printf "VIOLATION: %a@." Wafl_core.Crash_matrix.pp_violation v)
             vs;
           Printf.eprintf "waflsim: crash matrix found %d violation(s)\n" (List.length vs);
-          exit 1)))))
+          exit 1))))))
   in
   Cmd.v
     (Cmd.info "crash-matrix"
@@ -379,8 +458,9 @@ let crash_matrix_cmd =
           clean Iron check)")
     Term.(
       const run $ seed_arg $ cps_arg $ ops_arg $ no_cleaner_arg $ foreground_rebuild_arg
-      $ lazy_rebuild_arg $ fault_spec_arg $ jobs_arg $ backend_arg $ alloc_domains_arg
-      $ metrics_out_arg $ trace_out_arg $ trace_capacity_arg $ timeseries_out_arg)
+      $ lazy_rebuild_arg $ verify_mount_arg $ fault_spec_arg $ jobs_arg $ backend_arg
+      $ alloc_domains_arg $ scrub_rate_arg $ metrics_out_arg $ trace_out_arg
+      $ trace_capacity_arg $ timeseries_out_arg)
 
 (* `waflsim top`: drive an aged random-overwrite system and redraw a
    one-screen health view (current CP phase, picks/s, search ns/block,
@@ -410,11 +490,12 @@ let top_cmd =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Workload seed.")
   in
   let run s cps ops interval seed metrics_out trace_out trace_capacity timeseries_out
-      fault_spec jobs backend alloc_domains =
+      fault_spec jobs backend alloc_domains scrub_rate =
     let scale = parse_scale s in
     with_backend backend (fun () ->
     with_jobs jobs (fun () ->
     with_alloc_domains alloc_domains (fun () ->
+    with_scrub scrub_rate (fun () ->
         with_fault_spec (parse_fault_spec fault_spec) (fun () ->
             Option.iter check_writable metrics_out;
             Option.iter check_writable trace_out;
@@ -467,7 +548,7 @@ let top_cmd =
                     for _ = 1 to cps do
                       ignore (Wafl_workload.Random_overwrite.step workload ops)
                     done;
-                    redraw ()))))))
+                    redraw ())))))))
   in
   Cmd.v
     (Cmd.info "top"
@@ -477,7 +558,7 @@ let top_cmd =
     Term.(
       const run $ scale_arg $ cps_arg $ ops_arg $ stats_interval_arg $ seed_arg
       $ metrics_out_arg $ trace_out_arg $ trace_capacity_arg $ timeseries_out_arg
-      $ fault_spec_arg $ jobs_arg $ backend_arg $ alloc_domains_arg)
+      $ fault_spec_arg $ jobs_arg $ backend_arg $ alloc_domains_arg $ scrub_rate_arg)
 
 (* Bare `waflsim --metrics-out m.json` (no subcommand) runs the scalar
    suite — the cheapest end-to-end workload that exercises every
@@ -485,21 +566,22 @@ let top_cmd =
    experiment.  Without any output flag the default remains the help page. *)
 let default =
   let run s metrics_out trace_out trace_capacity timeseries_out jobs backend alloc_domains
-      =
+      scrub_rate =
     match (metrics_out, trace_out, timeseries_out) with
     | None, None, None -> `Help (`Pager, None)
     | _ ->
       with_backend backend (fun () ->
           with_jobs jobs (fun () ->
               with_alloc_domains alloc_domains (fun () ->
-                  with_telemetry ~metrics_out ~trace_out ~trace_capacity ~timeseries_out
-                    (fun () -> Scalars.print (Scalars.run ~scale:(parse_scale s) ())))));
+                  with_scrub scrub_rate (fun () ->
+                      with_telemetry ~metrics_out ~trace_out ~trace_capacity ~timeseries_out
+                        (fun () -> Scalars.print (Scalars.run ~scale:(parse_scale s) ()))))));
       `Ok ()
   in
   Term.(
     ret
       (const run $ scale_arg $ metrics_out_arg $ trace_out_arg $ trace_capacity_arg
-     $ timeseries_out_arg $ jobs_arg $ backend_arg $ alloc_domains_arg))
+     $ timeseries_out_arg $ jobs_arg $ backend_arg $ alloc_domains_arg $ scrub_rate_arg))
 
 let () =
   let info = Cmd.info "waflsim" ~doc:"WAFL free-block search reproduction experiments" in

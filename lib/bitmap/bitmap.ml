@@ -14,6 +14,8 @@ let length t = t.bits
 
 let backend t = Pagestore.backend t.data
 
+let store t = t.data
+
 let check t i = if i < 0 || i >= t.bits then invalid_arg "Bitmap: index out of bounds"
 
 let[@inline] get t i =

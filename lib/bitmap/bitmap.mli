@@ -14,6 +14,11 @@ val create : bits:int -> t
 
 val backend : t -> Pagestore.backend
 
+val store : t -> Pagestore.t
+(** The backing page store itself.  The integrity plane keys its sidecars
+    on store identity; mutating the store through this handle bypasses
+    the bitmap's bounds checks. *)
+
 val length : t -> int
 (** Number of bits. *)
 

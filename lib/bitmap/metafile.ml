@@ -18,13 +18,22 @@ type t = {
 let create ?(page_bits = Units.bits_per_metafile_block) ~blocks () =
   assert (blocks > 0 && page_bits > 0);
   let n_pages = Bitops.ceil_div blocks page_bits in
+  let map = Bitmap.create ~bits:blocks in
+  (* Only the map is durable state worth vouching for; the dirty bitmap
+     below is rebuilt from scratch on every mount. *)
+  Integrity.track (Bitmap.store map);
+  (* Transient state must start from zero explicitly: in a re-entered mmap
+     directory the bitmap's backing file may still hold the bits a previous
+     process (or a crashed run) left behind. *)
+  let dirty = Bitmap.create ~bits:n_pages in
+  Bitmap.clear_range dirty ~start:0 ~len:n_pages;
   {
-    map = Bitmap.create ~bits:blocks;
+    map;
     page_bits;
     page_shift =
       (if page_bits land (page_bits - 1) = 0 then Bitops.ctz page_bits else -1);
     n_pages;
-    dirty = Bitmap.create ~bits:n_pages;
+    dirty;
     n_dirty = 0;
     page_writes = 0;
     page_reads = 0;
@@ -34,6 +43,7 @@ let create ?(page_bits = Units.bits_per_metafile_block) ~blocks () =
 let blocks t = Bitmap.length t.map
 let pages t = t.n_pages
 let page_bits t = t.page_bits
+let store t = Bitmap.store t.map
 
 (* Page of an in-bounds VBN.  Every helper that maps VBNs to pages funnels
    through here so the power-of-two shift (the common case: page sizes are
@@ -128,8 +138,32 @@ let mark_touched_dirty t ~touched =
 
 let dirty_pages t = t.n_dirty
 
+(* Seal the byte range each dirty page covers before the dirty set is
+   cleared.  Guarded on the store actually being integrity-tracked so the
+   crash point only appears in runs where sealing happens — heap-backed
+   crash-matrix sequences are unchanged. *)
+let seal_dirty t =
+  let store = Bitmap.store t.map in
+  if t.n_dirty > 0 && Integrity.tracked store then begin
+    Wafl_fault.Crash.point "integrity.seal";
+    let total_bytes = Pagestore.length_bytes store in
+    let rec go from =
+      match Bitmap.find_first_set t.dirty ~from with
+      | None -> ()
+      | Some page ->
+        let bit0 = page * t.page_bits in
+        let bit1 = min ((page + 1) * t.page_bits) (Bitmap.length t.map) in
+        let pos = bit0 / 8 in
+        let len = min (Bitops.ceil_div bit1 8) total_bytes - pos in
+        Integrity.seal_range store ~pos ~len;
+        go (page + 1)
+    in
+    go 0
+  end
+
 let flush t =
   let written = t.n_dirty in
+  seal_dirty t;
   t.page_writes <- t.page_writes + written;
   t.flushes <- t.flushes + 1;
   Bitmap.clear_range t.dirty ~start:0 ~len:t.n_pages;
@@ -159,5 +193,10 @@ let snapshot t = Bitmap.copy t.map
 let load t image =
   if Bitmap.length image <> blocks t then invalid_arg "Metafile.load: length mismatch";
   Bitmap.blit ~src:image ~dst:t.map;
+  (* The blit legitimately rewrote every byte of the map store; re-stamp
+     the sidecar state as the committed truth.  Corruption checks against
+     the pre-blit persisted bytes must run before [load] — the verified
+     remount does ([Mount.restore]). *)
+  Integrity.reseal_all (Bitmap.store t.map);
   Bitmap.clear_range t.dirty ~start:0 ~len:t.n_pages;
   t.n_dirty <- 0

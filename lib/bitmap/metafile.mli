@@ -25,6 +25,10 @@ val create : ?page_bits:int -> blocks:int -> unit -> t
 
 val page_bits : t -> int
 
+val store : t -> Pagestore.t
+(** The page store backing the map bitmap — the handle the integrity
+    plane and the scrubber key their sidecar state on. *)
+
 val blocks : t -> int
 (** Number of VBNs tracked. *)
 

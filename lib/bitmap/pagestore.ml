@@ -36,19 +36,42 @@ type t =
 let mmap_dir : string option ref = ref None
 let mmap_seq = ref 0
 
+(* Registry of the stores mapped under the current directory, in sequence
+   order: the integrity plane needs (seq, path) back from a store handle
+   to name its sidecar file, and the verified-remount path enumerates the
+   mapped set.  (Re)installing a directory starts a fresh epoch — stale
+   handles from an earlier installation stop resolving, and consumers
+   holding per-epoch state (sidecars) reload theirs. *)
+let mapped_rev : (int * string * t) list ref = ref []
+let epoch = ref 0
+
 let set_mmap_dir dir =
   mmap_dir := dir;
-  mmap_seq := 0
+  mmap_seq := 0;
+  mapped_rev := [];
+  incr epoch
 
 let with_mmap_dir dir f =
   let saved_dir = !mmap_dir and saved_seq = !mmap_seq in
+  let saved_mapped = !mapped_rev in
   mmap_dir := Some dir;
   mmap_seq := 0;
+  mapped_rev := [];
+  incr epoch;
   Fun.protect
     ~finally:(fun () ->
       mmap_dir := saved_dir;
-      mmap_seq := saved_seq)
+      mmap_seq := saved_seq;
+      mapped_rev := saved_mapped;
+      incr epoch)
     f
+
+let mmap_dir_path () = !mmap_dir
+let mmap_epoch () = !epoch
+let mapped_stores () = List.rev !mapped_rev
+
+let mapped_path t =
+  List.find_map (fun (seq, path, s) -> if s == t then Some (seq, path) else None) !mapped_rev
 
 let map_file ~path words =
   if words < 0 then invalid_arg "Pagestore.map_file: negative size";
@@ -62,8 +85,17 @@ let map_file ~path words =
          the remount path.  A size mismatch truncates to zero FIRST, so
          the mapping is wholly OS-zeroed (growing in place would leak the
          stale prefix into what [create] promises is a zero-filled
-         store). *)
-      if (Unix.fstat fd).Unix.st_size <> bytes then begin
+         store).  Discarding a non-empty file is data loss from the
+         caller's point of view, so it is never silent. *)
+      let size = (Unix.fstat fd).Unix.st_size in
+      if size <> bytes then begin
+        if size > 0 then begin
+          Wafl_telemetry.Telemetry.incr "pagestore.recreated";
+          Printf.eprintf
+            "pagestore: %s is %d bytes but %d were requested; recreating it zero-filled \
+             (persisted contents discarded)\n%!"
+            path size bytes
+        end;
         Unix.ftruncate fd 0;
         Unix.ftruncate fd bytes
       end;
@@ -79,7 +111,10 @@ let create ?backend words =
   | None, Some dir when words > 0 ->
     let seq = !mmap_seq in
     incr mmap_seq;
-    map_file ~path:(Filename.concat dir ("ps" ^ string_of_int seq ^ ".bin")) words
+    let path = Filename.concat dir ("ps" ^ string_of_int seq ^ ".bin") in
+    let t = map_file ~path words in
+    mapped_rev := (seq, path, t) :: !mapped_rev;
+    t
   | _ -> (
     match Option.value backend ~default:!default_backend with
     | Heap -> Bytes_store (Bytes.make (words * 8) '\000')

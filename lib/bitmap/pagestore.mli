@@ -48,7 +48,26 @@ val with_mmap_dir : string -> (unit -> 'a) -> 'a
 (** Run a thunk with the map directory installed and the sequence counter
     at 0, restoring both on exit (including exceptional exit). *)
 
+val mmap_dir_path : unit -> string option
+(** The currently installed map directory, if any. *)
+
+val mmap_epoch : unit -> int
+(** Bumped every time the map directory changes (installation, clearing,
+    and both sides of {!with_mmap_dir}).  Consumers holding state derived
+    from the mapped file set — integrity sidecars — compare epochs to
+    know when to reload. *)
+
 type t
+
+val mapped_stores : unit -> (int * string * t) list
+(** The stores file-mapped under the current directory installation, as
+    [(seq, path, store)] in creation order.  Empty when no directory is
+    installed. *)
+
+val mapped_path : t -> (int * string) option
+(** [(seq, path)] when the store was file-mapped under the {e current}
+    directory installation; [None] for anonymous stores and for handles
+    surviving from an earlier epoch. *)
 
 val create : ?backend:backend -> int -> t
 (** [create words] is a zero-filled store of [words] 64-bit words
@@ -61,7 +80,9 @@ val map_file : path:string -> int -> t
 (** [map_file ~path words] maps (creating if missing) [path] as a shared
     [Bigarray]-backed store of [words] 64-bit words.  The file is resized
     (and thereby OS-zeroed) only when its size does not already match, so
-    a right-sized existing file keeps its persisted contents. *)
+    a right-sized existing file keeps its persisted contents.  Discarding
+    a wrong-sized non-empty file is surfaced: a [pagestore.recreated]
+    telemetry increment plus a stderr warning naming the file. *)
 
 val of_bytes : ?backend:backend -> Bytes.t -> t
 (** Copy a byte image into a fresh store.  The image length must be a

@@ -263,6 +263,7 @@ let timeseries_columns =
     "aa_score_d7"; "aa_score_d8"; "aa_score_d9"; "free_blocks"; "free_frac";
     "free_runs"; "largest_free_run"; "frag"; "ring_high_water"; "device_us";
     "fault_transients"; "fault_torn"; "fault_failed"; "fault_retries";
+    "scrub_pages"; "scrub_bad";
   ]
 
 let run ?pool walloc staged =
@@ -396,6 +397,10 @@ let run ?pool walloc staged =
   Wafl_fault.Crash.point "cp.score_refile";
   Write_alloc.cp_finish walloc;
   Wafl_fault.Crash.point "cp.topaa_write";
+  (* Persist the integrity sidecars for every page sealed this CP and
+     advance the committed generation — the durable close of the CP when
+     the pagestores are file-mapped (a no-op otherwise). *)
+  Wafl_bitmap.Integrity.cp_commit ();
   let picks_after, replenishes_after, cache_work_after, score_error_max =
     cache_totals ranges by_vol
   in
@@ -546,6 +551,11 @@ let run ?pool walloc staged =
         if n = 0 then 0.0 else fl scores.(k * (n - 1) / 10)
       in
       let ft sel = match report.fault_totals with None -> 0 | Some fs -> sel fs in
+      let scrub_count name =
+        match Telemetry.installed () with
+        | Some tel -> fl (Registry.count (Registry.counter (Telemetry.registry tel) name))
+        | None -> 0.0
+      in
       [|
         fl cp_idx;
         fl ops;
@@ -569,6 +579,8 @@ let run ?pool walloc staged =
         fl (ft (fun fs -> fs.Wafl_fault.Fault.torn));
         fl (ft (fun fs -> fs.Wafl_fault.Fault.failed));
         fl (ft (fun fs -> fs.Wafl_fault.Fault.retries));
+        scrub_count "scrub.pages_verified";
+        scrub_count "scrub.bad_pages";
       |]);
   Telemetry.span_exit Span.Cp;
   report

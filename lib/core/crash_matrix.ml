@@ -94,17 +94,37 @@ let check_mounted fs ~acked ~check_acked ~point ~index ~stage acc =
   end;
   !acc
 
+(* Per-pass mmap isolation.  Every workload execution (the recording pass
+   and each armed run) gets its own wiped subdirectory of the installed
+   map directory, so the persisted state a run leaves behind — including
+   integrity sidecars and injected corruption — never leaks into the
+   next run's files, and the committed generation restarts from zero so
+   generation-targeted fault injections fire identically in every run. *)
+let wipe_dir dir =
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir)
+  else Sys.mkdir dir 0o755
+
+let with_pass_dir k f =
+  match Pagestore.mmap_dir_path () with
+  | None -> f None
+  | Some dir ->
+    let sub = Filename.concat dir (Printf.sprintf "run%d" k) in
+    wipe_dir sub;
+    Pagestore.with_mmap_dir sub (fun () -> f (Some sub))
+
 let run ?config ?(with_cleaner = true) ?(background_rebuild = true) ?(lazy_rebuild = false)
-    ~seed ~warmup_cps ~ops_per_cp () =
+    ?(verify_mount = false) ~seed ~warmup_cps ~ops_per_cp () =
   let config = match config with Some c -> c | None -> default_config ~seed in
   (* Pass 1: enumerate the dynamic crash-point sequence the workload
      actually reaches — programmatic, never a hand-maintained list. *)
   Wafl_fault.Crash.record ();
   let points =
     Fun.protect ~finally:Wafl_fault.Crash.disarm (fun () ->
-        let acked = Hashtbl.create 1024 in
-        run_workload (Fs.create config) ~seed ~warmup_cps ~ops_per_cp ~with_cleaner ~acked;
-        Wafl_fault.Crash.recorded ())
+        with_pass_dir 0 (fun _ ->
+            let acked = Hashtbl.create 1024 in
+            run_workload (Fs.create config) ~seed ~warmup_cps ~ops_per_cp ~with_cleaner ~acked;
+            Wafl_fault.Crash.recorded ()))
   in
   (* Pass 2..n+1: kill the system at each point in turn, remount from the
      crash image, repair with the container maps as authority, and verify
@@ -112,33 +132,49 @@ let run ?config ?(with_cleaner = true) ?(background_rebuild = true) ?(lazy_rebui
   let violations = ref [] in
   List.iteri
     (fun index point ->
-      let acked = Hashtbl.create 1024 in
-      let fs = Fs.create config in
-      let crashed =
-        Fun.protect ~finally:Wafl_fault.Crash.disarm (fun () ->
-            Wafl_fault.Crash.arm ~at:index;
-            try
-              run_workload fs ~seed ~warmup_cps ~ops_per_cp ~with_cleaner ~acked;
-              false
-            with Wafl_fault.Crash.Crashed _ -> true)
-      in
-      if not crashed then
-        violations :=
-          { point; index; what = "armed point never reached (workload nondeterminism?)" }
-          :: !violations
-      else begin
-        let image = Mount.snapshot fs in
-        let mounted, _timing =
-          Mount.mount ~background_rebuild ~lazy_rebuild image ~with_topaa:true
-        in
-        let _findings, _repaired = Iron.repair ~authority:Iron.Container_authority mounted in
-        violations :=
-          check_mounted mounted ~acked ~check_acked:false ~point ~index ~stage:"post-repair"
-            !violations;
-        ignore (Fs.run_cp mounted);
-        violations :=
-          check_mounted mounted ~acked ~check_acked:true ~point ~index ~stage:"post-replay-cp"
-            !violations
-      end)
+      with_pass_dir (index + 1) (fun run_dir ->
+          let acked = Hashtbl.create 1024 in
+          let fs = Fs.create config in
+          let crashed =
+            Fun.protect ~finally:Wafl_fault.Crash.disarm (fun () ->
+                Wafl_fault.Crash.arm ~at:index;
+                try
+                  run_workload fs ~seed ~warmup_cps ~ops_per_cp ~with_cleaner ~acked;
+                  false
+                with Wafl_fault.Crash.Crashed _ -> true)
+          in
+          if not crashed then
+            violations :=
+              { point; index; what = "armed point never reached (workload nondeterminism?)" }
+              :: !violations
+          else begin
+            let image = Mount.snapshot fs in
+            let remount_and_check () =
+              let mounted, _timing =
+                Mount.mount ~background_rebuild ~lazy_rebuild ~verify:verify_mount image
+                  ~with_topaa:true
+              in
+              let _findings, _repaired =
+                Iron.repair ~authority:Iron.Container_authority mounted
+              in
+              violations :=
+                check_mounted mounted ~acked ~check_acked:false ~point ~index
+                  ~stage:"post-repair" !violations;
+              ignore (Fs.run_cp mounted);
+              violations :=
+                check_mounted mounted ~acked ~check_acked:true ~point ~index
+                  ~stage:"post-replay-cp" !violations
+            in
+            match run_dir with
+            | None -> remount_and_check ()
+            | Some sub ->
+              (* Remount in a fresh epoch of the same per-run directory:
+                 the store sequence restarts at 0 so [Fs.create] maps the
+                 same files the crashed process persisted, and the
+                 integrity plane reloads sidecars and superblock from
+                 disk — in-memory seals that never made it out die with
+                 the crash, exactly like a reboot. *)
+              Pagestore.with_mmap_dir sub remount_and_check
+          end))
     points;
   { points; runs = List.length points + 1; violations = List.rev !violations }

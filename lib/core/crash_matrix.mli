@@ -34,6 +34,7 @@ val run :
   ?with_cleaner:bool ->
   ?background_rebuild:bool ->
   ?lazy_rebuild:bool ->
+  ?verify_mount:bool ->
   seed:int ->
   warmup_cps:int ->
   ops_per_cp:int ->
@@ -48,7 +49,19 @@ val run :
     come up stale-but-seeded and the repair's Iron scan is the first
     touch that materializes exact caches range by range.
     If a process-wide fault spec is installed, every run (including the
-    remounts) executes under it.  If a domain pool is installed
+    remounts) executes under it.
+    [verify_mount] (default false) forwards [~verify:true] to every
+    post-crash {!Mount.mount}, classifying the persisted pagestore bytes
+    against their integrity sidecars before the image restore.  When an
+    mmap directory is installed, each pass — the recording run and every
+    armed run — executes in its own wiped [runN/] subdirectory of it, and
+    the remount re-enters that subdirectory in a fresh epoch: the store
+    sequence restarts so the remount maps the very files the crashed run
+    persisted, and {!Wafl_bitmap.Integrity} reloads sidecars and
+    superblock from disk, discarding seals that died with the crash.
+    Runs with rot/lost fault specs should also enable {!Scrub} so damage
+    injected during replay CPs is healed before the invariant checks.
+    If a domain pool is installed
     ({!Wafl_par.Par.install}), the remounts, repairs and replay CPs all
     shard over it — the recorded point sequence and the verdicts are
     identical at any domain count. *)

@@ -15,6 +15,14 @@ type t = {
 (* Optional process-wide registry of live systems, so batch drivers
    (waflsim) can audit every Fs an experiment built without the
    experiment having to surface its handles. *)
+(* Post-CP hooks: process-wide callbacks run after every completed CP,
+   with the system that ran it.  The background scrubber registers here so
+   rate-limited verification rides between CPs without Cp or the callers
+   knowing about it. *)
+let post_cp_hooks : (t -> unit) list ref = ref []
+let add_post_cp_hook f = post_cp_hooks := !post_cp_hooks @ [ f ]
+let clear_post_cp_hooks () = post_cp_hooks := []
+
 let registry_enabled = ref false
 let registered_rev : t list ref = ref []
 let enable_registry () =
@@ -89,6 +97,7 @@ let run_cp ?pool t =
   Hashtbl.reset t.staged;
   t.staged_order <- [];
   t.cps <- t.cps + 1;
+  List.iter (fun f -> f t) !post_cp_hooks;
   report
 
 let cps_completed t = t.cps

@@ -41,7 +41,15 @@ val staged_ops : t -> (string * int * int) list
 val run_cp : ?pool:Wafl_par.Par.t -> t -> Cp.report
 (** Flush everything staged as one consistency point.  [pool] (or the
     installed one) shards the CP over its domains with results identical
-    to a serial CP — see {!Cp.run}. *)
+    to a serial CP — see {!Cp.run}.  After the CP completes, every
+    registered post-CP hook runs with this system. *)
+
+val add_post_cp_hook : (t -> unit) -> unit
+(** Register a process-wide callback run after every completed CP on any
+    system, in registration order — the between-CPs slot the background
+    scrubber ({!Scrub.enable}) occupies. *)
+
+val clear_post_cp_hooks : unit -> unit
 
 val create_snapshot : t -> vol:Flexvol.t -> int
 (** Pin the volume's current state (free at creation, COW). *)

@@ -174,9 +174,17 @@ let repair_body ?(authority = Bitmap_authority) ?pool fs =
                 | None -> ()
               done)
             (Fs.vols fs);
+          (* a block with a pending delayed free is already on its way out —
+             re-queueing it would trip the activemap's dedupe guard (live
+             systems scrub-repaired between CPs carry such frees) *)
+          let am = Aggregate.activemap aggregate in
           let freed = ref 0 in
           for pvbn = 0 to Aggregate.total_blocks aggregate - 1 do
-            if Metafile.is_allocated mf pvbn && not (Hashtbl.mem owners pvbn) then begin
+            if
+              Metafile.is_allocated mf pvbn
+              && (not (Hashtbl.mem owners pvbn))
+              && not (Wafl_bitmap.Activemap.has_pending_free am pvbn)
+            then begin
               Aggregate.queue_free aggregate ~pvbn;
               incr freed
             end

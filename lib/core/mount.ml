@@ -24,12 +24,34 @@ type image = {
          vvbn) inode entries — the durable namespace Iron cross-checks *)
 }
 
+type verify_report = {
+  pages_verified : int;
+  torn_pages : int;
+  stale_pages : int;
+  ahead_pages : int;
+  unverified_stores : int;
+  ranges_quarantined : int;
+  vols_quarantined : int;
+}
+
+let empty_verify_report =
+  {
+    pages_verified = 0;
+    torn_pages = 0;
+    stale_pages = 0;
+    ahead_pages = 0;
+    unverified_stores = 0;
+    ranges_quarantined = 0;
+    vols_quarantined = 0;
+  }
+
 type timing = {
   topaa_blocks_read : int;
   metafile_pages_scanned : int;
   aas_scored : int;
   ops_replayed : int;
   ready_us : float;
+  verify : verify_report option;
 }
 
 type cost_model = {
@@ -121,11 +143,111 @@ let tear_agg_bitmap_page image ~page =
   let len = min (page_bits / 2) (total - half) in
   if len > 0 then Bitmap.clear_range image.agg_bits ~start:half ~len
 
+(* --- verified remount: sidecar classification over the mapped stores --- *)
+
+(* Aggregate ranges overlapping the VBN span one integrity page of the
+   activemap store covers: page [p] holds bits [p * 8 * page_size, ...).
+   A page straddling a range boundary quarantines every range it
+   touches. *)
+let ranges_of_page aggregate p =
+  let bits_per_page = 8 * Integrity.page_size in
+  let vbn0 = p * bits_per_page in
+  let vbn1 = min (Aggregate.total_blocks aggregate) ((p + 1) * bits_per_page) - 1 in
+  Array.to_list (Aggregate.ranges aggregate)
+  |> List.filter (fun (r : Aggregate.range) ->
+         r.Aggregate.base <= vbn1 && r.Aggregate.base + r.Aggregate.blocks - 1 >= vbn0)
+
+(* Classify every tracked metafile store of [fs] against its persisted
+   sidecar.  Pure with respect to the data pages (ahead pages are folded
+   into the committed generation by [Integrity.verify_store]); the caller
+   decides when to quarantine and reseal — the restore path must classify
+   {e before} the image blit rewrites the stores, but rebuild requests
+   only make sense {e after} it. *)
+let classify_stores fs =
+  let aggregate = Fs.aggregate fs in
+  let totals = ref empty_verify_report in
+  let consider store =
+    match Integrity.verify_store store with
+    | None -> []
+    | Some r ->
+      let t = !totals in
+      totals :=
+        {
+          t with
+          pages_verified = t.pages_verified + r.Integrity.pages;
+          torn_pages = t.torn_pages + List.length r.Integrity.torn;
+          stale_pages = t.stale_pages + List.length r.Integrity.stale;
+          ahead_pages = t.ahead_pages + r.Integrity.ahead;
+          unverified_stores =
+            (t.unverified_stores + if r.Integrity.sidecar_loaded then 0 else 1);
+        };
+      r.Integrity.torn @ r.Integrity.stale
+  in
+  let agg_store = Metafile.store (Aggregate.metafile aggregate) in
+  let agg_bad = consider agg_store in
+  let bad_ranges =
+    let seen = Hashtbl.create 8 in
+    List.concat_map (fun p -> ranges_of_page aggregate p) agg_bad
+    |> List.filter (fun (r : Aggregate.range) ->
+           if Hashtbl.mem seen r.Aggregate.index then false
+           else begin
+             Hashtbl.add seen r.Aggregate.index ();
+             true
+           end)
+  in
+  let bad_vols =
+    Array.to_list (Fs.vols fs)
+    |> List.filter_map (fun vol ->
+           match consider (Metafile.store (Flexvol.metafile vol)) with
+           | [] -> None
+           | pages -> Some (vol, Metafile.store (Flexvol.metafile vol), pages))
+  in
+  (!totals, agg_store, agg_bad, bad_ranges, bad_vols)
+
+(* Damage routing: the cost of a verified remount is proportional to the
+   damage — only the ranges/volumes a bad page overlaps are rescanned. *)
+let quarantine ?pool fs ~bad_ranges ~bad_vols =
+  let aggregate = Fs.aggregate fs in
+  if bad_ranges <> [] then Rebuild.request ?pool aggregate (Rebuild.Ranges bad_ranges);
+  List.iter (fun (vol, _, _) -> Rebuild.request_vol ?pool vol) bad_vols
+
+let emit_verify_telemetry r =
+  Telemetry.incr "mount.verified_mounts";
+  Telemetry.add "mount.verify_pages" r.pages_verified;
+  Telemetry.add "mount.verify_torn" r.torn_pages;
+  Telemetry.add "mount.verify_stale" r.stale_pages;
+  Telemetry.add "mount.verify_quarantined_ranges" r.ranges_quarantined;
+  Telemetry.add "mount.verify_quarantined_vols" r.vols_quarantined
+
+let verify_pagestores ?pool fs =
+  let totals, agg_store, agg_bad, bad_ranges, bad_vols = classify_stores fs in
+  quarantine ?pool fs ~bad_ranges ~bad_vols;
+  (* The persisted bits are all we have on this path: take them as bitmap
+     truth, re-stamp the damaged pages, and let the caller's Iron pass
+     settle bitmap-vs-container disagreements under container
+     authority. *)
+  List.iter (Integrity.reseal_page agg_store) agg_bad;
+  List.iter (fun (_, store, pages) -> List.iter (Integrity.reseal_page store) pages) bad_vols;
+  let report =
+    {
+      totals with
+      ranges_quarantined = List.length bad_ranges;
+      vols_quarantined = List.length bad_vols;
+    }
+  in
+  emit_verify_telemetry report;
+  report
+
 (* Restore space state into a fresh system.  The caches Fs.create builds
    assume an empty file system; drop them — the caller installs either
    TopAA seeds or a full-scan rebuild. *)
-let restore image =
+let restore ?(verify = false) ?pool image =
   let fs = Fs.create image.config in
+  (* Classification must see the persisted bytes, so it runs between the
+     store mapping above and the image blit below; the blit then heals the
+     data (and [Metafile.load] re-stamps the sidecar state), leaving only
+     the damage-proportional rescans to issue afterwards. *)
+  let pre = if verify then Some (classify_stores fs) else None in
   let aggregate = Fs.aggregate fs in
   Metafile.load (Aggregate.metafile aggregate) image.agg_bits;
   Array.iter
@@ -137,7 +259,22 @@ let restore image =
     image.namespace;
   Aggregate.disable_caches aggregate;
   Array.iter (fun v -> Flexvol.set_cache v None) (Fs.vols fs);
-  fs
+  let vreport =
+    match pre with
+    | None -> None
+    | Some (totals, _, _, bad_ranges, bad_vols) ->
+      quarantine ?pool fs ~bad_ranges ~bad_vols;
+      let r =
+        {
+          totals with
+          ranges_quarantined = List.length bad_ranges;
+          vols_quarantined = List.length bad_vols;
+        }
+      in
+      emit_verify_telemetry r;
+      Some r
+  in
+  (fs, vreport)
 
 (* Seed one range cache from its TopAA block.  A corrupt block is detected
    by its checksum; the mount then falls back to scoring that range from
@@ -187,9 +324,9 @@ let seed_range_cache aggregate (r : Aggregate.range) block =
     | Error _ -> fallback ())
 
 let mount_body ?(cost = default_cost_model) ?(background_rebuild = true)
-    ?(lazy_rebuild = false) ?pool image ~with_topaa =
+    ?(lazy_rebuild = false) ?(verify = false) ?pool image ~with_topaa =
   let pool = Wafl_par.Par.resolve pool in
-  let fs = restore image in
+  let fs, vreport = restore ~verify ?pool image in
   (* replay the NVRAM log: the logged client operations are re-staged so
      the first CP commits them (no data loss across the takeover) *)
   List.iter
@@ -265,6 +402,7 @@ let mount_body ?(cost = default_cost_model) ?(background_rebuild = true)
         aas_scored = 0;
         ops_replayed;
         ready_us;
+        verify = vreport;
       } )
   end
   else if lazy_rebuild then begin
@@ -280,6 +418,7 @@ let mount_body ?(cost = default_cost_model) ?(background_rebuild = true)
         aas_scored = 0;
         ops_replayed;
         ready_us = replay_us;
+        verify = vreport;
       } )
   end
   else begin
@@ -326,13 +465,15 @@ let mount_body ?(cost = default_cost_model) ?(background_rebuild = true)
         aas_scored = aas;
         ops_replayed;
         ready_us;
+        verify = vreport;
       } )
   end
 
 (* The whole mount — restore, NVRAM replay, cache seeding or full-scan
    rebuild — is one [Mount_rebuild] span. *)
-let mount ?cost ?background_rebuild ?lazy_rebuild ?pool image ~with_topaa =
+let mount ?cost ?background_rebuild ?lazy_rebuild ?verify ?pool image ~with_topaa =
   Telemetry.span_enter Span.Mount_rebuild;
   Fun.protect
     ~finally:(fun () -> Telemetry.span_exit Span.Mount_rebuild)
-    (fun () -> mount_body ?cost ?background_rebuild ?lazy_rebuild ?pool image ~with_topaa)
+    (fun () ->
+      mount_body ?cost ?background_rebuild ?lazy_rebuild ?verify ?pool image ~with_topaa)

@@ -12,12 +12,23 @@ type image
 (** A crash-consistent snapshot: configuration, allocation bitmaps, and the
     persisted TopAA blocks. *)
 
+type verify_report = {
+  pages_verified : int;  (** integrity pages checked against sidecars *)
+  torn_pages : int;      (** CRC matched neither generation (bit-rot) *)
+  stale_pages : int;     (** matched the previous generation (lost write) *)
+  ahead_pages : int;     (** sealed past the superblock; accepted *)
+  unverified_stores : int;  (** tracked stores with no valid sidecar *)
+  ranges_quarantined : int;  (** aggregate ranges routed to {!Rebuild} *)
+  vols_quarantined : int;
+}
+
 type timing = {
   topaa_blocks_read : int;
   metafile_pages_scanned : int;
   aas_scored : int;            (** AA scores recomputed before first CP *)
   ops_replayed : int;          (** NVRAM-logged operations re-staged *)
   ready_us : float;            (** modeled time until the first CP may run *)
+  verify : verify_report option;  (** set when mounted with [~verify:true] *)
 }
 
 type cost_model = {
@@ -51,10 +62,24 @@ val tear_agg_bitmap_page : image -> page:int -> unit
     [Container_authority] re-marks the referenced blocks.  Raises
     [Invalid_argument] if [page] is out of range. *)
 
+val verify_pagestores : ?pool:Wafl_par.Par.t -> Fs.t -> verify_report
+(** Check every integrity-tracked pagestore of a {e live} system against
+    its persisted sidecars ({!Wafl_bitmap.Integrity}): classify each 4 KiB
+    page intact / ahead / torn / stale, quarantine the aggregate ranges
+    and volumes the bad pages overlap (damage-proportional
+    {!Rebuild.request}), and re-stamp the damaged pages as the new bitmap
+    truth — the caller then runs {!Iron.repair} under container authority
+    to settle bitmap-vs-container disagreements.  This is the
+    cross-process remount check: call it right after [Fs.create] under the
+    same mmap directory a previous process persisted.  No-op report when
+    no mmap directory is installed.  Emits the [mount.verify_*]
+    telemetry. *)
+
 val mount :
   ?cost:cost_model ->
   ?background_rebuild:bool ->
   ?lazy_rebuild:bool ->
+  ?verify:bool ->
   ?pool:Wafl_par.Par.t ->
   image ->
   with_topaa:bool ->
@@ -99,6 +124,13 @@ val mount :
     [mount.topaa_blocks_read], [mount.topaa_seeds] and
     [mount.fallback_pages_scanned], full-scan mounts [mount.scan_pages]
     and [mount.aas_scored].
+
+    [verify] (default [false]) runs the {!verify_pagestores}
+    classification against the {e persisted} mapped bytes before the
+    image is restored over them: damage found on disk is reported in
+    [timing.verify], and the ranges/volumes it overlapped are rescanned
+    after the restore heals the data.  Meaningless (empty report) without
+    an installed mmap directory.
 
     [pool] (defaulting to the installed one) parallelises the full-scan
     rescoring — and the background rebuild — across its domains with

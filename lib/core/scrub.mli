@@ -1,0 +1,44 @@
+(** Background pagestore scrubber: rate-limited between-CPs verification
+    of the persisted free-space state against its CRC sidecars
+    ({!Wafl_bitmap.Integrity}), with self-healing.
+
+    Damage that is only read when it is needed is damage found too late —
+    so, like a production filer's continuous media scrub, this walks the
+    integrity pages of every tracked store round-robin, a bounded number
+    per CP, and heals what it finds: the overlapped aggregate ranges or
+    volumes are quarantined through {!Rebuild.request}, the
+    bitmap-vs-container disagreement is settled by {!Iron.repair} under
+    container authority (the container maps are the redundant copy the
+    damaged bitmap page is rebuilt from), and the page is resealed as the
+    new truth.
+
+    Each pass runs under the [scrub] telemetry span and counts
+    [scrub.passes], [scrub.pages_verified], [scrub.bad_pages] and
+    [scrub.healed]; the per-CP time series carries the cumulative
+    [scrub_pages] / [scrub_bad] columns.  Everything is a no-op unless an
+    mmap directory is installed (nothing is tracked otherwise). *)
+
+type stats = { pages_verified : int; bad_pages : int; healed : int; passes : int }
+
+val zero_stats : stats
+
+val pass : ?pool:Wafl_par.Par.t -> Fs.t -> budget:int -> stats
+(** Run one scrub pass over [fs] now: verify up to [budget] integrity
+    pages from the system's round-robin cursor (CRC checks chunked over
+    [pool] or the installed pool; healing serial), heal any torn/stale
+    page found.  Returns what happened. *)
+
+val enable : ?pool:Wafl_par.Par.t -> rate:int -> unit -> unit
+(** Install the scrubber as a process-wide post-CP hook
+    ({!Fs.add_post_cp_hook}): after every completed CP on any system, one
+    {!pass} with [budget = rate] runs on that system.  A full sweep of
+    [N] tracked pages therefore takes [ceil (N / rate)] CPs.  [rate = 0]
+    disables without unregistering; calling again updates rate and
+    pool. *)
+
+val disable : unit -> unit
+(** Stop scrubbing (equivalent to [rate = 0]). *)
+
+val enabled : unit -> bool
+
+val current_rate : unit -> int

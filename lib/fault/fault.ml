@@ -12,6 +12,8 @@ type spec = {
   bad_ranges : (int * int * int) list;
   offline_after : (int * int) list;
   degraded_after : (int * int) list;
+  rot_pages : (int * int * int) list;
+  lost_pages : (int * int * int) list;
 }
 
 let default_spec =
@@ -27,6 +29,8 @@ let default_spec =
     bad_ranges = [];
     offline_after = [];
     degraded_after = [];
+    rot_pages = [];
+    lost_pages = [];
   }
 
 (* --- spec parsing ----------------------------------------------------- *)
@@ -95,6 +99,35 @@ let parse_field acc field =
               | _ -> Error (Printf.sprintf "fault spec: bad expects DEV:START+LEN, got %S" v))
             | _ -> Error (Printf.sprintf "fault spec: bad expects DEV:START+LEN, got %S" v))
           | _ -> Error (Printf.sprintf "fault spec: bad expects DEV:START+LEN, got %S" v))
+        | "rot" | "lost" -> (
+          (* rot=STORE:PAGE[@GEN] / lost=STORE:PAGE[@GEN] — persisted
+             pagestore corruption, applied by the integrity plane at the
+             CP whose committed generation reaches GEN (defaults: 1 for
+             rot, 2 for lost — a lost write needs a previous generation
+             to revert to). *)
+          let default_gen = if key = "rot" then 1 else 2 in
+          let parsed =
+            match String.split_on_char '@' v with
+            | [ sp ] -> Some (sp, Some default_gen)
+            | [ sp; g ] -> Some (sp, int_of_string_opt g)
+            | _ -> None
+          in
+          match parsed with
+          | Some (sp, Some gen) -> (
+            match String.split_on_char ':' sp with
+            | [ s; p ] -> (
+              match (int_of_string_opt s, int_of_string_opt p) with
+              | Some s, Some p ->
+                if key = "rot" then
+                  Ok { spec with rot_pages = spec.rot_pages @ [ (s, p, gen) ] }
+                else Ok { spec with lost_pages = spec.lost_pages @ [ (s, p, gen) ] }
+              | _ ->
+                Error
+                  (Printf.sprintf "fault spec: %s expects STORE:PAGE[@GEN], got %S" key v))
+            | _ ->
+              Error (Printf.sprintf "fault spec: %s expects STORE:PAGE[@GEN], got %S" key v))
+          | _ -> Error (Printf.sprintf "fault spec: %s expects STORE:PAGE[@GEN], got %S" key v)
+          )
         | "offline" ->
           Result.map
             (fun p -> { spec with offline_after = spec.offline_after @ [ p ] })
@@ -117,6 +150,9 @@ let spec_of_string s =
       Error "fault spec: spike must be in [0,1]"
     else if spec.transient_burst_max < 1 then Error "fault spec: burst must be >= 1"
     else if spec.retry_budget < 0 then Error "fault spec: retries must be >= 0"
+    else if
+      List.exists (fun (s, p, g) -> s < 0 || p < 0 || g < 1) (spec.rot_pages @ spec.lost_pages)
+    then Error "fault spec: rot/lost expect STORE >= 0, PAGE >= 0, GEN >= 1"
     else Ok spec
 
 let spec_to_string spec =
@@ -138,6 +174,12 @@ let spec_to_string spec =
   List.iter
     (fun (d, ios) -> Buffer.add_string buf (Printf.sprintf ",degraded=%d@%d" d ios))
     spec.degraded_after;
+  List.iter
+    (fun (s, p, g) -> Buffer.add_string buf (Printf.sprintf ",rot=%d:%d@%d" s p g))
+    spec.rot_pages;
+  List.iter
+    (fun (s, p, g) -> Buffer.add_string buf (Printf.sprintf ",lost=%d:%d@%d" s p g))
+    spec.lost_pages;
   Buffer.contents buf
 
 (* --- plane and device handles ----------------------------------------- *)

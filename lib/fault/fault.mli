@@ -45,6 +45,15 @@ type spec = {
           that many I/Os *)
   degraded_after : (int * int) list;
       (** [(device, ios)]: likewise for the {!Degraded} transition *)
+  rot_pages : (int * int * int) list;
+      (** [(store, page, gen)]: flip bits in 4 KiB page [page] of mapped
+          pagestore [ps<store>] once the integrity plane's committed
+          generation reaches [gen] — persisted bit-rot the CRC sidecar
+          must detect as {e torn} *)
+  lost_pages : (int * int * int) list;
+      (** [(store, page, gen)]: revert the page to its previous
+          generation's bytes at [gen] — a lost write the sidecar must
+          classify as {e stale} (data matches the previous CRC) *)
 }
 
 val default_spec : spec
@@ -55,9 +64,11 @@ val default_spec : spec
 
 val spec_of_string : string -> (spec, string) result
 (** Parse a comma-separated [key=value] fault spec, e.g.
-    ["seed=7,transient=0.05,burst=3,torn=0.01,spike=0.02:400,retries=4,backoff=100,bad=0:1024+64,offline=2@5000,degraded=1@2000"].
-    Unknown keys and malformed values yield [Error msg].  [bad], [offline]
-    and [degraded] may repeat. *)
+    ["seed=7,transient=0.05,burst=3,torn=0.01,spike=0.02:400,retries=4,backoff=100,bad=0:1024+64,offline=2@5000,degraded=1@2000,rot=0:1,lost=0:2@2"].
+    Unknown keys and malformed values yield [Error msg].  [bad], [offline],
+    [degraded], [rot] and [lost] may repeat.  [rot]/[lost] take
+    [STORE:PAGE\[@GEN\]]; [GEN] defaults to 1 for [rot] and 2 for [lost]
+    (a lost write needs a previous generation to revert to). *)
 
 val spec_to_string : spec -> string
 (** Round-trips through {!spec_of_string}. *)

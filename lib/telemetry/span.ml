@@ -9,11 +9,12 @@ type kind =
   | Mount_rebuild
   | Iron
   | Cleaner
+  | Scrub
 
 let all =
   [
     Cp; Pick; Harvest; Tetris_write; Device_flush; Activemap_commit; Bit_clear;
-    Mount_rebuild; Iron; Cleaner;
+    Mount_rebuild; Iron; Cleaner; Scrub;
   ]
 
 let index = function
@@ -27,8 +28,9 @@ let index = function
   | Mount_rebuild -> 7
   | Iron -> 8
   | Cleaner -> 9
+  | Scrub -> 10
 
-let n_kinds = 10
+let n_kinds = 11
 
 let name = function
   | Cp -> "cp"
@@ -41,9 +43,10 @@ let name = function
   | Mount_rebuild -> "mount.rebuild"
   | Iron -> "iron"
   | Cleaner -> "cleaner"
+  | Scrub -> "scrub"
 
 let parent = function
-  | Cp | Mount_rebuild | Iron | Cleaner -> None
+  | Cp | Mount_rebuild | Iron | Cleaner | Scrub -> None
   | Pick | Harvest | Tetris_write | Device_flush | Activemap_commit -> Some Cp
   | Bit_clear -> Some Activemap_commit
 

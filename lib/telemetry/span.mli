@@ -27,6 +27,7 @@ type kind =
   | Mount_rebuild  (** full-scan or TopAA mount ([Mount.mount]) *)
   | Iron  (** consistency check / repair scans *)
   | Cleaner  (** segment-cleaning passes *)
+  | Scrub  (** background pagestore-integrity verification between CPs *)
 
 val all : kind list
 (** Every kind, in rendering order (parents before children). *)
@@ -36,7 +37,7 @@ val name : kind -> string
 
 val parent : kind -> kind option
 (** Static nesting: [None] for roots ([Cp], [Mount_rebuild], [Iron],
-    [Cleaner]). *)
+    [Cleaner], [Scrub]). *)
 
 val depth : kind -> int
 (** Number of ancestors (0 for roots). *)

@@ -1,28 +1,44 @@
+(* CRC-32 (the IEEE/zlib polynomial), computed on native ints: the state
+   and table fit in 32 bits, so on a 64-bit host the whole inner loop is
+   unboxed integer arithmetic — an Int32 state would box on every byte,
+   which matters when pages are resealed inside the CP pipeline. *)
 let table =
   lazy
-    (let t = Array.make 256 0l in
+    (let t = Array.make 256 0 in
      for n = 0 to 255 do
-       let c = ref (Int32.of_int n) in
+       let c = ref n in
        for _ = 0 to 7 do
-         if Int32.logand !c 1l <> 0l then
-           c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
-         else c := Int32.shift_right_logical !c 1
+         if !c land 1 <> 0 then c := 0xEDB88320 lxor (!c lsr 1) else c := !c lsr 1
        done;
        t.(n) <- !c
      done;
      t)
 
+let finish c = Int32.of_int ((c lxor 0xFFFFFFFF) land 0xFFFFFFFF)
+
 let crc32 bytes ~pos ~len =
   if pos < 0 || len < 0 || pos + len > Bytes.length bytes then
     invalid_arg "Checksum.crc32: range out of bounds";
   let t = Lazy.force table in
-  let c = ref 0xFFFFFFFFl in
+  let c = ref 0xFFFFFFFF in
   for i = pos to pos + len - 1 do
-    let index = Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code (Bytes.get bytes i)))) 0xFFl) in
-    c := Int32.logxor t.(index) (Int32.shift_right_logical !c 8)
+    c := Array.unsafe_get t ((!c lxor Char.code (Bytes.unsafe_get bytes i)) land 0xFF)
+         lxor (!c lsr 8)
   done;
-  Int32.logxor !c 0xFFFFFFFFl
+  finish !c
 
 let crc32_all bytes = crc32 bytes ~pos:0 ~len:(Bytes.length bytes)
+
+(* Accessor-based variant: CRCs bytes fetched through [get] so off-heap
+   stores (Pagestore pages) are checksummed in place, without staging a
+   copy on the OCaml heap. *)
+let crc32_get ~get ~pos ~len =
+  if pos < 0 || len < 0 then invalid_arg "Checksum.crc32_get: negative range";
+  let t = Lazy.force table in
+  let c = ref 0xFFFFFFFF in
+  for i = pos to pos + len - 1 do
+    c := Array.unsafe_get t ((!c lxor get i) land 0xFF) lxor (!c lsr 8)
+  done;
+  finish !c
 
 let crc32_string s = crc32_all (Bytes.of_string s)

@@ -6,4 +6,9 @@ val crc32 : Bytes.t -> pos:int -> len:int -> int32
 
 val crc32_all : Bytes.t -> int32
 
+val crc32_get : get:(int -> int) -> pos:int -> len:int -> int32
+(** CRC of bytes [pos .. pos+len-1] read through [get] (each call must
+    return 0..255).  Lets callers checksum off-heap page stores in place;
+    [get] is not bounds-checked here — callers are. *)
+
 val crc32_string : string -> int32

@@ -1,0 +1,256 @@
+(* Persisted-state integrity: CRC sidecars, verified remount, scrubber.
+
+   Every test drives the real mmap path: a first "process" (an
+   [with_mmap_dir] session) creates a system and commits CPs, the bytes
+   on disk are then damaged (or not), and a second session remounts the
+   same directory and must classify exactly what happened. *)
+
+open Wafl_bitmap
+open Wafl_core
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let fresh_dir name =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) name in
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir)
+  else Sys.mkdir dir 0o700;
+  dir
+
+(* Small enough that the whole aggregate activemap is one integrity page
+   (2 rg x 4 data x 1024 blocks = 8192 bits < 32768), so every CP dirties
+   page 0 and that page straddles both physical ranges. *)
+let config ~seed =
+  let rg =
+    {
+      Config.media = Config.Hdd Wafl_device.Profile.default_hdd;
+      data_devices = 4;
+      parity_devices = 1;
+      device_blocks = 1024;
+      aa_stripes = Some 128;
+    }
+  in
+  Config.make ~raid_groups:[ rg; rg ]
+    ~vols:[ Config.default_vol ~name:"vol0" ~blocks:4096 ]
+    ~seed ()
+
+let stage_and_cp fs ~seed ~ops =
+  let rng = Wafl_util.Rng.create ~seed in
+  let vol = (Fs.vols fs).(0) in
+  for _ = 1 to ops do
+    Fs.stage_write fs ~vol ~file:(Wafl_util.Rng.int rng 8)
+      ~offset:(Wafl_util.Rng.int rng 256)
+  done;
+  ignore (Fs.run_cp fs)
+
+(* The aggregate activemap's map store is tracked ordinal 0; grab its
+   backing file from inside the session. *)
+let agg_map_path fs =
+  let store = Metafile.store (Aggregate.metafile (Fs.aggregate fs)) in
+  match Pagestore.mapped_path store with
+  | Some (_, path) -> path
+  | None -> Alcotest.fail "aggregate map store is not file-mapped"
+
+let read_bytes path ~pos ~len =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      seek_in ic pos;
+      really_input_string ic len)
+
+(* The store file can be smaller than one integrity page (a page covers
+   [min page_size length] store bytes), so whole-page operations read the
+   whole file. *)
+let read_all path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_bytes path ~pos s =
+  let oc = open_out_gen [ Open_wronly; Open_binary ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      seek_out oc pos;
+      output_string oc s)
+
+let flip_byte path ~pos =
+  let b = (read_bytes path ~pos ~len:1).[0] in
+  write_bytes path ~pos (String.make 1 (Char.chr (Char.code b lxor 0x5a)))
+
+(* --- torn detection: bit-rot on disk between two sessions ------------- *)
+
+let test_torn_remount () =
+  let dir = fresh_dir "wafl_test_integrity_torn" in
+  let path = ref "" in
+  Pagestore.with_mmap_dir dir (fun () ->
+      let fs = Fs.create (config ~seed:7) in
+      stage_and_cp fs ~seed:1 ~ops:200;
+      stage_and_cp fs ~seed:2 ~ops:200;
+      path := agg_map_path fs);
+  flip_byte !path ~pos:5;
+  Pagestore.with_mmap_dir dir (fun () ->
+      let fs = Fs.create (config ~seed:7) in
+      let r = Mount.verify_pagestores fs in
+      check_bool "torn page detected" true (r.Mount.torn_pages >= 1);
+      check_int "nothing classified stale" 0 r.Mount.stale_pages;
+      (* one bad activemap page overlaps both physical ranges *)
+      check_int "both straddled ranges quarantined" 2 r.Mount.ranges_quarantined;
+      let _findings, _n = Iron.repair ~authority:Iron.Container_authority fs in
+      check_int "iron clean after container-authority heal" 0
+        (List.length (Iron.check fs)))
+
+(* --- stale detection: the last committed write is lost ---------------- *)
+
+let test_stale_remount () =
+  let dir = fresh_dir "wafl_test_integrity_stale" in
+  let path = ref "" in
+  let gen1_page = ref "" in
+  Pagestore.with_mmap_dir dir (fun () ->
+      let fs = Fs.create (config ~seed:11) in
+      stage_and_cp fs ~seed:1 ~ops:200;
+      path := agg_map_path fs;
+      (* the mapping is shared, so the committed bytes are visible to a
+         plain read of the backing file *)
+      gen1_page := read_all !path;
+      stage_and_cp fs ~seed:2 ~ops:200);
+  (* revert the page to its generation-1 image: a lost write *)
+  check_bool "second CP changed the page" true (!gen1_page <> read_all !path);
+  write_bytes !path ~pos:0 !gen1_page;
+  Pagestore.with_mmap_dir dir (fun () ->
+      let fs = Fs.create (config ~seed:11) in
+      let r = Mount.verify_pagestores fs in
+      check_bool "stale page detected" true (r.Mount.stale_pages >= 1);
+      check_int "nothing classified torn" 0 r.Mount.torn_pages;
+      let _findings, _n = Iron.repair ~authority:Iron.Container_authority fs in
+      check_int "iron clean after heal" 0 (List.length (Iron.check fs)))
+
+(* --- sidecar present, store file missing ------------------------------ *)
+
+let test_store_missing () =
+  let dir = fresh_dir "wafl_test_integrity_nostore" in
+  let path = ref "" in
+  Pagestore.with_mmap_dir dir (fun () ->
+      let fs = Fs.create (config ~seed:3) in
+      stage_and_cp fs ~seed:1 ~ops:200;
+      path := agg_map_path fs);
+  Sys.remove !path;
+  Pagestore.with_mmap_dir dir (fun () ->
+      let fs = Fs.create (config ~seed:3) in
+      let r = Mount.verify_pagestores fs in
+      (* the recreated store is zero-filled; the sidecar vouches for the
+         committed bits, so the wipe must be flagged *)
+      check_bool "wiped store detected" true (r.Mount.torn_pages + r.Mount.stale_pages >= 1);
+      let _findings, _n = Iron.repair ~authority:Iron.Container_authority fs in
+      check_int "iron clean after heal" 0 (List.length (Iron.check fs)))
+
+(* --- store present, sidecar missing ----------------------------------- *)
+
+let test_sidecar_missing () =
+  let dir = fresh_dir "wafl_test_integrity_nosidecar" in
+  let seq = ref (-1) in
+  Pagestore.with_mmap_dir dir (fun () ->
+      let fs = Fs.create (config ~seed:5) in
+      stage_and_cp fs ~seed:1 ~ops:200;
+      let store = Metafile.store (Aggregate.metafile (Fs.aggregate fs)) in
+      seq := fst (Option.get (Pagestore.mapped_path store)));
+  Sys.remove (Filename.concat dir (Printf.sprintf "ps%d.crc" !seq));
+  Pagestore.with_mmap_dir dir (fun () ->
+      let fs = Fs.create (config ~seed:5) in
+      let r = Mount.verify_pagestores fs in
+      check_bool "store without sidecar reported unverified" true
+        (r.Mount.unverified_stores >= 1);
+      (* sealed blind: the surviving bytes become the new vouched truth *)
+      check_int "no damage invented" 0 (r.Mount.torn_pages + r.Mount.stale_pages))
+
+(* --- generation stamp is stable across write-free remounts ------------ *)
+
+let test_generation_stable () =
+  let dir = fresh_dir "wafl_test_integrity_gen" in
+  Pagestore.with_mmap_dir dir (fun () ->
+      let fs = Fs.create (config ~seed:9) in
+      stage_and_cp fs ~seed:1 ~ops:200;
+      stage_and_cp fs ~seed:2 ~ops:200);
+  let g = ref (-1) in
+  Pagestore.with_mmap_dir dir (fun () ->
+      let fs = Fs.create (config ~seed:9) in
+      let r = Mount.verify_pagestores fs in
+      check_int "first write-free remount sees no damage" 0
+        (r.Mount.torn_pages + r.Mount.stale_pages);
+      g := Integrity.committed_generation ());
+  check_bool "two CPs committed two generations" true (!g >= 2);
+  Pagestore.with_mmap_dir dir (fun () ->
+      let fs = Fs.create (config ~seed:9) in
+      let r = Mount.verify_pagestores fs in
+      check_int "second write-free remount sees no damage" 0
+        (r.Mount.torn_pages + r.Mount.stale_pages);
+      ignore fs;
+      check_int "generation unchanged by write-free remounts" !g
+        (Integrity.committed_generation ()))
+
+(* --- rot/lost fault-grammar round trip -------------------------------- *)
+
+let test_fault_grammar () =
+  let open Wafl_fault in
+  (match Fault.spec_of_string "rot=0:1,lost=0:2@5" with
+  | Error msg -> Alcotest.fail msg
+  | Ok spec ->
+    check_bool "rot parsed with default gen" true (spec.Fault.rot_pages = [ (0, 1, 1) ]);
+    check_bool "lost parsed with explicit gen" true (spec.Fault.lost_pages = [ (0, 2, 5) ]);
+    let s = Fault.spec_to_string spec in
+    check_bool "rot survives round trip" true
+      (match Fault.spec_of_string s with
+      | Ok spec' ->
+        spec'.Fault.rot_pages = spec.Fault.rot_pages
+        && spec'.Fault.lost_pages = spec.Fault.lost_pages
+      | Error _ -> false));
+  check_bool "negative page rejected" true
+    (match Fault.spec_of_string "rot=0:-1" with Error _ -> true | Ok _ -> false);
+  check_bool "generation zero rejected" true
+    (match Fault.spec_of_string "lost=0:0@0" with Error _ -> true | Ok _ -> false)
+
+(* --- scrubber: injected damage is found and healed between CPs -------- *)
+
+let test_scrub_heals () =
+  let dir = fresh_dir "wafl_test_integrity_scrub" in
+  let spec =
+    match Wafl_fault.Fault.spec_of_string "rot=0:0@1" with
+    | Ok s -> s
+    | Error msg -> Alcotest.fail msg
+  in
+  Wafl_fault.Fault.install_default spec;
+  Fun.protect ~finally:Wafl_fault.Fault.uninstall_default (fun () ->
+      Pagestore.with_mmap_dir dir (fun () ->
+          let fs = Fs.create (config ~seed:13) in
+          (* first CP commits generation 1: the rot arm fires right after
+             the sidecar persist, corrupting the committed activemap *)
+          stage_and_cp fs ~seed:1 ~ops:200;
+          let stats = Scrub.pass fs ~budget:4096 in
+          check_bool "scrub found the rotted page" true (stats.Scrub.bad_pages >= 1);
+          check_int "scrub healed what it found" stats.Scrub.bad_pages
+            stats.Scrub.healed;
+          check_int "iron clean after scrub heal" 0 (List.length (Iron.check fs));
+          let stats' = Scrub.pass fs ~budget:4096 in
+          check_int "second sweep finds nothing" 0 stats'.Scrub.bad_pages))
+
+let () =
+  Alcotest.run "integrity"
+    [
+      ( "verified remount",
+        [
+          Alcotest.test_case "torn page detected and healed" `Quick test_torn_remount;
+          Alcotest.test_case "lost write classifies stale" `Quick test_stale_remount;
+          Alcotest.test_case "wiped store flagged via sidecar" `Quick test_store_missing;
+          Alcotest.test_case "missing sidecar reported unverified" `Quick
+            test_sidecar_missing;
+          Alcotest.test_case "generation stable without writes" `Quick
+            test_generation_stable;
+        ] );
+      ( "fault grammar",
+        [ Alcotest.test_case "rot/lost round trip" `Quick test_fault_grammar ] );
+      ( "scrubber",
+        [ Alcotest.test_case "rot healed between CPs" `Quick test_scrub_heals ] );
+    ]
