@@ -1383,6 +1383,132 @@ let run_scrub () =
   end;
   if !fail then exit 1
 
+(* --- streams: write-temperature segregation WA gate (PR 9) ---
+
+   Runs the fig8-streams ablation (HDD-sized AA / erase-block AA /
+   erase-block AA + 4 temperature classes on 4 FTL streams) and gates:
+   segregated WA must beat both the unsegregated erase-block variant and
+   the paper's published 1.46; and the routed allocation consume window —
+   every class row — must still allocate zero minor-heap words.  Writes
+   the per-variant and per-stream numbers to BENCH_streams.json. *)
+
+let streams_wa_gate = 1.46
+
+(* Same ring-served window as the alloc bench, but with 4 temperature
+   classes configured: each class row's warm second call must be served
+   entirely from its own ring, with no per-block allocation. *)
+let streams_zero_alloc_words () =
+  Wafl_core.Config.with_default_streams
+    { Wafl_core.Config.temp_classes = 4; ssd_streams = 4; wear_bias = 2;
+      meta_file = None }
+    (fun () ->
+      let agg = Wafl_core.Aggregate.create (alloc_config Common.Quick) in
+      let w = Wafl_core.Write_alloc.create agg ~rng:(Wafl_util.Rng.create ~seed:7) in
+      let dst = Array.make 256 0 in
+      (* [?cls] boxing would charge 2 minor words per call to the window;
+         pre-build the options so only the allocator itself is measured *)
+      let cls_opts = Array.init 4 (fun c -> Some c) in
+      for cls = 0 to 3 do
+        ignore
+          (Wafl_core.Write_alloc.allocate_pvbns_into ?cls:cls_opts.(cls) w ~dst 256)
+      done;
+      let before = Gc.minor_words () in
+      for cls = 0 to 3 do
+        ignore
+          (Wafl_core.Write_alloc.allocate_pvbns_into ?cls:cls_opts.(cls) w ~dst 256)
+      done;
+      Gc.minor_words () -. before)
+
+let streams_variant_json (r : Fig8_streams.result) =
+  let stream_json (s : Fig8_streams.stream_row) =
+    Printf.sprintf
+      {|        { "stream": %d, "host": %d, "device": %d, "relocated": %d, "erases": %d, "wa": %.4f }|}
+      s.Fig8_streams.stream s.Fig8_streams.host s.Fig8_streams.device
+      s.Fig8_streams.relocated s.Fig8_streams.erases s.Fig8_streams.wa
+  in
+  Printf.sprintf
+    {|    {
+      "variant": "%s",
+      "aa_stripes": %d,
+      "temp_classes": %d,
+      "ssd_streams": %d,
+      "wear_bias": %d,
+      "write_amplification": %.4f,
+      "wear": { "min": %d, "max": %d },
+      "streams": [
+%s
+      ]
+    }|}
+    (Fig8_streams.variant_name r.Fig8_streams.variant)
+    r.Fig8_streams.aa_stripes r.Fig8_streams.spec.Wafl_core.Config.temp_classes
+    r.Fig8_streams.spec.Wafl_core.Config.ssd_streams
+    r.Fig8_streams.spec.Wafl_core.Config.wear_bias r.Fig8_streams.write_amp
+    r.Fig8_streams.wear_min r.Fig8_streams.wear_max
+    (String.concat ",\n" (List.map stream_json r.Fig8_streams.per_stream))
+
+let run_streams ~scale () =
+  Common.banner
+    "Write-temperature segregation: multi-stream FTL write-amplification gate";
+  let zero_words = streams_zero_alloc_words () in
+  Printf.printf "  routed consume window (4 class rows): %.0f minor heap words\n"
+    zero_words;
+  let results = Fig8_streams.run ~scale () in
+  let find v = Fig8_streams.find results v in
+  let small = find Fig8_streams.Small_aa in
+  let large = find Fig8_streams.Large_aa in
+  let seg = find Fig8_streams.Large_aa_segregated in
+  List.iter
+    (fun (r : Fig8_streams.result) ->
+      Printf.printf "  %-44s WA %.4f  wear %d..%d\n"
+        (Fig8_streams.variant_name r.Fig8_streams.variant)
+        r.Fig8_streams.write_amp r.Fig8_streams.wear_min r.Fig8_streams.wear_max)
+    results;
+  let scale_name = match scale with Common.Quick -> "quick" | Common.Full -> "full" in
+  let oc = open_out "BENCH_streams.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "write-temperature segregation and multi-stream FTL: SSD write amplification",
+  "workload": "all-SSD aggregate aged to 85%% with skewed 4KiB overwrites (90%% of writes on 2%% of the working set, metadata trickle on file 0), then %d CPs of the same skew",
+  "scale": "%s",
+  "wa_gate": %.2f,
+  "zero_alloc_minor_words_routed": %.0f,
+  "segregated_vs_unsegregated_wa": { "unsegregated": %.4f, "segregated": %.4f },
+  "variants": [
+%s
+  ]
+}
+|}
+    (fst (Fig8_streams.measurement scale))
+    scale_name streams_wa_gate zero_words large.Fig8_streams.write_amp
+    seg.Fig8_streams.write_amp
+    (String.concat ",\n" (List.map streams_variant_json results));
+  close_out oc;
+  print_endline "  wrote BENCH_streams.json";
+  let fail = ref false in
+  if zero_words <> 0.0 then begin
+    Printf.eprintf
+      "FAIL: routed consume window allocated %.0f minor words (expected 0)\n" zero_words;
+    fail := true
+  end;
+  if seg.Fig8_streams.write_amp >= large.Fig8_streams.write_amp then begin
+    Printf.eprintf "FAIL: segregated WA %.4f >= unsegregated %.4f\n"
+      seg.Fig8_streams.write_amp large.Fig8_streams.write_amp;
+    fail := true
+  end;
+  (* the absolute paper-point gate is a quick-scale claim; at full scale
+     worst-case relocation pricing inflates every fig-8 WA figure *)
+  if scale = Common.Quick && seg.Fig8_streams.write_amp >= streams_wa_gate then begin
+    Printf.eprintf "FAIL: segregated WA %.4f >= paper gate %.2f\n"
+      seg.Fig8_streams.write_amp streams_wa_gate;
+    fail := true
+  end;
+  if small.Fig8_streams.write_amp <= large.Fig8_streams.write_amp then begin
+    Printf.eprintf "FAIL: small-AA WA %.4f <= erase-block WA %.4f (fig 8 inverted)\n"
+      small.Fig8_streams.write_amp large.Fig8_streams.write_amp;
+    fail := true
+  end;
+  if !fail then exit 1
+
 (* --- regress: diff two metric/time-series JSON snapshots ---
 
    bench/main.exe regress BASELINE.json NEW.json [--threshold FACTOR]
@@ -1484,7 +1610,7 @@ let main_bench () =
   let specific =
     [
       "micro"; "telemetry"; "alloc"; "faults"; "par"; "allocpar"; "offheap"; "scrub";
-      "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "scalars"; "ablation";
+      "streams"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "scalars"; "ablation";
     ]
   in
   let run_all = not (List.exists (fun a -> List.mem a specific) args) in
@@ -1502,7 +1628,8 @@ let main_bench () =
   if run_all || has "par" then run_par ~scale ();
   if run_all || has "allocpar" then run_allocpar ~scale ();
   if run_all || has "offheap" then run_offheap ();
-  if run_all || has "scrub" then run_scrub ()
+  if run_all || has "scrub" then run_scrub ();
+  if run_all || has "streams" then run_streams ~scale ()
 
 let () =
   match Array.to_list Sys.argv with

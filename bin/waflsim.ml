@@ -35,6 +35,63 @@ let positive_int flag =
   in
   Arg.conv ~docv:"N" (parse, Format.pp_print_int)
 
+(* Like [positive_int] but with an inclusive range, for flags whose legal
+   values Config.make would otherwise reject mid-run. *)
+let bounded_int flag ~lo ~hi =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= lo && n <= hi -> Ok n
+    | Some n ->
+      Error (`Msg (Printf.sprintf "%s must be in %d..%d (got %d)" flag lo hi n))
+    | None ->
+      Error
+        (`Msg (Printf.sprintf "%s expects an integer in %d..%d (got %S)" flag lo hi s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+let temp_classes_arg =
+  let doc =
+    "Classify every staged write into one of $(docv) write-temperature classes \
+     (by the lifespan of the version it overwrites) and give each class its own \
+     allocation-cursor row: 1 = no segregation (the default), 2 = hot/other, \
+     3 = hot/warm/cold, 4 = hot/warm/cold/metafile.  On SSD ranges each class \
+     flushes to its own FTL write stream (see $(b,--streams))."
+  in
+  Arg.(
+    value
+    & opt (bounded_int "--temp-classes" ~lo:1 ~hi:4) 1
+    & info [ "temp-classes" ] ~docv:"N" ~doc)
+
+let streams_arg =
+  let doc =
+    "Create every simulated SSD FTL with $(docv) write streams (1..8); the \
+     device's open-erase-block budget is partitioned across them so blocks of \
+     different temperature classes never share an erase block."
+  in
+  Arg.(
+    value
+    & opt (bounded_int "--streams" ~lo:1 ~hi:8) 1
+    & info [ "streams" ] ~docv:"N" ~doc)
+
+let wear_bias_arg =
+  let doc =
+    "Wear-aware AA scoring strength: at each CP boundary, demote an AA's \
+     cache-filed score by $(docv) units per wear bin its worst erase block sits \
+     above the device minimum.  0 (the default) keeps scoring wear-blind."
+  in
+  Arg.(
+    value
+    & opt (bounded_int "--wear-bias" ~lo:0 ~hi:255) 0
+    & info [ "wear-bias" ] ~docv:"N" ~doc)
+
+let with_streams ~temp_classes ~streams ~wear_bias f =
+  if temp_classes = 1 && streams = 1 && wear_bias = 0 then f ()
+  else
+    Wafl_core.Config.with_default_streams
+      { Wafl_core.Config.temp_classes; ssd_streams = streams; wear_bias;
+        meta_file = None }
+      f
+
 let trace_capacity_arg =
   let doc = "Ring-buffer capacity (events retained) for $(b,--trace-out)." in
   Arg.(
@@ -312,7 +369,8 @@ let with_telemetry ~metrics_out ~trace_out ~trace_capacity ~timeseries_out f =
 
 let experiment_cmd name ~doc run_print =
   let run s metrics_out trace_out trace_capacity timeseries_out fault_spec no_iron_gate
-      jobs backend alloc_domains scrub_rate =
+      jobs backend alloc_domains scrub_rate temp_classes streams wear_bias =
+    with_streams ~temp_classes ~streams ~wear_bias (fun () ->
     with_backend backend (fun () ->
     with_jobs jobs (fun () ->
     with_alloc_domains alloc_domains (fun () ->
@@ -321,13 +379,14 @@ let experiment_cmd name ~doc run_print =
             if not no_iron_gate then Wafl_core.Fs.enable_registry ();
             with_telemetry ~metrics_out ~trace_out ~trace_capacity ~timeseries_out
               (fun () -> run_print (parse_scale s));
-            if not no_iron_gate then run_iron_gate ())))))
+            if not no_iron_gate then run_iron_gate ()))))))
   in
   Cmd.v (Cmd.info name ~doc)
     Term.(
       const run $ scale_arg $ metrics_out_arg $ trace_out_arg $ trace_capacity_arg
       $ timeseries_out_arg $ fault_spec_arg $ no_iron_gate_arg $ jobs_arg $ backend_arg
-      $ alloc_domains_arg $ scrub_rate_arg)
+      $ alloc_domains_arg $ scrub_rate_arg $ temp_classes_arg $ streams_arg
+      $ wear_bias_arg)
 
 let fig6_cmd =
   experiment_cmd "fig6" ~doc:"AA-cache latency/throughput experiment (Figure 6)"
@@ -340,6 +399,13 @@ let fig7_cmd =
 let fig8_cmd =
   experiment_cmd "fig8" ~doc:"SSD AA sizing experiment (Figure 8)"
     (fun scale -> Fig8.print (Fig8.run ~scale ()))
+
+let fig8_streams_cmd =
+  experiment_cmd "fig8-streams"
+    ~doc:
+      "SSD write-amplification ablation: AA sizing vs write-temperature segregation \
+       (multi-stream FTL, wear-aware scoring)"
+    (fun scale -> Fig8_streams.print ~scale (Fig8_streams.run ~scale ()))
 
 let fig9_cmd =
   experiment_cmd "fig9" ~doc:"SMR AZCS-alignment experiment (Figure 9)"
@@ -363,6 +429,7 @@ let all_cmd =
       Fig6.print (Fig6.run ~scale ());
       Fig7.print (Fig7.run ~scale ());
       Fig8.print (Fig8.run ~scale ());
+      Fig8_streams.print ~scale (Fig8_streams.run ~scale ());
       Fig9.print (Fig9.run ~scale ());
       Fig10.print (Fig10.run ~scale ());
       Scalars.print (Scalars.run ~scale ());
@@ -489,9 +556,20 @@ let top_cmd =
   let seed_arg =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Workload seed.")
   in
-  let run s cps ops interval seed metrics_out trace_out trace_capacity timeseries_out
-      fault_spec jobs backend alloc_domains scrub_rate =
+  let ssd_arg =
+    Arg.(
+      value & flag
+      & info [ "ssd" ]
+          ~doc:
+            "Run the workload on an all-SSD aggregate (erase-block AAs) instead of the \
+             default HDD one; the health view then shows the FTL's write amplification, \
+             per-stream relocations and peak erase-block wear.  Combine with \
+             $(b,--temp-classes)/$(b,--streams) to watch segregation live.")
+  in
+  let run s cps ops interval seed ssd metrics_out trace_out trace_capacity timeseries_out
+      fault_spec jobs backend alloc_domains scrub_rate temp_classes streams wear_bias =
     let scale = parse_scale s in
+    with_streams ~temp_classes ~streams ~wear_bias (fun () ->
     with_backend backend (fun () ->
     with_jobs jobs (fun () ->
     with_alloc_domains alloc_domains (fun () ->
@@ -522,7 +600,10 @@ let top_cmd =
                   ~finally:(fun () ->
                     flush_telemetry ~metrics_out ~trace_out ~timeseries_out tel)
                   (fun () ->
-                    let rg = Common.hdd_raid_group scale in
+                    let rg =
+                      if ssd then Common.ssd_raid_group scale ~aa_stripes:None
+                      else Common.hdd_raid_group scale
+                    in
                     let agg_blocks =
                       rg.Wafl_core.Config.data_devices * rg.Wafl_core.Config.device_blocks
                     in
@@ -549,6 +630,7 @@ let top_cmd =
                       ignore (Wafl_workload.Random_overwrite.step workload ops)
                     done;
                     redraw ())))))))
+        )
   in
   Cmd.v
     (Cmd.info "top"
@@ -556,9 +638,10 @@ let top_cmd =
          "Run an aged random-overwrite workload and render a live one-screen health view \
           (CP phase spans, picks/s, search ns/block, free-space fragmentation trend)")
     Term.(
-      const run $ scale_arg $ cps_arg $ ops_arg $ stats_interval_arg $ seed_arg
+      const run $ scale_arg $ cps_arg $ ops_arg $ stats_interval_arg $ seed_arg $ ssd_arg
       $ metrics_out_arg $ trace_out_arg $ trace_capacity_arg $ timeseries_out_arg
-      $ fault_spec_arg $ jobs_arg $ backend_arg $ alloc_domains_arg $ scrub_rate_arg)
+      $ fault_spec_arg $ jobs_arg $ backend_arg $ alloc_domains_arg $ scrub_rate_arg
+      $ temp_classes_arg $ streams_arg $ wear_bias_arg)
 
 (* Bare `waflsim --metrics-out m.json` (no subcommand) runs the scalar
    suite — the cheapest end-to-end workload that exercises every
@@ -585,4 +668,4 @@ let default =
 
 let () =
   let info = Cmd.info "waflsim" ~doc:"WAFL free-block search reproduction experiments" in
-  exit (Cmd.eval (Cmd.group ~default info [ fig6_cmd; fig7_cmd; fig8_cmd; fig9_cmd; fig10_cmd; scalars_cmd; ablation_cmd; all_cmd; crash_matrix_cmd; top_cmd ]))
+  exit (Cmd.eval (Cmd.group ~default info [ fig6_cmd; fig7_cmd; fig8_cmd; fig8_streams_cmd; fig9_cmd; fig10_cmd; scalars_cmd; ablation_cmd; all_cmd; crash_matrix_cmd; top_cmd ]))

@@ -11,6 +11,24 @@ let score_of_aa topology metafile i =
 let all_scores topology metafile =
   Array.init (Topology.aa_count topology) (score_of_aa topology metafile)
 
+(* Wear-aware scoring term (wpmfs-style wear binning): wear counts are
+   collapsed into coarse bins of [quantum] erases, and every bin an AA
+   sits above the device minimum costs it [bias] score units in the
+   cache.  Binning keeps the ordering stable — AAs within one bin still
+   compete purely on emptiness, so allocation only detours around spans
+   that are measurably more worn.  The adjusted value feeds the pick
+   cache only, never the [scores] free-count array ({!apply} asserts that
+   array stays a pure free count); an AA with any free space is clamped
+   to a score of at least 1 so wear can demote it but never hide it. *)
+let wear_quantum = 4
+
+let wear_adjusted ~bias ~wear ~min_wear ~score =
+  if bias <= 0 || score <= 0 then score
+  else begin
+    let bins = (wear - min_wear) / wear_quantum in
+    if bins <= 0 then score else max 1 (score - (bias * bins))
+  end
+
 (* Preallocated per-AA accumulator: a note_alloc/note_free is one array
    bump (plus first-touch bookkeeping), with no hashing and no heap
    allocation — it runs once per block on the allocation hot path.

@@ -12,6 +12,18 @@ val all_scores : Topology.t -> Wafl_bitmap.Metafile.t -> int array
 (** Scores for every AA, by a linear walk of the bitmap (the expensive
     rebuild the TopAA metafile exists to avoid, §3.4). *)
 
+(** {2 Wear-aware scoring} *)
+
+val wear_quantum : int
+(** Erases per wear bin (wpmfs-style binning). *)
+
+val wear_adjusted : bias:int -> wear:int -> min_wear:int -> score:int -> int
+(** Demote a cache score by [bias] units per full {!wear_quantum} bin the
+    AA's wear sits above the device minimum.  Never drops a positive
+    score below 1 (wear steers allocation, it must not hide free space),
+    and is the identity at [bias <= 0].  Applies to cache-filed scores
+    only — the free-count score arrays stay exact. *)
+
 (** {2 Batched deltas} *)
 
 type delta

@@ -57,7 +57,7 @@ type t = {
   mutable rebuild_epoch : int;
 }
 
-let make_raid_range index base (spec : Config.raid_group_spec) =
+let make_raid_range ~streams index base (spec : Config.raid_group_spec) =
   let geometry =
     Geometry.create ~data_devices:spec.Config.data_devices
       ~parity_devices:spec.Config.parity_devices ~device_blocks:spec.Config.device_blocks
@@ -68,7 +68,16 @@ let make_raid_range index base (spec : Config.raid_group_spec) =
   let device =
     match spec.Config.media with
     | Config.Hdd p -> Hdd_sim p
-    | Config.Ssd p -> Ssd_sim (Ftl.create ~profile:p ~logical_blocks:blocks ())
+    | Config.Ssd p ->
+      (* one stream fills one AA = one erase block per data device, so a
+         stream needs two AA fan-outs open at once (the one it is filling
+         and the one it is handing over to), or the LRU closes
+         still-filling blocks and re-pays their relocation charge on
+         reopen; single-stream keeps the historical 8 *)
+      let open_blocks =
+        if streams <= 1 then 8 else 2 * streams * (spec.Config.data_devices + 1)
+      in
+      Ssd_sim (Ftl.create ~profile:p ~open_blocks ~streams ~logical_blocks:blocks ())
     | Config.Smr p ->
       (* the SMR device space includes interleaved AZCS checksum blocks,
          device spans rounded to whole regions (see Cp.smr_device_span) *)
@@ -158,9 +167,10 @@ let create config =
   let ranges = ref [] in
   let base = ref 0 in
   let index = ref 0 in
+  let streams = config.Config.streams.Config.ssd_streams in
   List.iter
     (fun spec ->
-      let r = make_raid_range !index !base spec in
+      let r = make_raid_range ~streams !index !base spec in
       ranges := r :: !ranges;
       base := !base + r.blocks;
       incr index)

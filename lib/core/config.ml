@@ -25,12 +25,32 @@ type vol_spec = {
   policy : allocation_policy;
 }
 
+type stream_spec = {
+  temp_classes : int;
+  ssd_streams : int;
+  wear_bias : int;
+  meta_file : int option;
+}
+
+let default_streams =
+  { temp_classes = 1; ssd_streams = 1; wear_bias = 0; meta_file = None }
+
+let default_streams_ref = ref default_streams
+let set_default_streams s = default_streams_ref := s
+let current_default_streams () = !default_streams_ref
+
+let with_default_streams s f =
+  let saved = !default_streams_ref in
+  default_streams_ref := s;
+  Fun.protect ~finally:(fun () -> default_streams_ref := saved) f
+
 type t = {
   raid_groups : raid_group_spec list;
   object_ranges : object_range_spec list;
   vols : vol_spec list;
   aggregate_policy : allocation_policy;
   rg_score_threshold : int option;
+  streams : stream_spec;
   seed : int;
 }
 
@@ -46,8 +66,14 @@ let default_raid_group =
 let default_vol ~name ~blocks = { name; blocks; aa_blocks = None; policy = Best_aa }
 
 let make ?(raid_groups = [ default_raid_group ]) ?(object_ranges = []) ?(vols = [])
-    ?(aggregate_policy = Best_aa) ?rg_score_threshold ?(seed = 42) () =
-  { raid_groups; object_ranges; vols; aggregate_policy; rg_score_threshold; seed }
+    ?(aggregate_policy = Best_aa) ?rg_score_threshold ?streams ?(seed = 42) () =
+  let streams = Option.value streams ~default:!default_streams_ref in
+  if streams.temp_classes < 1 || streams.temp_classes > 4 then
+    invalid_arg "Config.make: temp_classes must be in 1..4";
+  if streams.ssd_streams < 1 || streams.ssd_streams > 8 then
+    invalid_arg "Config.make: ssd_streams must be in 1..8";
+  if streams.wear_bias < 0 then invalid_arg "Config.make: wear_bias must be >= 0";
+  { raid_groups; object_ranges; vols; aggregate_policy; rg_score_threshold; streams; seed }
 
 let aa_stripes_for spec =
   let media_default =

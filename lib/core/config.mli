@@ -35,6 +35,37 @@ type vol_spec = {
   policy : allocation_policy; (** for virtual VBN selection *)
 }
 
+type stream_spec = {
+  temp_classes : int;
+      (** write-temperature classes the allocator routes separately:
+          1 = no segregation (default), 2 = hot/other, 3 = hot/warm/cold,
+          4 = hot/warm/cold/metafile *)
+  ssd_streams : int;
+      (** write streams each SSD FTL is created with (1..8); the device's
+          open-erase-block budget is partitioned across them *)
+  wear_bias : int;
+      (** wear-aware AA scoring strength: each wear bin above the device
+          minimum costs an AA [wear_bias] score units at cache-update time
+          (0 = wear-blind, the default) *)
+  meta_file : int option;
+      (** file id treated as metafile traffic (routed to the coldest /
+          dedicated class) regardless of inferred temperature *)
+}
+
+val default_streams : stream_spec
+(** [{temp_classes = 1; ssd_streams = 1; wear_bias = 0; meta_file = None}] —
+    exactly the pre-segregation behavior. *)
+
+val set_default_streams : stream_spec -> unit
+(** Process-wide default used by {!make} when [?streams] is omitted — the
+    hook the [--temp-classes]/[--streams]/[--wear-bias] CLI flags use so
+    experiment-built configs inherit them. *)
+
+val current_default_streams : unit -> stream_spec
+
+val with_default_streams : stream_spec -> (unit -> 'a) -> 'a
+(** Run [f] with the default swapped in, restoring it after. *)
+
 type t = {
   raid_groups : raid_group_spec list;
   object_ranges : object_range_spec list;
@@ -42,6 +73,7 @@ type t = {
   aggregate_policy : allocation_policy;
   rg_score_threshold : int option;
       (** skip a RAID group whose best AA score is below this (§3.3.1) *)
+  streams : stream_spec;
   seed : int;
 }
 
@@ -56,9 +88,14 @@ val make :
   ?vols:vol_spec list ->
   ?aggregate_policy:allocation_policy ->
   ?rg_score_threshold:int ->
+  ?streams:stream_spec ->
   ?seed:int ->
   unit ->
   t
+(** @raise Invalid_argument when [streams] is out of range
+    ([temp_classes] outside 1..4, [ssd_streams] outside 1..8, negative
+    [wear_bias]).  When [?streams] is omitted the process-wide default
+    ({!set_default_streams}) applies. *)
 
 val aa_stripes_for : raid_group_spec -> int
 (** The spec's override or the §3.2 media default, clamped to the group's

@@ -18,6 +18,7 @@ type device_report = {
   parity_reads : int;
   device_time_us : float;
   ssd_stats : Ftl.stats option;
+  ssd_stream_stats : Ftl.stats array;
   smr_random_checksum_writes : int;
   fault : Wafl_fault.Fault.io_stats option;
 }
@@ -91,7 +92,7 @@ let smr_streams geometry locals =
       (device, List.map (fun dbn -> (device * span) + Azcs.device_position_of_data dbn) dbns))
     devices
 
-let flush_range_body walloc (range : Aggregate.range) locals freed_locals =
+let flush_range_body walloc (range : Aggregate.range) ~cls_locals locals freed_locals =
   let aggregate = Write_alloc.aggregate walloc in
   ignore aggregate;
   let flush =
@@ -121,6 +122,7 @@ let flush_range_body walloc (range : Aggregate.range) locals freed_locals =
       parity_reads = 0;
       device_time_us = 0.0;
       ssd_stats = None;
+      ssd_stream_stats = [||];
       smr_random_checksum_writes = 0;
       fault = None;
     }
@@ -162,13 +164,36 @@ let flush_range_body walloc (range : Aggregate.range) locals freed_locals =
       { with_raid with device_time_us = write_time +. read_time }
     | Aggregate.Ssd_sim ftl ->
       let before = Ftl.stats ftl in
-      Ftl.write_batch ftl locals;
+      let ns = Ftl.streams ftl in
+      let sbefore = Array.init ns (Ftl.stream_stats ftl) in
+      (match cls_locals with
+      | Some cls_list ->
+        (* Temperature routing: each class's batch goes to its own FTL
+           write stream (classes beyond the drive's stream count share
+           the last one), so segregated AAs also stop sharing open erase
+           blocks inside the device. *)
+        let by_stream = Array.make ns [] in
+        List.iter2
+          (fun p c ->
+            let s = if c < ns then c else ns - 1 in
+            by_stream.(s) <- p :: by_stream.(s))
+          locals cls_list;
+        Array.iteri
+          (fun s batch ->
+            if batch <> [] then Ftl.write_batch ~stream:s ftl (List.rev batch))
+          by_stream
+      | None -> Ftl.write_batch ftl locals);
       Ftl.trim_batch ftl freed_locals;
       let delta = Ftl.diff_stats ~after:(Ftl.stats ftl) ~before in
+      let sdelta =
+        Array.init ns (fun s ->
+            Ftl.diff_stats ~after:(Ftl.stream_stats ftl s) ~before:sbefore.(s))
+      in
       {
         with_raid with
         device_time_us = Ftl.service_time_us ftl ~stats_delta:delta;
         ssd_stats = Some delta;
+        ssd_stream_stats = sdelta;
       }
     | Aggregate.Smr_sim (smr, trackers) -> (
       match range.Aggregate.geometry with
@@ -230,11 +255,11 @@ let flush_range_body walloc (range : Aggregate.range) locals freed_locals =
 (* [Device_flush] spans may run concurrently on pool domains; each domain
    stamps its own start slot, so the enter/exit pair is race-free.  The
    [Fun.protect] closure is per-range-per-CP — off the hot path. *)
-let flush_range walloc range locals freed_locals =
+let flush_range walloc range ~cls_locals locals freed_locals =
   Telemetry.span_enter Span.Device_flush;
   Fun.protect
     ~finally:(fun () -> Telemetry.span_exit Span.Device_flush)
-    (fun () -> flush_range_body walloc range locals freed_locals)
+    (fun () -> flush_range_body walloc range ~cls_locals locals freed_locals)
 
 (* Aggregate cache stats over the physical ranges and this CP's active
    volumes: (picks, replenishes, work, worst HBPS score error). *)
@@ -263,10 +288,11 @@ let timeseries_columns =
     "aa_score_d7"; "aa_score_d8"; "aa_score_d9"; "free_blocks"; "free_frac";
     "free_runs"; "largest_free_run"; "frag"; "ring_high_water"; "device_us";
     "fault_transients"; "fault_torn"; "fault_failed"; "fault_retries";
-    "scrub_pages"; "scrub_bad";
+    "scrub_pages"; "scrub_bad"; "ssd_wa"; "ssd_reloc_s0"; "ssd_reloc_s1";
+    "ssd_reloc_s2"; "ssd_reloc_s3"; "ssd_max_wear";
   ]
 
-let run ?pool walloc staged =
+let run ?pool ?temp walloc staged =
   let pool = Par.resolve pool in
   Telemetry.trace_cp_begin ();
   Telemetry.span_enter Span.Cp;
@@ -284,46 +310,109 @@ let run ?pool walloc staged =
   let placed = ref 0 in
   let vvbn_frees = ref 0 in
   let allocated_pvbns = ref [] in
+  let allocated_cls = ref [] in
+  (* Temperature routing is active when an inference handle with more than
+     one class is given; [allocated_cls] then parallels [allocated_pvbns]. *)
+  let routing =
+    match temp with
+    | Some tm when Temperature.classes tm > 1 -> Some tm
+    | _ -> None
+  in
   List.iter
     (fun (vol, writes) ->
       Wafl_fault.Crash.point "cp.place_vol";
       let n = List.length writes in
       let vvbns = Array.make (max 1 n) 0 in
       let got_v = Write_alloc.allocate_vvbns_into walloc vol ~dst:vvbns n in
-      let pvbns = Array.make (max 1 got_v) 0 in
-      let got_p = Write_alloc.allocate_pvbns_into walloc ~dst:pvbns got_v in
-      (* pair as many writes as we could place both numbers for *)
-      let rec place writes k =
-        match writes with
-        | w :: ws when k < got_p ->
-          let vv = vvbns.(k) and pv = pvbns.(k) in
-          (match Flexvol.write_file vol ~file:w.file ~offset:w.offset ~vvbn:vv with
-          | Some old_vvbn ->
-            (* COW: the replaced block dies at this CP — unless a snapshot
-               still pins it, in which case it merely leaves the active
-               map and is released at snapshot deletion *)
-            if Flexvol.snapshot_holds vol ~vvbn:old_vvbn then
-              Flexvol.detach_vvbn vol ~vvbn:old_vvbn
-            else begin
-              (match Flexvol.pvbn_of_vvbn vol old_vvbn with
-              | Some old_pvbn -> Aggregate.queue_free aggregate ~pvbn:old_pvbn
-              | None -> ());
-              Flexvol.queue_unmap vol ~vvbn:old_vvbn;
-              incr vvbn_frees
-            end
-          | None -> ());
-          Flexvol.attach_reserved vol ~vvbn:vv ~pvbn:pv;
-          allocated_pvbns := pv :: !allocated_pvbns;
-          incr placed;
-          place ws (k + 1)
-        | _ ->
-          (* reserved virtual blocks with no physical home (aggregate out of
-             space): hand them back *)
-          for j = k to got_v - 1 do
-            Flexvol.release_reserved vol ~vvbn:vvbns.(j)
-          done
+      (* Place one write at its allocated vvbn/pvbn pair. *)
+      let place_one w vv pv cls =
+        (match Flexvol.write_file vol ~file:w.file ~offset:w.offset ~vvbn:vv with
+        | Some old_vvbn ->
+          (* COW: the replaced block dies at this CP — unless a snapshot
+             still pins it, in which case it merely leaves the active
+             map and is released at snapshot deletion *)
+          if Flexvol.snapshot_holds vol ~vvbn:old_vvbn then
+            Flexvol.detach_vvbn vol ~vvbn:old_vvbn
+          else begin
+            (match Flexvol.pvbn_of_vvbn vol old_vvbn with
+            | Some old_pvbn -> Aggregate.queue_free aggregate ~pvbn:old_pvbn
+            | None -> ());
+            Flexvol.queue_unmap vol ~vvbn:old_vvbn;
+            incr vvbn_frees
+          end
+        | None -> ());
+        Flexvol.attach_reserved vol ~vvbn:vv ~pvbn:pv;
+        (match temp with
+        | Some tm ->
+          Temperature.note_birth tm ~uid:(Flexvol.uid vol)
+            ~blocks:(Flexvol.blocks vol) ~vvbn:vv
+        | None -> ());
+        allocated_pvbns := pv :: !allocated_pvbns;
+        if routing <> None then allocated_cls := cls :: !allocated_cls;
+        incr placed
       in
-      place writes 0)
+      match routing with
+      | Some tm ->
+        (* SepBIT-style segregation: classify each write by the lifespan of
+           the version it kills (before any of this CP's placements mutate
+           the file maps), then allocate each class's batch through its own
+           Write_alloc cursor row so classes land in different AAs. *)
+        let classes = Temperature.classes tm in
+        let uid = Flexvol.uid vol and vblocks = Flexvol.blocks vol in
+        let buckets = Array.make classes [] in
+        let rec classify_loop writes k =
+          match writes with
+          | w :: ws when k < got_v ->
+            let prev = Flexvol.read_file vol ~file:w.file ~offset:w.offset in
+            let slot =
+              Temperature.slot_of tm
+                (Temperature.classify tm ~uid ~blocks:vblocks ~file:w.file ~prev)
+            in
+            buckets.(slot) <- (w, vvbns.(k)) :: buckets.(slot);
+            classify_loop ws (k + 1)
+          | _ -> ()
+        in
+        classify_loop writes 0;
+        Array.iteri
+          (fun c bucket ->
+            match List.rev bucket with
+            | [] -> ()
+            | batch ->
+              let bn = List.length batch in
+              let pvbns = Array.make bn 0 in
+              let got_p = Write_alloc.allocate_pvbns_into ~cls:c walloc ~dst:pvbns bn in
+              let rec place_batch batch k =
+                match batch with
+                | (w, vv) :: rest when k < got_p ->
+                  place_one w vv pvbns.(k) c;
+                  place_batch rest (k + 1)
+                | rest ->
+                  (* reserved virtual blocks with no physical home
+                     (aggregate out of space): hand them back *)
+                  List.iter
+                    (fun ((_, vv) : staged * int) ->
+                      Flexvol.release_reserved vol ~vvbn:vv)
+                    rest
+              in
+              place_batch batch 0)
+          buckets
+      | None ->
+        let pvbns = Array.make (max 1 got_v) 0 in
+        let got_p = Write_alloc.allocate_pvbns_into walloc ~dst:pvbns got_v in
+        (* pair as many writes as we could place both numbers for *)
+        let rec place writes k =
+          match writes with
+          | w :: ws when k < got_p ->
+            place_one w vvbns.(k) pvbns.(k) 0;
+            place ws (k + 1)
+          | _ ->
+            (* reserved virtual blocks with no physical home (aggregate out
+               of space): hand them back *)
+            for j = k to got_v - 1 do
+              Flexvol.release_reserved vol ~vvbn:vvbns.(j)
+            done
+        in
+        place writes 0)
     by_vol;
   (* 2. Commit delayed frees (aggregate + volumes) and flush metafiles.
         Concurrent frees queued by allocation-pool domains drain first, in
@@ -363,6 +452,22 @@ let run ?pool walloc staged =
       locals_by_range.(r.Aggregate.index) <-
         Aggregate.to_local r pvbn :: locals_by_range.(r.Aggregate.index))
     (List.rev !allocated_pvbns);
+  (* With routing on, a class list parallel to each range's locals. *)
+  let cls_by_range =
+    match routing with
+    | None -> None
+    | Some _ ->
+      let arr = Array.make (Array.length ranges) [] in
+      List.iter2
+        (fun pvbn cls ->
+          let r = Aggregate.range_of_pvbn aggregate pvbn in
+          arr.(r.Aggregate.index) <- cls :: arr.(r.Aggregate.index))
+        (List.rev !allocated_pvbns) (List.rev !allocated_cls);
+      Some arr
+  in
+  let cls_locals_of i =
+    match cls_by_range with None -> None | Some arr -> Some (List.rev arr.(i))
+  in
   let freed_by_range = Array.make (Array.length ranges) [] in
   List.iter
     (fun pvbn ->
@@ -381,7 +486,7 @@ let run ?pool walloc staged =
       Array.iter (fun _ -> Wafl_fault.Crash.point "cp.device_flush") ranges;
       Array.to_list
         (Par.map p ~chunks:(Array.length ranges) ~f:(fun i ->
-             flush_range walloc ranges.(i)
+             flush_range walloc ranges.(i) ~cls_locals:(cls_locals_of i)
                (List.rev locals_by_range.(i))
                (List.rev freed_by_range.(i))))
     | _ ->
@@ -389,7 +494,8 @@ let run ?pool walloc staged =
         (Array.mapi
            (fun i (r : Aggregate.range) ->
              Wafl_fault.Crash.point "cp.device_flush";
-             flush_range walloc r (List.rev locals_by_range.(i))
+             flush_range walloc r ~cls_locals:(cls_locals_of i)
+               (List.rev locals_by_range.(i))
                (List.rev freed_by_range.(i)))
            ranges)
   in
@@ -556,6 +662,30 @@ let run ?pool walloc staged =
         | Some tel -> fl (Registry.count (Registry.counter (Telemetry.registry tel) name))
         | None -> 0.0
       in
+      (* SSD health: cumulative write amplification and peak wear over the
+         aggregate's FTLs, plus this CP's relocations per write stream
+         (streams beyond 3 fold into the s3 cell). *)
+      let ssd_host = ref 0 and ssd_dev = ref 0 and ssd_wear = ref 0 in
+      Array.iter
+        (fun (r : Aggregate.range) ->
+          match r.Aggregate.device with
+          | Aggregate.Ssd_sim ftl ->
+            let s = Ftl.stats ftl in
+            ssd_host := !ssd_host + s.Ftl.host_pages_written;
+            ssd_dev := !ssd_dev + s.Ftl.device_pages_written;
+            ssd_wear := max !ssd_wear (snd (Ftl.wear_spread ftl))
+          | _ -> ())
+        ranges;
+      let ssd_wa = if !ssd_host = 0 then 1.0 else fl !ssd_dev /. fl !ssd_host in
+      let reloc_s = Array.make 4 0 in
+      List.iter
+        (fun (d : device_report) ->
+          Array.iteri
+            (fun s (st : Ftl.stats) ->
+              let s = min s 3 in
+              reloc_s.(s) <- reloc_s.(s) + st.Ftl.relocated_pages)
+            d.ssd_stream_stats)
+        report.devices;
       [|
         fl cp_idx;
         fl ops;
@@ -581,6 +711,15 @@ let run ?pool walloc staged =
         fl (ft (fun fs -> fs.Wafl_fault.Fault.retries));
         scrub_count "scrub.pages_verified";
         scrub_count "scrub.bad_pages";
+        ssd_wa;
+        fl reloc_s.(0);
+        fl reloc_s.(1);
+        fl reloc_s.(2);
+        fl reloc_s.(3);
+        fl !ssd_wear;
       |]);
+  (* Tick the temperature clock after the CP's placements: lifespans are
+     measured in whole CPs between a birth and the overwrite killing it. *)
+  (match temp with Some tm -> Temperature.advance_cp tm | None -> ());
   Telemetry.span_exit Span.Cp;
   report

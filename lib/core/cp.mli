@@ -21,6 +21,8 @@ type device_report = {
   parity_reads : int;
   device_time_us : float;
   ssd_stats : Wafl_device.Ftl.stats option;      (** this CP's delta *)
+  ssd_stream_stats : Wafl_device.Ftl.stats array;
+      (** this CP's delta per FTL write stream ([[||]] for non-SSD) *)
   smr_random_checksum_writes : int;
   fault : Wafl_fault.Fault.io_stats option;
       (** this CP's fault/retry activity on the range's device; [None]
@@ -53,9 +55,12 @@ val timeseries_columns : string list
     delta), CP wall ns, the HBPS score-error bound, AA score deciles
     d1..d9, free-space totals and fragmentation
     ([1 - largest_free_run / free_blocks]), the harvest-ring high-water
-    mark, modeled device time, and fault totals. *)
+    mark, modeled device time, fault totals, scrub totals, and the SSD
+    segregation axes (cumulative write amplification, per-stream
+    relocations this CP, peak erase-block wear). *)
 
-val run : ?pool:Wafl_par.Par.t -> Write_alloc.t -> staged list -> report
+val run :
+  ?pool:Wafl_par.Par.t -> ?temp:Temperature.t -> Write_alloc.t -> staged list -> report
 (** Execute one CP over the staged writes.  With a pool (explicit, or
     installed via [Wafl_par.Par.install]) the CP is sharded: the delayed-
     free apply is chunked over page-aligned slices of the block space, the
@@ -64,6 +69,13 @@ val run : ?pool:Wafl_par.Par.t -> Write_alloc.t -> staged list -> report
     each parallel section (same names, counts and order as a serial CP),
     and results merge in volume/range order, so reports, telemetry
     counters, and all bitmap/cache state are identical to a serial CP at
-    any domain count. *)
+    any domain count.
+
+    With [temp] (and more than one configured class) each staged write is
+    classified before placement — by the lifespan of the version it
+    overwrites — its physical blocks come from the matching
+    {!Write_alloc} class row, and each class's batch is flushed to its
+    own FTL write stream on SSD ranges.  Births are recorded and the
+    temperature clock ticks once per CP either way. *)
 
 val empty_report : report

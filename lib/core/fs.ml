@@ -7,6 +7,7 @@ type t = {
   walloc : Write_alloc.t;
   vols : Flexvol.t array;
   rng : Rng.t;
+  temp : Temperature.t option;  (* Some iff config asks for > 1 class *)
   staged : (int * int * int, Cp.staged) Hashtbl.t;  (* (vol idx, file, offset) *)
   mutable staged_order : (int * int * int) list;
   mutable cps : int;
@@ -39,6 +40,14 @@ let create config =
   let walloc = Write_alloc.create aggregate ~rng:(Rng.split rng) in
   let vols = Array.of_list (List.map Flexvol.create config.Config.vols) in
   Array.iter (Write_alloc.register_vol walloc) vols;
+  let temp =
+    let s = config.Config.streams in
+    if s.Config.temp_classes > 1 then
+      Some
+        (Temperature.create ?meta_file:s.Config.meta_file
+           ~classes:s.Config.temp_classes ())
+    else None
+  in
   let t =
     {
       config;
@@ -46,6 +55,7 @@ let create config =
       walloc;
       vols;
       rng;
+      temp;
       staged = Hashtbl.create 4096;
       staged_order = [];
       cps = 0;
@@ -58,6 +68,7 @@ let config t = t.config
 let aggregate t = t.aggregate
 let write_alloc t = t.walloc
 let vols t = t.vols
+let temperature t = t.temp
 
 let vol t name =
   match Array.find_opt (fun v -> String.equal (Flexvol.name v) name) t.vols with
@@ -93,7 +104,7 @@ let run_cp ?pool t =
   (* run the CP before draining the staged table: it stands in for the
      NVRAM log, which survives a mid-CP crash so the ops can be replayed
      (re-running a partial CP is idempotent under COW) *)
-  let report = Cp.run ?pool t.walloc writes in
+  let report = Cp.run ?pool ?temp:t.temp t.walloc writes in
   Hashtbl.reset t.staged;
   t.staged_order <- [];
   t.cps <- t.cps + 1;

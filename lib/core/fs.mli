@@ -20,6 +20,12 @@ val registered : unit -> t list
 val config : t -> Config.t
 val aggregate : t -> Aggregate.t
 val write_alloc : t -> Write_alloc.t
+
+val temperature : t -> Temperature.t option
+(** The write-temperature inference handle, present when the config asks
+    for more than one class ({!Config.stream_spec}); {!run_cp} threads it
+    into {!Cp.run} so staged writes are classified and routed. *)
+
 val vols : t -> Flexvol.t array
 val vol : t -> string -> Flexvol.t
 (** Raises [Not_found] for an unknown volume name. *)

@@ -45,7 +45,8 @@ type par_slot_stats = {
 type t = {
   aggregate : Aggregate.t;
   rng : Rng.t;
-  cursors : cursor array;                 (* one per physical range *)
+  classes : int;                          (* temperature routing slots (>= 1) *)
+  cursors : cursor array array;           (* [class][range]; rows share owners *)
   mutable vols : (Flexvol.t * cursor) list;
   mutable vol_slots : cursor option array;  (* indexed by Flexvol.uid *)
   mutable epoch : int;                    (* bumped at every cp_finish *)
@@ -92,16 +93,24 @@ let push_taken cursor aa =
 
 let create aggregate ~rng =
   let ranges = Aggregate.ranges aggregate in
+  let classes =
+    (Aggregate.config aggregate).Config.streams.Config.temp_classes
+  in
   {
     aggregate;
     rng;
+    classes;
+    (* Every class row aliases the range's claim array, so two classes can
+       never check out the same AA within a CP — segregation falls out of
+       the same owner words the multi-writer front-end uses. *)
     cursors =
-      Array.map
-        (fun (r : Aggregate.range) ->
-          new_cursor
-            ~capacity:(Topology.full_aa_capacity r.Aggregate.topology)
-            ~owners:r.Aggregate.owners)
-        ranges;
+      Array.init classes (fun _ ->
+          Array.map
+            (fun (r : Aggregate.range) ->
+              new_cursor
+                ~capacity:(Topology.full_aa_capacity r.Aggregate.topology)
+                ~owners:r.Aggregate.owners)
+            ranges);
     vols = [];
     vol_slots = Array.make 8 None;
     epoch = 0;
@@ -418,41 +427,41 @@ let rec weigh_elig t ranges m k total =
     weigh_elig t ranges m (k + 1) (total + w)
   end
 
-let rec take_shares t ranges dst n m total_weight k got =
+let rec take_shares t ranges row dst n m total_weight k got =
   if k >= m then got
   else begin
     let share = n * t.weight.(k) / total_weight in
     let got =
       if share > 0 then begin
         let i = t.elig.(k) in
-        take_from_range_into t ranges.(i) t.cursors.(i) ~dst ~pos:got share
+        take_from_range_into t ranges.(i) row.(i) ~dst ~pos:got share
       end
       else got
     in
-    take_shares t ranges dst n m total_weight (k + 1) got
+    take_shares t ranges row dst n m total_weight (k + 1) got
   end
 
 (* Rounding remainder and any shortfall: round-robin over eligible ranges
    until satisfied or nothing more is allocatable.  Progress is the fill
    position itself — no per-round list lengths. *)
-let rec mop_round t ranges dst stop m k got =
+let rec mop_round t ranges row dst stop m k got =
   if k >= m || got >= stop then got
   else begin
     let i = t.elig.(k) in
-    mop_round t ranges dst stop m (k + 1)
-      (take_from_range_into t ranges.(i) t.cursors.(i) ~dst ~pos:got (min 64 (stop - got)))
+    mop_round t ranges row dst stop m (k + 1)
+      (take_from_range_into t ranges.(i) row.(i) ~dst ~pos:got (min 64 (stop - got)))
   end
 
-let rec mop_up t ranges dst stop m got =
+let rec mop_up t ranges row dst stop m got =
   if got >= stop then got
   else begin
-    let got' = mop_round t ranges dst stop m 0 got in
-    if got' > got then mop_up t ranges dst stop m got' else got'
+    let got' = mop_round t ranges row dst stop m 0 got in
+    if got' > got then mop_up t ranges row dst stop m got' else got'
   end
 
-(* Serial allocation core, filling [dst.(pos0 .. pos0+n-1)]; returns the
-   absolute fill position reached. *)
-let allocate_pvbns_serial t ~dst ~pos0 n =
+(* Serial allocation core for one class row, filling
+   [dst.(pos0 .. pos0+n-1)]; returns the absolute fill position reached. *)
+let allocate_pvbns_serial t ~row ~dst ~pos0 n =
   let ranges = Aggregate.ranges t.aggregate in
   let nr = Array.length ranges in
   let threshold = (Aggregate.config t.aggregate).Config.rg_score_threshold in
@@ -476,8 +485,8 @@ let allocate_pvbns_serial t ~dst ~pos0 n =
       end
   in
   let total_weight = weigh_elig t ranges m 0 0 in
-  let after_shares = take_shares t ranges dst n m total_weight 0 pos0 in
-  mop_up t ranges dst (pos0 + n) m after_shares
+  let after_shares = take_shares t ranges row dst n m total_weight 0 pos0 in
+  mop_up t ranges row dst (pos0 + n) m after_shares
 
 (* ------------------------------------------------------------------ *)
 (* Concurrent allocation front-end (the multi-writer path).            *)
@@ -575,7 +584,7 @@ let drain_queued_frees t =
    take is registered in the range cursor's taken list, so cp_finish
    releases and re-files shard-claimed AAs exactly like serial ones.
    Returns the range index and AA, or (-1, _) when nothing is available. *)
-let par_pick_locked t (shard : Alloc_shard.t) =
+let par_pick_locked t row (shard : Alloc_shard.t) =
   let ranges = Aggregate.ranges t.aggregate in
   let rec pick_range_aa qbudget =
     let best_i = ref (-1) and best_s = ref 0 in
@@ -591,7 +600,7 @@ let par_pick_locked t (shard : Alloc_shard.t) =
     else begin
       let i = !best_i in
       let range = ranges.(i) in
-      let cursor = t.cursors.(i) in
+      let cursor = row.(i) in
       let picked =
         pick_aa t cursor ~policy:Config.Best_aa ~space:range.Aggregate.index
           ~cache:range.Aggregate.cache
@@ -631,10 +640,10 @@ let par_pick_locked t (shard : Alloc_shard.t) =
    (the harvest reads only bitmap bytes of the freshly claimed AA, which
    no other domain can touch).  A spent AA (score went stale across a CP)
    harvests zero and the pick retries. *)
-let rec par_refill t (shard : Alloc_shard.t) =
+let rec par_refill t row (shard : Alloc_shard.t) =
   Mutex.lock t.pick_mutex;
   let range_idx, aa =
-    match par_pick_locked t shard with
+    match par_pick_locked t row shard with
     | exception exn ->
       Mutex.unlock t.pick_mutex;
       raise exn
@@ -660,7 +669,7 @@ let rec par_refill t (shard : Alloc_shard.t) =
         (range.Aggregate.base, Wafl_raid.Geometry.device_blocks geometry)
     in
     Alloc_shard.publish shard ~range_idx ~aa ~key_base ~key_mod ~count;
-    count > 0 || par_refill t shard
+    count > 0 || par_refill t row shard
   end
 
 (* Steal from the fullest other shard; a single attempt (failure falls
@@ -701,7 +710,7 @@ let rec par_consume t (shard : Alloc_shard.t) am dst pos stop =
 (* One shard's chunk: consume / steal / refill until the slice is full or
    the aggregate is dry.  [Gc.minor_words] brackets only the pop-consume
    segments — refills and steals run off the zero-allocation window. *)
-let rec par_chunk t (shard : Alloc_shard.t) am dst pos stop =
+let rec par_chunk t row (shard : Alloc_shard.t) am dst pos stop =
   if pos >= stop then pos
   else begin
     let m0 = Gc.minor_words () in
@@ -710,8 +719,8 @@ let rec par_chunk t (shard : Alloc_shard.t) am dst pos stop =
       shard.consume_minor + int_of_float (Gc.minor_words () -. m0);
     shard.allocated <- shard.allocated + (pos' - pos);
     if pos' >= stop then pos'
-    else if try_steal_from_any t shard then par_chunk t shard am dst pos' stop
-    else if par_refill t shard then par_chunk t shard am dst pos' stop
+    else if try_steal_from_any t shard then par_chunk t row shard am dst pos' stop
+    else if par_refill t row shard then par_chunk t row shard am dst pos' stop
     else pos'
   end
 
@@ -750,7 +759,7 @@ let merge_par_window t jobs =
    each filling its own contiguous slice of [dst]; holes from uneven
    shortfalls are compacted afterwards and any remainder is retried on the
    serial path (which sees shard claims and cannot double-hand-out). *)
-let allocate_pvbns_par t pool ~dst n =
+let allocate_pvbns_par t pool ~row ~dst n =
   let jobs = Par.jobs pool in
   ensure_alloc_shards t jobs;
   let ranges = Aggregate.ranges t.aggregate in
@@ -760,12 +769,12 @@ let allocate_pvbns_par t pool ~dst n =
      could re-harvest the very blocks they still hold. *)
   Array.iter (fun r -> Rebuild.touch_range t.aggregate r) ranges;
   Array.iter
-    (fun c ->
-      if c.ring_epoch <> t.epoch then begin
-        c.head <- 0;
-        c.len <- 0;
-        c.ring_epoch <- t.epoch
-      end)
+    (Array.iter (fun c ->
+         if c.ring_epoch <> t.epoch then begin
+           c.head <- 0;
+           c.len <- 0;
+           c.ring_epoch <- t.epoch
+         end))
     t.cursors;
   for c = 0 to jobs - 1 do
     Alloc_shard.reset_window t.alloc_shards.(c)
@@ -777,8 +786,14 @@ let allocate_pvbns_par t pool ~dst n =
   let filled = Array.make chunks 0 in
   Par.run_with_slot pool ~chunks ~f:(fun ~slot:_ i ->
       let start, len = bounds.(i) in
-      filled.(i) <- par_chunk t t.alloc_shards.(i) am dst start (start + len) - start);
+      filled.(i) <- par_chunk t row t.alloc_shards.(i) am dst start (start + len) - start);
   merge_par_window t jobs;
+  (* With temperature routing active the next window may serve a different
+     class: flush leftover shard-ring entries so blocks harvested from
+     this class's claimed AAs cannot leak into another class's batch.
+     The blocks stay free in the bitmap and the AAs stay claimed until
+     cp_finish — nothing is lost, the next same-class pick re-harvests. *)
+  if t.classes > 1 then Array.iter Alloc_shard.flush t.alloc_shards;
   (* Compact the per-chunk slices left-justified. *)
   let pos = ref 0 in
   Array.iteri
@@ -787,20 +802,23 @@ let allocate_pvbns_par t pool ~dst n =
       if start <> !pos && f > 0 then Array.blit dst start dst !pos f;
       pos := !pos + f)
     bounds;
-  if !pos < n then allocate_pvbns_serial t ~dst ~pos0:!pos (n - !pos) else !pos
+  if !pos < n then allocate_pvbns_serial t ~row ~dst ~pos0:!pos (n - !pos) else !pos
 
-let allocate_pvbns_into t ~dst n =
+let allocate_pvbns_into ?(cls = 0) t ~dst n =
   if n <= 0 then 0
   else begin
+    let row = t.cursors.(if cls < 0 || cls >= t.classes then 0 else cls) in
     match !alloc_pool with
     | Some p
       when Par.jobs p > 1
            && n >= Par.jobs p * 16
            && (Aggregate.config t.aggregate).Config.aggregate_policy = Config.Best_aa
            && parallel_capable t ->
-      allocate_pvbns_par t p ~dst n
-    | _ -> allocate_pvbns_serial t ~dst ~pos0:0 n
+      allocate_pvbns_par t p ~row ~dst n
+    | _ -> allocate_pvbns_serial t ~row ~dst ~pos0:0 n
   end
+
+let temp_classes t = t.classes
 
 let last_par_stats t = t.last_par
 let claim_conflicts t = t.claim_conflicts
@@ -856,20 +874,46 @@ let allocate_vvbns_into t vol ~dst n =
     vvbn_loop t vol cursor dst n 0
   end
 
-(* CP boundary: release every taken AA's claim, apply score deltas and
-   make sure every taken AA is re-filed in its cache, even if its score
-   did not change.  [Score.mem] answers "will apply emit this AA?"
-   directly from the delta's preallocated accumulator, so no per-CP hash
-   table or list concatenation is needed.  The taken list holds each AA
-   at most once per CP (the claim word blocks re-picks). *)
-let cp_finish_space ~delta ~(scores : int array) ~cache cursor =
+(* CP boundary for one space: release every taken AA's claim (across all
+   of the space's class cursors — their taken lists are disjoint, the
+   shared claim words block a second class from taking an owned AA),
+   apply the score delta once, and make sure every taken AA is re-filed
+   in the cache, even if its score did not change.  [Score.mem] answers
+   "will apply emit this AA?" directly from the delta's preallocated
+   accumulator, so no per-CP hash table or list concatenation is needed.
+   [wear_adjust], when given, maps [(aa, score)] to the cache-filed score
+   — the free-count [scores] array itself is never touched by wear. *)
+let cp_finish_space ?(keep_claimed_rings = false) ?wear_adjust ~delta
+    ~(scores : int array) ~cache cursors =
   let extra = ref [] in
-  for k = 0 to cursor.n_taken - 1 do
-    let aa = cursor.taken_list.(k) in
-    Atomic.set cursor.owners.(aa) Aggregate.no_owner;
-    if not (Score.mem delta ~aa) then extra := (aa, scores.(aa)) :: !extra
-  done;
-  cursor.n_taken <- 0;
+  Array.iter
+    (fun cursor ->
+      (* With several class rows over shared claim words, a surviving ring
+         is only safe if its AA stays claimed across the boundary: the ring
+         blocks are still free in the bitmap, and an unclaimed AA could be
+         picked and re-harvested by another class next CP.  Keep the claim
+         (and re-enter the AA in the taken list, so a later cp_finish both
+         re-files and eventually releases it); everything else releases as
+         usual.  The single-row spaces pass [keep_claimed_rings = false]
+         and keep the pre-routing behavior: ring kept, claim released. *)
+      let keep_aa =
+        if keep_claimed_rings && cursor.head < cursor.len then cursor.ring_aa else -1
+      in
+      let kept = ref false in
+      for k = 0 to cursor.n_taken - 1 do
+        let aa = cursor.taken_list.(k) in
+        if aa = keep_aa then kept := true
+        else Atomic.set cursor.owners.(aa) Aggregate.no_owner;
+        if not (Score.mem delta ~aa) then extra := (aa, scores.(aa)) :: !extra
+      done;
+      cursor.n_taken <- 0;
+      if !kept then push_taken cursor keep_aa
+      else if keep_aa >= 0 then begin
+        (* live ring whose AA we no longer own: unsafe to consume *)
+        cursor.head <- 0;
+        cursor.len <- 0
+      end)
+    cursors;
   let extra = !extra in
   let updates = Score.apply delta scores in
   match cache with
@@ -878,14 +922,34 @@ let cp_finish_space ~delta ~(scores : int array) ~cache cursor =
       (* quarantined AAs sit on bad device ranges: never re-file them, or
          the cache would hand them right back.  Empty quarantine (the
          fault-free common case) skips the filter allocation. *)
-      if Hashtbl.length cursor.quarantined = 0 then List.rev_append extra updates
+      if Array.for_all (fun c -> Hashtbl.length c.quarantined = 0) cursors then
+        List.rev_append extra updates
       else
         List.filter
-          (fun (aa, _) -> not (Hashtbl.mem cursor.quarantined aa))
+          (fun (aa, _) ->
+            not (Array.exists (fun c -> Hashtbl.mem c.quarantined aa) cursors))
           (List.rev_append extra updates)
+    in
+    let updates =
+      match wear_adjust with
+      | None -> updates
+      | Some f -> List.map (fun (aa, score) -> (aa, (f aa score : int))) updates
     in
     Cache.cp_update cache updates
   | None -> ()
+
+(* Worst per-erase-block wear under an AA's range-local extents — the
+   per-AA wear the scorer bins.  An AA far smaller than an erase block
+   inherits its block's wear; an erase-block-aligned AA is exactly one
+   block's count. *)
+let aa_max_wear (range : Aggregate.range) ftl aa =
+  List.fold_left
+    (fun acc e ->
+      max acc
+        (Wafl_device.Ftl.max_wear_in ftl ~start:(Wafl_block.Extent.start e)
+           ~len:(Wafl_block.Extent.len e)))
+    0
+    (Topology.extents_of_aa range.Aggregate.topology aa)
 
 let cp_finish t =
   t.epoch <- t.epoch + 1;
@@ -894,24 +958,42 @@ let cp_finish t =
        holds blocks of AAs whose claims are released and whose scores are
        about to be re-filed; a later pick could re-harvest those blocks.
        Drop all rings (the blocks stay free in the bitmap, nothing is
-       lost) and start the next CP clean. *)
+       lost) and start the next CP clean.  Class rows in serial mode keep
+       their rings instead: cp_finish_space holds the ring AA's claim
+       across the boundary, so each class keeps filling the same AA over
+       consecutive CPs exactly like the unrouted serial allocator. *)
     Array.iter
-      (fun c ->
-        c.head <- 0;
-        c.len <- 0)
+      (Array.iter (fun c ->
+           c.head <- 0;
+           c.len <- 0))
       t.cursors;
     Array.iter Alloc_shard.flush t.alloc_shards;
     t.used_par <- false
   end;
+  let bias = (Aggregate.config t.aggregate).Config.streams.Config.wear_bias in
   Array.iteri
     (fun i (range : Aggregate.range) ->
-      cp_finish_space ~delta:range.Aggregate.delta ~scores:range.Aggregate.scores
-        ~cache:range.Aggregate.cache t.cursors.(i))
+      let wear_adjust =
+        if bias <= 0 then None
+        else
+          match range.Aggregate.device with
+          | Aggregate.Ssd_sim ftl ->
+            let min_wear, _ = Wafl_device.Ftl.wear_spread ftl in
+            Some
+              (fun aa score ->
+                Score.wear_adjusted ~bias ~wear:(aa_max_wear range ftl aa) ~min_wear
+                  ~score)
+          | _ -> None
+      in
+      cp_finish_space ~keep_claimed_rings:(t.classes > 1) ?wear_adjust
+        ~delta:range.Aggregate.delta ~scores:range.Aggregate.scores
+        ~cache:range.Aggregate.cache
+        (Array.map (fun row -> row.(i)) t.cursors))
     (Aggregate.ranges t.aggregate);
   List.iter
     (fun (vol, cursor) ->
       cp_finish_space ~delta:(Flexvol.delta vol) ~scores:(Flexvol.scores vol)
-        ~cache:(Flexvol.cache vol) cursor)
+        ~cache:(Flexvol.cache vol) [| cursor |])
     t.vols
 
 let candidates_scanned t = t.candidates_scanned

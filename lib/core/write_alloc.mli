@@ -40,7 +40,7 @@ val create : Aggregate.t -> rng:Wafl_util.Rng.t -> t
 
 val aggregate : t -> Aggregate.t
 
-val allocate_pvbns_into : t -> dst:int array -> int -> int
+val allocate_pvbns_into : ?cls:int -> t -> dst:int array -> int -> int
 (** Allocate up to [n] physical blocks, spread over eligible ranges
     proportionally to their best-AA scores, writing them into
     [dst.(0 .. n-1)]; returns the count (fewer than [n] only when the
@@ -50,9 +50,20 @@ val allocate_pvbns_into : t -> dst:int array -> int -> int
     (The PR-2 list-returning wrapper [allocate_pvbns] is gone; this
     caller-array form is the only allocation API.)
 
+    [cls] (default 0, clamped into the configured class count) selects
+    the temperature routing slot: each class runs its own cursor row —
+    own rings, own taken AAs — over the shared per-AA claim words, so
+    within a CP no two classes ever fill the same AA.  With
+    [temp_classes = 1] (the default config) there is a single row and
+    behavior is exactly the unrouted allocator's.
+
     On a lazily mounted system, the first pick from a stale range
     materializes its exact scores and cache ({!Rebuild.touch_range})
     before any score is trusted. *)
+
+val temp_classes : t -> int
+(** Number of temperature routing slots ({!Config.stream_spec}
+    [temp_classes] at creation). *)
 
 val allocate_vvbns_into : t -> Flexvol.t -> dst:int array -> int -> int
 (** Allocate up to [n] virtual blocks in a volume, from its current AA
@@ -63,7 +74,16 @@ val cp_finish : t -> unit
 (** CP boundary: apply every range's and volume's batched score delta,
     re-file taken AAs, rebalance caches.  Clears per-CP state but keeps
     partially-consumed AA queues (WAFL continues filling an AA across
-    CPs). *)
+    CPs) — except after a parallel window, where surviving rings are
+    dropped (their AAs lose their claims at this boundary, so another
+    shard could re-harvest the blocks they hold).  With
+    [temp_classes > 1] each class row instead keeps its live ring's AA
+    {e claimed} across the boundary and carries it in the taken list:
+    the row resumes filling the same erase block next CP, and the held
+    claim is what stops any other class from re-harvesting it.  With a positive {!Config.stream_spec} [wear_bias] and an
+    SSD range, the scores filed into the pick cache are demoted by
+    {!Wafl_aa.Score.wear_adjusted} — worn AAs sink in the Best-AA order
+    while the exact free-count arrays stay untouched. *)
 
 val register_vol : t -> Flexvol.t -> unit
 (** Track a volume so {!cp_finish} updates its cache too. *)

@@ -7,14 +7,37 @@ type stats = {
   trimmed_pages : int;
 }
 
+let zero_stats =
+  {
+    host_pages_written = 0;
+    device_pages_written = 0;
+    relocated_pages = 0;
+    erases = 0;
+    trimmed_pages = 0;
+  }
+
+(* Per-stream mutable tally; [stats] snapshots copy it out. *)
+type tally = {
+  mutable t_host : int;
+  mutable t_device : int;
+  mutable t_reloc : int;
+  mutable t_erases : int;
+}
+
 type t = {
   profile : Profile.ssd;
-  open_capacity : int;
+  streams : int;
+  stream_capacity : int;            (* open-erase-block budget per stream *)
   logical_blocks : int;
-  live : Bytes.t;  (* 1 byte per logical page *)
+  live : Bytes.t;                   (* 1 byte per logical page *)
   mutable live_count : int;
   appended : (int, int) Hashtbl.t;  (* open eb -> pages appended since open *)
-  mutable open_order : int list;    (* LRU, most recent first *)
+  eb_stream : (int, int) Hashtbl.t; (* open eb -> stream that opened it *)
+  open_order : int list array;      (* per-stream LRU, most recent first *)
+  wear : int array;                 (* cumulative erases per erase block *)
+  per_stream : tally array;
+  mutable scratch : int array;      (* write_batch staging (sort + dedup) *)
+  mutable torn_scratch : int array; (* fault-plane torn pages of one batch *)
   mutable host_pages_written : int;
   mutable device_pages_written : int;
   mutable relocated_pages : int;
@@ -23,16 +46,31 @@ type t = {
   mutable fault : Wafl_fault.Fault.device option;
 }
 
-let create ?(profile = Profile.default_ssd) ?(open_blocks = 8) ~logical_blocks () =
-  assert (logical_blocks > 0 && profile.Profile.erase_block_blocks > 0 && open_blocks > 0);
+let create ?(profile = Profile.default_ssd) ?(open_blocks = 8) ?(streams = 1)
+    ~logical_blocks () =
+  assert (
+    logical_blocks > 0 && profile.Profile.erase_block_blocks > 0 && open_blocks > 0
+    && streams > 0);
+  let ebs = profile.Profile.erase_block_blocks in
+  let n_ebs = (logical_blocks + ebs - 1) / ebs in
   {
     profile;
-    open_capacity = open_blocks;
+    streams;
+    (* The drive's open-block budget is split evenly over the write
+       streams (each stream gets at least one): real multi-stream drives
+       partition a fixed set of simultaneously programmable blocks. *)
+    stream_capacity = max 1 (open_blocks / streams);
     logical_blocks;
     live = Bytes.make logical_blocks '\000';
     live_count = 0;
     appended = Hashtbl.create 16;
-    open_order = [];
+    eb_stream = Hashtbl.create 16;
+    open_order = Array.make streams [];
+    wear = Array.make n_ebs 0;
+    per_stream =
+      Array.init streams (fun _ -> { t_host = 0; t_device = 0; t_reloc = 0; t_erases = 0 });
+    scratch = [||];
+    torn_scratch = [||];
     host_pages_written = 0;
     device_pages_written = 0;
     relocated_pages = 0;
@@ -43,6 +81,8 @@ let create ?(profile = Profile.default_ssd) ?(open_blocks = 8) ~logical_blocks (
 
 let logical_blocks t = t.logical_blocks
 let profile t = t.profile
+let streams t = t.streams
+let stream_capacity t = t.stream_capacity
 let set_fault t f = t.fault <- f
 let fault t = t.fault
 
@@ -61,6 +101,9 @@ let set_live t p v =
 
 let check t p = if p < 0 || p >= t.logical_blocks then invalid_arg "Ftl: page out of bounds"
 
+let check_stream t s =
+  if s < 0 || s >= t.streams then invalid_arg "Ftl: stream out of bounds"
+
 let live_pages_in t ~start ~len =
   if start < 0 || len < 0 || start + len > t.logical_blocks then
     invalid_arg "Ftl.live_pages_in: range out of bounds";
@@ -72,17 +115,64 @@ let live_pages_in t ~start ~len =
 
 let is_open t ~eb = Hashtbl.mem t.appended eb
 
+let stream_of_open t ~eb = Hashtbl.find_opt t.eb_stream eb
+
+let open_blocks_of_stream t stream =
+  check_stream t stream;
+  List.length t.open_order.(stream)
+
 let close_eb t eb =
   Hashtbl.remove t.appended eb;
-  t.open_order <- List.filter (fun e -> e <> eb) t.open_order
+  match Hashtbl.find_opt t.eb_stream eb with
+  | None -> ()
+  | Some s ->
+    Hashtbl.remove t.eb_stream eb;
+    t.open_order.(s) <- List.filter (fun e -> e <> eb) t.open_order.(s)
 
-let touch_lru t eb = t.open_order <- eb :: List.filter (fun e -> e <> eb) t.open_order
+let touch_lru t ~stream eb =
+  t.open_order.(stream) <- eb :: List.filter (fun e -> e <> eb) t.open_order.(stream)
 
-(* Open an erase block for a batch that writes [in_batch]: relocate its
-   live pages the batch does not overwrite (OP-absorbed) and erase it. *)
-let open_eb t eb ~in_batch =
-  if Hashtbl.length t.appended >= t.open_capacity then begin
-    match List.rev t.open_order with
+(* Wear accessors: per-erase-block erase counts (wpmfs-style wear state;
+   the AA scorer bins these to push worn spans down the Best-AA order). *)
+let erase_blocks t = Array.length t.wear
+let wear_of_eb t ~eb =
+  if eb < 0 || eb >= Array.length t.wear then invalid_arg "Ftl.wear_of_eb";
+  t.wear.(eb)
+
+let max_wear_in t ~start ~len =
+  if start < 0 || len < 0 || start + len > t.logical_blocks then
+    invalid_arg "Ftl.max_wear_in: range out of bounds";
+  if len = 0 then 0
+  else begin
+    let ebs = t.profile.Profile.erase_block_blocks in
+    let lo = start / ebs and hi = (start + len - 1) / ebs in
+    let m = ref 0 in
+    for eb = lo to hi do
+      if t.wear.(eb) > !m then m := t.wear.(eb)
+    done;
+    !m
+  end
+
+let avg_wear t =
+  let n = Array.length t.wear in
+  if n = 0 then 0 else Array.fold_left ( + ) 0 t.wear / n
+
+let wear_spread t =
+  let n = Array.length t.wear in
+  if n = 0 then (0, 0)
+  else
+    Array.fold_left
+      (fun (lo, hi) w -> ((if w < lo then w else lo), if w > hi then w else hi))
+      (t.wear.(0), t.wear.(0))
+      t.wear
+
+(* Open an erase block for a batch that writes the sorted page run
+   [scratch.(lo .. hi-1)] (all inside the block): relocate its live pages
+   the batch does not overwrite (OP-absorbed) and erase it.  Membership is
+   a merge scan over the sorted run — no per-batch set. *)
+let open_eb t ~stream eb ~lo ~hi =
+  if List.length t.open_order.(stream) >= t.stream_capacity then begin
+    match List.rev t.open_order.(stream) with
     | oldest :: _ -> close_eb t oldest
     | [] -> ()
   end;
@@ -90,69 +180,164 @@ let open_eb t eb ~in_batch =
   let eb_start = eb * ebs in
   let eb_len = min ebs (t.logical_blocks - eb_start) in
   let live_outside = ref 0 in
+  let k = ref lo in
   for p = eb_start to eb_start + eb_len - 1 do
-    if is_live t p && not (Hashtbl.mem in_batch p) then incr live_outside
+    while !k < hi && t.scratch.(!k) < p do
+      incr k
+    done;
+    let in_batch = !k < hi && t.scratch.(!k) = p in
+    if is_live t p && not in_batch then incr live_outside
   done;
   let absorb = t.profile.Profile.overprovision /. (1.0 +. t.profile.Profile.overprovision) in
   let relocated = int_of_float (Float.round (float_of_int !live_outside *. (1.0 -. absorb))) in
   t.relocated_pages <- t.relocated_pages + relocated;
   t.device_pages_written <- t.device_pages_written + relocated;
   t.erases <- t.erases + 1;
+  t.wear.(eb) <- t.wear.(eb) + 1;
+  let s = t.per_stream.(stream) in
+  s.t_reloc <- s.t_reloc + relocated;
+  s.t_device <- s.t_device + relocated;
+  s.t_erases <- s.t_erases + 1;
   Hashtbl.replace t.appended eb 0;
-  touch_lru t eb
+  Hashtbl.replace t.eb_stream eb stream;
+  touch_lru t ~stream eb
 
-let write_batch t pages =
-  let ebs = t.profile.Profile.erase_block_blocks in
-  (* Coalesce duplicates and group by erase block. *)
-  let by_eb = Hashtbl.create 64 in
-  let seen = Hashtbl.create 256 in
-  List.iter
-    (fun p ->
-      check t p;
-      if not (Hashtbl.mem seen p) then begin
-        Hashtbl.add seen p ();
-        let key = p / ebs in
-        let existing = try Hashtbl.find by_eb key with Not_found -> [] in
-        Hashtbl.replace by_eb key (p :: existing)
-      end)
-    pages;
-  Hashtbl.iter
-    (fun eb batch ->
-      (* Fault plane: dropped pages never reach the flash; torn pages are
-         programmed (cost is paid) but their content is garbage, so they
-         do not become live. *)
-      let batch, torn =
-        match t.fault with
-        | None -> (batch, [])
-        | Some dev ->
-          let kept = ref [] and torn = ref [] in
-          List.iter
-            (fun p ->
-              match Wafl_fault.Fault.write dev ~block:p with
-              | Wafl_fault.Fault.Written -> kept := p :: !kept
-              | Wafl_fault.Fault.Written_torn ->
-                kept := p :: !kept;
-                torn := p :: !torn
-              | Wafl_fault.Fault.Failed -> ())
-            batch;
-          (!kept, !torn)
-      in
-      if batch <> [] then begin
-        let in_batch = Hashtbl.create 64 in
-        List.iter (fun p -> Hashtbl.replace in_batch p ()) batch;
-        if not (is_open t ~eb) then open_eb t eb ~in_batch else touch_lru t eb;
-        let written = List.length batch in
-        t.host_pages_written <- t.host_pages_written + written;
-        t.device_pages_written <- t.device_pages_written + written;
-        let appended = (try Hashtbl.find t.appended eb with Not_found -> 0) + written in
-        let eb_start = eb * ebs in
-        let eb_len = min ebs (t.logical_blocks - eb_start) in
-        if appended >= eb_len then close_eb t eb else Hashtbl.replace t.appended eb appended;
-        List.iter (fun p -> set_live t p true) batch;
-        List.iter (fun p -> set_live t p false) torn
-      end)
-    by_eb;
-  Wafl_telemetry.Telemetry.add "device.ssd.host_pages_written" (Hashtbl.length seen)
+let ensure_scratch t n =
+  if Array.length t.scratch < n then begin
+    t.scratch <- Array.make (max n (2 * Array.length t.scratch)) 0;
+    t.torn_scratch <- Array.make (Array.length t.scratch) 0
+  end
+
+(* In-place quicksort (median-of-three, insertion below 16) over
+   [scratch.(lo .. hi)]: the staging pass must not allocate, whatever the
+   CP flush size. *)
+let rec sort_scratch a lo hi =
+  if hi - lo < 16 then begin
+    for i = lo + 1 to hi do
+      let v = a.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && a.(!j) > v do
+        a.(!j + 1) <- a.(!j);
+        decr j
+      done;
+      a.(!j + 1) <- v
+    done
+  end
+  else begin
+    let mid = (lo + hi) / 2 in
+    let swap i j =
+      let x = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- x
+    in
+    if a.(mid) < a.(lo) then swap mid lo;
+    if a.(hi) < a.(lo) then swap hi lo;
+    if a.(hi) < a.(mid) then swap hi mid;
+    let pivot = a.(mid) in
+    let i = ref lo and j = ref hi in
+    while !i <= !j do
+      while a.(!i) < pivot do
+        incr i
+      done;
+      while a.(!j) > pivot do
+        decr j
+      done;
+      if !i <= !j then begin
+        swap !i !j;
+        incr i;
+        decr j
+      end
+    done;
+    sort_scratch a lo !j;
+    sort_scratch a !i hi
+  end
+
+(* Process one flush's host writes for [stream].  The batch is staged in
+   the reused scratch array — sorted, deduplicated and fault-filtered in
+   place — then walked in erase-block runs, so a large CP flush costs no
+   per-batch heap beyond (rare) scratch growth. *)
+let write_batch ?(stream = 0) t pages =
+  check_stream t stream;
+  let n = List.length pages in
+  if n > 0 then begin
+    ensure_scratch t n;
+    let scratch = t.scratch in
+    let k = ref 0 in
+    List.iter
+      (fun p ->
+        check t p;
+        scratch.(!k) <- p;
+        incr k)
+      pages;
+    sort_scratch scratch 0 (n - 1);
+    (* Dedup (coalesce rewrites within one flush), then the fault plane:
+       failed pages never reach the flash and are dropped here; torn pages
+       are programmed (cost is paid) but their content is garbage, so they
+       are parked in [torn_scratch] and do not become live. *)
+    let m = ref 0 in
+    for i = 0 to n - 1 do
+      if i = 0 || scratch.(i) <> scratch.(i - 1) then begin
+        scratch.(!m) <- scratch.(i);
+        incr m
+      end
+    done;
+    let host = !m in
+    let torn = ref 0 in
+    let kept = ref 0 in
+    (match t.fault with
+    | None -> kept := host
+    | Some dev ->
+      for i = 0 to host - 1 do
+        let p = scratch.(i) in
+        match Wafl_fault.Fault.write dev ~block:p with
+        | Wafl_fault.Fault.Written ->
+          scratch.(!kept) <- p;
+          incr kept
+        | Wafl_fault.Fault.Written_torn ->
+          scratch.(!kept) <- p;
+          incr kept;
+          t.torn_scratch.(!torn) <- p;
+          incr torn
+        | Wafl_fault.Fault.Failed -> ()
+      done);
+    let kept = !kept in
+    let ebs = t.profile.Profile.erase_block_blocks in
+    let i = ref 0 in
+    while !i < kept do
+      let eb = scratch.(!i) / ebs in
+      let j = ref (!i + 1) in
+      while !j < kept && scratch.(!j) / ebs = eb do
+        incr j
+      done;
+      (* one erase-block run: scratch.(!i .. !j-1) *)
+      if not (is_open t ~eb) then open_eb t ~stream eb ~lo:!i ~hi:!j
+      else begin
+        (* an open block appends for whichever stream touches it; LRU
+           recency moves in its owning stream *)
+        match Hashtbl.find_opt t.eb_stream eb with
+        | Some s -> touch_lru t ~stream:s eb
+        | None -> ()
+      end;
+      let written = !j - !i in
+      t.host_pages_written <- t.host_pages_written + written;
+      t.device_pages_written <- t.device_pages_written + written;
+      let ps = t.per_stream.(stream) in
+      ps.t_host <- ps.t_host + written;
+      ps.t_device <- ps.t_device + written;
+      let appended = (try Hashtbl.find t.appended eb with Not_found -> 0) + written in
+      let eb_start = eb * ebs in
+      let eb_len = min ebs (t.logical_blocks - eb_start) in
+      if appended >= eb_len then close_eb t eb else Hashtbl.replace t.appended eb appended;
+      for k = !i to !j - 1 do
+        set_live t scratch.(k) true
+      done;
+      i := !j
+    done;
+    for k = 0 to !torn - 1 do
+      set_live t t.torn_scratch.(k) false
+    done;
+    Wafl_telemetry.Telemetry.add "device.ssd.host_pages_written" host
+  end
 
 let trim t p =
   check t p;
@@ -172,9 +357,25 @@ let stats t =
     trimmed_pages = t.trimmed_pages;
   }
 
+let stream_stats t stream =
+  check_stream t stream;
+  let s = t.per_stream.(stream) in
+  {
+    host_pages_written = s.t_host;
+    device_pages_written = s.t_device;
+    relocated_pages = s.t_reloc;
+    erases = s.t_erases;
+    trimmed_pages = 0;
+  }
+
 let write_amplification t =
   if t.host_pages_written = 0 then 1.0
   else float_of_int t.device_pages_written /. float_of_int t.host_pages_written
+
+let stream_write_amplification t stream =
+  let s = stream_stats t stream in
+  if s.host_pages_written = 0 then 1.0
+  else float_of_int s.device_pages_written /. float_of_int s.host_pages_written
 
 let service_time_us t ~(stats_delta : stats) =
   let p = t.profile in
@@ -196,4 +397,11 @@ let reset_stats t =
   t.device_pages_written <- 0;
   t.relocated_pages <- 0;
   t.erases <- 0;
-  t.trimmed_pages <- 0
+  t.trimmed_pages <- 0;
+  Array.iter
+    (fun s ->
+      s.t_host <- 0;
+      s.t_device <- 0;
+      s.t_reloc <- 0;
+      s.t_erases <- 0)
+    t.per_stream

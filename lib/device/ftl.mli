@@ -27,6 +27,16 @@
     cycle.  Overprovisioned spare capacity absorbs a fraction
     [overprovision / (1 + overprovision)] of the relocation traffic.
 
+    {b Multi-stream placement.}  The drive can be created with several
+    write {e streams} (SepBIT / multi-stream SSD style): the open-block
+    budget is partitioned evenly across streams, each stream runs its own
+    LRU over the blocks it opened, and {!write_batch} tags every batch
+    with the stream it belongs to.  Writes segregated by expected lifetime
+    then stop evicting each other's open blocks: hot rewrites churn their
+    own small set while cold data streams sequentially in another.  Erases
+    are also counted per erase block ({e wear}), which the AA scorer can
+    fold in to steer allocation away from worn spans.
+
     Because WAFL allocates only free VBNs, host "overwrites" of an LBA occur
     when the write allocator reuses the VBN; WAFL communicates frees to the
     device as trims, which kill pages without relocation. *)
@@ -41,13 +51,28 @@ type stats = {
   trimmed_pages : int;
 }
 
+val zero_stats : stats
+
 val create :
-  ?profile:Profile.ssd -> ?open_blocks:int -> logical_blocks:int -> unit -> t
+  ?profile:Profile.ssd ->
+  ?open_blocks:int ->
+  ?streams:int ->
+  logical_blocks:int ->
+  unit ->
+  t
 (** A device exporting [logical_blocks] 4KiB pages.  [open_blocks]
-    (default 8) is the number of simultaneously open erase blocks. *)
+    (default 8) is the number of simultaneously open erase blocks;
+    [streams] (default 1) partitions that budget into independent
+    write streams of [max 1 (open_blocks / streams)] blocks each. *)
 
 val logical_blocks : t -> int
 val profile : t -> Profile.ssd
+
+val streams : t -> int
+(** Number of write streams the device was created with. *)
+
+val stream_capacity : t -> int
+(** Open-erase-block budget of each stream. *)
 
 val set_fault : t -> Wafl_fault.Fault.device option -> unit
 (** Attach (or detach) a fault-injection handle.  With one attached,
@@ -62,9 +87,18 @@ val live_pages_in : t -> start:int -> len:int -> int
 val is_open : t -> eb:int -> bool
 (** Whether an erase block is currently open for appends. *)
 
-val write_batch : t -> int list -> unit
+val stream_of_open : t -> eb:int -> int option
+(** The stream that opened [eb], when it is open. *)
+
+val open_blocks_of_stream : t -> int -> int
+(** Erase blocks currently open under the given stream's budget. *)
+
+val write_batch : ?stream:int -> t -> int list -> unit
 (** Process one flush's host writes (logical page numbers; duplicates are
-    coalesced).  Pages become live. *)
+    coalesced) under the given stream (default 0).  Pages become live.
+    The batch is staged on a reused scratch array — sorted, deduplicated
+    and walked in erase-block runs in place — so large CP flushes do not
+    allocate per batch. *)
 
 val trim : t -> int -> unit
 (** Host free: the page is no longer live; no-op when already dead. *)
@@ -73,8 +107,31 @@ val trim_batch : t -> int list -> unit
 
 val stats : t -> stats
 
+val stream_stats : t -> int -> stats
+(** Per-stream tallies: host/device/relocated pages and erases charged to
+    batches written under that stream ([trimmed_pages] is always 0 —
+    trims are not stream-attributed). *)
+
 val write_amplification : t -> float
 (** [device_pages_written / host_pages_written]; 1.0 when no host writes. *)
+
+val stream_write_amplification : t -> int -> float
+
+val erase_blocks : t -> int
+(** Number of erase blocks covering the logical space. *)
+
+val wear_of_eb : t -> eb:int -> int
+(** Cumulative erases of one erase block. *)
+
+val max_wear_in : t -> start:int -> len:int -> int
+(** Highest per-erase-block wear over a logical page range (0 for an
+    empty range). *)
+
+val avg_wear : t -> int
+(** Mean per-erase-block wear across the device (truncated). *)
+
+val wear_spread : t -> int * int
+(** [(min, max)] per-erase-block wear across the device. *)
 
 val service_time_us : t -> stats_delta:stats -> float
 (** Device time for a window of activity: programs + relocation reads +
@@ -83,3 +140,5 @@ val service_time_us : t -> stats_delta:stats -> float
 val diff_stats : after:stats -> before:stats -> stats
 
 val reset_stats : t -> unit
+(** Zeroes the device-wide and per-stream counters (wear is preserved —
+    it is physical state, not a statistic). *)

@@ -123,6 +123,15 @@ let health ?(width = 80) tel =
       (Option.value ~default:0.0 (cell "hbps_score_error_max"))
       (Option.value ~default:0.0 (cell "ring_high_water"))
       (Option.value ~default:0.0 (cell "device_us"));
+    (match cell "ssd_wa" with
+    | Some wa when wa > 0.0 ->
+      let reloc i =
+        Option.value ~default:0.0 (cell (Printf.sprintf "ssd_reloc_s%d" i))
+      in
+      pr "ssd:      wa %.3f  reloc s0-s3 %.0f/%.0f/%.0f/%.0f  max wear %.0f\n"
+        wa (reloc 0) (reloc 1) (reloc 2) (reloc 3)
+        (Option.value ~default:0.0 (cell "ssd_max_wear"))
+    | _ -> ());
     let frag = column series "frag" in
     if Array.length frag > 1 then
       pr "frag trend (%d cps): %s\n" (Array.length frag)

@@ -7,17 +7,31 @@ type t = {
   working_set : int;
   blocks_per_op : int;
   file : int;
+  hot_fraction : float;
+  hot_weight : float;
   rng : Rng.t;
 }
 
-let create fs vol ~working_set ?(blocks_per_op = 2) ?(file = 1) ~rng () =
+let create fs vol ~working_set ?(blocks_per_op = 2) ?(file = 1)
+    ?(hot_fraction = 0.0) ?(hot_weight = 0.0) ~rng () =
   assert (working_set >= blocks_per_op && blocks_per_op > 0);
-  { fs; vol; working_set; blocks_per_op; file; rng }
+  if hot_fraction < 0.0 || hot_fraction >= 1.0 then
+    invalid_arg "Random_overwrite.create: hot_fraction outside [0, 1)";
+  if hot_weight < 0.0 || hot_weight > 1.0 then
+    invalid_arg "Random_overwrite.create: hot_weight outside [0, 1]";
+  { fs; vol; working_set; blocks_per_op; file; hot_fraction; hot_weight; rng }
+
+let pick_slot t slots =
+  let hot_slots = int_of_float (t.hot_fraction *. float_of_int slots) in
+  if hot_slots <= 0 || hot_slots >= slots || t.hot_weight <= 0.0 then
+    Rng.int t.rng slots
+  else if Rng.float t.rng 1.0 < t.hot_weight then Rng.int t.rng hot_slots
+  else hot_slots + Rng.int t.rng (slots - hot_slots)
 
 let step t n =
   let slots = t.working_set / t.blocks_per_op in
   for _ = 1 to n do
-    let base = Rng.int t.rng slots * t.blocks_per_op in
+    let base = pick_slot t slots * t.blocks_per_op in
     for i = 0 to t.blocks_per_op - 1 do
       Fs.stage_write t.fs ~vol:t.vol ~file:t.file ~offset:(base + i)
     done

@@ -2,13 +2,21 @@
 
     Clients send 8KiB random overwrites over configured LUNs; in 4KiB
     blocks each operation rewrites [blocks_per_op] (default 2) consecutive
-    file blocks at a random aligned offset within the working set. *)
+    file blocks at a random aligned offset within the working set.
+
+    With [hot_fraction] in (0, 1) and [hot_weight] in (0, 1] the offsets
+    skew: a [hot_weight] share of the operations lands uniformly in the
+    first [hot_fraction] of the working set, the rest uniformly in the
+    remainder.  Skew is what gives write-temperature segregation something
+    to separate — hot blocks die young, cold blocks linger — while the
+    defaults (0, 0) keep the historical uniform stream bit-for-bit. *)
 
 type t
 
 val create :
   Wafl_core.Fs.t -> Wafl_core.Flexvol.t -> working_set:int -> ?blocks_per_op:int ->
-  ?file:int -> rng:Wafl_util.Rng.t -> unit -> t
+  ?file:int -> ?hot_fraction:float -> ?hot_weight:float ->
+  rng:Wafl_util.Rng.t -> unit -> t
 
 val step : t -> int -> Wafl_core.Cp.report
 (** Stage [n] operations and run one CP. *)

@@ -114,6 +114,124 @@ let prop_ftl_wa_at_least_one =
       List.iter (fun batch -> Ftl.write_batch f batch) batches;
       Ftl.write_amplification f >= 1.0 -. 1e-9)
 
+(* --- Ftl multi-stream placement --- *)
+
+let multi_ssd () =
+  let profile = { Profile.default_ssd with Profile.erase_block_blocks = 64; overprovision = 0.0 } in
+  Ftl.create ~profile ~open_blocks:8 ~streams:4 ~logical_blocks:4096 ()
+
+let test_ftl_stream_budget () =
+  let f = multi_ssd () in
+  check_int "streams" 4 (Ftl.streams f);
+  check_int "budget split evenly" 2 (Ftl.stream_capacity f);
+  (* Partial writes keep the blocks open; a third open under the same
+     stream must evict that stream's LRU, not grow past the budget. *)
+  Ftl.write_batch ~stream:0 f [ 0 ];
+  Ftl.write_batch ~stream:0 f [ 64 ];
+  check_int "two open" 2 (Ftl.open_blocks_of_stream f 0);
+  Ftl.write_batch ~stream:0 f [ 128 ];
+  check_int "budget enforced" 2 (Ftl.open_blocks_of_stream f 0);
+  check_bool "oldest evicted" false (Ftl.is_open f ~eb:0);
+  check_bool "newest open" true (Ftl.is_open f ~eb:2);
+  check_bool "open block tagged with its stream" true
+    (Ftl.stream_of_open f ~eb:2 = Some 0)
+
+let test_ftl_stream_lru_recency () =
+  let f = multi_ssd () in
+  Ftl.write_batch ~stream:0 f [ 0 ];
+  Ftl.write_batch ~stream:0 f [ 64 ];
+  (* appending to eb0 again makes eb1 the stream's LRU *)
+  Ftl.write_batch ~stream:0 f [ 1 ];
+  Ftl.write_batch ~stream:0 f [ 128 ];
+  check_bool "recently appended survives" true (Ftl.is_open f ~eb:0);
+  check_bool "least recent evicted" false (Ftl.is_open f ~eb:1)
+
+let test_ftl_stream_isolation () =
+  let f = multi_ssd () in
+  Ftl.write_batch ~stream:0 f [ 0 ];
+  Ftl.write_batch ~stream:0 f [ 64 ];
+  (* churning stream 1 through many fresh blocks must never evict
+     stream 0's open blocks — that cross-eviction is exactly what
+     segregation exists to stop *)
+  for k = 2 to 9 do
+    Ftl.write_batch ~stream:1 f [ k * 64 ]
+  done;
+  check_int "stream 1 capped at its own budget" 2 (Ftl.open_blocks_of_stream f 1);
+  check_bool "stream 0 block 0 untouched" true (Ftl.is_open f ~eb:0);
+  check_bool "stream 0 block 1 untouched" true (Ftl.is_open f ~eb:1);
+  check_bool "still owned by stream 0" true (Ftl.stream_of_open f ~eb:0 = Some 0)
+
+let test_ftl_stream_stats_attribution () =
+  let f = multi_ssd () in
+  Ftl.write_batch ~stream:0 f (List.init 64 Fun.id);
+  Ftl.write_batch ~stream:2 f (List.init 64 (fun i -> 64 + i));
+  let s0 = Ftl.stream_stats f 0
+  and s1 = Ftl.stream_stats f 1
+  and s2 = Ftl.stream_stats f 2 in
+  check_int "stream 0 host pages" 64 s0.Ftl.host_pages_written;
+  check_int "stream 2 host pages" 64 s2.Ftl.host_pages_written;
+  check_int "idle stream untouched" 0 s1.Ftl.host_pages_written;
+  check_int "erase charged to the opening stream" 1 s0.Ftl.erases;
+  let all = Ftl.stats f in
+  check_int "streams sum to device total" all.Ftl.host_pages_written
+    (s0.Ftl.host_pages_written + s1.Ftl.host_pages_written + s2.Ftl.host_pages_written
+    + (Ftl.stream_stats f 3).Ftl.host_pages_written)
+
+(* Hot rewrites interleaved with cold sequential fill: in one stream the
+   cold opens evict the hot blocks between touches (every reopen re-pays
+   the relocation of their live pages); in two streams the hot blocks
+   stay open and append for free. *)
+let test_ftl_segregation_reduces_wa () =
+  let run streams =
+    let profile =
+      { Profile.default_ssd with Profile.erase_block_blocks = 64; overprovision = 0.0 }
+    in
+    let f = Ftl.create ~profile ~open_blocks:4 ~streams ~logical_blocks:8192 () in
+    Ftl.write_batch f (List.init 128 Fun.id);
+    Ftl.reset_stats f;
+    let cold_stream = min 1 (streams - 1) in
+    let cold = ref 256 in
+    for round = 0 to 15 do
+      Ftl.write_batch ~stream:0 f [ ((round mod 2) * 64) + (round mod 64) ];
+      for _ = 1 to 4 do
+        Ftl.write_batch ~stream:cold_stream f (List.init 32 (fun i -> !cold + i));
+        cold := !cold + 64
+      done
+    done;
+    Ftl.write_amplification f
+  in
+  let wa_mixed = run 1 and wa_split = run 2 in
+  check_bool
+    (Printf.sprintf "two streams beat one (%.3f vs %.3f)" wa_split wa_mixed)
+    true (wa_split < wa_mixed)
+
+let test_ftl_trim_open_block () =
+  let f = small_ssd () in
+  Ftl.write_batch f (List.init 32 Fun.id);
+  check_bool "partially filled block is open" true (Ftl.is_open f ~eb:0);
+  Ftl.trim_batch f (List.init 16 Fun.id);
+  check_bool "trim leaves it open" true (Ftl.is_open f ~eb:0);
+  check_int "live after trim" 16 (Ftl.live_pages_in f ~start:0 ~len:64);
+  (* rewriting the trimmed pages appends into the still-open block *)
+  Ftl.write_batch f (List.init 16 Fun.id);
+  check_int "no relocation" 0 (Ftl.stats f).Ftl.relocated_pages;
+  check_int "trims tallied" 16 (Ftl.stats f).Ftl.trimmed_pages
+
+let test_ftl_wear_counters () =
+  let f = small_ssd () in
+  Ftl.write_batch f (List.init 64 Fun.id);
+  Ftl.write_batch f (List.init 64 Fun.id);
+  Ftl.write_batch f (List.init 64 (fun i -> 64 + i));
+  check_int "rewritten block wore twice" 2 (Ftl.wear_of_eb f ~eb:0);
+  check_int "fresh block wore once" 1 (Ftl.wear_of_eb f ~eb:1);
+  check_int "max over a span" 2 (Ftl.max_wear_in f ~start:0 ~len:128);
+  let lo, hi = Ftl.wear_spread f in
+  check_int "untouched blocks at zero" 0 lo;
+  check_int "spread max" 2 hi;
+  Ftl.reset_stats f;
+  check_int "wear is physical state, survives reset" 2 (Ftl.wear_of_eb f ~eb:0);
+  check_int "erase counter is a statistic, resets" 0 (Ftl.stats f).Ftl.erases
+
 let test_ftl_service_time () =
   let f = small_ssd () in
   let before = Ftl.stats f in
@@ -312,6 +430,15 @@ let () =
           Alcotest.test_case "small vs large AA" `Quick test_ftl_small_aa_vs_large_aa;
           Alcotest.test_case "overprovision absorbs" `Quick test_ftl_overprovision_absorbs;
           Alcotest.test_case "live tracking" `Quick test_ftl_live_tracking;
+          Alcotest.test_case "stream budget" `Quick test_ftl_stream_budget;
+          Alcotest.test_case "stream LRU recency" `Quick test_ftl_stream_lru_recency;
+          Alcotest.test_case "stream isolation" `Quick test_ftl_stream_isolation;
+          Alcotest.test_case "stream stats attribution" `Quick
+            test_ftl_stream_stats_attribution;
+          Alcotest.test_case "segregation reduces WA" `Quick
+            test_ftl_segregation_reduces_wa;
+          Alcotest.test_case "trim in open block" `Quick test_ftl_trim_open_block;
+          Alcotest.test_case "wear counters" `Quick test_ftl_wear_counters;
           Alcotest.test_case "service time" `Quick test_ftl_service_time;
         ]
         @ qsuite );

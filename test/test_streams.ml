@@ -1,0 +1,332 @@
+(* Tests for write-temperature segregation: SepBIT-style classification
+   (lib/core/temperature.ml), class-routed allocation rows over shared
+   claim words, wear-demoted cache scores, and the end-to-end CP plumbing
+   that tags FTL batches with their stream. *)
+
+open Wafl_bitmap
+open Wafl_core
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let cls_t : Temperature.cls Alcotest.testable =
+  Alcotest.testable (Fmt.of_to_string Temperature.cls_name) ( = )
+
+let check_cls = Alcotest.check cls_t
+
+(* --- classification --- *)
+
+let test_classify_fresh_and_meta () =
+  let t = Temperature.create ~meta_file:7 ~classes:4 () in
+  check_cls "fresh write is warm" Temperature.Warm
+    (Temperature.classify t ~uid:1 ~blocks:1024 ~file:3 ~prev:None);
+  check_cls "metafile override beats inference" Temperature.Meta
+    (Temperature.classify t ~uid:1 ~blocks:1024 ~file:7 ~prev:(Some 5));
+  check_cls "unknown birth is warm" Temperature.Warm
+    (Temperature.classify t ~uid:1 ~blocks:1024 ~file:3 ~prev:(Some 5));
+  check_cls "out-of-range prev is warm" Temperature.Warm
+    (Temperature.classify t ~uid:1 ~blocks:1024 ~file:3 ~prev:(Some 99999));
+  check_int "meta decisions counted" 1 (Temperature.classified t Temperature.Meta);
+  check_int "warm decisions counted" 3 (Temperature.classified t Temperature.Warm)
+
+let test_classify_hot_vs_cold () =
+  let t = Temperature.create ~classes:4 () in
+  let uid = 1 and blocks = 4096 in
+  (* killed one CP after birth: lifespan 1 <= starting average (8) -> Hot *)
+  Temperature.note_birth t ~uid ~blocks ~vvbn:10;
+  Temperature.advance_cp t;
+  check_cls "short lifespan is hot" Temperature.Hot
+    (Temperature.classify t ~uid ~blocks ~file:1 ~prev:(Some 10));
+  (* killed 200 CPs after birth: far beyond 4x the average -> Cold *)
+  Temperature.note_birth t ~uid ~blocks ~vvbn:20;
+  for _ = 1 to 200 do
+    Temperature.advance_cp t
+  done;
+  check_cls "long lifespan is cold" Temperature.Cold
+    (Temperature.classify t ~uid ~blocks ~file:1 ~prev:(Some 20));
+  (match Temperature.avg_lifespan t ~uid with
+  | Some avg -> check_bool "EWMA moved toward the samples" true (avg > 1.0)
+  | None -> Alcotest.fail "volume should be tracked")
+
+let test_class_slot_collapse () =
+  check_int "1 class: everything slot 0" 0
+    (Temperature.class_slot Temperature.Cold ~classes:1);
+  check_int "2 classes: hot alone" 0 (Temperature.class_slot Temperature.Hot ~classes:2);
+  check_int "2 classes: meta with the rest" 1
+    (Temperature.class_slot Temperature.Meta ~classes:2);
+  check_int "3 classes: warm in the middle" 1
+    (Temperature.class_slot Temperature.Warm ~classes:3);
+  check_int "3 classes: cold with meta" 2
+    (Temperature.class_slot Temperature.Cold ~classes:3);
+  check_int "4 classes: meta distinct" 3
+    (Temperature.class_slot Temperature.Meta ~classes:4)
+
+(* Steady skew must classify stably: blocks rewritten every CP keep
+   reading Hot once the EWMA has seen them, and blocks rewritten every
+   50 CPs never read Hot (they read Cold while the average is low). *)
+let test_temperature_stability_under_skew () =
+  let t = Temperature.create ~classes:4 () in
+  let uid = 9 and blocks = 1000 in
+  let hot = Array.init 20 Fun.id in
+  let cold = Array.init 20 (fun i -> 900 + i) in
+  let warmup = 60 in
+  let hot_misclassified = ref 0
+  and cold_hot = ref 0
+  and cold_cold = ref 0 in
+  for cp = 1 to 200 do
+    Array.iter
+      (fun v ->
+        let c = Temperature.classify t ~uid ~blocks ~file:1 ~prev:(Some v) in
+        if cp > warmup && c <> Temperature.Hot then incr hot_misclassified;
+        Temperature.note_birth t ~uid ~blocks ~vvbn:v)
+      hot;
+    if cp mod 50 = 0 then
+      Array.iter
+        (fun v ->
+          (match Temperature.classify t ~uid ~blocks ~file:1 ~prev:(Some v) with
+          | Temperature.Hot -> if cp > warmup then incr cold_hot
+          | Temperature.Cold -> if cp > warmup then incr cold_cold
+          | Temperature.Warm | Temperature.Meta -> ());
+          Temperature.note_birth t ~uid ~blocks ~vvbn:v)
+        cold;
+    Temperature.advance_cp t
+  done;
+  check_int "every-CP rewrites always classify hot after warmup" 0 !hot_misclassified;
+  check_int "slow rewrites never classify hot" 0 !cold_hot;
+  check_bool "slow rewrites do classify cold" true (!cold_cold > 0)
+
+(* --- wear-demoted cache scores --- *)
+
+let test_wear_adjusted_scoring () =
+  let q = Wafl_aa.Score.wear_quantum in
+  check_int "bias 0 is identity" 500
+    (Wafl_aa.Score.wear_adjusted ~bias:0 ~wear:(10 * q) ~min_wear:0 ~score:500);
+  check_int "at the device minimum nothing is demoted" 500
+    (Wafl_aa.Score.wear_adjusted ~bias:2 ~wear:(3 * q) ~min_wear:(3 * q) ~score:500);
+  check_int "one quantum above minimum demotes by bias" 498
+    (Wafl_aa.Score.wear_adjusted ~bias:2 ~wear:q ~min_wear:0 ~score:500);
+  check_int "positive scores never demote below 1" 1
+    (Wafl_aa.Score.wear_adjusted ~bias:100 ~wear:(50 * q) ~min_wear:0 ~score:5)
+
+(* --- class-routed allocation rows --- *)
+
+(* Byte-aligned geometry (as in test_allocpar) so the parallel front-end's
+   static gate opens, with 4 temperature classes configured. *)
+let routed_config =
+  let rg =
+    {
+      Config.media = Config.Hdd Wafl_device.Profile.default_hdd;
+      data_devices = 4;
+      parity_devices = 1;
+      device_blocks = 8192;
+      aa_stripes = Some 512;
+    }
+  in
+  Config.make ~raid_groups:[ rg; rg ]
+    ~vols:[ Config.default_vol ~name:"vol0" ~blocks:65536 ]
+    ~aggregate_policy:Config.Best_aa
+    ~streams:{ Config.temp_classes = 4; ssd_streams = 1; wear_bias = 0; meta_file = None }
+    ~seed:7 ()
+
+(* Within one CP, no two class rows may ever fill the same AA: each row
+   claims its AAs through the shared per-AA owner words. *)
+let test_routed_rows_disjoint_aas () =
+  let fs = Fs.create routed_config in
+  let wa = Fs.write_alloc fs in
+  check_int "temp classes" 4 (Write_alloc.temp_classes wa);
+  let agg = Fs.aggregate fs in
+  let dst = Array.make 2048 0 in
+  let aas_of_cls c =
+    let n = Write_alloc.allocate_pvbns_into ~cls:c wa ~dst 2048 in
+    check_bool "row allocated" true (n > 0);
+    let s = Hashtbl.create 16 in
+    for i = 0 to n - 1 do
+      let r = Aggregate.range_of_pvbn agg dst.(i) in
+      let local = Aggregate.to_local r dst.(i) in
+      Hashtbl.replace s
+        (r.Aggregate.index, Wafl_aa.Topology.aa_of_vbn r.Aggregate.topology local)
+        ()
+    done;
+    s
+  in
+  let sets = List.init 4 aas_of_cls in
+  List.iteri
+    (fun i si ->
+      List.iteri
+        (fun j sj ->
+          if i < j then
+            Hashtbl.iter
+              (fun key () ->
+                check_bool
+                  (Printf.sprintf "AA shared by class %d and %d" i j)
+                  false (Hashtbl.mem sj key))
+              si)
+        sets)
+    sets
+
+(* Routed fill to capacity: cycling the four class rows must drain every
+   allocatable block exactly once — serial and at every pool degree — and
+   leave the activemap bit-identical to the serial run.  Blocks left in a
+   flushed shard ring stay free but their AA stays claimed by its row, so
+   a routed fill legitimately needs CP boundaries to finish: when every
+   row runs dry, cp_finish refiles the taken AAs and the next pass
+   reaches the remainder (exactly how the real system operates). *)
+let fill_routed fs =
+  let wa = Fs.write_alloc fs in
+  let agg = Fs.aggregate fs in
+  let dst = Array.make 4096 0 in
+  let out = ref [] in
+  let drain () =
+    let chunks0 = List.length !out in
+    let rec go c dry =
+      if dry < 4 then begin
+        let got = Write_alloc.allocate_pvbns_into ~cls:(c mod 4) wa ~dst 4096 in
+        Array.iter
+          (fun s -> check_int "minor words per shard" 0 s.Write_alloc.ps_minor_words)
+          (Write_alloc.last_par_stats wa);
+        if got > 0 then begin
+          out := Array.sub dst 0 got :: !out;
+          go (c + 1) 0
+        end
+        else go (c + 1) (dry + 1)
+      end
+    in
+    go 0 0;
+    List.length !out > chunks0
+  in
+  let rec loop () =
+    let progressed = drain () in
+    if Aggregate.free_blocks agg > 0 && progressed then begin
+      Write_alloc.cp_finish wa;
+      loop ()
+    end
+  in
+  loop ();
+  Array.concat (List.rev !out)
+
+let agg_bitmap fs = Metafile.snapshot (Aggregate.metafile (Fs.aggregate fs))
+
+let check_all_distinct label pvbns =
+  let sorted = Array.copy pvbns in
+  Array.sort compare sorted;
+  let dup = ref false in
+  for i = 1 to Array.length sorted - 1 do
+    if sorted.(i) = sorted.(i - 1) then dup := true
+  done;
+  check_bool (label ^ ": no pvbn handed out twice") false !dup
+
+let test_routed_fill_bit_identical () =
+  let fs_s = Fs.create routed_config in
+  let pv_s = fill_routed fs_s in
+  check_int "serial routed fill drains the aggregate" 0
+    (Aggregate.free_blocks (Fs.aggregate fs_s));
+  check_all_distinct "serial" pv_s;
+  let want = agg_bitmap fs_s in
+  List.iter
+    (fun jobs ->
+      Write_alloc.install_alloc_pool ~jobs;
+      Fun.protect ~finally:Write_alloc.uninstall_alloc_pool (fun () ->
+          let fs = Fs.create routed_config in
+          let pv = fill_routed fs in
+          let label = Printf.sprintf "jobs=%d" jobs in
+          check_int (label ^ ": same blocks handed out") (Array.length pv_s)
+            (Array.length pv);
+          check_all_distinct label pv;
+          check_int
+            (label ^ ": routed fill drains the aggregate")
+            0
+            (Aggregate.free_blocks (Fs.aggregate fs));
+          check_bool
+            (label ^ ": final bitmap identical to serial")
+            true
+            (Bitmap.equal want (agg_bitmap fs))))
+    [ 2; 4; 8 ]
+
+(* --- end to end: classes to FTL streams through real CPs --- *)
+
+let test_streams_end_to_end () =
+  let profile =
+    { Wafl_device.Profile.default_ssd with
+      Wafl_device.Profile.erase_block_blocks = 64;
+      overprovision = 0.1
+    }
+  in
+  let rg =
+    {
+      Config.media = Config.Ssd profile;
+      data_devices = 2;
+      parity_devices = 1;
+      device_blocks = 4096;
+      aa_stripes = Some 32;
+    }
+  in
+  let config =
+    Config.make ~raid_groups:[ rg ]
+      ~vols:[ Config.default_vol ~name:"v" ~blocks:8192 ]
+      ~aggregate_policy:Config.Best_aa
+      ~streams:{ Config.temp_classes = 4; ssd_streams = 4; wear_bias = 2; meta_file = Some 0 }
+      ~seed:42 ()
+  in
+  let fs = Fs.create config in
+  let vol = Fs.vol fs "v" in
+  let aspec =
+    { Wafl_workload.Aging.fill_fraction = 0.5; fragmentation_cps = 0; writes_per_cp = 0; file = 1 }
+  in
+  let working_set = Wafl_workload.Aging.fill fs vol aspec in
+  let churn =
+    Wafl_workload.Random_overwrite.create fs vol ~working_set ~blocks_per_op:1 ~file:1
+      ~hot_fraction:0.1 ~hot_weight:0.9 ~rng:(Wafl_util.Rng.create ~seed:11) ()
+  in
+  for cp = 0 to 29 do
+    (* metadata trickle on file 0, routed to the Meta class/stream *)
+    for k = 0 to 7 do
+      Fs.stage_write fs ~vol ~file:0 ~offset:(((cp * 8) + k) mod 128)
+    done;
+    ignore (Wafl_workload.Random_overwrite.step churn 200)
+  done;
+  (match Fs.temperature fs with
+  | None -> Alcotest.fail "temperature tracking should be on"
+  | Some t ->
+    check_int "4 classes configured" 4 (Temperature.classes t);
+    check_bool "hot decisions seen" true (Temperature.classified t Temperature.Hot > 0);
+    check_bool "meta decisions seen" true (Temperature.classified t Temperature.Meta > 0));
+  let ftl =
+    match (Aggregate.ranges (Fs.aggregate fs)).(0).Aggregate.device with
+    | Aggregate.Ssd_sim f -> f
+    | _ -> Alcotest.fail "SSD range expected"
+  in
+  check_int "4 FTL streams" 4 (Wafl_device.Ftl.streams ftl);
+  let active =
+    List.length
+      (List.filter
+         (fun s ->
+           (Wafl_device.Ftl.stream_stats ftl s).Wafl_device.Ftl.host_pages_written > 0)
+         (List.init 4 Fun.id))
+  in
+  check_bool "traffic reaches more than one stream" true (active >= 2);
+  let _, max_wear = Wafl_device.Ftl.wear_spread ftl in
+  check_bool "erases recorded as wear" true (max_wear >= 1)
+
+let () =
+  Alcotest.run "wafl_streams"
+    [
+      ( "temperature",
+        [
+          Alcotest.test_case "fresh and meta" `Quick test_classify_fresh_and_meta;
+          Alcotest.test_case "hot vs cold" `Quick test_classify_hot_vs_cold;
+          Alcotest.test_case "class slots" `Quick test_class_slot_collapse;
+          Alcotest.test_case "stability under skew" `Quick
+            test_temperature_stability_under_skew;
+        ] );
+      ( "scoring",
+        [ Alcotest.test_case "wear-adjusted" `Quick test_wear_adjusted_scoring ] );
+      ( "routing",
+        [
+          Alcotest.test_case "class rows take disjoint AAs" `Quick
+            test_routed_rows_disjoint_aas;
+          Alcotest.test_case "routed fill bit-identical at 1-8 domains" `Quick
+            test_routed_fill_bit_identical;
+        ] );
+      ( "end-to-end",
+        [ Alcotest.test_case "classes reach FTL streams" `Quick test_streams_end_to_end ] );
+    ]
