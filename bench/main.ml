@@ -23,6 +23,15 @@
                                   lost write, scrub-heals, and verifies a
                                   fresh-process remount is damage-free;
                                   writes BENCH_scrub.json
+     bench/main.exe latency      request-level latency observability: asserts
+                                  the Hdrhist record path allocates zero minor
+                                  words per op, uninstalled hooks stay
+                                  branch-only, an installed recorder adds <5%
+                                  CP time, an injected device spike produces a
+                                  device_flush-blamed tail exemplar and an SLO
+                                  breach, and the measured closed-loop curve
+                                  matches the analytic M/G/1 sweep's shape;
+                                  writes BENCH_latency.json
      bench/main.exe fig6|fig7|fig8|fig9|fig10|scalars [full]
 *)
 
@@ -1509,6 +1518,279 @@ let run_streams ~scale () =
   end;
   if !fail then exit 1
 
+(* --- latency: request-level latency observability (PR 10) ---
+
+   Four gates on the latency subsystem plus a model-vs-measured curve:
+   the Hdrhist record path must allocate zero minor-heap words per op,
+   the uninstalled hooks must stay branch-only, an installed recorder
+   must add <5% to end-to-end CP time, and an injected device-latency
+   spike run must produce a tail exemplar blaming cp.device_flush and
+   breach a tight SLO.  The curve sweeps the closed-loop batch size and
+   checks the measured per-op latencies share the analytic M/G/1 sweep's
+   hockey-stick shape (monotone latency, capacity asymptote).  Writes
+   BENCH_latency.json. *)
+
+let lat_model () = Wafl_sim.Cost_model.latency_model Wafl_sim.Cost_model.default
+
+(* One aged sequential-write system, [cps] CPs of [ops] staged writes
+   each, run with [tel] installed; returns the per-CP reports. *)
+let lat_run_workload ~tel ~cps ~ops () =
+  let open Wafl_core in
+  let rg = Common.hdd_raid_group Common.Quick in
+  let agg_blocks = rg.Config.data_devices * rg.Config.device_blocks in
+  let config =
+    Config.make ~raid_groups:[ rg ]
+      ~vols:
+        [ { Config.name = "seq"; blocks = agg_blocks; aa_blocks = None;
+            policy = Config.Best_aa } ]
+      ~aggregate_policy:Config.Best_aa ~seed:7 ()
+  in
+  let fs = Fs.create config in
+  let workload = Wafl_workload.Sequential.create fs (Fs.vol fs "seq") () in
+  Wafl_telemetry.Telemetry.with_installed tel (fun () ->
+      List.init cps (fun _ -> Wafl_workload.Sequential.step workload ops))
+
+let latency_record_path () =
+  let lat = Wafl_telemetry.Latency.create () in
+  let vol = Wafl_telemetry.Latency.vol_slot lat ~uid:1 ~name:"bench" in
+  let record_n n =
+    for i = 1 to n do
+      Wafl_telemetry.Latency.record lat ~op:Wafl_telemetry.Latency.Write ~vol
+        ((i * 7919) land 0xFFFFFF)
+    done
+  in
+  record_n 100_000 (* warm: domain shard and histogram cells exist *);
+  let before = Gc.minor_words () in
+  record_n 100_000;
+  let words = (Gc.minor_words () -. before) /. 100_000.0 in
+  let iters = 2_000_000 in
+  let t0 = Unix.gettimeofday () in
+  record_n iters;
+  let ns = (Unix.gettimeofday () -. t0) /. float_of_int iters *. 1e9 in
+  (words, ns)
+
+let latency_uninstalled_hooks () =
+  (* nothing installed: lat_active is one match on a global ref *)
+  let iters = 1_000_000 in
+  let hits = ref 0 in
+  let loop () =
+    for _ = 1 to iters do
+      if Wafl_telemetry.Telemetry.lat_active () then incr hits
+    done
+  in
+  loop ();
+  let before = Gc.minor_words () in
+  loop ();
+  let words = Gc.minor_words () -. before in
+  let t0 = Unix.gettimeofday () in
+  loop ();
+  let ns = (Unix.gettimeofday () -. t0) /. float_of_int iters *. 1e9 in
+  assert (!hits = 0);
+  (words, ns)
+
+(* Interleave plain/with-latency pairs (scrub_cp_pair's trick) so slow
+   drift lands on both sides equally; keep the best of each. *)
+let latency_cp_overhead () =
+  let cps = 20 and ops = 1000 in
+  let time ~with_lat =
+    let lat = if with_lat then Some (Wafl_telemetry.Latency.create ~model:(lat_model ()) ()) else None in
+    let tel = Wafl_telemetry.Telemetry.create ?latency:lat () in
+    let t0 = Unix.gettimeofday () in
+    ignore (lat_run_workload ~tel ~cps ~ops ());
+    Unix.gettimeofday () -. t0
+  in
+  ignore (time ~with_lat:false) (* warm up *);
+  ignore (time ~with_lat:true);
+  let plain = ref infinity and with_lat = ref infinity in
+  for _ = 1 to 5 do
+    plain := Float.min !plain (time ~with_lat:false);
+    with_lat := Float.min !with_lat (time ~with_lat:true)
+  done;
+  (!plain, !with_lat)
+
+let latency_spike_run () =
+  let spec =
+    match Wafl_fault.Fault.spec_of_string "seed=9,spike=0.9:50000" with
+    | Ok s -> s
+    | Error msg ->
+      Printf.eprintf "bench latency: bad spike spec: %s\n" msg;
+      exit 2
+  in
+  let objective =
+    match Wafl_telemetry.Slo.objective ~name:"writes" ~threshold_ms:5.0 ~target:0.999 with
+    | Ok o -> o
+    | Error msg ->
+      Printf.eprintf "bench latency: bad objective: %s\n" msg;
+      exit 2
+  in
+  Wafl_fault.Fault.install_default spec;
+  Fun.protect ~finally:Wafl_fault.Fault.uninstall_default (fun () ->
+      let lat =
+        Wafl_telemetry.Latency.create ~model:(lat_model ())
+          ~slo:(Wafl_telemetry.Slo.create [ objective ]) ()
+      in
+      let tel = Wafl_telemetry.Telemetry.create ~latency:lat () in
+      ignore (lat_run_workload ~tel ~cps:30 ~ops:500 ());
+      let exs = Wafl_telemetry.Latency.exemplars lat in
+      let device_blamed =
+        List.exists
+          (fun e -> e.Wafl_telemetry.Latency.ex_phase = Wafl_telemetry.Span.Device_flush)
+          exs
+      in
+      let breach =
+        List.exists
+          (fun r -> r.Wafl_telemetry.Slo.r_breach)
+          (Wafl_telemetry.Latency.last_slo_reports lat)
+      in
+      let _, _, p999 = Wafl_telemetry.Latency.quantiles_ms lat in
+      (List.length exs, device_blamed, breach, p999))
+
+(* Sweep the closed-loop batch size and compare the measured modeled
+   latencies against the analytic M/G/1 sweep built from the same CPs'
+   cost reports: both must show the fig-9 hockey-stick — latency rising
+   monotonically as offered work grows, throughput flattening into the
+   service-capacity asymptote. *)
+let latency_curve () =
+  let batches = [ 100; 200; 400; 800; 1600 ] in
+  let measure n =
+    let lat = Wafl_telemetry.Latency.create ~model:(lat_model ()) () in
+    let tel = Wafl_telemetry.Telemetry.create ~latency:lat () in
+    let reports = lat_run_workload ~tel ~cps:12 ~ops:n () in
+    let costs = Wafl_sim.Cost_model.combine (List.map Wafl_sim.Cost_model.of_report reports) in
+    let thr =
+      1e6 *. float_of_int costs.Wafl_sim.Cost_model.ops
+      /. costs.Wafl_sim.Cost_model.cp_duration_us
+    in
+    let p50, _, _ = Wafl_telemetry.Latency.quantiles_ms lat in
+    (n, thr, p50, costs)
+  in
+  let points = List.map measure batches in
+  let rec monotone = function
+    | (_, _, a, _) :: ((_, _, b, _) :: _ as rest) -> a <= b +. 1e-9 && monotone rest
+    | _ -> true
+  in
+  let monotone_latency = monotone points in
+  let _, thr_max, p50_max, costs_max =
+    List.nth points (List.length points - 1)
+  in
+  let curve = Wafl_sim.Load.sweep ~label:"measured service demand" costs_max in
+  let peak = Wafl_sim.Load.peak_throughput curve in
+  let capacity_ok = thr_max >= peak /. 2.0 && thr_max <= peak *. 2.0 in
+  (* the analytic flat part must sit below the measured saturated tail *)
+  let midload_ok, midload_ms =
+    match Wafl_sim.Load.latency_at_load_ms curve (peak *. 0.5) with
+    | Ok l -> (l < p50_max, l)
+    | Error msg ->
+      Printf.printf "  mid-load lookup failed: %s\n" msg;
+      (false, 0.0)
+  in
+  (* out-of-range loads must explain themselves (the satellite fix) *)
+  let overload_rejected =
+    match Wafl_sim.Load.latency_at_load_ms curve (peak *. 2.0) with
+    | Ok _ -> false
+    | Error msg ->
+      Printf.printf "  overload correctly rejected: %s\n" msg;
+      true
+  in
+  (points, peak, monotone_latency, capacity_ok, midload_ok, midload_ms, overload_rejected)
+
+let run_latency () =
+  Common.banner "Request-level latency: record path, CP overhead, spike blame, curve";
+  let rec_words, rec_ns = latency_record_path () in
+  Printf.printf "  record path: %.2f minor words/op, %.1f ns/record\n" rec_words rec_ns;
+  let hook_words, hook_ns = latency_uninstalled_hooks () in
+  Printf.printf "  uninstalled hook: %.0f minor words over 1M calls, %.1f ns/call\n"
+    hook_words hook_ns;
+  let plain_s, with_lat_s = latency_cp_overhead () in
+  let overhead_pct = (with_lat_s -. plain_s) /. plain_s *. 100.0 in
+  (* small epsilon absorbs timer noise on sub-ms CP batches *)
+  let overhead_ok = with_lat_s <= (plain_s *. 1.05) +. 0.005 in
+  Printf.printf "  e2e 20 CPs x 1000 ops: plain %.1f ms, with latency %.1f ms (%+.1f%%)\n"
+    (plain_s *. 1e3) (with_lat_s *. 1e3) overhead_pct;
+  let n_exemplars, device_blamed, slo_breach, spike_p999 = latency_spike_run () in
+  Printf.printf
+    "  spike run: %d exemplars, device_flush blamed=%b, slo breach=%b, p999 %.1f ms\n"
+    n_exemplars device_blamed slo_breach spike_p999;
+  let points, peak, monotone_latency, capacity_ok, midload_ok, midload_ms, overload_rejected
+      =
+    latency_curve ()
+  in
+  List.iter
+    (fun (n, thr, p50, _) ->
+      Printf.printf "  batch %5d ops/CP: %8.0f ops/s  p50 %8.2f ms\n" n thr p50)
+    points;
+  Printf.printf
+    "  analytic peak %.0f ops/s, mid-load latency %.2f ms; monotone=%b capacity_ok=%b\n"
+    peak midload_ms monotone_latency capacity_ok;
+  let b2i b = if b then 1 else 0 in
+  let point_json (n, thr, p50, _) =
+    Printf.sprintf
+      {|    { "ops_per_cp": %d, "throughput_ops_s": %.0f, "p50_ms": %.2f }|} n thr p50
+  in
+  let oc = open_out "BENCH_latency.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "request-level latency observability: record path, CP overhead, spike attribution, closed-loop curve",
+  "workload": "sequential staged-write CPs on a quick-scale HDD aggregate; modeled per-op clock",
+  "record_minor_words_per_op": %.2f,
+  "uninstalled_hook_minor_words": %.0f,
+  "cp_overhead_ok": %d,
+  "spike": {
+    "exemplars": %d,
+    "device_flush_blamed": %d,
+    "slo_breach": %d
+  },
+  "curve": {
+    "monotone_latency": %d,
+    "capacity_ok": %d,
+    "midload_below_saturated_tail": %d,
+    "overload_rejected": %d,
+    "points": [
+%s
+  ]
+  }
+}
+|}
+    rec_words hook_words (b2i overhead_ok) n_exemplars (b2i device_blamed)
+    (b2i slo_breach) (b2i monotone_latency) (b2i capacity_ok) (b2i midload_ok)
+    (b2i overload_rejected)
+    (String.concat ",\n" (List.map point_json points));
+  close_out oc;
+  print_endline "  wrote BENCH_latency.json";
+  let fail = ref false in
+  if rec_words <> 0.0 then begin
+    Printf.eprintf "FAIL: record path allocated %.2f minor words/op (expected 0)\n"
+      rec_words;
+    fail := true
+  end;
+  if hook_words <> 0.0 then begin
+    Printf.eprintf "FAIL: uninstalled hook allocated %.0f minor words (expected 0)\n"
+      hook_words;
+    fail := true
+  end;
+  if not overhead_ok then begin
+    Printf.eprintf "FAIL: latency recording added %.1f%% CP time (budget 5%%)\n"
+      overhead_pct;
+    fail := true
+  end;
+  if not (n_exemplars > 0 && device_blamed) then begin
+    Printf.eprintf
+      "FAIL: spike run captured %d exemplars, device_flush blamed=%b (expected blame)\n"
+      n_exemplars device_blamed;
+    fail := true
+  end;
+  if not slo_breach then begin
+    Printf.eprintf "FAIL: spike run did not breach the 5ms/0.999 SLO\n";
+    fail := true
+  end;
+  if not (monotone_latency && capacity_ok && midload_ok && overload_rejected) then begin
+    Printf.eprintf
+      "FAIL: curve shape (monotone=%b capacity_ok=%b midload_ok=%b overload_rejected=%b)\n"
+      monotone_latency capacity_ok midload_ok overload_rejected;
+    fail := true
+  end;
+  if !fail then exit 1
+
 (* --- regress: diff two metric/time-series JSON snapshots ---
 
    bench/main.exe regress BASELINE.json NEW.json [--threshold FACTOR]
@@ -1610,7 +1892,8 @@ let main_bench () =
   let specific =
     [
       "micro"; "telemetry"; "alloc"; "faults"; "par"; "allocpar"; "offheap"; "scrub";
-      "streams"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "scalars"; "ablation";
+      "streams"; "latency"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "scalars";
+      "ablation";
     ]
   in
   let run_all = not (List.exists (fun a -> List.mem a specific) args) in
@@ -1629,7 +1912,8 @@ let main_bench () =
   if run_all || has "allocpar" then run_allocpar ~scale ();
   if run_all || has "offheap" then run_offheap ();
   if run_all || has "scrub" then run_scrub ();
-  if run_all || has "streams" then run_streams ~scale ()
+  if run_all || has "streams" then run_streams ~scale ();
+  if run_all || has "latency" then run_latency ()
 
 let () =
   match Array.to_list Sys.argv with

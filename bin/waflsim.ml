@@ -16,6 +16,76 @@ let metrics_out_arg =
   in
   Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
 
+(* --metrics-format is validated entirely at parse time (like
+   --temp-classes): a typo'd format fails the command line with the legal
+   choices spelled out, never a finished run with a misrendered file. *)
+type metrics_format = Mf_auto | Mf_json | Mf_csv | Mf_prom
+
+let metrics_format_conv =
+  let parse = function
+    | "auto" -> Ok Mf_auto
+    | "json" -> Ok Mf_json
+    | "csv" -> Ok Mf_csv
+    | "prom" | "prometheus" -> Ok Mf_prom
+    | s ->
+      Error
+        (`Msg
+          (Printf.sprintf
+             "unknown metrics format %S: expected prom|json|csv (or auto, the default, \
+              which picks by the --metrics-out extension)"
+             s))
+  in
+  let print fmt f =
+    Format.pp_print_string fmt
+      (match f with
+      | Mf_auto -> "auto"
+      | Mf_json -> "json"
+      | Mf_csv -> "csv"
+      | Mf_prom -> "prom")
+  in
+  Arg.conv ~docv:"FORMAT" (parse, print)
+
+let metrics_format_arg =
+  let doc =
+    "Rendering for $(b,--metrics-out): $(b,json), $(b,csv) or $(b,prom) (Prometheus \
+     text exposition 0.0.4, including per-op latency histograms and quantile gauges \
+     when $(b,--latency) is on).  The default $(b,auto) picks by file extension \
+     ($(b,.csv) -> csv, $(b,.prom) -> prom, otherwise json)."
+  in
+  Arg.(
+    value
+    & opt metrics_format_conv Mf_auto
+    & info [ "metrics-format" ] ~docv:"FORMAT" ~doc)
+
+let latency_arg =
+  let doc =
+    "Install request-level latency accounting: every staged op gets a modeled latency \
+     (wait in the arrival batch + its CP's service time, including injected device \
+     spikes) recorded into per-(op kind x volume) HDR histograms.  Adds \
+     p50/p99/p999 columns to $(b,--timeseries-out), a latency pane to $(b,top), \
+     per-op histograms to $(b,--metrics-format prom) output, and a post-run summary \
+     with tail exemplars naming the CP phase that dominated each outlier."
+  in
+  Arg.(value & flag & info [ "latency" ] ~doc)
+
+let slo_conv =
+  let parse s =
+    match Slo.objective_of_string s with Ok o -> Ok o | Error msg -> Error (`Msg msg)
+  in
+  let print fmt o = Format.pp_print_string fmt (Slo.objective_to_string o) in
+  Arg.conv ~docv:"NAME:MS:TARGET" (parse, print)
+
+let slo_arg =
+  let doc =
+    "Track a latency objective (repeatable): TARGET (a fraction, e.g. 0.99) of ops \
+     must complete under MS milliseconds.  Implies $(b,--latency).  Each objective's \
+     burn rate over fast (12-CP) and slow (120-CP) windows is exported as \
+     $(b,slo.NAME.burn_fast)/$(b,burn_slow) gauges; a breach (both windows burning \
+     above 1.0) bumps $(b,slo.NAME.breaches) and emits a $(b,slo_violation) trace \
+     event."
+  in
+  Arg.(value & opt_all slo_conv [] & info [ "slo" ] ~docv:"NAME:MS:TARGET" ~doc)
+
 let trace_out_arg =
   let doc =
     "Enable structured event tracing (CP boundaries, AA picks, cache replenishes, tetris \
@@ -323,11 +393,18 @@ let check_writable path =
     Printf.eprintf "waflsim: cannot write %s: %s\n" path msg;
     exit 2
 
-let flush_telemetry ~metrics_out ~trace_out ~timeseries_out tel =
+let flush_telemetry ~metrics_out ~metrics_format ~trace_out ~timeseries_out tel =
   Option.iter
     (fun path ->
       let render =
-        if Filename.check_suffix path ".csv" then Export.metrics_csv else Export.metrics_json
+        match metrics_format with
+        | Mf_json -> Export.metrics_json
+        | Mf_csv -> Export.metrics_csv
+        | Mf_prom -> Export.metrics_prom
+        | Mf_auto ->
+          if Filename.check_suffix path ".csv" then Export.metrics_csv
+          else if Filename.check_suffix path ".prom" then Export.metrics_prom
+          else Export.metrics_json
       in
       write_file path (render tel);
       Printf.printf "telemetry: metrics written to %s\n%!" path)
@@ -350,11 +427,61 @@ let flush_telemetry ~metrics_out ~trace_out ~timeseries_out tel =
       Printf.printf "telemetry: time series written to %s\n%!" path)
     timeseries_out
 
+(* A --latency / --slo run gets a request-latency recorder seeded with the
+   sim's cost constants, so the modeled per-op clock and the analytic
+   M/G/1 sweeps price the same work identically. *)
+let make_latency ~latency ~slos =
+  if latency || slos <> [] then
+    Some
+      (Latency.create
+         ~model:(Wafl_sim.Cost_model.latency_model Wafl_sim.Cost_model.default)
+         ?slo:(match slos with [] -> None | l -> Some (Slo.create l))
+         ())
+  else None
+
+(* Post-run latency summary on stdout: headline quantiles, per-volume
+   rows, SLO burn state and the slowest tail exemplars with their blame
+   phase — so a --latency run reports itself without any output file. *)
+let print_latency_summary tel =
+  match Telemetry.latency tel with
+  | None -> ()
+  | Some lat when Latency.ops_recorded lat = 0 ->
+    Printf.printf "latency: no ops recorded\n%!"
+  | Some lat ->
+    let p50, p99, p999 = Latency.quantiles_ms lat in
+    Printf.printf "latency: %d ops over %d CPs  p50 %.2f ms  p99 %.2f ms  p999 %.2f ms\n"
+      (Latency.ops_recorded lat) (Latency.cps_recorded lat) p50 p99 p999;
+    List.iter
+      (fun (slot, name) ->
+        let p50, p99, p999 = Latency.quantiles_ms ~vol:slot lat in
+        Printf.printf "  vol %-14s p50 %.2f ms  p99 %.2f ms  p999 %.2f ms\n" name p50 p99
+          p999)
+      (Latency.vols lat);
+    List.iter
+      (fun r ->
+        Printf.printf "  slo %-14s burn fast %.2f  slow %.2f%s\n" r.Slo.r_name
+          r.Slo.r_burn_fast r.Slo.r_burn_slow
+          (if r.Slo.r_breach then "  ** BREACH **" else ""))
+      (Latency.last_slo_reports lat);
+    List.iteri
+      (fun i ex ->
+        if i < 3 then
+          Printf.printf "  tail %.2f ms  %s/%s  cp %d  %s\n"
+            (float_of_int ex.Latency.ex_ns /. 1e6)
+            (Latency.op_name ex.Latency.ex_op)
+            ex.Latency.ex_vol_name ex.Latency.ex_cp
+            (Latency.phase_stack ex.Latency.ex_phase))
+      (Latency.exemplars lat);
+    flush stdout
+
 (* Run [f] with a telemetry instance installed when any output flag is
-   given; flush the reports afterwards even if [f] raises. *)
-let with_telemetry ~metrics_out ~trace_out ~trace_capacity ~timeseries_out f =
-  match (metrics_out, trace_out, timeseries_out) with
-  | None, None, None -> f ()
+   given or latency accounting is requested; flush the reports afterwards
+   even if [f] raises. *)
+let with_telemetry ~metrics_out ~metrics_format ~trace_out ~trace_capacity ~timeseries_out
+    ~latency ~slos f =
+  let lat = make_latency ~latency ~slos in
+  match (metrics_out, trace_out, timeseries_out, lat) with
+  | None, None, None, None -> f ()
   | _ ->
     if trace_capacity <= 0 then begin
       Printf.eprintf "waflsim: --trace-capacity must be positive (got %d)\n" trace_capacity;
@@ -363,13 +490,19 @@ let with_telemetry ~metrics_out ~trace_out ~trace_capacity ~timeseries_out f =
     Option.iter check_writable metrics_out;
     Option.iter check_writable trace_out;
     Option.iter check_writable timeseries_out;
-    let tel = Telemetry.create ~trace_capacity ~tracing:(trace_out <> None) () in
-    let flush () = flush_telemetry ~metrics_out ~trace_out ~timeseries_out tel in
+    let tel =
+      Telemetry.create ~trace_capacity ~tracing:(trace_out <> None) ?latency:lat ()
+    in
+    let flush () =
+      flush_telemetry ~metrics_out ~metrics_format ~trace_out ~timeseries_out tel;
+      print_latency_summary tel
+    in
     Telemetry.with_installed tel (fun () -> Fun.protect ~finally:flush f)
 
 let experiment_cmd name ~doc run_print =
-  let run s metrics_out trace_out trace_capacity timeseries_out fault_spec no_iron_gate
-      jobs backend alloc_domains scrub_rate temp_classes streams wear_bias =
+  let run s metrics_out metrics_format trace_out trace_capacity timeseries_out latency
+      slos fault_spec no_iron_gate jobs backend alloc_domains scrub_rate temp_classes
+      streams wear_bias =
     with_streams ~temp_classes ~streams ~wear_bias (fun () ->
     with_backend backend (fun () ->
     with_jobs jobs (fun () ->
@@ -377,16 +510,17 @@ let experiment_cmd name ~doc run_print =
     with_scrub scrub_rate (fun () ->
         with_fault_spec (parse_fault_spec fault_spec) (fun () ->
             if not no_iron_gate then Wafl_core.Fs.enable_registry ();
-            with_telemetry ~metrics_out ~trace_out ~trace_capacity ~timeseries_out
+            with_telemetry ~metrics_out ~metrics_format ~trace_out ~trace_capacity
+              ~timeseries_out ~latency ~slos
               (fun () -> run_print (parse_scale s));
             if not no_iron_gate then run_iron_gate ()))))))
   in
   Cmd.v (Cmd.info name ~doc)
     Term.(
-      const run $ scale_arg $ metrics_out_arg $ trace_out_arg $ trace_capacity_arg
-      $ timeseries_out_arg $ fault_spec_arg $ no_iron_gate_arg $ jobs_arg $ backend_arg
-      $ alloc_domains_arg $ scrub_rate_arg $ temp_classes_arg $ streams_arg
-      $ wear_bias_arg)
+      const run $ scale_arg $ metrics_out_arg $ metrics_format_arg $ trace_out_arg
+      $ trace_capacity_arg $ timeseries_out_arg $ latency_arg $ slo_arg $ fault_spec_arg
+      $ no_iron_gate_arg $ jobs_arg $ backend_arg $ alloc_domains_arg $ scrub_rate_arg
+      $ temp_classes_arg $ streams_arg $ wear_bias_arg)
 
 let fig6_cmd =
   experiment_cmd "fig6" ~doc:"AA-cache latency/throughput experiment (Figure 6)"
@@ -484,14 +618,15 @@ let crash_matrix_cmd =
              gets its own wiped subdirectory and the remount reloads sidecars from disk.")
   in
   let run seed cps ops no_cleaner foreground_rebuild lazy_rebuild verify_mount fault_spec
-      jobs backend alloc_domains scrub_rate metrics_out trace_out trace_capacity
-      timeseries_out =
+      jobs backend alloc_domains scrub_rate metrics_out metrics_format trace_out
+      trace_capacity timeseries_out latency slos =
     with_backend backend (fun () ->
     with_jobs jobs (fun () ->
     with_alloc_domains alloc_domains (fun () ->
     with_scrub scrub_rate (fun () ->
     with_fault_spec (parse_fault_spec fault_spec) (fun () ->
-    with_telemetry ~metrics_out ~trace_out ~trace_capacity ~timeseries_out (fun () ->
+    with_telemetry ~metrics_out ~metrics_format ~trace_out ~trace_capacity ~timeseries_out
+      ~latency ~slos (fun () ->
         let r =
           Wafl_core.Crash_matrix.run ~with_cleaner:(not no_cleaner)
             ~background_rebuild:(not foreground_rebuild) ~lazy_rebuild
@@ -526,8 +661,8 @@ let crash_matrix_cmd =
     Term.(
       const run $ seed_arg $ cps_arg $ ops_arg $ no_cleaner_arg $ foreground_rebuild_arg
       $ lazy_rebuild_arg $ verify_mount_arg $ fault_spec_arg $ jobs_arg $ backend_arg
-      $ alloc_domains_arg $ scrub_rate_arg $ metrics_out_arg $ trace_out_arg
-      $ trace_capacity_arg $ timeseries_out_arg)
+      $ alloc_domains_arg $ scrub_rate_arg $ metrics_out_arg $ metrics_format_arg
+      $ trace_out_arg $ trace_capacity_arg $ timeseries_out_arg $ latency_arg $ slo_arg)
 
 (* `waflsim top`: drive an aged random-overwrite system and redraw a
    one-screen health view (current CP phase, picks/s, search ns/block,
@@ -566,8 +701,9 @@ let top_cmd =
              per-stream relocations and peak erase-block wear.  Combine with \
              $(b,--temp-classes)/$(b,--streams) to watch segregation live.")
   in
-  let run s cps ops interval seed ssd metrics_out trace_out trace_capacity timeseries_out
-      fault_spec jobs backend alloc_domains scrub_rate temp_classes streams wear_bias =
+  let run s cps ops interval seed ssd metrics_out metrics_format trace_out trace_capacity
+      timeseries_out latency slos fault_spec jobs backend alloc_domains scrub_rate
+      temp_classes streams wear_bias =
     let scale = parse_scale s in
     with_streams ~temp_classes ~streams ~wear_bias (fun () ->
     with_backend backend (fun () ->
@@ -581,7 +717,8 @@ let top_cmd =
             (* top always installs telemetry: the health view is the point *)
             let tel =
               Telemetry.create ~trace_capacity ~series_capacity:(max 1024 cps)
-                ~tracing:(trace_out <> None) ()
+                ~tracing:(trace_out <> None)
+                ?latency:(make_latency ~latency ~slos) ()
             in
             let tty = Unix.isatty Unix.stdout in
             let redraw () =
@@ -598,7 +735,8 @@ let top_cmd =
             Telemetry.with_installed tel (fun () ->
                 Fun.protect
                   ~finally:(fun () ->
-                    flush_telemetry ~metrics_out ~trace_out ~timeseries_out tel)
+                    flush_telemetry ~metrics_out ~metrics_format ~trace_out
+                      ~timeseries_out tel)
                   (fun () ->
                     let rg =
                       if ssd then Common.ssd_raid_group scale ~aa_stripes:None
@@ -639,32 +777,38 @@ let top_cmd =
           (CP phase spans, picks/s, search ns/block, free-space fragmentation trend)")
     Term.(
       const run $ scale_arg $ cps_arg $ ops_arg $ stats_interval_arg $ seed_arg $ ssd_arg
-      $ metrics_out_arg $ trace_out_arg $ trace_capacity_arg $ timeseries_out_arg
-      $ fault_spec_arg $ jobs_arg $ backend_arg $ alloc_domains_arg $ scrub_rate_arg
-      $ temp_classes_arg $ streams_arg $ wear_bias_arg)
+      $ metrics_out_arg $ metrics_format_arg $ trace_out_arg $ trace_capacity_arg
+      $ timeseries_out_arg $ latency_arg $ slo_arg $ fault_spec_arg $ jobs_arg
+      $ backend_arg $ alloc_domains_arg $ scrub_rate_arg $ temp_classes_arg $ streams_arg
+      $ wear_bias_arg)
 
 (* Bare `waflsim --metrics-out m.json` (no subcommand) runs the scalar
    suite — the cheapest end-to-end workload that exercises every
    instrumented layer — so the telemetry flags work without picking an
    experiment.  Without any output flag the default remains the help page. *)
 let default =
-  let run s metrics_out trace_out trace_capacity timeseries_out jobs backend alloc_domains
-      scrub_rate =
-    match (metrics_out, trace_out, timeseries_out) with
-    | None, None, None -> `Help (`Pager, None)
-    | _ ->
+  let run s metrics_out metrics_format trace_out trace_capacity timeseries_out latency
+      slos jobs backend alloc_domains scrub_rate =
+    if
+      metrics_out = None && trace_out = None && timeseries_out = None && (not latency)
+      && slos = []
+    then `Help (`Pager, None)
+    else begin
       with_backend backend (fun () ->
           with_jobs jobs (fun () ->
               with_alloc_domains alloc_domains (fun () ->
                   with_scrub scrub_rate (fun () ->
-                      with_telemetry ~metrics_out ~trace_out ~trace_capacity ~timeseries_out
+                      with_telemetry ~metrics_out ~metrics_format ~trace_out
+                        ~trace_capacity ~timeseries_out ~latency ~slos
                         (fun () -> Scalars.print (Scalars.run ~scale:(parse_scale s) ()))))));
       `Ok ()
+    end
   in
   Term.(
     ret
-      (const run $ scale_arg $ metrics_out_arg $ trace_out_arg $ trace_capacity_arg
-     $ timeseries_out_arg $ jobs_arg $ backend_arg $ alloc_domains_arg $ scrub_rate_arg))
+      (const run $ scale_arg $ metrics_out_arg $ metrics_format_arg $ trace_out_arg
+     $ trace_capacity_arg $ timeseries_out_arg $ latency_arg $ slo_arg $ jobs_arg
+     $ backend_arg $ alloc_domains_arg $ scrub_rate_arg))
 
 let () =
   let info = Cmd.info "waflsim" ~doc:"WAFL free-block search reproduction experiments" in

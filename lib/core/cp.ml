@@ -290,6 +290,16 @@ let timeseries_columns =
     "fault_transients"; "fault_torn"; "fault_failed"; "fault_retries";
     "scrub_pages"; "scrub_bad"; "ssd_wa"; "ssd_reloc_s0"; "ssd_reloc_s1";
     "ssd_reloc_s2"; "ssd_reloc_s3"; "ssd_max_wear";
+    (* Modeled request latency (ms), zero when no latency recorder is
+       attached.  Volume slots are first-seen order and only the first
+       four get columns (keeping the schema fixed across runs, like the
+       reloc_s* cells); later volumes stay visible in the health pane and
+       the Prometheus export. *)
+    "lat_p50_ms"; "lat_p99_ms"; "lat_p999_ms";
+    "lat_v0_p50_ms"; "lat_v0_p99_ms"; "lat_v0_p999_ms";
+    "lat_v1_p50_ms"; "lat_v1_p99_ms"; "lat_v1_p999_ms";
+    "lat_v2_p50_ms"; "lat_v2_p99_ms"; "lat_v2_p999_ms";
+    "lat_v3_p50_ms"; "lat_v3_p99_ms"; "lat_v3_p999_ms";
   ]
 
 let run ?pool ?temp walloc staged =
@@ -309,6 +319,10 @@ let run ?pool ?temp walloc staged =
   let ops = List.length staged in
   let placed = ref 0 in
   let vvbn_frees = ref 0 in
+  (* Request-latency accounting: per-volume (slot, fresh, overwrite)
+     placement counts, gathered only when a latency recorder is live. *)
+  let lat_on = Telemetry.lat_active () in
+  let lat_groups = ref [] in
   let allocated_pvbns = ref [] in
   let allocated_cls = ref [] in
   (* Temperature routing is active when an inference handle with more than
@@ -324,10 +338,12 @@ let run ?pool ?temp walloc staged =
       let n = List.length writes in
       let vvbns = Array.make (max 1 n) 0 in
       let got_v = Write_alloc.allocate_vvbns_into walloc vol ~dst:vvbns n in
+      let lat_fresh = ref 0 and lat_over = ref 0 in
       (* Place one write at its allocated vvbn/pvbn pair. *)
       let place_one w vv pv cls =
         (match Flexvol.write_file vol ~file:w.file ~offset:w.offset ~vvbn:vv with
         | Some old_vvbn ->
+          incr lat_over;
           (* COW: the replaced block dies at this CP — unless a snapshot
              still pins it, in which case it merely leaves the active
              map and is released at snapshot deletion *)
@@ -340,7 +356,7 @@ let run ?pool ?temp walloc staged =
             Flexvol.queue_unmap vol ~vvbn:old_vvbn;
             incr vvbn_frees
           end
-        | None -> ());
+        | None -> incr lat_fresh);
         Flexvol.attach_reserved vol ~vvbn:vv ~pvbn:pv;
         (match temp with
         | Some tm ->
@@ -351,7 +367,7 @@ let run ?pool ?temp walloc staged =
         if routing <> None then allocated_cls := cls :: !allocated_cls;
         incr placed
       in
-      match routing with
+      (match routing with
       | Some tm ->
         (* SepBIT-style segregation: classify each write by the lifespan of
            the version it kills (before any of this CP's placements mutate
@@ -412,7 +428,14 @@ let run ?pool ?temp walloc staged =
               Flexvol.release_reserved vol ~vvbn:vvbns.(j)
             done
         in
-        place writes 0)
+        place writes 0);
+      if lat_on && !lat_fresh + !lat_over > 0 then
+        lat_groups :=
+          ( Telemetry.lat_vol_slot ~uid:(Flexvol.uid vol)
+              ~name:(Flexvol.name vol),
+            !lat_fresh,
+            !lat_over )
+          :: !lat_groups)
     by_vol;
   (* 2. Commit delayed frees (aggregate + volumes) and flush metafiles.
         Concurrent frees queued by allocation-pool domains drain first, in
@@ -557,6 +580,24 @@ let run ?pool ?temp walloc staged =
   in
   (* 5. Telemetry: a per-CP snapshot plus CP-granularity counters (the hot
      allocation path above only touched the zero-cost trace emitters). *)
+  (* Assign modeled latencies to this CP's ops first, so the time-series
+     row below reads quantiles that include this CP.  device_time_us
+     already carries the injected spike penalty; spike_us is passed
+     separately so exemplar blame can tell a faulted flush from a merely
+     slow one. *)
+  if lat_on then
+    Telemetry.lat_cp_record
+      ~groups:(List.rev !lat_groups)
+      ~pages:(agg_pages + vol_pages)
+      ~cache_work:report.cache_work
+      ~candidates:report.alloc_candidates
+      ~device_us:device_time_us
+      ~spike_us:
+        (match fault_totals with
+        | Some fs -> fs.Wafl_fault.Fault.penalty_us
+        | None -> 0.0)
+      ~pick_ns:(Telemetry.span_total_ns Span.Pick - pick_ns0)
+      ~harvest_ns:(Telemetry.span_total_ns Span.Harvest - harvest_ns0);
   Telemetry.trace_free_commit ~space:(-1) ~freed:report.pvbns_freed ~pages:agg_pages;
   Telemetry.trace_cp_end ~ops ~blocks:report.blocks_allocated ~freed:report.pvbns_freed
     ~pages:(agg_pages + vol_pages) ~device_us:device_time_us;
@@ -686,6 +727,12 @@ let run ?pool ?temp walloc staged =
               reloc_s.(s) <- reloc_s.(s) + st.Ftl.relocated_pages)
             d.ssd_stream_stats)
         report.devices;
+      (* Modeled latency quantiles (all zeros when no recorder is live). *)
+      let lat_all_50, lat_all_99, lat_all_999 = Telemetry.lat_quantiles_ms ~vol:(-1) in
+      let lat_v0_50, lat_v0_99, lat_v0_999 = Telemetry.lat_quantiles_ms ~vol:0 in
+      let lat_v1_50, lat_v1_99, lat_v1_999 = Telemetry.lat_quantiles_ms ~vol:1 in
+      let lat_v2_50, lat_v2_99, lat_v2_999 = Telemetry.lat_quantiles_ms ~vol:2 in
+      let lat_v3_50, lat_v3_99, lat_v3_999 = Telemetry.lat_quantiles_ms ~vol:3 in
       [|
         fl cp_idx;
         fl ops;
@@ -717,6 +764,11 @@ let run ?pool ?temp walloc staged =
         fl reloc_s.(2);
         fl reloc_s.(3);
         fl !ssd_wear;
+        lat_all_50; lat_all_99; lat_all_999;
+        lat_v0_50; lat_v0_99; lat_v0_999;
+        lat_v1_50; lat_v1_99; lat_v1_999;
+        lat_v2_50; lat_v2_99; lat_v2_999;
+        lat_v3_50; lat_v3_99; lat_v3_999;
       |]);
   (* Tick the temperature clock after the CP's placements: lifespans are
      measured in whole CPs between a birth and the overwrite killing it. *)

@@ -55,9 +55,12 @@ val timeseries_columns : string list
     delta), CP wall ns, the HBPS score-error bound, AA score deciles
     d1..d9, free-space totals and fragmentation
     ([1 - largest_free_run / free_blocks]), the harvest-ring high-water
-    mark, modeled device time, fault totals, scrub totals, and the SSD
+    mark, modeled device time, fault totals, scrub totals, the SSD
     segregation axes (cumulative write amplification, per-stream
-    relocations this CP, peak erase-block wear). *)
+    relocations this CP, peak erase-block wear), and modeled request
+    latency ([lat_p50/99/999_ms] overall plus [lat_v0..v3_*] for the
+    first four volume slots — all zeros unless the installed telemetry
+    instance carries a {!Wafl_telemetry.Latency.t}). *)
 
 val run :
   ?pool:Wafl_par.Par.t -> ?temp:Temperature.t -> Write_alloc.t -> staged list -> report

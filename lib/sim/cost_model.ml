@@ -47,6 +47,19 @@ let of_report ?(model = default) (r : Cp.report) =
     cp_duration_us = cpu_total +. io_total;
   }
 
+(* The latency layer lives below the sim (telemetry can't depend on sim),
+   so it keeps its own copy of the cost constants; this is the one
+   conversion point, and a test pins
+   [latency_model default = Latency.default_model]. *)
+let latency_model m =
+  {
+    Wafl_telemetry.Latency.cpu_base_us_per_op = m.cpu_base_us_per_op;
+    metafile_page_cpu_us = m.metafile_page_cpu_us;
+    metafile_page_write_us = m.metafile_page_write_us;
+    cache_work_unit_us = m.cache_work_unit_us;
+    alloc_candidate_us = m.alloc_candidate_us;
+  }
+
 let combine costs =
   match costs with
   | [] -> invalid_arg "Cost_model.combine: empty"

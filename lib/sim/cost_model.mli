@@ -29,6 +29,11 @@ type t = {
 
 val default : t
 
+val latency_model : t -> Wafl_telemetry.Latency.model
+(** The subset of these constants the request-latency modeled clock uses
+    ({!Wafl_telemetry.Latency}); the conversion point that keeps the two
+    cost tables in lock-step. *)
+
 type op_costs = {
   ops : int;
   cpu_us_per_op : float;       (** total CPU / ops — the §4.1.2 metric *)

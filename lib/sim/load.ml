@@ -54,19 +54,38 @@ let latency_at_peak_ms curve =
 
 let latency_at_load_ms curve load =
   let sorted = List.sort (fun a b -> compare a.offered_load b.offered_load) curve.points in
-  let rec go = function
-    | p :: (q :: _ as rest) ->
-      if load >= p.offered_load && load <= q.offered_load then begin
-        if q.offered_load = p.offered_load then Some p.latency_ms
-        else begin
-          let f = (load -. p.offered_load) /. (q.offered_load -. p.offered_load) in
-          Some (p.latency_ms +. (f *. (q.latency_ms -. p.latency_ms)))
-        end
-      end
-      else go rest
-    | _ -> None
-  in
-  go sorted
+  match sorted with
+  | [] -> Error (Printf.sprintf "curve %S has no points" curve.label)
+  | first :: _ ->
+    let last = List.nth sorted (List.length sorted - 1) in
+    if load < first.offered_load then
+      Error
+        (Printf.sprintf
+           "offered load %.0f ops/s is below the sweep's lowest point \
+            (%.0f ops/s) for curve %S"
+           load first.offered_load curve.label)
+    else if load > last.offered_load then
+      Error
+        (Printf.sprintf
+           "offered load %.0f ops/s exceeds peak throughput: the sweep for \
+            curve %S tops out at %.0f ops/s offered (peak achieved %.0f \
+            ops/s)"
+           load curve.label last.offered_load (peak_throughput curve))
+    else begin
+      let rec go = function
+        | p :: (q :: _ as rest) ->
+          if load >= p.offered_load && load <= q.offered_load then
+            if q.offered_load = p.offered_load then Ok p.latency_ms
+            else begin
+              let f = (load -. p.offered_load) /. (q.offered_load -. p.offered_load) in
+              Ok (p.latency_ms +. (f *. (q.latency_ms -. p.latency_ms)))
+            end
+          else go rest
+        | [ p ] -> Ok p.latency_ms (* load = the single/last point exactly *)
+        | [] -> assert false (* bounds checked above *)
+      in
+      go sorted
+    end
 
 let to_series curve =
   Series.make curve.label

@@ -37,7 +37,13 @@ val sweep :
 
 val peak_throughput : curve -> float
 val latency_at_peak_ms : curve -> float
-val latency_at_load_ms : curve -> float -> float option
+
+val latency_at_load_ms : curve -> float -> (float, string) result
+(** Interpolated model latency at an offered load.  Out-of-range loads
+    return [Error] with a printable explanation ("offered load ... exceeds
+    peak throughput ..." above the sweep, a below-minimum message under
+    it) — CLI callers surface the message instead of silently dropping
+    the point. *)
 
 val to_series : curve -> Wafl_util.Series.t
 (** x = throughput (kops/s), y = latency (ms). *)

@@ -145,7 +145,11 @@ let trace_columns =
     "event"; "cp"; "space"; "aa"; "score"; "ops"; "blocks"; "freed"; "pages"; "listed";
     "tetrises"; "full_stripes"; "partial_stripes"; "aas"; "relocated"; "reclaimed";
     "device_us"; "transients"; "torn"; "failed"; "spikes"; "retries"; "ok";
+    "slo"; "burn_fast"; "burn_slow"; "violations";
   ]
+
+(* Trace fields whose values are strings, not numbers (for trace_json). *)
+let string_field k = k = "event" || k = "slo"
 
 let event_fields (ev : Tracer.event) =
   match ev with
@@ -199,6 +203,13 @@ let event_fields (ev : Tracer.event) =
       ("retries", string_of_int e.retries);
       ("ok", string_of_int e.ok);
     ]
+  | Tracer.Slo_violation e ->
+    [
+      ("slo", e.slo);
+      ("burn_fast", Printf.sprintf "%.3f" e.burn_fast);
+      ("burn_slow", Printf.sprintf "%.3f" e.burn_slow);
+      ("violations", string_of_int e.violations);
+    ]
 
 let trace_csv tel =
   let buf = Buffer.create 4096 in
@@ -234,7 +245,7 @@ let trace_json tel =
         (fun (k, v) ->
           let rendered =
             (* numeric fields stay numeric in JSON *)
-            if k = "event" then json_string v else v
+            if string_field k then json_string v else v
           in
           Buffer.add_string buf (Printf.sprintf ", %s: %s" (json_string k) rendered))
         (event_fields ev);
@@ -266,6 +277,134 @@ let timeseries_json tel =
         row;
       add "]");
   add (if Timeseries.length ts = 0 then "]\n}\n" else "\n  ]\n}\n");
+  Buffer.contents buf
+
+(* --- Prometheus text exposition (version 0.0.4) --- *)
+
+(* Metric names: [a-zA-Z_:][a-zA-Z0-9_:]*; the registry uses dotted names,
+   so dots (and any other illegal character) become underscores, and
+   everything gets a "wafl_" prefix. *)
+let prom_name s =
+  let b = Bytes.of_string s in
+  Bytes.iteri
+    (fun i c ->
+      let ok =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+        || (i > 0 && c >= '0' && c <= '9')
+      in
+      if not ok then Bytes.set b i '_')
+    b;
+  "wafl_" ^ Bytes.to_string b
+
+let prom_label_value s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let prom_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let metrics_prom tel =
+  let buf = Buffer.create 8192 in
+  let add = Buffer.add_string buf in
+  Registry.fold (Telemetry.registry tel) ~init:() ~f:(fun () m ->
+      let n = prom_name (Registry.name m) in
+      match m with
+      | Registry.Counter c ->
+        add (Printf.sprintf "# TYPE %s counter\n%s %d\n" n n (Registry.count c))
+      | Registry.Gauge g ->
+        add
+          (Printf.sprintf "# TYPE %s gauge\n%s %s\n" n n
+             (prom_float (Registry.value g)))
+      | Registry.Histogram h ->
+        (* Power-of-two buckets; le is each bucket's inclusive upper bound. *)
+        add (Printf.sprintf "# TYPE %s histogram\n" n);
+        let cum = ref 0 in
+        List.iter
+          (fun (i, c) ->
+            cum := !cum + c;
+            let le = if i = 0 then 0 else (1 lsl i) - 1 in
+            add (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" n le !cum))
+          (Registry.nonempty_buckets h);
+        add (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n (Registry.observations h));
+        add (Printf.sprintf "%s_sum %d\n" n (Registry.sum h));
+        add (Printf.sprintf "%s_count %d\n" n (Registry.observations h)));
+  let sp = Telemetry.spans tel in
+  List.iter
+    (fun k ->
+      if Span.count sp k > 0 then begin
+        let n = prom_name ("span." ^ Span.name k) in
+        add
+          (Printf.sprintf "# TYPE %s_count counter\n%s_count %d\n" n n
+             (Span.count sp k));
+        add
+          (Printf.sprintf "# TYPE %s_total_ns counter\n%s_total_ns %d\n" n n
+             (Span.total_ns sp k))
+      end)
+    Span.all;
+  (match Telemetry.latency tel with
+  | None -> ()
+  | Some lat ->
+    let name = "wafl_op_latency_ms" in
+    add (Printf.sprintf "# TYPE %s histogram\n" name);
+    let vols = Latency.vols lat in
+    List.iter
+      (fun op ->
+        List.iter
+          (fun (slot, vname) ->
+            let h = Latency.merged ~op ~vol:slot lat in
+            if Hdrhist.count h > 0 then begin
+              let labels =
+                Printf.sprintf "op=\"%s\",vol=\"%s\"" (Latency.op_name op)
+                  (prom_label_value vname)
+              in
+              let cum = ref 0 in
+              Hdrhist.iter_nonempty h (fun ~lo:_ ~hi ~count ->
+                  cum := !cum + count;
+                  add
+                    (Printf.sprintf "%s_bucket{%s,le=\"%s\"} %d\n" name labels
+                       (prom_float (float_of_int hi /. 1e6))
+                       !cum));
+              add
+                (Printf.sprintf "%s_bucket{%s,le=\"+Inf\"} %d\n" name labels
+                   (Hdrhist.count h));
+              add
+                (Printf.sprintf "%s_sum{%s} %s\n" name labels
+                   (prom_float (float_of_int (Hdrhist.sum h) /. 1e6)));
+              add (Printf.sprintf "%s_count{%s} %d\n" name labels (Hdrhist.count h))
+            end)
+          vols)
+      Latency.all_ops;
+    (* Headline quantiles as gauges, overall and per volume. *)
+    let q name' labels (p50, p99, p999) =
+      add (Printf.sprintf "# TYPE %s gauge\n" name');
+      add
+        (Printf.sprintf "%s{%squantile=\"0.5\"} %s\n" name' labels
+           (prom_float p50));
+      add
+        (Printf.sprintf "%s{%squantile=\"0.99\"} %s\n" name' labels
+           (prom_float p99));
+      add
+        (Printf.sprintf "%s{%squantile=\"0.999\"} %s\n" name' labels
+           (prom_float p999))
+    in
+    if Latency.ops_recorded lat > 0 then begin
+      q "wafl_op_latency_quantile_ms" "" (Latency.quantiles_ms lat);
+      List.iter
+        (fun (slot, vname) ->
+          q "wafl_op_latency_vol_quantile_ms"
+            (Printf.sprintf "vol=\"%s\"," (prom_label_value vname))
+            (Latency.quantiles_ms ~vol:slot lat))
+        vols
+    end);
   Buffer.contents buf
 
 let timeseries_csv tel =

@@ -23,6 +23,15 @@ val metrics_csv : Telemetry.t -> string
     bucket plus [observations]/[sum] rows, fired span kinds to
     [.count]/[.total_ns]/[.open] rows. *)
 
+val metrics_prom : Telemetry.t -> string
+(** Prometheus text exposition (format 0.0.4).  Dotted registry names
+    become [wafl_]-prefixed underscore names with [# TYPE] lines;
+    registry histograms render cumulative [_bucket{le=...}]/[_sum]/
+    [_count] series; fired spans render [_count]/[_total_ns] counters.
+    When the instance carries a latency recorder, per-(op, volume)
+    latency histograms export as [wafl_op_latency_ms_bucket{op=,vol=,le=}]
+    (le in milliseconds) plus headline p50/p99/p999 quantile gauges. *)
+
 val timeseries_json : Telemetry.t -> string
 (** The recorded per-CP series:
     {v

@@ -5,8 +5,11 @@
     series and registry: a span table (indented by {!Span.depth}, with the
     currently open phase flagged), the headline rates of the newest
     time-series row (picks/s, search ns/block, free fraction,
-    fragmentation, HBPS error bound), and a sparkline of the
-    fragmentation trend across the retained rows.  It writes no ANSI
+    fragmentation, HBPS error bound), a sparkline of the fragmentation
+    trend across the retained rows, and — when the instance carries a
+    {!Latency.t} with recorded ops — a request-latency pane: overall and
+    per-volume p50/p99/p999, SLO burn rates (flagging breaches), and the
+    slowest tail exemplars with their blame span stack.  It writes no ANSI
     escapes — the caller decides whether to clear the screen between
     refreshes — so tests can assert on its output directly. *)
 

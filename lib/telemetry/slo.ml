@@ -1,0 +1,127 @@
+type objective = { name : string; threshold_ms : float; target : float }
+
+let objective ~name ~threshold_ms ~target =
+  if String.length name = 0 then Error "SLO name must be non-empty"
+  else if String.contains name ':' then
+    Error (Printf.sprintf "SLO name %S must not contain ':'" name)
+  else if not (threshold_ms > 0.) then
+    Error
+      (Printf.sprintf "SLO %s: threshold must be > 0 ms (got %g)" name
+         threshold_ms)
+  else if not (target > 0. && target < 1.) then
+    Error
+      (Printf.sprintf
+         "SLO %s: target must be a fraction in (0,1), e.g. 0.99 (got %g)" name
+         target)
+  else Ok { name; threshold_ms; target }
+
+let objective_of_string s =
+  let fail () =
+    Error
+      (Printf.sprintf
+         "bad SLO spec %S: expected NAME:MS:TARGET, e.g. writes:5:0.99 \
+          (95%% of ops under 5 ms would be writes:5:0.95)"
+         s)
+  in
+  match String.split_on_char ':' s with
+  | [ name; ms; tgt ] -> (
+      match (float_of_string_opt ms, float_of_string_opt tgt) with
+      | Some threshold_ms, Some target -> objective ~name ~threshold_ms ~target
+      | _ -> fail ())
+  | _ -> fail ()
+
+let objective_to_string o =
+  Printf.sprintf "%s:%g:%g" o.name o.threshold_ms o.target
+
+(* Circular per-CP windows of (ops, violations). *)
+type win = {
+  w_ops : int array;
+  w_viol : int array;
+  mutable w_idx : int;
+  mutable w_sum_ops : int;
+  mutable w_sum_viol : int;
+}
+
+let win_create n =
+  {
+    w_ops = Array.make n 0;
+    w_viol = Array.make n 0;
+    w_idx = 0;
+    w_sum_ops = 0;
+    w_sum_viol = 0;
+  }
+
+let win_push w ~ops ~viol =
+  let i = w.w_idx in
+  w.w_sum_ops <- w.w_sum_ops - w.w_ops.(i) + ops;
+  w.w_sum_viol <- w.w_sum_viol - w.w_viol.(i) + viol;
+  w.w_ops.(i) <- ops;
+  w.w_viol.(i) <- viol;
+  w.w_idx <- (i + 1) mod Array.length w.w_ops
+
+let win_burn w ~target =
+  if w.w_sum_ops = 0 then 0.
+  else
+    let frac = float_of_int w.w_sum_viol /. float_of_int w.w_sum_ops in
+    frac /. (1. -. target)
+
+type t = {
+  objs : objective array;
+  thr_ns : int array;
+  fast : win array;
+  slow : win array;
+}
+
+let create ?(fast_window = 12) ?(slow_window = 120) objectives =
+  if objectives = [] then invalid_arg "Slo.create: no objectives";
+  if fast_window <= 0 || slow_window <= 0 then
+    invalid_arg "Slo.create: windows must be positive";
+  let objs = Array.of_list objectives in
+  {
+    objs;
+    thr_ns =
+      Array.map (fun o -> int_of_float (o.threshold_ms *. 1e6)) objs;
+    fast = Array.map (fun _ -> win_create fast_window) objs;
+    slow = Array.map (fun _ -> win_create slow_window) objs;
+  }
+
+let objectives t = Array.to_list t.objs
+let thresholds_ns t = t.thr_ns
+
+type report = {
+  r_name : string;
+  r_threshold_ms : float;
+  r_target : float;
+  r_burn_fast : float;
+  r_burn_slow : float;
+  r_breach : bool;
+  r_violations : int;
+  r_window_ops : int;
+  r_window_violations : int;
+}
+
+let cp_tick t ~ops ~violations =
+  if Array.length violations <> Array.length t.objs then
+    invalid_arg "Slo.cp_tick: violations length mismatch";
+  let reports = ref [] in
+  for i = Array.length t.objs - 1 downto 0 do
+    let o = t.objs.(i) and viol = violations.(i) in
+    win_push t.fast.(i) ~ops ~viol;
+    win_push t.slow.(i) ~ops ~viol;
+    let burn_fast = win_burn t.fast.(i) ~target:o.target in
+    let burn_slow = win_burn t.slow.(i) ~target:o.target in
+    reports :=
+      {
+        r_name = o.name;
+        r_threshold_ms = o.threshold_ms;
+        r_target = o.target;
+        r_burn_fast = burn_fast;
+        r_burn_slow = burn_slow;
+        r_breach = burn_fast > 1. && burn_slow > 1.;
+        r_violations = viol;
+        r_window_ops = t.slow.(i).w_sum_ops;
+        r_window_violations = t.slow.(i).w_sum_viol;
+      }
+      :: !reports
+  done;
+  !reports

@@ -7,17 +7,20 @@ type t = {
   tracer : Tracer.t;
   spans : Span.t;
   series : Timeseries.t;
+  latency : Latency.t option;
   mutable snapshots_rev : snapshot list;
   mutable snapshot_seq : int;
   mutable sample_hook : (unit -> unit) option;
 }
 
-let create ?trace_capacity ?series_capacity ?clock ?(tracing = false) () =
+let create ?trace_capacity ?series_capacity ?clock ?(tracing = false) ?latency
+    () =
   {
     registry = Registry.create ();
     tracer = Tracer.create ?capacity:trace_capacity ~enabled:tracing ();
     spans = Span.create ?clock ();
     series = Timeseries.create ?capacity:series_capacity ();
+    latency;
     snapshots_rev = [];
     snapshot_seq = 0;
     sample_hook = None;
@@ -27,6 +30,7 @@ let registry t = t.registry
 let tracer t = t.tracer
 let spans t = t.spans
 let series t = t.series
+let latency t = t.latency
 let snapshots t = List.rev t.snapshots_rev
 
 let add_snapshot t ~label fields =
@@ -133,3 +137,60 @@ let trace_fault_inject ~space ~transients ~torn ~failed ~spikes =
 
 let trace_io_retry ~space ~retries ~ok =
   match !state with None -> () | Some t -> Tracer.io_retry t.tracer ~space ~retries ~ok
+
+(* --- request latency (branch-only no-ops without an installed instance
+   carrying a Latency.t) --- *)
+
+let lat_active () =
+  match !state with None -> false | Some t -> t.latency <> None
+
+let lat_vol_slot ~uid ~name =
+  match !state with
+  | None -> -1
+  | Some t -> (
+    match t.latency with
+    | None -> -1
+    | Some lat -> Latency.vol_slot lat ~uid ~name)
+
+let lat_cp_record ~groups ~pages ~cache_work ~candidates ~device_us ~spike_us
+    ~pick_ns ~harvest_ns =
+  match !state with
+  | None -> ()
+  | Some t -> (
+    match t.latency with
+    | None -> ()
+    | Some lat ->
+      Latency.cp_record lat ~groups ~pages ~cache_work ~candidates ~device_us
+        ~spike_us ~pick_ns ~harvest_ns;
+      (* Surface the SLO state as ordinary metrics + a trace event, so
+         burn rates ride the existing export/health paths. *)
+      List.iter
+        (fun (r : Slo.report) ->
+          Registry.set
+            (Registry.gauge t.registry ("slo." ^ r.r_name ^ ".burn_fast"))
+            r.r_burn_fast;
+          Registry.set
+            (Registry.gauge t.registry ("slo." ^ r.r_name ^ ".burn_slow"))
+            r.r_burn_slow;
+          if r.r_violations > 0 then
+            Registry.add
+              (Registry.counter t.registry ("slo." ^ r.r_name ^ ".violations"))
+              r.r_violations;
+          if r.r_breach then begin
+            Registry.incr
+              (Registry.counter t.registry ("slo." ^ r.r_name ^ ".breaches"));
+            Tracer.slo_violation t.tracer ~slo:r.r_name
+              ~burn_fast:r.r_burn_fast ~burn_slow:r.r_burn_slow
+              ~violations:r.r_violations
+          end)
+        (Latency.last_slo_reports lat))
+
+let lat_quantiles_ms ~vol =
+  match !state with
+  | None -> (0., 0., 0.)
+  | Some t -> (
+    match t.latency with
+    | None -> (0., 0., 0.)
+    | Some lat ->
+      if vol < 0 then Latency.quantiles_ms lat
+      else Latency.quantiles_ms ~vol lat)

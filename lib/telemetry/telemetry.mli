@@ -37,18 +37,23 @@ type snapshot = {
 type t
 
 val create :
-  ?trace_capacity:int -> ?series_capacity:int -> ?clock:(unit -> int) -> ?tracing:bool -> unit -> t
+  ?trace_capacity:int -> ?series_capacity:int -> ?clock:(unit -> int) ->
+  ?tracing:bool -> ?latency:Latency.t -> unit -> t
 (** [trace_capacity] defaults to 4096 events, [series_capacity] to 4096
     time-series rows (both raise [Invalid_argument] when not positive);
     [tracing] (the tracer's enabled flag) to [false]; [clock] (the span
     recorder's nanosecond clock, injectable for tests) to the wall clock.
     Metrics, spans, series and snapshots are always on for an installed
-    instance; only event tracing has a separate switch. *)
+    instance; event tracing and request-latency accounting ([latency],
+    off by default) have separate switches. *)
 
 val registry : t -> Registry.t
 val tracer : t -> Tracer.t
 val spans : t -> Span.t
 val series : t -> Timeseries.t
+
+val latency : t -> Latency.t option
+(** The request-latency recorder, when this instance carries one. *)
 
 val snapshots : t -> snapshot list
 (** Oldest first. *)
@@ -125,3 +130,35 @@ val trace_fault_inject :
   space:int -> transients:int -> torn:int -> failed:int -> spikes:int -> unit
 
 val trace_io_retry : space:int -> retries:int -> ok:int -> unit
+
+(* --- request latency (no-ops unless the installed instance carries a
+   {!Latency.t}) --- *)
+
+val lat_active : unit -> bool
+(** Whether latency accounting is live — instrumentation sites use this to
+    skip their bookkeeping entirely.  Uninstalled (or installed without a
+    latency recorder) this is a branch, no allocation. *)
+
+val lat_vol_slot : uid:int -> name:string -> int
+(** Dense per-run volume slot for latency keying ([-1] when inactive). *)
+
+val lat_cp_record :
+  groups:(int * int * int) list ->
+  pages:int ->
+  cache_work:int ->
+  candidates:int ->
+  device_us:float ->
+  spike_us:float ->
+  pick_ns:int ->
+  harvest_ns:int ->
+  unit
+(** Feed one committed CP into {!Latency.cp_record}, then publish the SLO
+    burn rates as gauges ([slo.NAME.burn_fast]/[.burn_slow]), violation
+    counts as counters ([slo.NAME.violations]), and — on a breach — bump
+    [slo.NAME.breaches] and emit a [Slo_violation] trace event. *)
+
+val lat_quantiles_ms : vol:int -> float * float * float
+(** [(p50, p99, p999)] ms from the installed latency recorder; [vol >= 0]
+    filters to that volume slot, [-1] gives the overall view.  Zeros when
+    inactive — the fixed time-series schema keeps its latency columns
+    either way. *)

@@ -28,6 +28,13 @@ type event =
       spikes : int;
     }
   | Io_retry of { cp : int; space : int; retries : int; ok : int }
+  | Slo_violation of {
+      cp : int;
+      slo : string;
+      burn_fast : float;
+      burn_slow : float;
+      violations : int;
+    }
 
 type t = {
   ring : event array;
@@ -107,6 +114,10 @@ let fault_inject t ~space ~transients ~torn ~failed ~spikes =
 let io_retry t ~space ~retries ~ok =
   if t.enabled then push t (Io_retry { cp = t.cp; space; retries; ok })
 
+let slo_violation t ~slo ~burn_fast ~burn_slow ~violations =
+  if t.enabled then
+    push t (Slo_violation { cp = t.cp; slo; burn_fast; burn_slow; violations })
+
 let event_name = function
   | Cp_begin _ -> "cp_begin"
   | Cp_end _ -> "cp_end"
@@ -117,6 +128,7 @@ let event_name = function
   | Free_commit _ -> "free_commit"
   | Fault_inject _ -> "fault_inject"
   | Io_retry _ -> "io_retry"
+  | Slo_violation _ -> "slo_violation"
 
 let event_cp = function
   | Cp_begin { cp } -> cp
@@ -128,3 +140,4 @@ let event_cp = function
   | Free_commit { cp; _ } -> cp
   | Fault_inject { cp; _ } -> cp
   | Io_retry { cp; _ } -> cp
+  | Slo_violation { cp; _ } -> cp

@@ -41,6 +41,14 @@ type event =
     }  (** injected faults observed by one device during one CP flush *)
   | Io_retry of { cp : int; space : int; retries : int; ok : int }
       (** retry activity (attempts / bursts outlived) for one device, one CP *)
+  | Slo_violation of {
+      cp : int;
+      slo : string;
+      burn_fast : float;
+      burn_slow : float;
+      violations : int;
+    }
+      (** an SLO breached (both burn windows over 1.0) at this CP boundary *)
 
 type t
 
@@ -84,6 +92,12 @@ val fault_inject :
   t -> space:int -> transients:int -> torn:int -> failed:int -> spikes:int -> unit
 
 val io_retry : t -> space:int -> retries:int -> ok:int -> unit
+
+val slo_violation :
+  t -> slo:string -> burn_fast:float -> burn_slow:float -> violations:int -> unit
+(** Unlike the other emitters this takes a string (the objective name);
+    it fires at most once per (objective, CP) at the CP boundary, never
+    on a hot path. *)
 
 (* --- rendering --- *)
 

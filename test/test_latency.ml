@@ -1,0 +1,366 @@
+(* Tests for the request-latency subsystem: Hdrhist bucket math and
+   quantile error bounds, multi-domain merge exactness, the modeled
+   per-op clock, exemplar blame, SLO burn rates, and the prom/health
+   renderings. *)
+
+open Wafl_telemetry
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* --- Hdrhist --- *)
+
+let test_hdrhist_exact_small () =
+  let h = Hdrhist.create () in
+  for v = 0 to 63 do
+    Hdrhist.record h v
+  done;
+  check_int "count" 64 (Hdrhist.count h);
+  check_int "sum" (63 * 64 / 2) (Hdrhist.sum h);
+  check_int "min" 0 (Hdrhist.min_value h);
+  check_int "max" 63 (Hdrhist.max_value h);
+  (* values under 64 land in exact unit buckets *)
+  for v = 0 to 63 do
+    let lo, hi = Hdrhist.bucket_bounds (Hdrhist.index_of v) in
+    check_int "unit bucket lo" v lo;
+    check_int "unit bucket hi" v hi
+  done
+
+let test_hdrhist_relative_error_bound () =
+  (* every bucket's upper bound is within 1/32 of its lower bound *)
+  let v = ref 64 in
+  while !v < 1_000_000_000 do
+    let lo, hi = Hdrhist.bucket_bounds (Hdrhist.index_of !v) in
+    check_bool "value in bucket" true (lo <= !v && !v <= hi);
+    check_bool "width <= lo/32" true (hi - lo + 1 <= (lo / 32) + 1);
+    v := !v * 3 + 7
+  done
+
+(* Quantiles against an exact sorted reference: the estimate must be at
+   least the true order statistic and overshoot by at most the bucket
+   width (1/32 relative). *)
+let test_hdrhist_quantile_vs_sorted () =
+  let n = 10_000 in
+  let values = Array.make n 0 in
+  let x = ref 123_456_789 in
+  for i = 0 to n - 1 do
+    (* deterministic LCG, spanning several decades *)
+    x := ((!x * 1_103_515_245) + 12_345) land 0x3FFFFFFF;
+    values.(i) <- 1 + (!x mod 10_000_000)
+  done;
+  let h = Hdrhist.create () in
+  Array.iter (Hdrhist.record h) values;
+  let sorted = Array.copy values in
+  Array.sort compare sorted;
+  List.iter
+    (fun q ->
+      let rank = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+      let exact = sorted.(rank - 1) in
+      let est = Hdrhist.quantile h q in
+      check_bool
+        (Printf.sprintf "q%.3f: est %d >= exact %d" q est exact)
+        true (est >= exact);
+      check_bool
+        (Printf.sprintf "q%.3f: est %d <= exact %d + 1/32" q est exact)
+        true
+        (est <= exact + (exact / 32) + 1))
+    [ 0.5; 0.9; 0.99; 0.999; 1.0 ]
+
+let test_hdrhist_merge_exact () =
+  let a = Hdrhist.create () and b = Hdrhist.create () in
+  for i = 1 to 1000 do
+    Hdrhist.record a (i * 17);
+    Hdrhist.record b (i * 131)
+  done;
+  let dst = Hdrhist.create () in
+  Hdrhist.merge_into ~dst a;
+  Hdrhist.merge_into ~dst b;
+  check_int "merged count" (Hdrhist.count a + Hdrhist.count b) (Hdrhist.count dst);
+  check_int "merged sum" (Hdrhist.sum a + Hdrhist.sum b) (Hdrhist.sum dst);
+  check_int "merged max" (Hdrhist.max_value b) (Hdrhist.max_value dst);
+  check_int "merged min" (Hdrhist.min_value a) (Hdrhist.min_value dst)
+
+(* --- multi-domain hammer: exact totals across concurrent recorders --- *)
+
+let test_latency_multi_domain_merge () =
+  let lat = Latency.create () in
+  let vol = Latency.vol_slot lat ~uid:1 ~name:"hammer" in
+  let per_domain = 20_000 in
+  let record_some seed =
+    for i = 1 to per_domain do
+      Latency.record lat ~op:Latency.Write ~vol (1 + ((i * seed) land 0xFFFFF))
+    done
+  in
+  let domains =
+    List.map (fun seed -> Domain.spawn (fun () -> record_some seed)) [ 3; 5; 7 ]
+  in
+  record_some 11;
+  List.iter Domain.join domains;
+  let h = Latency.merged lat in
+  check_int "exact total across domains" (4 * per_domain) (Hdrhist.count h);
+  let expected_sum =
+    List.fold_left
+      (fun acc seed ->
+        let s = ref 0 in
+        for i = 1 to per_domain do
+          s := !s + 1 + ((i * seed) land 0xFFFFF)
+        done;
+        acc + !s)
+      0 [ 3; 5; 7; 11 ]
+  in
+  check_int "exact sum across domains" expected_sum (Hdrhist.sum h)
+
+(* --- the modeled clock --- *)
+
+let test_model_pinned_to_sim () =
+  let m = Wafl_sim.Cost_model.latency_model Wafl_sim.Cost_model.default in
+  check_bool "telemetry default model = sim cost model" true (m = Latency.default_model)
+
+let test_cp_record_latency_bounds () =
+  let lat = Latency.create () in
+  let v = Latency.vol_slot lat ~uid:1 ~name:"v" in
+  let n = 10 in
+  Latency.cp_record lat ~groups:[ (v, n, 0) ] ~pages:0 ~cache_work:0 ~candidates:0
+    ~device_us:0.0 ~spike_us:0.0 ~pick_ns:0 ~harvest_ns:0;
+  (* pure-CPU CP: total = cpu_base * n; first CP's arrival window is its
+     own duration, so op latencies span [total, total * (2n-1)/n) *)
+  let total_ns =
+    int_of_float (Latency.default_model.Latency.cpu_base_us_per_op *. float_of_int n)
+    * 1000
+  in
+  let h = Latency.merged lat in
+  check_int "one op per staged write" n (Hdrhist.count h);
+  check_bool "min >= CP duration" true (Hdrhist.min_value h >= total_ns);
+  check_bool "max < 2x CP duration" true (Hdrhist.max_value h < 2 * total_ns);
+  check_int "cps" 1 (Latency.cps_recorded lat)
+
+let test_cp_record_per_vol_keying () =
+  let lat = Latency.create () in
+  let a = Latency.vol_slot lat ~uid:1 ~name:"va" in
+  let b = Latency.vol_slot lat ~uid:2 ~name:"vb" in
+  check_bool "distinct slots" true (a <> b);
+  check_int "slot stable on re-lookup" a (Latency.vol_slot lat ~uid:1 ~name:"va");
+  Latency.cp_record lat
+    ~groups:[ (a, 30, 0); (b, 0, 70) ]
+    ~pages:0 ~cache_work:0 ~candidates:0 ~device_us:0.0 ~spike_us:0.0 ~pick_ns:0
+    ~harvest_ns:0;
+  check_int "vol a count" 30 (Hdrhist.count (Latency.merged ~vol:a lat));
+  check_int "vol b count" 70 (Hdrhist.count (Latency.merged ~vol:b lat));
+  check_int "op split: overwrites on b" 70
+    (Hdrhist.count (Latency.merged ~op:Latency.Overwrite lat));
+  check_bool "vols registered in order" true
+    (Latency.vols lat = [ (a, "va"); (b, "vb") ])
+
+let test_exemplar_blames_device_flush () =
+  let lat = Latency.create () in
+  let v = Latency.vol_slot lat ~uid:1 ~name:"v" in
+  (* CP 1 arms the exemplar threshold *)
+  Latency.cp_record lat ~groups:[ (v, 100, 0) ] ~pages:0 ~cache_work:0 ~candidates:0
+    ~device_us:0.0 ~spike_us:0.0 ~pick_ns:0 ~harvest_ns:0;
+  (* CP 2 is much slower and spike-dominated: its tail must be captured
+     and blamed on the device flush *)
+  Latency.cp_record lat ~groups:[ (v, 100, 0) ] ~pages:0 ~cache_work:0 ~candidates:0
+    ~device_us:5_000_000.0 ~spike_us:4_000_000.0 ~pick_ns:0 ~harvest_ns:0;
+  let exs = Latency.exemplars lat in
+  check_bool "captured exemplars" true (exs <> []);
+  let top = List.hd exs in
+  check_bool "blames device flush" true (top.Latency.ex_phase = Span.Device_flush);
+  check_bool "from a later cp than the armer" true (top.Latency.ex_cp >= 1);
+  check_bool "stack names the phase" true
+    (contains (Latency.phase_stack top.Latency.ex_phase) "device_flush")
+
+let test_exemplar_blames_activemap () =
+  let lat = Latency.create () in
+  let v = Latency.vol_slot lat ~uid:1 ~name:"v" in
+  Latency.cp_record lat ~groups:[ (v, 100, 0) ] ~pages:0 ~cache_work:0 ~candidates:0
+    ~device_us:0.0 ~spike_us:0.0 ~pick_ns:0 ~harvest_ns:0;
+  (* metafile pages dwarf every other cost component *)
+  Latency.cp_record lat ~groups:[ (v, 100, 0) ] ~pages:100_000 ~cache_work:0
+    ~candidates:0 ~device_us:0.0 ~spike_us:0.0 ~pick_ns:0 ~harvest_ns:0;
+  let exs = Latency.exemplars lat in
+  check_bool "captured exemplars" true (exs <> []);
+  check_bool "blames activemap commit" true
+    ((List.hd exs).Latency.ex_phase = Span.Activemap_commit)
+
+(* --- SLO --- *)
+
+let test_slo_parse_errors () =
+  let bad s hint =
+    match Slo.objective_of_string s with
+    | Ok _ -> Alcotest.failf "accepted bad spec %S" s
+    | Error msg -> check_bool (s ^ " explains itself") true (contains msg hint)
+  in
+  (* malformed shapes name the grammar; well-shaped but out-of-range
+     values name the offending field *)
+  List.iter
+    (fun s -> bad s "NAME:MS:TARGET")
+    [ ""; "writes"; "writes:5"; "writes:abc:0.9"; "a:b:c" ];
+  bad "writes:5:1.5" "target must be a fraction in (0,1)";
+  bad "writes:0:0.9" "threshold must be > 0 ms";
+  match Slo.objective_of_string "writes:5:0.99" with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    check_bool "name" true (o.Slo.name = "writes");
+    check_bool "roundtrip" true (Slo.objective_to_string o = "writes:5:0.99")
+
+let test_slo_burn_and_breach () =
+  let o =
+    match Slo.objective ~name:"w" ~threshold_ms:1.0 ~target:0.9 with
+    | Ok o -> o
+    | Error e -> Alcotest.fail e
+  in
+  let slo = Slo.create ~fast_window:2 ~slow_window:4 [ o ] in
+  (* 50% violations against a 10% budget: burn 5.0 in both windows *)
+  let tick v = Slo.cp_tick slo ~ops:100 ~violations:[| v |] in
+  ignore (tick 50);
+  let r = List.hd (tick 50) in
+  check_bool "fast burn 5.0" true (abs_float (r.Slo.r_burn_fast -. 5.0) < 1e-9);
+  check_bool "slow burn 5.0" true (abs_float (r.Slo.r_burn_slow -. 5.0) < 1e-9);
+  check_bool "breach" true r.Slo.r_breach;
+  (* clean CPs wash the fast window first: breach clears *)
+  ignore (tick 0);
+  let r = List.hd (tick 0) in
+  check_bool "fast burn decays to 0" true (r.Slo.r_burn_fast < 1e-9);
+  check_bool "slow window remembers" true (r.Slo.r_burn_slow > 1.0);
+  check_bool "no breach once fast is clean" true (not r.Slo.r_breach)
+
+let test_slo_violations_from_cp_record () =
+  let o =
+    match Slo.objective ~name:"tight" ~threshold_ms:0.001 ~target:0.999 with
+    | Ok o -> o
+    | Error e -> Alcotest.fail e
+  in
+  let lat = Latency.create ~slo:(Slo.create [ o ]) () in
+  let v = Latency.vol_slot lat ~uid:1 ~name:"v" in
+  Latency.cp_record lat ~groups:[ (v, 50, 0) ] ~pages:0 ~cache_work:0 ~candidates:0
+    ~device_us:0.0 ~spike_us:0.0 ~pick_ns:0 ~harvest_ns:0;
+  match Latency.last_slo_reports lat with
+  | [ r ] ->
+    (* every modeled op takes ~1ms+, far over a 1us threshold *)
+    check_int "all ops violate" 50 r.Slo.r_violations;
+    check_bool "burning" true (r.Slo.r_burn_fast > 1.0)
+  | rs -> Alcotest.failf "expected one report, got %d" (List.length rs)
+
+(* --- hooks and renderings --- *)
+
+let test_uninstalled_hooks_inert () =
+  check_bool "inactive" true (not (Telemetry.lat_active ()));
+  check_int "slot -1" (-1) (Telemetry.lat_vol_slot ~uid:1 ~name:"x");
+  check_bool "quantiles zero" true (Telemetry.lat_quantiles_ms ~vol:(-1) = (0., 0., 0.))
+
+let e2e_tel () =
+  let lat =
+    Latency.create ~model:(Wafl_sim.Cost_model.latency_model Wafl_sim.Cost_model.default)
+      ()
+  in
+  let tel = Telemetry.create ~latency:lat () in
+  let rg =
+    {
+      Wafl_core.Config.media = Wafl_core.Config.Hdd Wafl_device.Profile.default_hdd;
+      data_devices = 4;
+      parity_devices = 1;
+      device_blocks = 8192;
+      aa_stripes = Some 512;
+    }
+  in
+  let config =
+    Wafl_core.Config.make ~raid_groups:[ rg ]
+      ~vols:[ Wafl_core.Config.default_vol ~name:"vol0" ~blocks:65536 ]
+      ~seed:7 ()
+  in
+  Telemetry.with_installed tel (fun () ->
+      let fs = Wafl_core.Fs.create config in
+      let vol = (Wafl_core.Fs.vols fs).(0) in
+      for cp = 1 to 4 do
+        for i = 1 to 200 do
+          Wafl_core.Fs.stage_write fs ~vol ~file:1 ~offset:((cp * 1000) + i)
+        done;
+        ignore (Wafl_core.Fs.run_cp fs)
+      done);
+  (tel, lat)
+
+let test_end_to_end_fs_run () =
+  let tel, lat = e2e_tel () in
+  check_int "every staged op recorded" 800 (Latency.ops_recorded lat);
+  check_int "every cp ticked" 4 (Latency.cps_recorded lat);
+  let p50, _, p999 = Latency.quantiles_ms lat in
+  check_bool "p50 positive" true (p50 > 0.0);
+  check_bool "p999 >= p50" true (p999 >= p50);
+  check_bool "volume registered" true
+    (List.exists (fun (_, n) -> n = "vol0") (Latency.vols lat));
+  (* fixed time-series schema carries the latency columns *)
+  let csv = Export.timeseries_csv tel in
+  check_bool "lat_p50_ms column" true (contains csv "lat_p50_ms");
+  check_bool "per-vol column" true (contains csv "lat_v0_p999_ms");
+  (* health pane renders the latency section *)
+  let health = Report.health tel in
+  check_bool "latency pane" true (contains health "latency:");
+  check_bool "quantiles shown" true (contains health "p999")
+
+let test_prom_exposition () =
+  let tel, _ = e2e_tel () in
+  let prom = Export.metrics_prom tel in
+  check_bool "histogram type line" true
+    (contains prom "# TYPE wafl_op_latency_ms histogram");
+  check_bool "labelled buckets" true
+    (contains prom "wafl_op_latency_ms_bucket{op=\"write\",vol=\"vol0\",le=");
+  check_bool "+Inf bucket" true (contains prom "le=\"+Inf\"");
+  check_bool "count series" true
+    (contains prom "wafl_op_latency_ms_count{op=\"write\",vol=\"vol0\"} 800");
+  check_bool "overall quantile gauge" true
+    (contains prom "wafl_op_latency_quantile_ms{quantile=\"0.999\"}");
+  check_bool "per-vol quantile gauge" true
+    (contains prom "wafl_op_latency_vol_quantile_ms{vol=\"vol0\",quantile=\"0.5\"}")
+
+let test_record_path_zero_alloc () =
+  let lat = Latency.create () in
+  let vol = Latency.vol_slot lat ~uid:1 ~name:"z" in
+  for i = 1 to 10_000 do
+    Latency.record lat ~op:Latency.Write ~vol i
+  done;
+  let before = Gc.minor_words () in
+  for i = 1 to 10_000 do
+    Latency.record lat ~op:Latency.Write ~vol (i * 31)
+  done;
+  let words = Gc.minor_words () -. before in
+  check_bool "zero minor words on warm record path" true (words = 0.0)
+
+let () =
+  Alcotest.run "wafl_latency"
+    [
+      ( "hdrhist",
+        [
+          Alcotest.test_case "exact below 64" `Quick test_hdrhist_exact_small;
+          Alcotest.test_case "relative error bound" `Quick test_hdrhist_relative_error_bound;
+          Alcotest.test_case "quantile vs sorted" `Quick test_hdrhist_quantile_vs_sorted;
+          Alcotest.test_case "merge exact" `Quick test_hdrhist_merge_exact;
+        ] );
+      ( "latency",
+        [
+          Alcotest.test_case "multi-domain merge" `Quick test_latency_multi_domain_merge;
+          Alcotest.test_case "model pinned to sim" `Quick test_model_pinned_to_sim;
+          Alcotest.test_case "cp_record bounds" `Quick test_cp_record_latency_bounds;
+          Alcotest.test_case "per-vol keying" `Quick test_cp_record_per_vol_keying;
+          Alcotest.test_case "exemplar device blame" `Quick test_exemplar_blames_device_flush;
+          Alcotest.test_case "exemplar activemap blame" `Quick test_exemplar_blames_activemap;
+          Alcotest.test_case "record path zero alloc" `Quick test_record_path_zero_alloc;
+        ] );
+      ( "slo",
+        [
+          Alcotest.test_case "parse errors" `Quick test_slo_parse_errors;
+          Alcotest.test_case "burn and breach" `Quick test_slo_burn_and_breach;
+          Alcotest.test_case "violations from cp_record" `Quick
+            test_slo_violations_from_cp_record;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "uninstalled hooks inert" `Quick test_uninstalled_hooks_inert;
+          Alcotest.test_case "end-to-end fs run" `Quick test_end_to_end_fs_run;
+          Alcotest.test_case "prom exposition" `Quick test_prom_exposition;
+        ] );
+    ]

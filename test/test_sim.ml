@@ -6,6 +6,11 @@ open Wafl_sim
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
+let astring_contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
 let report ~ops ~pages ~device_us ~cache_work =
   {
     Cp.ops;
@@ -86,9 +91,20 @@ let test_sweep_comparison () =
   in
   check_bool "fast peaks higher" true (Load.peak_throughput fast > Load.peak_throughput slow);
   let load = Load.peak_throughput slow *. 0.5 in
-  match (Load.latency_at_load_ms fast load, Load.latency_at_load_ms slow load) with
-  | Some lf, Some ls -> check_bool "fast lower latency" true (lf < ls)
-  | _ -> Alcotest.fail "interpolation failed"
+  (match (Load.latency_at_load_ms fast load, Load.latency_at_load_ms slow load) with
+  | Ok lf, Ok ls -> check_bool "fast lower latency" true (lf < ls)
+  | Error e, _ | _, Error e -> Alcotest.fail ("interpolation failed: " ^ e));
+  (* out-of-range loads explain themselves instead of silently dropping *)
+  (match Load.latency_at_load_ms slow (Load.peak_throughput slow *. 1e3) with
+  | Ok _ -> Alcotest.fail "overload should be an error"
+  | Error msg ->
+    check_bool "overload names peak throughput" true
+      (astring_contains msg "exceeds peak throughput"));
+  match Load.latency_at_load_ms slow 1e-9 with
+  | Ok _ -> Alcotest.fail "underload should be an error"
+  | Error msg ->
+    check_bool "underload names lowest point" true
+      (astring_contains msg "below the sweep's lowest point")
 
 let test_measure_service_time_runs_cps () =
   let count = ref 0 in

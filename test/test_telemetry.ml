@@ -203,9 +203,9 @@ let test_trace_exports () =
   let lines = String.split_on_char '\n' (String.trim csv) in
   check_int "header + 3 events" 4 (List.length lines);
   check_string "header"
-    "event,cp,space,aa,score,ops,blocks,freed,pages,listed,tetrises,full_stripes,partial_stripes,aas,relocated,reclaimed,device_us,transients,torn,failed,spikes,retries,ok"
+    "event,cp,space,aa,score,ops,blocks,freed,pages,listed,tetrises,full_stripes,partial_stripes,aas,relocated,reclaimed,device_us,transients,torn,failed,spikes,retries,ok,slo,burn_fast,burn_slow,violations"
     (List.hd lines);
-  check_bool "pick row" true (List.mem "aa_pick,1,0,5,900,,,,,,,,,,,,,,,,,," lines);
+  check_bool "pick row" true (List.mem "aa_pick,1,0,5,900,,,,,,,,,,,,,,,,,,,,,," lines);
   let json = Export.trace_json tel in
   check_bool "json array" true (json.[0] = '[')
 
